@@ -1,0 +1,67 @@
+// Ablation: MCG versus the clustering gain / clustering balance of Jung et
+// al. [6] for choosing the number of clusters kappa (Section 4.2 claims MCG
+// yields more compact, better-separated clusters).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace roadpart;
+using namespace roadpart::bench;
+
+namespace {
+
+void SweepMeasures(DatasetPreset preset) {
+  DatasetSpec spec = GetDatasetSpec(preset);
+  RoadNetwork net = MakeCongestedDataset(preset, 17);
+  RoadGraph rg = RoadGraph::FromNetwork(net);
+  const std::vector<double>& f = rg.features();
+
+  std::printf("--- %s ---\n", spec.name.c_str());
+  std::printf("%6s %14s %14s %14s %12s\n", "kappa", "MCG", "gain", "balance",
+              "#supernodes");
+
+  int best_mcg_k = 2;
+  int best_gain_k = 2;
+  int best_balance_k = 2;
+  double best_mcg = -1.0;
+  double best_gain = -1.0;
+  double best_balance = 1e300;
+  for (int kappa = 2; kappa <= 20; ++kappa) {
+    auto km = KMeans1D(f, kappa).value();
+    double mcg = ModeratedClusteringGain(f, km.assignment, kappa).value();
+    double gain = ClusteringGain(f, km.assignment, kappa).value();
+    double balance = ClusteringBalance(f, km.assignment, kappa).value();
+    int supernodes =
+        LabelConstrainedComponents(rg.adjacency(), km.assignment)
+            .num_components;
+    std::printf("%6d %14.4f %14.4f %14.4f %12d\n", kappa, mcg, gain, balance,
+                supernodes);
+    if (mcg > best_mcg) {
+      best_mcg = mcg;
+      best_mcg_k = kappa;
+    }
+    if (gain > best_gain) {
+      best_gain = gain;
+      best_gain_k = kappa;
+    }
+    if (balance < best_balance) {
+      best_balance = balance;
+      best_balance_k = kappa;
+    }
+  }
+  std::printf("chosen kappa: MCG -> %d, gain -> %d, balance -> %d\n\n",
+              best_mcg_k, best_gain_k, best_balance_k);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: optimality measure for choosing kappa ===\n\n");
+  SweepMeasures(DatasetPreset::kD1);
+  SweepMeasures(DatasetPreset::kM1);
+  std::printf("MCG moderates the raw gain with the intra/inter error ratio, "
+              "damping the drift towards ever-larger kappa that plain gain "
+              "exhibits (Section 4.2).\n");
+  return 0;
+}

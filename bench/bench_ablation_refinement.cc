@@ -1,0 +1,59 @@
+// Ablation: the boundary-refinement post-pass (core/refinement.h), an
+// extension beyond the paper's pipeline. It generalizes Ji & Geroliminis's
+// boundary adjustment to the actual cut objective; this bench measures what
+// it buys each scheme on the D1 and M1 workloads.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace roadpart;
+using namespace roadpart::bench;
+
+namespace {
+
+void Compare(DatasetPreset preset, int k) {
+  DatasetSpec spec = GetDatasetSpec(preset);
+  RoadNetwork net = MakeCongestedDataset(preset, 17);
+  RoadGraph rg = RoadGraph::FromNetwork(net);
+  for (Scheme scheme : {Scheme::kAG, Scheme::kASG}) {
+    if (preset != DatasetPreset::kD1 && scheme == Scheme::kAG) continue;
+    for (bool refine : {false, true}) {
+      PartitionerOptions options;
+      options.scheme = scheme;
+      options.k = k;
+      options.seed = 7;
+      options.refine_boundary = refine;
+      Timer timer;
+      auto outcome = Partitioner(options).PartitionRoadGraph(rg);
+      double seconds = timer.Seconds();
+      if (!outcome.ok()) {
+        std::printf("%-4s %-4s refine=%d failed: %s\n", spec.name.c_str(),
+                    SchemeName(scheme), refine,
+                    outcome.status().ToString().c_str());
+        continue;
+      }
+      auto eval = EvaluatePartitions(rg.adjacency(), rg.features(),
+                                     outcome->assignment)
+                      .value();
+      std::printf("%-4s %-4s refine=%d  k=%2d ans=%7.4f intra=%7.4f "
+                  "obj=%9.4f  (%.2fs)\n",
+                  spec.name.c_str(), SchemeName(scheme), refine,
+                  outcome->k_final, eval.ans, eval.intra, outcome->objective,
+                  seconds);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: boundary refinement post-pass ===\n\n");
+  Compare(DatasetPreset::kD1, 6);
+  Compare(DatasetPreset::kM1, 8);
+  std::printf("\nRefinement strictly lowers the cut objective by moving "
+              "boundary segments (supernodes for ASG); quality metrics "
+              "follow where the objective aligns with congestion "
+              "homogeneity.\n");
+  return 0;
+}

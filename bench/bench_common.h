@@ -1,0 +1,105 @@
+#ifndef ROADPART_BENCH_BENCH_COMMON_H_
+#define ROADPART_BENCH_BENCH_COMMON_H_
+
+// Shared setup for the paper-reproduction benches: synthesized Table-1
+// datasets with spatially structured congestion, plus small helpers.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "roadpart/roadpart.h"
+
+namespace roadpart::bench {
+
+/// Generates a Table-1 dataset and overlays a hotspot congestion field whose
+/// hotspot count scales with the network size (CBD plus sub-centres).
+inline RoadNetwork MakeCongestedDataset(DatasetPreset preset, uint64_t seed) {
+  RoadNetwork net = GenerateDataset(preset, seed).value();
+  CongestionFieldOptions field;
+  switch (preset) {
+    case DatasetPreset::kD1:
+      field.num_hotspots = 3;
+      break;
+    case DatasetPreset::kM1:
+      field.num_hotspots = 5;
+      break;
+    case DatasetPreset::kM2:
+      field.num_hotspots = 8;
+      break;
+    case DatasetPreset::kM3:
+      field.num_hotspots = 10;
+      break;
+  }
+  field.hotspot_radius_fraction = 0.15;
+  // Rush-hour structure: distinct congestion levels tile the whole city
+  // (see CongestionFieldOptions::voronoi_tiling), matching the paper's
+  // peak-interval snapshots rather than isolated hotspots over an empty
+  // background.
+  field.voronoi_tiling = true;
+  field.seed = seed + 1000;
+  CongestionField congestion(net, field);
+  RP_CHECK(net.SetDensities(congestion.Densities()).ok());
+  return net;
+}
+
+/// Median of a non-empty vector (by value).
+inline double Median(std::vector<double> v) {
+  RP_CHECK(!v.empty());
+  std::sort(v.begin(), v.end());
+  size_t mid = v.size() / 2;
+  if (v.size() % 2 == 1) return v[mid];
+  return 0.5 * (v[mid - 1] + v[mid]);
+}
+
+/// Number of repeated randomized runs; the paper reports medians of 100
+/// executions. Override with RP_RUNS=<n> to trade fidelity for speed.
+inline int NumRuns(int fallback = 13) {
+  const char* env = std::getenv("RP_RUNS");
+  if (env != nullptr) {
+    int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+/// Runs one scheme at one k and returns the paper's four metrics as the
+/// median over `runs` randomized executions.
+inline PartitionEvaluation MedianEvaluation(const RoadGraph& rg,
+                                            Scheme scheme, int k, int runs,
+                                            uint64_t seed_base = 1) {
+  std::vector<double> inter;
+  std::vector<double> intra;
+  std::vector<double> gdbi;
+  std::vector<double> ans;
+  for (int r = 0; r < runs; ++r) {
+    PartitionerOptions options;
+    options.scheme = scheme;
+    options.k = k;
+    options.seed = seed_base + r;
+    auto outcome = Partitioner(options).PartitionRoadGraph(rg);
+    if (!outcome.ok()) continue;
+    auto eval =
+        EvaluatePartitions(rg.adjacency(), rg.features(), outcome->assignment);
+    if (!eval.ok()) continue;
+    inter.push_back(eval->inter);
+    intra.push_back(eval->intra);
+    gdbi.push_back(eval->gdbi);
+    ans.push_back(eval->ans);
+  }
+  PartitionEvaluation out;
+  if (!inter.empty()) {
+    out.inter = Median(inter);
+    out.intra = Median(intra);
+    out.gdbi = Median(gdbi);
+    out.ans = Median(ans);
+    out.num_partitions = k;
+  }
+  return out;
+}
+
+}  // namespace roadpart::bench
+
+#endif  // ROADPART_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,87 @@
+// Reproduces Figure 4: inter / intra / GDBI / ANS versus k in [2, 20] on the
+// small network D1 for the schemes AG and ASG against the NG baseline.
+// Values are medians over repeated randomized runs (paper: 100 executions;
+// default here is smaller — set RP_RUNS=100 to match).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace roadpart;
+using namespace roadpart::bench;
+
+int main() {
+  RoadNetwork net = MakeCongestedDataset(DatasetPreset::kD1, 17);
+  RoadGraph rg = RoadGraph::FromNetwork(net);
+  const int runs = NumRuns();
+  std::printf("=== Figure 4: partitioning quality on D1 (%d segments), "
+              "median of %d runs ===\n\n",
+              net.num_segments(), runs);
+
+  const Scheme schemes[] = {Scheme::kAG, Scheme::kASG, Scheme::kNG};
+  const int k_min = 2;
+  const int k_max = 20;
+
+  // Collect everything once, print the four panels.
+  std::vector<std::vector<PartitionEvaluation>> results(3);
+  for (int s = 0; s < 3; ++s) {
+    for (int k = k_min; k <= k_max; ++k) {
+      results[s].push_back(
+          MedianEvaluation(rg, schemes[s], k, runs, 100 * (s + 1)));
+    }
+  }
+
+  struct Panel {
+    const char* title;
+    double PartitionEvaluation::*field;
+    const char* better;
+  };
+  const Panel panels[] = {
+      {"(a) inter-partition distance", &PartitionEvaluation::inter, "higher"},
+      {"(b) intra-partition distance", &PartitionEvaluation::intra, "lower"},
+      {"(c) GDBI", &PartitionEvaluation::gdbi, "lower"},
+      {"(d) ANS", &PartitionEvaluation::ans, "lower"},
+  };
+  for (const Panel& panel : panels) {
+    std::printf("--- Fig 4%s (%s = better) ---\n", panel.title, panel.better);
+    std::printf("%4s %10s %10s %10s\n", "k", "AG", "ASG", "NG");
+    for (int k = k_min; k <= k_max; ++k) {
+      std::printf("%4d %10.4f %10.4f %10.4f\n", k,
+                  results[0][k - k_min].*(panel.field),
+                  results[1][k - k_min].*(panel.field),
+                  results[2][k - k_min].*(panel.field));
+    }
+    std::printf("\n");
+  }
+
+  // Headline check mirroring the paper's reading of the figure. Beyond the
+  // workload's natural number of regions both methods are forced into
+  // arbitrary extra splits and run neck and neck, so wins-or-ties (within
+  // 5%) is the meaningful count.
+  int ag_wins = 0;
+  int ag_ties = 0;
+  int count = 0;
+  double ag_min = 1e300;
+  double asg_min = 1e300;
+  double ng_min = 1e300;
+  for (int k = k_min; k <= k_max; ++k) {
+    double ag = results[0][k - k_min].ans;
+    double asg = results[1][k - k_min].ans;
+    double ng = results[2][k - k_min].ans;
+    ag_wins += ag < ng;
+    ag_ties += (ag >= ng && ag <= 1.05 * ng);
+    ag_min = std::min(ag_min, ag);
+    asg_min = std::min(asg_min, asg);
+    ng_min = std::min(ng_min, ng);
+    ++count;
+  }
+  std::printf("AG beats NG on ANS at %d / %d values of k and ties (within "
+              "5%%) at %d more (paper: beats at all k).\n",
+              ag_wins, count, ag_ties);
+  std::printf("ANS minima over k: AG %.4f, ASG %.4f, NG %.4f — the paper's "
+              "ordering (alpha-Cut framework << NG) %s.\n",
+              ag_min, asg_min, ng_min,
+              std::min(ag_min, asg_min) < ng_min ? "reproduces"
+                                                 : "does NOT reproduce");
+  return 0;
+}

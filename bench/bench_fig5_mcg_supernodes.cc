@@ -1,0 +1,64 @@
+// Reproduces Figure 5: the MCG measure and the number of supernodes as
+// functions of kappa on the large networks M1 and M2. The paper observes a
+// steep MCG rise up to kappa ~ 5, a maximum around kappa = 18 for M1, and a
+// monotonically growing supernode count; with epsilon_theta at 2000 (M1) /
+// 5000 (M2) the optimal kappa comes out as 5 with 2,081 / 5,391 supernodes.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace roadpart;
+using namespace roadpart::bench;
+
+namespace {
+
+void SweepDataset(DatasetPreset preset) {
+  DatasetSpec spec = GetDatasetSpec(preset);
+  RoadNetwork net = MakeCongestedDataset(preset, 17);
+  RoadGraph rg = RoadGraph::FromNetwork(net);
+  const std::vector<double>& features = rg.features();
+
+  std::printf("--- Fig 5 (%s: %d segments) ---\n", spec.name.c_str(),
+              net.num_segments());
+  std::printf("%6s %16s %14s\n", "kappa", "MCG", "#supernodes");
+
+  double best_mcg = -1.0;
+  int best_kappa = 0;
+  for (int kappa = 2; kappa <= 30; ++kappa) {
+    auto km = KMeans1D(features, kappa).value();
+    double mcg =
+        ModeratedClusteringGain(features, km.assignment, kappa).value();
+    ComponentLabels comps =
+        LabelConstrainedComponents(rg.adjacency(), km.assignment);
+    std::printf("%6d %16.4f %14d\n", kappa, mcg, comps.num_components);
+    if (mcg > best_mcg) {
+      best_mcg = mcg;
+      best_kappa = kappa;
+    }
+  }
+
+  // The miner's automatic threshold, and the resulting choice.
+  SupergraphMinerOptions opt;
+  SupergraphMiningReport report;
+  auto sg = MineSupergraph(rg, opt, &report);
+  RP_CHECK(sg.ok());
+  std::printf("MCG maximum at kappa=%d; miner threshold %.1f -> chosen "
+              "kappa*=%d with %d supernodes (matrix order reduced "
+              "%d -> %d)\n\n",
+              best_kappa, report.threshold, report.chosen_kappa,
+              sg->num_supernodes(), net.num_segments(), sg->num_supernodes());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 5: MCG measure and number of supernodes in large "
+              "networks ===\n\n");
+  SweepDataset(DatasetPreset::kM1);
+  SweepDataset(DatasetPreset::kM2);
+  std::printf("Paper reference: optimal kappa = 5 for both, with 2,081 (M1) "
+              "and 5,391 (M2) supernodes;\nthe dimension reduction from "
+              "17,206 / 53,494 segments is the scalability mechanism.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Micro-benchmarks for the eigensolvers: the dense Householder+QL path
+// versus Lanczos on sparse graph operators — the dense-vs-sparse trade-off
+// behind SpectralOptions::dense_threshold (and the paper's reliance on a
+// high-performance eigensolver, Section 6.4).
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "linalg/lanczos.h"
+#include "linalg/linear_operator.h"
+#include "linalg/sparse_matrix.h"
+#include "linalg/symmetric_eigen.h"
+
+namespace roadpart {
+namespace {
+
+SparseMatrix RingMatrix(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Triplet> upper;
+  for (int i = 0; i < n; ++i) {
+    upper.push_back({i, (i + 1) % n, 1.0 + rng.NextDouble()});
+  }
+  for (int c = 0; c < n; ++c) {
+    int a = static_cast<int>(rng.NextBounded(n));
+    int b = static_cast<int>(rng.NextBounded(n));
+    if (a != b) {
+      upper.push_back({std::min(a, b), std::max(a, b), rng.NextDouble()});
+    }
+  }
+  return SparseMatrix::SymmetricFromTriplets(n, upper).value();
+}
+
+void BM_DenseEigenFull(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  DenseMatrix a = RingMatrix(n, 7).ToDense();
+  for (auto _ : state) {
+    auto eig = SymmetricEigenDecompose(a);
+    benchmark::DoNotOptimize(eig);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_DenseEigenFull)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(512)
+    ->Unit(benchmark::kMillisecond)->Complexity();
+
+void BM_LanczosSmallestK(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int k = static_cast<int>(state.range(1));
+  SparseMatrix m = RingMatrix(n, 7);
+  SparseOperator op(m);
+  for (auto _ : state) {
+    auto eig = LanczosEigen(op, k, SpectrumEnd::kSmallest);
+    benchmark::DoNotOptimize(eig);
+  }
+}
+BENCHMARK(BM_LanczosSmallestK)
+    ->Args({256, 4})
+    ->Args({1024, 4})
+    ->Args({4096, 4})
+    ->Args({16384, 4})
+    ->Args({4096, 16})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SparseMatVec(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  SparseMatrix m = RingMatrix(n, 7);
+  std::vector<double> x(n, 1.0);
+  std::vector<double> y(n);
+  for (auto _ : state) {
+    m.Multiply(x.data(), y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m.NumNonZeros());
+}
+BENCHMARK(BM_SparseMatVec)->Arg(1024)->Arg(16384)->Arg(131072);
+
+void BM_AlphaCutOperatorApply(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  SparseMatrix a = RingMatrix(n, 7);
+  SparseOperator a_op(a);
+  std::vector<double> d = a.RowSums();
+  double s = 0.0;
+  for (double v : d) s += v;
+  RankOneUpdatedOperator m_op(a_op, d, 1.0 / s, -1.0);
+  std::vector<double> x(n, 1.0);
+  std::vector<double> y(n);
+  for (auto _ : state) {
+    m_op.Apply(x.data(), y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_AlphaCutOperatorApply)->Arg(1024)->Arg(16384)->Arg(131072);
+
+}  // namespace
+}  // namespace roadpart
+
+BENCHMARK_MAIN();

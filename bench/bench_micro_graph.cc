@@ -1,0 +1,83 @@
+// Micro-benchmarks for the graph substrate: dual road-graph construction
+// (module 1), FIFO connected components (the O(max(n, m)) kernel of
+// Algorithm 1), and supergraph mining end to end.
+
+#include <benchmark/benchmark.h>
+
+#include "core/supergraph_miner.h"
+#include "graph/connected_components.h"
+#include "netgen/grid_generator.h"
+#include "network/road_graph.h"
+#include "traffic/congestion_field.h"
+
+namespace roadpart {
+namespace {
+
+RoadNetwork GridOfSize(int side, uint64_t seed) {
+  GridOptions opt;
+  opt.rows = side;
+  opt.cols = side;
+  opt.seed = seed;
+  RoadNetwork net = GenerateGridNetwork(opt).value();
+  CongestionFieldOptions field;
+  field.seed = seed + 1;
+  CongestionField congestion(net, field);
+  (void)net.SetDensities(congestion.Densities());
+  return net;
+}
+
+void BM_DualGraphConstruction(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  RoadNetwork net = GridOfSize(side, 3);
+  for (auto _ : state) {
+    CsrGraph dual = BuildDualAdjacency(net);
+    benchmark::DoNotOptimize(dual);
+  }
+  state.SetItemsProcessed(state.iterations() * net.num_segments());
+}
+BENCHMARK(BM_DualGraphConstruction)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_ConnectedComponents(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  RoadNetwork net = GridOfSize(side, 3);
+  CsrGraph dual = BuildDualAdjacency(net);
+  for (auto _ : state) {
+    auto labels = ConnectedComponents(dual);
+    benchmark::DoNotOptimize(labels);
+  }
+  state.SetItemsProcessed(state.iterations() * dual.num_nodes());
+}
+BENCHMARK(BM_ConnectedComponents)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_LabelConstrainedComponents(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  RoadNetwork net = GridOfSize(side, 3);
+  RoadGraph rg = RoadGraph::FromNetwork(net);
+  // Labels from a real feature clustering.
+  std::vector<int> labels(rg.num_nodes());
+  for (int v = 0; v < rg.num_nodes(); ++v) {
+    labels[v] = static_cast<int>(rg.features()[v] * 50) % 5;
+  }
+  for (auto _ : state) {
+    auto comps = LabelConstrainedComponents(rg.adjacency(), labels);
+    benchmark::DoNotOptimize(comps);
+  }
+}
+BENCHMARK(BM_LabelConstrainedComponents)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_MineSupergraph(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  RoadNetwork net = GridOfSize(side, 3);
+  RoadGraph rg = RoadGraph::FromNetwork(net);
+  for (auto _ : state) {
+    auto sg = MineSupergraph(rg, {});
+    benchmark::DoNotOptimize(sg);
+  }
+}
+BENCHMARK(BM_MineSupergraph)->Arg(16)->Arg(32)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace roadpart
+
+BENCHMARK_MAIN();

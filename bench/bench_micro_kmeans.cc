@@ -1,0 +1,93 @@
+// Micro-benchmarks for the clustering kernels: the 1-D k-means used in the
+// kappa sweep of Algorithm 1 (the paper's O(t*n*kappa) cost model) and the
+// multi-dimensional k-means over spectral embedding rows.
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/kmeans.h"
+#include "cluster/kmeans1d.h"
+#include "cluster/optimality.h"
+#include "common/rng.h"
+
+namespace roadpart {
+namespace {
+
+std::vector<double> RandomFeatures(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> f(n);
+  for (double& x : f) x = rng.NextDouble(0.0, 0.2);
+  return f;
+}
+
+void BM_KMeans1D(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int k = static_cast<int>(state.range(1));
+  std::vector<double> f = RandomFeatures(n, 3);
+  for (auto _ : state) {
+    auto r = KMeans1D(f, k);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_KMeans1D)
+    ->Args({1000, 5})
+    ->Args({10000, 5})
+    ->Args({100000, 5})
+    ->Args({100000, 20})
+    ->Args({1000000, 5});
+
+void BM_McgEvaluation(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<double> f = RandomFeatures(n, 5);
+  auto km = KMeans1D(f, 5).value();
+  for (auto _ : state) {
+    auto mcg = ModeratedClusteringGain(f, km.assignment, 5);
+    benchmark::DoNotOptimize(mcg);
+  }
+}
+BENCHMARK(BM_McgEvaluation)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_KappaSweep(benchmark::State& state) {
+  // The full Algorithm-1 sweep cost: k-means + MCG for kappa = 2..kmax.
+  const int n = static_cast<int>(state.range(0));
+  const int kappa_max = static_cast<int>(state.range(1));
+  std::vector<double> f = RandomFeatures(n, 7);
+  for (auto _ : state) {
+    double best = 0.0;
+    for (int kappa = 2; kappa <= kappa_max; ++kappa) {
+      auto km = KMeans1D(f, kappa).value();
+      best = std::max(
+          best, ModeratedClusteringGain(f, km.assignment, kappa).value());
+    }
+    benchmark::DoNotOptimize(best);
+  }
+}
+BENCHMARK(BM_KappaSweep)->Args({5000, 30})->Args({20000, 30})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_KMeansRows(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int dim = static_cast<int>(state.range(1));
+  Rng rng(9);
+  DenseMatrix pts(n, dim);
+  for (int i = 0; i < n; ++i) {
+    for (int d = 0; d < dim; ++d) pts(i, d) = rng.NextGaussian();
+  }
+  KMeansOptions opt;
+  opt.restarts = 3;
+  opt.seed = 1;
+  for (auto _ : state) {
+    auto r = KMeansRows(pts, dim, opt);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_KMeansRows)
+    ->Args({1000, 4})
+    ->Args({10000, 4})
+    ->Args({10000, 8})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace roadpart
+
+BENCHMARK_MAIN();

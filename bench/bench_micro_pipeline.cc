@@ -1,0 +1,66 @@
+// Micro-benchmarks for the end-to-end framework across network sizes and
+// schemes — the scalability story (supergraph schemes stay cheap as the
+// road graph grows; direct schemes pay the full eigenproblem).
+
+#include <benchmark/benchmark.h>
+
+#include "core/partitioner.h"
+#include "netgen/grid_generator.h"
+#include "network/road_graph.h"
+#include "traffic/congestion_field.h"
+
+namespace roadpart {
+namespace {
+
+RoadGraph MakeRoadGraph(int side, uint64_t seed) {
+  GridOptions opt;
+  opt.rows = side;
+  opt.cols = side;
+  opt.seed = seed;
+  RoadNetwork net = GenerateGridNetwork(opt).value();
+  CongestionFieldOptions field;
+  field.seed = seed + 1;
+  CongestionField congestion(net, field);
+  (void)net.SetDensities(congestion.Densities());
+  return RoadGraph::FromNetwork(net);
+}
+
+void RunScheme(benchmark::State& state, Scheme scheme) {
+  const int side = static_cast<int>(state.range(0));
+  RoadGraph rg = MakeRoadGraph(side, 5);
+  PartitionerOptions options;
+  options.scheme = scheme;
+  options.k = 4;
+  options.seed = 1;
+  Partitioner partitioner(options);
+  for (auto _ : state) {
+    auto outcome = partitioner.PartitionRoadGraph(rg);
+    benchmark::DoNotOptimize(outcome);
+  }
+  state.counters["segments"] = rg.num_nodes();
+}
+
+void BM_PipelineASG(benchmark::State& state) {
+  RunScheme(state, Scheme::kASG);
+}
+BENCHMARK(BM_PipelineASG)->Arg(16)->Arg(32)->Arg(64)->Arg(96)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PipelineAG(benchmark::State& state) { RunScheme(state, Scheme::kAG); }
+BENCHMARK(BM_PipelineAG)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PipelineNG(benchmark::State& state) { RunScheme(state, Scheme::kNG); }
+BENCHMARK(BM_PipelineNG)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PipelineNSG(benchmark::State& state) {
+  RunScheme(state, Scheme::kNSG);
+}
+BENCHMARK(BM_PipelineNSG)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace roadpart
+
+BENCHMARK_MAIN();

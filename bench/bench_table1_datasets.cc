@@ -1,0 +1,35 @@
+// Reproduces Table 1: dataset statistics. Real San Francisco / Melbourne
+// data is not distributable, so each dataset is synthesized at the published
+// size (DESIGN.md substitution #1); this bench verifies the statistics land
+// on the paper's numbers.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace roadpart;
+
+int main() {
+  std::printf("=== Table 1: Dataset statistics (paper vs synthesized) ===\n\n");
+  std::printf("%-4s %-26s | %14s | %21s | %23s\n", "", "Place",
+              "Area (sq. ml.)", "Road seg", "Intersection pt");
+  std::printf("%-4s %-26s | %6s %7s | %10s %10s | %11s %11s\n", "", "",
+              "paper", "ours", "paper", "ours", "paper", "ours");
+
+  for (DatasetPreset preset : {DatasetPreset::kD1, DatasetPreset::kM1,
+                               DatasetPreset::kM2, DatasetPreset::kM3}) {
+    DatasetSpec spec = GetDatasetSpec(preset);
+    Timer timer;
+    RoadNetwork net = GenerateDataset(preset, /*seed=*/7).value();
+    double gen_seconds = timer.Seconds();
+    std::printf("%-4s %-26s | %6.2f %7.2f | %10d %10d | %11d %11d   (%.2fs)\n",
+                spec.name.c_str(), spec.place.c_str(), spec.area_sq_miles,
+                net.Bounds().AreaSqMiles(), spec.segments, net.num_segments(),
+                spec.intersections, net.num_intersections(), gen_seconds);
+  }
+  std::printf("\nTraffic: the paper populated M1/M2/M3 with 25,246 / 62,300 /"
+              " 84,999 MNTG vehicles over 100 timestamps; our substitute\n"
+              "(rp_traffic) generates equivalent demand — see"
+              " bench_table3_runtime and the congestion_monitoring example.\n");
+  return 0;
+}

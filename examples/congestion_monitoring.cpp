@@ -1,0 +1,90 @@
+// Congestion monitoring: the paper's motivating scenario. A morning-peak
+// traffic wave is micro-simulated over a radial (CBD-style) city and the
+// network is re-partitioned at regular intervals with static density
+// snapshots — "partitioning the network repeatedly at regular intervals of
+// time using static congestion measures" (Section 1).
+//
+// Build & run:  ./build/examples/congestion_monitoring
+
+#include <cstdio>
+
+#include "roadpart/roadpart.h"
+
+using namespace roadpart;
+
+int main() {
+  RadialOptions radial;
+  radial.num_rings = 6;
+  radial.num_spokes = 10;
+  radial.ring_spacing_metres = 180.0;
+  radial.seed = 3;
+  RoadNetwork network = GenerateRadialNetwork(radial).value();
+  std::printf("Radial city: %d intersections, %d segments\n",
+              network.num_intersections(), network.num_segments());
+
+  // Demand strongly attracted to the centre (the CBD).
+  TripGeneratorOptions demand;
+  demand.num_vehicles = 4000;
+  demand.horizon_seconds = 1800.0;
+  demand.num_hotspots = 1;
+  demand.hotspot_bias = 0.85;
+  demand.hotspot_radius_fraction = 0.10;
+  demand.seed = 11;
+  TripSet trips = GenerateTrips(network, demand).value();
+
+  MicrosimOptions sim;
+  sim.total_seconds = 2400.0;
+  sim.record_every_seconds = 240.0;  // 10 snapshots
+  sim.step_seconds = 2.0;
+  auto result_or = RunMicrosim(network, trips.trips, sim);
+  if (!result_or.ok()) {
+    std::fprintf(stderr, "simulation failed: %s\n",
+                 result_or.status().ToString().c_str());
+    return 1;
+  }
+  SimulationResult sim_result = std::move(result_or).value();
+  std::printf("Simulated %zu snapshots; %d trips completed\n\n",
+              sim_result.densities.size(), sim_result.completed_trips);
+
+  PartitionerOptions options;
+  options.scheme = Scheme::kASG;
+  options.k = 4;
+  Partitioner partitioner(options);
+
+  // The tracker keeps region ids stable across snapshots, so "region 2"
+  // refers to the same area all morning.
+  PartitionTracker tracker;
+  RoadGraph rg = RoadGraph::FromNetwork(network);
+  std::vector<int> previous;
+  std::printf("%8s %12s %10s %10s %10s %12s %8s\n", "t(min)", "supernodes",
+              "intra", "inter", "ANS", "ARI vs prev", "churn");
+  for (size_t t = 0; t < sim_result.densities.size(); ++t) {
+    if (rg.SetFeatures(sim_result.densities[t]).ok()) {
+      auto outcome_or = partitioner.PartitionRoadGraph(rg);
+      if (!outcome_or.ok()) {
+        std::fprintf(stderr, "t=%zu: %s\n", t,
+                     outcome_or.status().ToString().c_str());
+        continue;
+      }
+      PartitionOutcome outcome = std::move(outcome_or).value();
+      auto aligned = tracker.Align(outcome.assignment);
+      if (!aligned.ok()) continue;
+      auto eval = EvaluatePartitions(rg.adjacency(), rg.features(),
+                                     outcome.assignment);
+      double ari = 0.0;
+      if (!previous.empty()) {
+        ari = AdjustedRandIndex(previous, outcome.assignment).value();
+      }
+      std::printf("%8.0f %12d %10.4f %10.4f %10.4f %12.3f %7.1f%%\n",
+                  (t + 1) * sim.record_every_seconds / 60.0,
+                  outcome.num_supernodes, eval->intra, eval->inter, eval->ans,
+                  ari, 100.0 * tracker.last_churn());
+      previous = outcome.assignment;
+    }
+  }
+  std::printf("\nPartitions track the congestion wave: stability (ARI high, "
+              "churn low) between adjacent snapshots once the peak forms; "
+              "%d distinct regions appeared over the horizon.\n",
+              tracker.num_regions_seen());
+  return 0;
+}

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Plot the figure-bench outputs (results/*.txt) as PNGs.
+
+Usage:
+    python3 scripts/plot_results.py [results_dir] [out_dir]
+
+Parses the aligned text tables printed by bench_fig4_small_quality,
+bench_fig5_mcg_supernodes and bench_fig7_large_quality and renders
+matplotlib figures mirroring the paper's Figures 4, 5 and 7. Requires
+matplotlib; degrades to a clear error message without it.
+"""
+
+import os
+import re
+import sys
+
+
+def read(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return f.read()
+
+
+def parse_table(text, start_marker, columns):
+    """Extracts rows of floats following `start_marker` until a blank line."""
+    rows = []
+    seen = False
+    for line in text.splitlines():
+        if start_marker in line:
+            seen = True
+            continue
+        if not seen:
+            continue
+        stripped = line.strip()
+        if not stripped:
+            if rows:
+                break
+            continue
+        fields = stripped.split()
+        if not fields[0].lstrip("-").isdigit():
+            continue
+        try:
+            rows.append([float(x) for x in fields[:columns]])
+        except ValueError:
+            continue
+    return rows
+
+
+def plot_fig4(results_dir, out_dir, plt):
+    text = read(os.path.join(results_dir, "bench_fig4_small_quality.txt"))
+    panels = [
+        ("Fig 4(a)", "inter", "higher = better"),
+        ("Fig 4(b)", "intra", "lower = better"),
+        ("Fig 4(c)", "GDBI", "lower = better"),
+        ("Fig 4(d)", "ANS", "lower = better"),
+    ]
+    fig, axes = plt.subplots(2, 2, figsize=(11, 8))
+    for ax, (marker, metric, note) in zip(axes.flat, panels):
+        rows = parse_table(text, marker, 4)
+        if not rows:
+            continue
+        ks = [r[0] for r in rows]
+        for idx, label in ((1, "AG"), (2, "ASG"), (3, "NG")):
+            ax.plot(ks, [r[idx] for r in rows], marker="o", label=label)
+        ax.set_xlabel("k")
+        ax.set_ylabel(metric)
+        ax.set_title(f"{marker} {metric} ({note})")
+        ax.legend()
+    fig.suptitle("Figure 4 — partitioning quality on D1")
+    fig.tight_layout()
+    fig.savefig(os.path.join(out_dir, "fig4.png"), dpi=130)
+    print("wrote", os.path.join(out_dir, "fig4.png"))
+
+
+def plot_fig5(results_dir, out_dir, plt):
+    text = read(os.path.join(results_dir, "bench_fig5_mcg_supernodes.txt"))
+    blocks = re.split(r"--- Fig 5 \((\w+)", text)[1:]
+    fig, axes = plt.subplots(1, 2, figsize=(11, 4))
+    for ax, (name, body) in zip(axes.flat, zip(blocks[0::2], blocks[1::2])):
+        rows = parse_table(body, "kappa", 3)
+        if not rows:
+            continue
+        kappas = [r[0] for r in rows]
+        ax.plot(kappas, [r[1] for r in rows], marker="o", label="MCG")
+        ax2 = ax.twinx()
+        ax2.plot(kappas, [r[2] for r in rows], marker="s", color="tab:red",
+                 label="#supernodes")
+        ax.set_xlabel("kappa")
+        ax.set_ylabel("MCG")
+        ax2.set_ylabel("#supernodes")
+        ax.set_title(f"Fig 5 — {name}")
+    fig.tight_layout()
+    fig.savefig(os.path.join(out_dir, "fig5.png"), dpi=130)
+    print("wrote", os.path.join(out_dir, "fig5.png"))
+
+
+def plot_fig7(results_dir, out_dir, plt):
+    text = read(os.path.join(results_dir, "bench_fig7_large_quality.txt"))
+    blocks = re.split(r"--- Fig 7 \((\w+)\)", text)[1:]
+    names = blocks[0::2]
+    bodies = blocks[1::2]
+    fig, axes = plt.subplots(1, len(names), figsize=(5 * len(names), 4))
+    if len(names) == 1:
+        axes = [axes]
+    for ax, name, body in zip(axes, names, bodies):
+        rows = parse_table(body, "inter", 6)
+        if not rows:
+            continue
+        ks = [r[0] for r in rows]
+        ax.plot(ks, [r[4] for r in rows], marker="o", label="ANS (recursive)")
+        ax.plot(ks, [r[5] for r in rows], marker="s",
+                label="ANS (greedy pruning)")
+        ax.set_xlabel("k")
+        ax.set_ylabel("ANS")
+        ax.set_title(f"Fig 7 — {name}")
+        ax.legend()
+    fig.tight_layout()
+    fig.savefig(os.path.join(out_dir, "fig7.png"), dpi=130)
+    print("wrote", os.path.join(out_dir, "fig7.png"))
+
+
+def main():
+    results_dir = sys.argv[1] if len(sys.argv) > 1 else "results"
+    out_dir = sys.argv[2] if len(sys.argv) > 2 else results_dir
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+    os.makedirs(out_dir, exist_ok=True)
+    plot_fig4(results_dir, out_dir, plt)
+    plot_fig5(results_dir, out_dir, plt)
+    plot_fig7(results_dir, out_dir, plt)
+
+
+if __name__ == "__main__":
+    main()

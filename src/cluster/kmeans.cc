@@ -1,0 +1,164 @@
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace roadpart {
+
+namespace {
+
+double RowDistanceSq(const DenseMatrix& points, int row, const double* center,
+                     int dim) {
+  const double* p = points.Row(row);
+  double acc = 0.0;
+  for (int d = 0; d < dim; ++d) {
+    double diff = p[d] - center[d];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+// One full Lloyd run from a given seeding.
+KMeansResult RunOnce(const DenseMatrix& points, int k,
+                     const KMeansOptions& options, Rng& rng) {
+  const int n = points.rows();
+  const int dim = points.cols();
+
+  DenseMatrix centroids(k, dim);
+  if (options.use_kmeanspp) {
+    // k-means++: first centre uniform, then proportional to D^2.
+    int first = static_cast<int>(rng.NextBounded(n));
+    for (int d = 0; d < dim; ++d) centroids(0, d) = points(first, d);
+    std::vector<double> dist_sq(n);
+    for (int i = 0; i < n; ++i) {
+      dist_sq[i] = RowDistanceSq(points, i, centroids.Row(0), dim);
+    }
+    for (int c = 1; c < k; ++c) {
+      double total = 0.0;
+      for (double v : dist_sq) total += v;
+      int chosen;
+      if (total <= 0.0) {
+        chosen = static_cast<int>(rng.NextBounded(n));
+      } else {
+        chosen = static_cast<int>(rng.NextWeighted(dist_sq));
+      }
+      for (int d = 0; d < dim; ++d) centroids(c, d) = points(chosen, d);
+      for (int i = 0; i < n; ++i) {
+        dist_sq[i] = std::min(dist_sq[i],
+                              RowDistanceSq(points, i, centroids.Row(c), dim));
+      }
+    }
+  } else {
+    std::vector<int> ids(n);
+    for (int i = 0; i < n; ++i) ids[i] = i;
+    rng.Shuffle(ids);
+    for (int c = 0; c < k; ++c) {
+      for (int d = 0; d < dim; ++d) centroids(c, d) = points(ids[c], d);
+    }
+  }
+
+  std::vector<int> assignment(n, -1);
+  std::vector<int> counts(k, 0);
+  int iterations = 0;
+  for (; iterations < options.max_iterations; ++iterations) {
+    bool changed = false;
+    for (int i = 0; i < n; ++i) {
+      int best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (int c = 0; c < k; ++c) {
+        double d = RowDistanceSq(points, i, centroids.Row(c), dim);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (assignment[i] != best) {
+        assignment[i] = best;
+        changed = true;
+      }
+    }
+    if (!changed && iterations > 0) break;
+
+    // Recompute centroids.
+    DenseMatrix sums(k, dim);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (int i = 0; i < n; ++i) {
+      int c = assignment[i];
+      counts[c]++;
+      const double* p = points.Row(i);
+      double* s = sums.Row(c);
+      for (int d = 0; d < dim; ++d) s[d] += p[d];
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[c] > 0) {
+        for (int d = 0; d < dim; ++d) centroids(c, d) = sums(c, d) / counts[c];
+      } else {
+        // Re-seed with the globally worst-fitting point.
+        int worst = 0;
+        double worst_d = -1.0;
+        for (int i = 0; i < n; ++i) {
+          double d =
+              RowDistanceSq(points, i, centroids.Row(assignment[i]), dim);
+          if (d > worst_d) {
+            worst_d = d;
+            worst = i;
+          }
+        }
+        for (int d = 0; d < dim; ++d) centroids(c, d) = points(worst, d);
+      }
+    }
+  }
+
+  KMeansResult result;
+  result.assignment = std::move(assignment);
+  result.centroids = std::move(centroids);
+  result.iterations = iterations;
+  result.wcss = 0.0;
+  for (int i = 0; i < n; ++i) {
+    result.wcss +=
+        RowDistanceSq(points, i, result.centroids.Row(result.assignment[i]),
+                      dim);
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<KMeansResult> KMeansRows(const DenseMatrix& points, int k,
+                                const KMeansOptions& options) {
+  const int n = points.rows();
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  if (k > n) {
+    return Status::InvalidArgument(
+        StrPrintf("k=%d exceeds row count %d", k, n));
+  }
+  if (options.restarts <= 0) {
+    return Status::InvalidArgument("restarts must be positive");
+  }
+
+  // Pre-fork one deterministic seed per restart so the restarts can run in
+  // parallel while keeping results identical to the sequential order.
+  Rng rng(options.seed);
+  std::vector<uint64_t> seeds(options.restarts);
+  for (uint64_t& s : seeds) s = rng.Next();
+
+  std::vector<KMeansResult> runs(options.restarts);
+  ParallelFor(options.restarts, [&](int r) {
+    Rng local(seeds[r]);
+    runs[r] = RunOnce(points, k, options, local);
+  });
+
+  int best = 0;
+  for (int r = 1; r < options.restarts; ++r) {
+    if (runs[r].wcss < runs[best].wcss) best = r;
+  }
+  return std::move(runs[best]);
+}
+
+}  // namespace roadpart

@@ -1,0 +1,39 @@
+#ifndef ROADPART_CLUSTER_KMEANS_H_
+#define ROADPART_CLUSTER_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/dense_matrix.h"
+
+namespace roadpart {
+
+/// Options for multi-dimensional k-means (used on spectral embeddings).
+struct KMeansOptions {
+  int max_iterations = 100;
+  /// Best-of-N by WCSS. Spectral embeddings are low-dimensional, so extra
+  /// restarts are cheap insurance against the local optima that otherwise
+  /// dominate results at small k.
+  int restarts = 12;
+  bool use_kmeanspp = true;  ///< k-means++ seeding (else uniform random rows)
+  uint64_t seed = 1;
+};
+
+/// Result of a multi-dimensional k-means run.
+struct KMeansResult {
+  std::vector<int> assignment;  ///< cluster id per row
+  DenseMatrix centroids;        ///< k x dim
+  double wcss = 0.0;
+  int iterations = 0;  ///< iterations of the winning restart
+};
+
+/// Lloyd's k-means over the rows of `points` (n x dim). Randomized seeding;
+/// pass a fixed seed for reproducibility. Empty clusters are re-seeded with
+/// the point farthest from its assigned centroid.
+Result<KMeansResult> KMeansRows(const DenseMatrix& points, int k,
+                                const KMeansOptions& options = {});
+
+}  // namespace roadpart
+
+#endif  // ROADPART_CLUSTER_KMEANS_H_

@@ -1,0 +1,131 @@
+#include "cluster/kmeans1d.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/string_util.h"
+
+namespace roadpart {
+
+Result<KMeans1DResult> KMeans1D(const std::vector<double>& values, int k,
+                                int max_iterations) {
+  const int n = static_cast<int>(values.size());
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  if (k > n) {
+    return Status::InvalidArgument(
+        StrPrintf("k=%d exceeds data size %d", k, n));
+  }
+
+  // Sort once; iterate on the sorted sequence and map back at the end.
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return values[a] < values[b]; });
+  std::vector<double> sorted(n);
+  for (int i = 0; i < n; ++i) sorted[i] = values[order[i]];
+
+  // Prefix sums for O(1) range means.
+  std::vector<double> prefix(n + 1, 0.0);
+  std::vector<double> prefix_sq(n + 1, 0.0);
+  for (int i = 0; i < n; ++i) {
+    prefix[i + 1] = prefix[i] + sorted[i];
+    prefix_sq[i + 1] = prefix_sq[i] + sorted[i] * sorted[i];
+  }
+
+  // Paper initialization: mean_j seeded with the sorted value at (1-based)
+  // index (n/k)*j for j = 1..k, i.e. 0-based index (n*j)/k - 1.
+  std::vector<double> means(k);
+  for (int j = 1; j <= k; ++j) {
+    int idx = std::clamp((n * j) / k - 1, 0, n - 1);
+    means[j - 1] = sorted[idx];
+  }
+  std::sort(means.begin(), means.end());
+
+  // In 1-D with sorted means, clusters are contiguous runs split at the
+  // midpoints between consecutive means.
+  std::vector<int> boundary(k + 1, 0);  // cluster c covers [boundary[c], boundary[c+1])
+  boundary[k] = n;
+  std::vector<int> prev_boundary;
+
+  int iterations = 0;
+  for (; iterations < max_iterations; ++iterations) {
+    for (int c = 1; c < k; ++c) {
+      double mid = 0.5 * (means[c - 1] + means[c]);
+      boundary[c] = static_cast<int>(
+          std::upper_bound(sorted.begin(), sorted.end(), mid) -
+          sorted.begin());
+      boundary[c] = std::max(boundary[c], boundary[c - 1]);
+    }
+    if (boundary == prev_boundary) break;
+    prev_boundary = boundary;
+
+    for (int c = 0; c < k; ++c) {
+      int lo = boundary[c];
+      int hi = boundary[c + 1];
+      if (hi > lo) {
+        means[c] = (prefix[hi] - prefix[lo]) / (hi - lo);
+      }
+      // Empty cluster: leave the mean; re-seeding happens below if it stays
+      // empty at convergence.
+    }
+    std::sort(means.begin(), means.end());
+  }
+
+  // Re-seed clusters that converged empty by splitting the widest cluster at
+  // its extreme value; repeat until all non-empty (bounded by k passes).
+  for (int guard = 0; guard < k; ++guard) {
+    bool any_empty = false;
+    for (int c = 0; c < k; ++c) {
+      if (boundary[c + 1] == boundary[c]) {
+        any_empty = true;
+        // Find the largest cluster and move its farthest point out.
+        int big = 0;
+        for (int c2 = 1; c2 < k; ++c2) {
+          if (boundary[c2 + 1] - boundary[c2] >
+              boundary[big + 1] - boundary[big]) {
+            big = c2;
+          }
+        }
+        if (boundary[big + 1] - boundary[big] <= 1) break;
+        means[c] = sorted[boundary[big + 1] - 1];
+        double mu_big = (prefix[boundary[big + 1]] - prefix[boundary[big]]) /
+                        (boundary[big + 1] - boundary[big]);
+        means[big] = mu_big;
+        std::sort(means.begin(), means.end());
+        for (int c2 = 1; c2 < k; ++c2) {
+          double mid = 0.5 * (means[c2 - 1] + means[c2]);
+          boundary[c2] = static_cast<int>(
+              std::upper_bound(sorted.begin(), sorted.end(), mid) -
+              sorted.begin());
+          boundary[c2] = std::max(boundary[c2], boundary[c2 - 1]);
+        }
+        break;
+      }
+    }
+    if (!any_empty) break;
+  }
+
+  KMeans1DResult result;
+  result.iterations = iterations;
+  result.assignment.assign(n, 0);
+  result.means.assign(k, 0.0);
+  result.wcss = 0.0;
+  for (int c = 0; c < k; ++c) {
+    int lo = boundary[c];
+    int hi = boundary[c + 1];
+    if (hi > lo) {
+      double mu = (prefix[hi] - prefix[lo]) / (hi - lo);
+      result.means[c] = mu;
+      result.wcss += (prefix_sq[hi] - prefix_sq[lo]) - (hi - lo) * mu * mu;
+    } else {
+      result.means[c] = means[c];
+    }
+    for (int i = lo; i < hi; ++i) result.assignment[order[i]] = c;
+  }
+  // Numerical noise can push wcss epsilon-negative.
+  result.wcss = std::max(0.0, result.wcss);
+  return result;
+}
+
+}  // namespace roadpart

@@ -1,0 +1,31 @@
+#ifndef ROADPART_CLUSTER_KMEANS1D_H_
+#define ROADPART_CLUSTER_KMEANS1D_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace roadpart {
+
+/// Result of a 1-D k-means run.
+struct KMeans1DResult {
+  std::vector<int> assignment;  ///< cluster id per input value, in [0, k)
+  std::vector<double> means;    ///< cluster means, ascending
+  double wcss = 0.0;            ///< within-cluster sum of squared error
+  int iterations = 0;
+};
+
+/// Lloyd's k-means on scalar feature values with the paper's deterministic
+/// initialization (Section 4.1): sort the values and seed the j-th mean with
+/// the value at position (n/k)*j. Because the data is one-dimensional and the
+/// seeds are ordered, runs are fully deterministic — the randomized-init
+/// local-maxima problem the paper calls out does not arise.
+///
+/// Empty clusters (possible with heavily duplicated values) are re-seeded
+/// with the point farthest from its current mean.
+Result<KMeans1DResult> KMeans1D(const std::vector<double>& values, int k,
+                                int max_iterations = 200);
+
+}  // namespace roadpart
+
+#endif  // ROADPART_CLUSTER_KMEANS1D_H_

@@ -1,0 +1,114 @@
+#include "cluster/optimality.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace roadpart {
+
+namespace {
+
+struct PerCluster {
+  int count = 0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  double mean = 0.0;
+};
+
+Result<std::vector<PerCluster>> Summarize(const std::vector<double>& values,
+                                          const std::vector<int>& assignment,
+                                          int num_clusters) {
+  if (values.size() != assignment.size()) {
+    return Status::InvalidArgument("values/assignment size mismatch");
+  }
+  if (num_clusters <= 0) {
+    return Status::InvalidArgument("num_clusters must be positive");
+  }
+  std::vector<PerCluster> stats(num_clusters);
+  for (size_t i = 0; i < values.size(); ++i) {
+    int c = assignment[i];
+    if (c < 0 || c >= num_clusters) {
+      return Status::OutOfRange(
+          StrPrintf("assignment %zu = %d outside [0,%d)", i, c, num_clusters));
+    }
+    stats[c].count++;
+    stats[c].sum += values[i];
+    stats[c].sum_sq += values[i] * values[i];
+  }
+  for (PerCluster& s : stats) {
+    if (s.count > 0) s.mean = s.sum / s.count;
+  }
+  return stats;
+}
+
+}  // namespace
+
+Result<ClusterErrorSums> ComputeClusterErrorSums(
+    const std::vector<double>& values, const std::vector<int>& assignment,
+    int num_clusters) {
+  RP_ASSIGN_OR_RETURN(std::vector<PerCluster> stats,
+                      Summarize(values, assignment, num_clusters));
+  double global_mean = 0.0;
+  if (!values.empty()) {
+    double total = 0.0;
+    for (double v : values) total += v;
+    global_mean = total / static_cast<double>(values.size());
+  }
+
+  ClusterErrorSums sums;
+  for (const PerCluster& s : stats) {
+    if (s.count == 0) continue;
+    double sep = (s.mean - global_mean) * (s.mean - global_mean);
+    double intra = std::max(0.0, s.sum_sq - s.count * s.mean * s.mean);
+    sums.gain += (s.count - 1) * sep;
+    sums.intra_error += intra;
+    sums.inter_error += sep;
+  }
+  return sums;
+}
+
+Result<double> ModeratedClusteringGain(const std::vector<double>& values,
+                                       const std::vector<int>& assignment,
+                                       int num_clusters) {
+  RP_ASSIGN_OR_RETURN(std::vector<PerCluster> stats,
+                      Summarize(values, assignment, num_clusters));
+  double global_mean = 0.0;
+  if (!values.empty()) {
+    double total = 0.0;
+    for (double v : values) total += v;
+    global_mean = total / static_cast<double>(values.size());
+  }
+
+  double theta = 0.0;
+  for (const PerCluster& s : stats) {
+    if (s.count == 0) continue;
+    double sep = (s.mean - global_mean) * (s.mean - global_mean);
+    if (sep <= 0.0) continue;  // Theta1 = 0 and Theta2 undefined; contributes 0
+    double theta1 = (s.count - 1) * sep;
+    double intra = std::max(0.0, s.sum_sq - s.count * s.mean * s.mean);
+    double ratio = intra / (s.count * sep);
+    double theta2 = 1.0 - std::log2(1.0 + ratio);
+    theta2 = std::clamp(theta2, 0.0, 1.0);
+    theta += theta1 * theta2;
+  }
+  return theta;
+}
+
+Result<double> ClusteringGain(const std::vector<double>& values,
+                              const std::vector<int>& assignment,
+                              int num_clusters) {
+  RP_ASSIGN_OR_RETURN(ClusterErrorSums sums,
+                      ComputeClusterErrorSums(values, assignment, num_clusters));
+  return sums.gain;
+}
+
+Result<double> ClusteringBalance(const std::vector<double>& values,
+                                 const std::vector<int>& assignment,
+                                 int num_clusters) {
+  RP_ASSIGN_OR_RETURN(ClusterErrorSums sums,
+                      ComputeClusterErrorSums(values, assignment, num_clusters));
+  return 0.5 * (sums.intra_error + sums.inter_error);
+}
+
+}  // namespace roadpart

@@ -1,0 +1,54 @@
+#ifndef ROADPART_CLUSTER_OPTIMALITY_H_
+#define ROADPART_CLUSTER_OPTIMALITY_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace roadpart {
+
+/// Per-clustering summary statistics over 1-D data used by the optimality
+/// measures of Section 4.2.
+struct ClusterErrorSums {
+  /// Sum over clusters of (|C_q|-1) * (mu_q - mu_0)^2 — the clustering gain
+  /// Delta(C) of Jung et al. [6].
+  double gain = 0.0;
+  /// Intra-cluster error Lambda = sum_q sum_{d in C_q} (d - mu_q)^2.
+  double intra_error = 0.0;
+  /// Inter-cluster error Gamma = sum_q (mu_q - mu_0)^2.
+  double inter_error = 0.0;
+};
+
+/// Computes gain and error sums for a 1-D clustering. `assignment[i]` is the
+/// cluster of values[i]; `num_clusters` the number of clusters (means are
+/// recomputed internally so stale mean vectors cannot skew the measures).
+Result<ClusterErrorSums> ComputeClusterErrorSums(
+    const std::vector<double>& values, const std::vector<int>& assignment,
+    int num_clusters);
+
+/// Moderated clustering gain (Equation 1):
+///   Theta(C)   = sum_q Theta1(C_q) * Theta2(C_q)
+///   Theta1     = (|C_q|-1) * (mu_q - mu_0)^2
+///   Theta2     = 1 - log2(1 + intra_q / (|C_q| * (mu_q - mu_0)^2))
+/// The paper states Theta2 in [0,1]; the log term can exceed 1 for very
+/// diffuse clusters, so Theta2 is clamped to [0,1] (documented in DESIGN.md).
+/// Clusters whose mean coincides with the global mean contribute 0.
+Result<double> ModeratedClusteringGain(const std::vector<double>& values,
+                                       const std::vector<int>& assignment,
+                                       int num_clusters);
+
+/// Clustering gain Delta(C) of Jung et al. [6] — maximum indicates the
+/// optimal k.
+Result<double> ClusteringGain(const std::vector<double>& values,
+                              const std::vector<int>& assignment,
+                              int num_clusters);
+
+/// Clustering balance E(C) of Jung et al. [6] (equal-weight combination of
+/// intra- and inter-cluster error sums) — minimum indicates the optimal k.
+Result<double> ClusteringBalance(const std::vector<double>& values,
+                                 const std::vector<int>& assignment,
+                                 int num_clusters);
+
+}  // namespace roadpart
+
+#endif  // ROADPART_CLUSTER_OPTIMALITY_H_

@@ -1,0 +1,59 @@
+#ifndef ROADPART_COMMON_LOGGING_H_
+#define ROADPART_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace roadpart {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink that emits one line to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the message is below the level.
+struct LogMessageVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+
+#define RP_LOG(severity)                                                     \
+  (::roadpart::LogLevel::k##severity < ::roadpart::GetLogLevel())            \
+      ? (void)0                                                              \
+      : ::roadpart::internal::LogMessageVoidify() &                          \
+            ::roadpart::internal::LogMessage(::roadpart::LogLevel::k##severity, \
+                                             __FILE__, __LINE__)             \
+                .stream()
+
+/// Invariant check active in all build types; aborts with location on failure.
+#define RP_CHECK(cond)                                                   \
+  (cond) ? (void)0                                                       \
+         : ::roadpart::internal::CheckFailed(#cond, __FILE__, __LINE__)
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* expr, const char* file, int line);
+}  // namespace internal
+
+}  // namespace roadpart
+
+#endif  // ROADPART_COMMON_LOGGING_H_

@@ -1,0 +1,35 @@
+#include "common/parallel.h"
+
+namespace roadpart {
+
+int DefaultParallelism() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void ParallelFor(int count, const std::function<void(int)>& fn,
+                 int num_threads) {
+  if (count <= 0) return;
+  if (num_threads <= 0) num_threads = DefaultParallelism();
+  num_threads = std::min(num_threads, count);
+  if (num_threads <= 1 || count == 1) {
+    for (int i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<int> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      int i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      fn(i);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(num_threads) - 1);
+  for (int t = 1; t < num_threads; ++t) threads.emplace_back(worker);
+  worker();  // this thread participates
+  for (std::thread& t : threads) t.join();
+}
+
+}  // namespace roadpart

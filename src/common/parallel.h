@@ -1,0 +1,26 @@
+#ifndef ROADPART_COMMON_PARALLEL_H_
+#define ROADPART_COMMON_PARALLEL_H_
+
+#include <algorithm>
+#include <atomic>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace roadpart {
+
+/// Number of worker threads ParallelFor uses by default (hardware
+/// concurrency, at least 1).
+int DefaultParallelism();
+
+/// Runs fn(i) for i in [0, count) across up to `num_threads` threads with
+/// dynamic (work-stealing-ish) index assignment. Blocks until every index is
+/// done. `fn` must be safe to call concurrently for distinct indices;
+/// exceptions must not escape fn (the library is exception-free). With
+/// count <= 1 or num_threads <= 1 the loop runs inline.
+void ParallelFor(int count, const std::function<void(int)>& fn,
+                 int num_threads = 0);
+
+}  // namespace roadpart
+
+#endif  // ROADPART_COMMON_PARALLEL_H_

@@ -1,0 +1,154 @@
+#ifndef ROADPART_COMMON_STATUS_H_
+#define ROADPART_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace roadpart {
+
+/// Error taxonomy for the library. Kept deliberately small; each code maps to a
+/// distinct caller-visible failure mode.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kIOError,
+  kNotConverged,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// Value-semantic status object used instead of exceptions throughout the
+/// library (RocksDB/Arrow idiom). An OK status carries no message and no
+/// allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotConverged(std::string msg) {
+    return Status(StatusCode::kNotConverged, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> holds either a value or an error Status. Accessing the value of
+/// an errored result aborts (programming error), mirroring absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value and from error status, so functions can
+  /// `return value;` or `return Status::InvalidArgument(...);`.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    // An OK status without a value is a contract violation.
+    if (std::get<Status>(payload_).ok()) {
+      payload_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  const T& value() const& {
+    AbortIfError();
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    AbortIfError();
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    AbortIfError();
+    return std::move(std::get<T>(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void AbortIfError() const;
+
+  std::variant<Status, T> payload_;
+};
+
+namespace internal {
+[[noreturn]] void DieOnBadResultAccess(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::AbortIfError() const {
+  if (!ok()) internal::DieOnBadResultAccess(std::get<Status>(payload_));
+}
+
+/// Propagates a non-OK status to the caller.
+#define RP_RETURN_IF_ERROR(expr)                  \
+  do {                                            \
+    ::roadpart::Status _rp_status = (expr);       \
+    if (!_rp_status.ok()) return _rp_status;      \
+  } while (0)
+
+/// Evaluates a Result<T> expression and either assigns its value to `lhs` or
+/// returns the error.
+#define RP_ASSIGN_OR_RETURN(lhs, expr)            \
+  RP_ASSIGN_OR_RETURN_IMPL_(                      \
+      RP_STATUS_CONCAT_(_rp_result, __LINE__), lhs, expr)
+
+#define RP_STATUS_CONCAT_INNER_(a, b) a##b
+#define RP_STATUS_CONCAT_(a, b) RP_STATUS_CONCAT_INNER_(a, b)
+#define RP_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+
+}  // namespace roadpart
+
+#endif  // ROADPART_COMMON_STATUS_H_

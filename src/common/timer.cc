@@ -1,0 +1,48 @@
+#include "common/timer.h"
+
+namespace roadpart {
+
+int PhaseTimer::FindPhase(const std::string& name) const {
+  for (size_t i = 0; i < phases_.size(); ++i) {
+    if (phases_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void PhaseTimer::StartPhase(const std::string& name) {
+  Stop();
+  int idx = FindPhase(name);
+  if (idx < 0) {
+    phases_.push_back({name, 0.0});
+    idx = static_cast<int>(phases_.size()) - 1;
+  }
+  running_ = idx;
+  timer_.Restart();
+}
+
+void PhaseTimer::Stop() {
+  if (running_ >= 0) {
+    phases_[running_].seconds += timer_.Seconds();
+    running_ = -1;
+  }
+}
+
+double PhaseTimer::PhaseSeconds(const std::string& name) const {
+  int idx = FindPhase(name);
+  return idx < 0 ? 0.0 : phases_[idx].seconds;
+}
+
+double PhaseTimer::TotalSeconds() const {
+  double total = 0.0;
+  for (const auto& p : phases_) total += p.seconds;
+  return total;
+}
+
+std::vector<std::string> PhaseTimer::PhaseNames() const {
+  std::vector<std::string> names;
+  names.reserve(phases_.size());
+  for (const auto& p : phases_) names.push_back(p.name);
+  return names;
+}
+
+}  // namespace roadpart

@@ -1,0 +1,124 @@
+#include "core/alpha_cut.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "linalg/linear_operator.h"
+#include "linalg/sparse_matrix.h"
+
+namespace roadpart {
+
+namespace {
+
+// Accumulates, per partition: node count, volume (sum of weighted degrees)
+// and the ordered-pair internal weight sum_{p,q in P} A(p,q).
+struct PartitionSums {
+  std::vector<double> volume;
+  std::vector<double> internal;  // each intra edge counted twice
+  std::vector<int> size;
+  double total = 0.0;  // s = 1^T d = 2 * total edge weight
+  int k = 0;
+};
+
+PartitionSums Accumulate(const CsrGraph& graph,
+                         const std::vector<int>& assignment) {
+  PartitionSums sums;
+  for (int a : assignment) sums.k = std::max(sums.k, a + 1);
+  sums.volume.assign(sums.k, 0.0);
+  sums.internal.assign(sums.k, 0.0);
+  sums.size.assign(sums.k, 0);
+  for (int u = 0; u < graph.num_nodes(); ++u) {
+    int p = assignment[u];
+    sums.size[p]++;
+    auto nbrs = graph.Neighbors(u);
+    auto wts = graph.NeighborWeights(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      sums.volume[p] += wts[i];
+      sums.total += wts[i];
+      if (assignment[nbrs[i]] == p) sums.internal[p] += wts[i];
+    }
+  }
+  return sums;
+}
+
+}  // namespace
+
+DenseMatrix AlphaCutMatrix(const CsrGraph& graph) {
+  const int n = graph.num_nodes();
+  DenseMatrix a = graph.ToSparseMatrix().ToDense();
+  std::vector<double> d(n, 0.0);
+  double s = 0.0;
+  for (int i = 0; i < n; ++i) {
+    d[i] = graph.WeightedDegree(i);
+    s += d[i];
+  }
+  DenseMatrix m(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      m(i, j) = (s > 0.0 ? d[i] * d[j] / s : 0.0) - a(i, j);
+    }
+  }
+  return m;
+}
+
+Result<DenseMatrix> AlphaCutMethod::Embed(const CsrGraph& graph, int k) const {
+  SparseMatrix a = graph.ToSparseMatrix();
+  SparseOperator a_op(a);
+  std::vector<double> d = a.RowSums();
+  double s = 0.0;
+  for (double x : d) s += x;
+  // M x = d (d.x)/s - A x.
+  RankOneUpdatedOperator m_op(a_op, d, s > 0.0 ? 1.0 / s : 0.0, -1.0);
+  RP_ASSIGN_OR_RETURN(DenseMatrix y,
+                      ExtremeEigenvectors(m_op, k, SpectrumEnd::kSmallest,
+                                          spectral_));
+  return RowNormalize(y);
+}
+
+double AlphaCutMethod::Objective(const CsrGraph& graph,
+                                 const std::vector<int>& assignment) const {
+  return AlphaCutObjective(graph, assignment);
+}
+
+double AlphaCutMethod::PartitionTerm(double volume, double internal, int size,
+                                     double total) const {
+  if (size <= 0) return 0.0;
+  double vol_sq_over_s = total > 0.0 ? volume * volume / total : 0.0;
+  return (vol_sq_over_s - internal) / size;
+}
+
+double AlphaCutObjective(const CsrGraph& graph,
+                         const std::vector<int>& assignment) {
+  RP_CHECK(static_cast<int>(assignment.size()) == graph.num_nodes());
+  PartitionSums sums = Accumulate(graph, assignment);
+  double value = 0.0;
+  for (int p = 0; p < sums.k; ++p) {
+    if (sums.size[p] == 0) continue;
+    double vol_sq_over_s =
+        sums.total > 0.0 ? sums.volume[p] * sums.volume[p] / sums.total : 0.0;
+    value += (vol_sq_over_s - sums.internal[p]) / sums.size[p];
+  }
+  return value;
+}
+
+double AlphaCutObjectiveConstAlpha(const CsrGraph& graph,
+                                   const std::vector<int>& assignment,
+                                   double alpha) {
+  RP_CHECK(static_cast<int>(assignment.size()) == graph.num_nodes());
+  PartitionSums sums = Accumulate(graph, assignment);
+  double value = 0.0;
+  for (int p = 0; p < sums.k; ++p) {
+    if (sums.size[p] == 0) continue;
+    double cut = sums.volume[p] - sums.internal[p];
+    value += (alpha * cut - (1.0 - alpha) * sums.internal[p]) / sums.size[p];
+  }
+  return value;
+}
+
+Result<GraphCutResult> AlphaCutPartition(const CsrGraph& graph, int k,
+                                         const AlphaCutOptions& options) {
+  AlphaCutMethod method(options.spectral);
+  return SpectralKWayPartition(graph, k, method, options.pipeline);
+}
+
+}  // namespace roadpart

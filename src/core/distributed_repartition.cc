@@ -1,0 +1,120 @@
+#include "core/distributed_repartition.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/parallel.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "graph/graph_algos.h"
+#include "linalg/dense_matrix.h"
+
+namespace roadpart {
+
+namespace {
+
+// Population std-dev of the features indexed by `nodes`.
+double RegionSpread(const std::vector<double>& features,
+                    const std::vector<int>& nodes) {
+  if (nodes.size() < 2) return 0.0;
+  double mean = 0.0;
+  for (int v : nodes) mean += features[v];
+  mean /= static_cast<double>(nodes.size());
+  double acc = 0.0;
+  for (int v : nodes) {
+    acc += (features[v] - mean) * (features[v] - mean);
+  }
+  return std::sqrt(acc / static_cast<double>(nodes.size()));
+}
+
+}  // namespace
+
+Result<DistributedRepartitionResult> RepartitionWithinRegions(
+    const RoadGraph& road_graph, const std::vector<int>& previous_assignment,
+    const DistributedRepartitionOptions& options) {
+  const int n = road_graph.num_nodes();
+  if (static_cast<int>(previous_assignment.size()) != n) {
+    return Status::InvalidArgument(
+        StrPrintf("assignment has %zu entries for %d nodes",
+                  previous_assignment.size(), n));
+  }
+  int num_regions = 0;
+  for (int a : previous_assignment) {
+    if (a < 0) return Status::InvalidArgument("negative partition id");
+    num_regions = std::max(num_regions, a + 1);
+  }
+  if (options.partitioner.k < 1) {
+    return Status::InvalidArgument("per-region k must be >= 1");
+  }
+
+  Timer timer;
+  const std::vector<double>& features = road_graph.features();
+  double global_spread = std::sqrt(std::max(Variance(features), 0.0));
+
+  DistributedRepartitionResult result;
+  result.assignment.assign(n, -1);
+  std::vector<std::vector<int>> regions =
+      GroupByAssignment(previous_assignment, num_regions);
+
+  // Phase 1 (parallel): each region computes its local sub-assignment
+  // independently — this is the "distributively" of Section 6.4.
+  struct RegionOutcome {
+    std::vector<int> local;  // per region-member sub-partition id
+    int k = 1;               // sub-partitions produced (1 = kept whole)
+    bool repartitioned = false;
+  };
+  std::vector<RegionOutcome> outcomes(regions.size());
+  ParallelFor(
+      static_cast<int>(regions.size()),
+      [&](int r) {
+        const std::vector<int>& region = regions[r];
+        RegionOutcome& out = outcomes[r];
+        out.local.assign(region.size(), 0);
+        if (region.empty()) {
+          out.k = 0;
+          return;
+        }
+        bool triggered =
+            options.trigger_ratio <= 0.0 ||
+            RegionSpread(features, region) >
+                options.trigger_ratio * global_spread;
+        if (!triggered || options.partitioner.k == 1 ||
+            static_cast<int>(region.size()) <= options.partitioner.k) {
+          return;  // kept whole
+        }
+        CsrGraph subgraph = road_graph.adjacency().InducedSubgraph(region);
+        std::vector<double> sub_features(region.size());
+        for (size_t i = 0; i < region.size(); ++i) {
+          sub_features[i] = features[region[i]];
+        }
+        auto sub_rg = RoadGraph::FromParts(std::move(subgraph),
+                                           std::move(sub_features));
+        if (!sub_rg.ok()) return;  // keep whole on any local failure
+        Partitioner partitioner(options.partitioner);
+        auto outcome = partitioner.PartitionRoadGraph(*sub_rg);
+        if (!outcome.ok()) return;  // region too small/uniform: keep whole
+        out.local = std::move(outcome->assignment);
+        out.k = outcome->k_final;
+        out.repartitioned = true;
+      },
+      options.num_threads);
+
+  // Phase 2 (sequential): merge region-local label spaces.
+  int next_id = 0;
+  for (size_t r = 0; r < regions.size(); ++r) {
+    const std::vector<int>& region = regions[r];
+    if (region.empty()) continue;
+    const RegionOutcome& out = outcomes[r];
+    for (size_t i = 0; i < region.size(); ++i) {
+      result.assignment[region[i]] = next_id + out.local[i];
+    }
+    next_id += out.k;
+    if (out.repartitioned) ++result.regions_repartitioned;
+  }
+
+  result.k_final = next_id;
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace roadpart

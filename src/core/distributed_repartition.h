@@ -1,0 +1,46 @@
+#ifndef ROADPART_CORE_DISTRIBUTED_REPARTITION_H_
+#define ROADPART_CORE_DISTRIBUTED_REPARTITION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/partitioner.h"
+#include "network/road_graph.h"
+
+namespace roadpart {
+
+/// Options for region-local re-partitioning.
+struct DistributedRepartitionOptions {
+  /// Configuration used inside each region (its `k` field is the number of
+  /// sub-partitions per region; regions smaller than that stay whole).
+  PartitionerOptions partitioner;
+  /// Re-partition a region only if its internal density spread grew beyond
+  /// this multiple of the global adjacent-pair scale (0 = always).
+  double trigger_ratio = 0.0;
+  /// Worker threads for the per-region partitioning (regions are
+  /// independent). 0 = hardware concurrency, 1 = sequential.
+  int num_threads = 0;
+};
+
+/// Result of one distributed re-partitioning round.
+struct DistributedRepartitionResult {
+  std::vector<int> assignment;  ///< refreshed partition ids (dense)
+  int k_final = 0;
+  int regions_repartitioned = 0;
+  double seconds = 0.0;
+};
+
+/// The paper's Section 6.4 proposal for real-time operation: after the whole
+/// network has been partitioned once, subsequent timestamps re-partition
+/// each region *independently* (a fraction of the whole-network cost, and
+/// embarrassingly parallel across regions). Each region of
+/// `previous_assignment` is cut into `options.partitioner.k` sub-partitions
+/// using the region's induced subgraph and current densities; sub-partition
+/// ids are merged into one dense label space.
+Result<DistributedRepartitionResult> RepartitionWithinRegions(
+    const RoadGraph& road_graph, const std::vector<int>& previous_assignment,
+    const DistributedRepartitionOptions& options);
+
+}  // namespace roadpart
+
+#endif  // ROADPART_CORE_DISTRIBUTED_REPARTITION_H_

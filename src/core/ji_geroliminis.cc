@@ -1,0 +1,171 @@
+#include "core/ji_geroliminis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "graph/graph_algos.h"
+
+namespace roadpart {
+
+namespace {
+
+// Incremental within-partition variance bookkeeping over densities.
+struct VarianceTracker {
+  std::vector<double> sum;
+  std::vector<double> sum_sq;
+  std::vector<int> count;
+
+  void Init(int k, const std::vector<int>& assignment,
+            const std::vector<double>& f) {
+    sum.assign(k, 0.0);
+    sum_sq.assign(k, 0.0);
+    count.assign(k, 0);
+    for (size_t v = 0; v < assignment.size(); ++v) {
+      Add(assignment[v], f[v]);
+    }
+  }
+  void Add(int p, double x) {
+    sum[p] += x;
+    sum_sq[p] += x * x;
+    count[p]++;
+  }
+  void Remove(int p, double x) {
+    sum[p] -= x;
+    sum_sq[p] -= x * x;
+    count[p]--;
+  }
+  // Sum of squared deviations (not normalized) of partition p.
+  double Sse(int p) const {
+    if (count[p] == 0) return 0.0;
+    return std::max(0.0, sum_sq[p] - sum[p] * sum[p] / count[p]);
+  }
+};
+
+}  // namespace
+
+Result<GraphCutResult> JiGeroliminisPartition(
+    const CsrGraph& weighted_graph, const std::vector<double>& features,
+    int k, const JiGeroliminisOptions& options) {
+  const int n = weighted_graph.num_nodes();
+  if (static_cast<int>(features.size()) != n) {
+    return Status::InvalidArgument("feature count != node count");
+  }
+  if (k < 1 || k > n) {
+    return Status::InvalidArgument(StrPrintf("invalid k=%d for n=%d", k, n));
+  }
+
+  // Phase 1: excessive partitioning with normalized cut.
+  int k0 = std::min(n, std::max(k + 1, static_cast<int>(std::ceil(
+                                           options.over_partition_factor * k))));
+  NormalizedCutOptions ncut = options.ncut;
+  ncut.pipeline.enforce_exact_k = true;
+  ncut.pipeline.enforce_connectivity = true;
+  RP_ASSIGN_OR_RETURN(GraphCutResult initial,
+                      NormalizedCutPartition(weighted_graph, k0, ncut));
+  std::vector<int> assignment = initial.assignment;
+  int cur_k = DensifyAssignment(assignment);
+
+  // Phase 2: merge the smallest partition into the adjacent partition with
+  // the closest mean density, until k remain.
+  while (cur_k > k) {
+    std::vector<int> sizes(cur_k, 0);
+    std::vector<double> mean(cur_k, 0.0);
+    for (int v = 0; v < n; ++v) {
+      sizes[assignment[v]]++;
+      mean[assignment[v]] += features[v];
+    }
+    for (int p = 0; p < cur_k; ++p) {
+      if (sizes[p] > 0) mean[p] /= sizes[p];
+    }
+    int smallest = 0;
+    for (int p = 1; p < cur_k; ++p) {
+      if (sizes[p] < sizes[smallest]) smallest = p;
+    }
+    // Adjacent partitions of `smallest`.
+    std::map<int, double> adjacent;  // partition -> |mean gap|
+    for (int v = 0; v < n; ++v) {
+      if (assignment[v] != smallest) continue;
+      for (int u : weighted_graph.Neighbors(v)) {
+        if (assignment[u] != smallest) {
+          adjacent.emplace(assignment[u],
+                           std::fabs(mean[assignment[u]] - mean[smallest]));
+        }
+      }
+    }
+    int target = -1;
+    double best_gap = 0.0;
+    for (const auto& [p, gap] : adjacent) {
+      if (target == -1 || gap < best_gap) {
+        target = p;
+        best_gap = gap;
+      }
+    }
+    if (target == -1) {
+      // Isolated partition (disconnected input graph); stop merging it.
+      break;
+    }
+    for (int v = 0; v < n; ++v) {
+      if (assignment[v] == smallest) assignment[v] = target;
+    }
+    cur_k = DensifyAssignment(assignment);
+  }
+
+  // Phase 3: boundary adjustment. Move a boundary segment to a neighbouring
+  // partition when that lowers the total within-partition squared deviation
+  // of densities (their "segment uniformity" improvement).
+  VarianceTracker tracker;
+  tracker.Init(cur_k, assignment, features);
+  for (int round = 0; round < options.boundary_rounds; ++round) {
+    bool moved = false;
+    for (int v = 0; v < n; ++v) {
+      int p = assignment[v];
+      if (tracker.count[p] <= 1) continue;  // never empty a partition
+      // Candidate targets: partitions adjacent through v's edges.
+      std::map<int, int> touch;  // partition -> #adjacent nodes
+      for (int u : weighted_graph.Neighbors(v)) {
+        if (assignment[u] != p) touch[assignment[u]]++;
+      }
+      if (touch.empty()) continue;
+      double base = tracker.Sse(p);
+      double best_delta = -1e-12;  // strict improvement only
+      int best_target = -1;
+      for (const auto& [q, cnt] : touch) {
+        (void)cnt;
+        double before = base + tracker.Sse(q);
+        tracker.Remove(p, features[v]);
+        tracker.Add(q, features[v]);
+        double after = tracker.Sse(p) + tracker.Sse(q);
+        tracker.Remove(q, features[v]);
+        tracker.Add(p, features[v]);
+        double delta = after - before;
+        if (delta < best_delta) {
+          best_delta = delta;
+          best_target = q;
+        }
+      }
+      if (best_target >= 0) {
+        tracker.Remove(p, features[v]);
+        tracker.Add(best_target, features[v]);
+        assignment[v] = best_target;
+        moved = true;
+      }
+    }
+    if (!moved) break;
+  }
+
+  // Boundary moves can fragment partitions; restore C.2.
+  EnforcePartitionConnectivity(weighted_graph, assignment);
+
+  GraphCutResult result;
+  result.k_prime = k0;
+  result.assignment = std::move(assignment);
+  result.k_final = DensifyAssignment(result.assignment);
+  result.objective =
+      NormalizedCutObjective(weighted_graph, result.assignment);
+  return result;
+}
+
+}  // namespace roadpart

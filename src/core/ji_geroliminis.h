@@ -1,0 +1,36 @@
+#ifndef ROADPART_CORE_JI_GEROLIMINIS_H_
+#define ROADPART_CORE_JI_GEROLIMINIS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/normalized_cut.h"
+#include "core/spectral_common.h"
+#include "graph/csr_graph.h"
+
+namespace roadpart {
+
+/// Options for the Ji & Geroliminis (2012) baseline [5]. Their three-phase
+/// method: (1) over-partition with normalized cut, (2) merge small partitions
+/// down to k, (3) adjust boundary segments into the neighbouring partition
+/// when that improves density uniformity. The original paper is closed
+/// access; this follows the description in Section 7 (see DESIGN.md
+/// substitution #6).
+struct JiGeroliminisOptions {
+  /// Initial over-partitioning runs normalized cut with
+  /// ceil(over_partition_factor * k) parts.
+  double over_partition_factor = 2.0;
+  /// Boundary-adjustment sweeps.
+  int boundary_rounds = 5;
+  NormalizedCutOptions ncut;
+};
+
+/// Runs the three-phase baseline on a weighted road graph with per-node
+/// densities, producing k connected partitions.
+Result<GraphCutResult> JiGeroliminisPartition(
+    const CsrGraph& weighted_graph, const std::vector<double>& features,
+    int k, const JiGeroliminisOptions& options = {});
+
+}  // namespace roadpart
+
+#endif  // ROADPART_CORE_JI_GEROLIMINIS_H_

@@ -1,0 +1,99 @@
+#include "core/normalized_cut.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "linalg/linear_operator.h"
+#include "linalg/sparse_matrix.h"
+
+namespace roadpart {
+
+namespace {
+
+// y = D^{-1/2} A D^{-1/2} x, with zero-degree nodes treated as isolated.
+class NormalizedAdjacencyOperator : public LinearOperator {
+ public:
+  explicit NormalizedAdjacencyOperator(const SparseMatrix& a)
+      : a_(a), inv_sqrt_deg_(a.rows(), 0.0), scratch_(a.rows(), 0.0) {
+    std::vector<double> deg = a.RowSums();
+    for (int i = 0; i < a.rows(); ++i) {
+      if (deg[i] > 0.0) inv_sqrt_deg_[i] = 1.0 / std::sqrt(deg[i]);
+    }
+  }
+
+  int Dim() const override { return a_.rows(); }
+
+  void Apply(const double* x, double* y) const override {
+    for (int i = 0; i < a_.rows(); ++i) {
+      scratch_[i] = inv_sqrt_deg_[i] * x[i];
+    }
+    a_.Multiply(scratch_.data(), y);
+    for (int i = 0; i < a_.rows(); ++i) y[i] *= inv_sqrt_deg_[i];
+  }
+
+ private:
+  const SparseMatrix& a_;
+  std::vector<double> inv_sqrt_deg_;
+  mutable std::vector<double> scratch_;
+};
+
+}  // namespace
+
+Result<DenseMatrix> NormalizedCutMethod::Embed(const CsrGraph& graph,
+                                               int k) const {
+  SparseMatrix a = graph.ToSparseMatrix();
+  NormalizedAdjacencyOperator n_op(a);
+  // Largest eigenvectors of D^{-1/2} A D^{-1/2} == smallest of L_sym; the
+  // extreme end converges faster under Lanczos.
+  RP_ASSIGN_OR_RETURN(
+      DenseMatrix y,
+      ExtremeEigenvectors(n_op, k, SpectrumEnd::kLargest, spectral_));
+  return RowNormalize(y);
+}
+
+double NormalizedCutMethod::Objective(
+    const CsrGraph& graph, const std::vector<int>& assignment) const {
+  return NormalizedCutObjective(graph, assignment);
+}
+
+double NormalizedCutMethod::PartitionTerm(double volume, double internal,
+                                          int size, double total) const {
+  (void)size;
+  (void)total;
+  if (volume <= 0.0) return 0.0;
+  return (volume - internal) / volume;
+}
+
+double NormalizedCutObjective(const CsrGraph& graph,
+                              const std::vector<int>& assignment) {
+  RP_CHECK(static_cast<int>(assignment.size()) == graph.num_nodes());
+  int k = 0;
+  for (int a : assignment) k = std::max(k, a + 1);
+  std::vector<double> volume(k, 0.0);
+  std::vector<double> internal(k, 0.0);
+  for (int u = 0; u < graph.num_nodes(); ++u) {
+    int p = assignment[u];
+    auto nbrs = graph.Neighbors(u);
+    auto wts = graph.NeighborWeights(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      volume[p] += wts[i];
+      if (assignment[nbrs[i]] == p) internal[p] += wts[i];
+    }
+  }
+  double value = 0.0;
+  for (int p = 0; p < k; ++p) {
+    if (volume[p] > 0.0) {
+      value += (volume[p] - internal[p]) / volume[p];
+    }
+  }
+  return value;
+}
+
+Result<GraphCutResult> NormalizedCutPartition(
+    const CsrGraph& graph, int k, const NormalizedCutOptions& options) {
+  NormalizedCutMethod method(options.spectral);
+  return SpectralKWayPartition(graph, k, method, options.pipeline);
+}
+
+}  // namespace roadpart

@@ -1,0 +1,66 @@
+#include "core/optimal_k.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "metrics/partition_metrics.h"
+
+namespace roadpart {
+
+Result<OptimalKResult> FindOptimalK(const RoadGraph& road_graph,
+                                    const OptimalKOptions& options) {
+  if (options.k_min < 1 || options.k_max < options.k_min) {
+    return Status::InvalidArgument(
+        StrPrintf("invalid k range [%d, %d]", options.k_min, options.k_max));
+  }
+
+  OptimalKResult result;
+  result.optimal_ans = 0.0;
+  bool have_any = false;
+  for (int k = options.k_min; k <= options.k_max; ++k) {
+    PartitionerOptions per_k = options.partitioner;
+    per_k.k = k;
+    Partitioner partitioner(per_k);
+    auto outcome = partitioner.PartitionRoadGraph(road_graph);
+    if (!outcome.ok()) {
+      // k beyond what the network supports (e.g. more partitions than
+      // supernodes): skip and continue the sweep.
+      RP_LOG(Debug) << "k=" << k
+                    << " skipped: " << outcome.status().ToString();
+      continue;
+    }
+    auto eval = EvaluatePartitions(road_graph.adjacency(),
+                                   road_graph.features(),
+                                   outcome->assignment);
+    if (!eval.ok()) continue;
+
+    KSweepPoint point;
+    point.k = k;
+    point.ans = eval->ans;
+    point.inter = eval->inter;
+    point.intra = eval->intra;
+    point.gdbi = eval->gdbi;
+    point.assignment = std::move(outcome->assignment);
+    if (!have_any || point.ans < result.optimal_ans) {
+      result.optimal_ans = point.ans;
+      result.optimal_k = k;
+      have_any = true;
+    }
+    result.sweep.push_back(std::move(point));
+  }
+  if (!have_any) {
+    return Status::FailedPrecondition("no k in the range could be evaluated");
+  }
+
+  // Local ANS minima other than the global one — the paper's additional
+  // partition-count candidates.
+  for (size_t i = 1; i + 1 < result.sweep.size(); ++i) {
+    if (result.sweep[i].k == result.optimal_k) continue;
+    if (result.sweep[i].ans < result.sweep[i - 1].ans &&
+        result.sweep[i].ans < result.sweep[i + 1].ans) {
+      result.local_minima.push_back(result.sweep[i].k);
+    }
+  }
+  return result;
+}
+
+}  // namespace roadpart

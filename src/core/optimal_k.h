@@ -1,0 +1,46 @@
+#ifndef ROADPART_CORE_OPTIMAL_K_H_
+#define ROADPART_CORE_OPTIMAL_K_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/partitioner.h"
+#include "network/road_graph.h"
+
+namespace roadpart {
+
+/// One point of the k-selection sweep.
+struct KSweepPoint {
+  int k = 0;
+  double ans = 0.0;
+  double inter = 0.0;
+  double intra = 0.0;
+  double gdbi = 0.0;
+  std::vector<int> assignment;
+};
+
+/// Result of the k-selection workflow.
+struct OptimalKResult {
+  int optimal_k = 0;          ///< arg-min of ANS over the sweep
+  double optimal_ans = 0.0;
+  std::vector<KSweepPoint> sweep;      ///< one entry per evaluated k
+  std::vector<int> local_minima;       ///< other good candidates (Section 6.4)
+};
+
+/// Options for FindOptimalK.
+struct OptimalKOptions {
+  PartitionerOptions partitioner;  ///< scheme etc.; its `k` field is ignored
+  int k_min = 2;
+  int k_max = 20;
+};
+
+/// The paper's model selection (Sections 6.3-6.4): sweep k, evaluate the ANS
+/// measure for each partitioning, and accept the k attaining the minimum;
+/// local minima are reported as the "other suitable candidates" the paper
+/// lists for closer congestion analysis.
+Result<OptimalKResult> FindOptimalK(const RoadGraph& road_graph,
+                                    const OptimalKOptions& options);
+
+}  // namespace roadpart
+
+#endif  // ROADPART_CORE_OPTIMAL_K_H_

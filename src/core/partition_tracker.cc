@@ -1,0 +1,68 @@
+#include "core/partition_tracker.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "common/string_util.h"
+
+namespace roadpart {
+
+Result<std::vector<int>> PartitionTracker::Align(
+    const std::vector<int>& assignment) {
+  int k = 0;
+  for (int a : assignment) {
+    if (a < 0) return Status::InvalidArgument("negative partition id");
+    k = std::max(k, a + 1);
+  }
+
+  if (!reference_.empty() && reference_.size() != assignment.size()) {
+    return Status::InvalidArgument(
+        StrPrintf("node count changed: %zu -> %zu", reference_.size(),
+                  assignment.size()));
+  }
+
+  std::vector<int> relabel(k, -1);
+  if (reference_.empty()) {
+    for (int p = 0; p < k; ++p) relabel[p] = p;
+    next_id_ = k;
+    last_churn_ = 0.0;
+  } else {
+    // Overlap counts between new ids and tracked ids.
+    std::map<std::pair<int, int>, int> overlap;
+    for (size_t v = 0; v < assignment.size(); ++v) {
+      overlap[{assignment[v], reference_[v]}]++;
+    }
+    // Greedy matching by descending overlap.
+    std::vector<std::tuple<int, int, int>> pairs;  // (-count, new, old)
+    pairs.reserve(overlap.size());
+    for (const auto& [key, count] : overlap) {
+      pairs.emplace_back(-count, key.first, key.second);
+    }
+    std::sort(pairs.begin(), pairs.end());
+    std::vector<char> old_taken(next_id_, 0);
+    for (const auto& [neg_count, new_id, old_id] : pairs) {
+      (void)neg_count;
+      if (relabel[new_id] != -1 || old_taken[old_id]) continue;
+      relabel[new_id] = old_id;
+      old_taken[old_id] = 1;
+    }
+    for (int p = 0; p < k; ++p) {
+      if (relabel[p] == -1) relabel[p] = next_id_++;
+    }
+  }
+
+  std::vector<int> aligned(assignment.size());
+  int changed = 0;
+  for (size_t v = 0; v < assignment.size(); ++v) {
+    aligned[v] = relabel[assignment[v]];
+    if (!reference_.empty() && aligned[v] != reference_[v]) ++changed;
+  }
+  if (!reference_.empty() && !assignment.empty()) {
+    last_churn_ = static_cast<double>(changed) / assignment.size();
+  }
+  reference_ = aligned;
+  return aligned;
+}
+
+}  // namespace roadpart

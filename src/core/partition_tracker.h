@@ -1,0 +1,40 @@
+#ifndef ROADPART_CORE_PARTITION_TRACKER_H_
+#define ROADPART_CORE_PARTITION_TRACKER_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace roadpart {
+
+/// Aligns partition labels across repeated partitionings of the same network
+/// (the paper's "partitioning the network repeatedly at regular intervals"),
+/// so region 2 at 8:00 is still region 2 at 8:10 even though the spectral
+/// pipeline assigns arbitrary ids each run. Matching is greedy maximum
+/// member-overlap; regions that appear or vanish get fresh / retired ids.
+class PartitionTracker {
+ public:
+  PartitionTracker() = default;
+
+  /// Relabels `assignment` (dense ids) to the tracked region ids, updates
+  /// the internal reference, and returns the aligned labels. The first call
+  /// fixes the initial ids. All calls must pass label vectors over the same
+  /// node set (same length).
+  Result<std::vector<int>> Align(const std::vector<int>& assignment);
+
+  /// Highest region id ever issued + 1.
+  int num_regions_seen() const { return next_id_; }
+
+  /// Fraction of nodes whose tracked region changed in the last Align call
+  /// (0 before the second call).
+  double last_churn() const { return last_churn_; }
+
+ private:
+  std::vector<int> reference_;  // last aligned labels
+  int next_id_ = 0;
+  double last_churn_ = 0.0;
+};
+
+}  // namespace roadpart
+
+#endif  // ROADPART_CORE_PARTITION_TRACKER_H_

@@ -1,0 +1,185 @@
+#include "core/partitioner.h"
+
+#include <utility>
+
+#include "common/timer.h"
+#include "core/spectral_common.h"
+
+namespace roadpart {
+
+const char* SchemeName(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kAG:
+      return "AG";
+    case Scheme::kASG:
+      return "ASG";
+    case Scheme::kNG:
+      return "NG";
+    case Scheme::kNSG:
+      return "NSG";
+    case Scheme::kJiGeroliminis:
+      return "JiGeroliminis";
+  }
+  return "?";
+}
+
+Result<PartitionOutcome> Partitioner::PartitionNetwork(
+    const RoadNetwork& network) const {
+  Timer timer;
+  RoadGraph graph = RoadGraph::FromNetwork(network);
+  double module1 = timer.Seconds();
+  RP_ASSIGN_OR_RETURN(PartitionOutcome outcome, PartitionRoadGraph(graph));
+  outcome.module1_seconds = module1;
+  return outcome;
+}
+
+Result<PartitionOutcome> Partitioner::PartitionRoadGraph(
+    const RoadGraph& graph) const {
+  PartitionOutcome outcome;
+  const int k = options_.k;
+
+  SpectralPipelineOptions pipeline;
+  pipeline.kmeans = options_.kmeans;
+  pipeline.kmeans.seed = options_.seed;
+  pipeline.enforce_exact_k = options_.enforce_exact_k;
+  pipeline.exact_k_method = options_.exact_k_method;
+  pipeline.enforce_connectivity = options_.enforce_connectivity;
+
+  Timer timer;
+  switch (options_.scheme) {
+    case Scheme::kAG:
+    case Scheme::kNG: {
+      CsrGraph weighted =
+          GaussianWeightedGraph(graph.adjacency(), graph.features());
+      timer.Restart();
+      GraphCutResult cut;
+      if (options_.scheme == Scheme::kAG) {
+        AlphaCutOptions alpha{options_.spectral, pipeline};
+        RP_ASSIGN_OR_RETURN(cut, AlphaCutPartition(weighted, k, alpha));
+      } else {
+        NormalizedCutOptions ncut{options_.spectral, pipeline};
+        RP_ASSIGN_OR_RETURN(cut, NormalizedCutPartition(weighted, k, ncut));
+      }
+      if (options_.refine_boundary) {
+        if (options_.scheme == Scheme::kAG) {
+          AlphaCutMethod method(options_.spectral);
+          RP_ASSIGN_OR_RETURN(cut.assignment,
+                              RefineBoundary(weighted, cut.assignment, method,
+                                             options_.refinement));
+          cut.objective = method.Objective(weighted, cut.assignment);
+        } else {
+          NormalizedCutMethod method(options_.spectral);
+          RP_ASSIGN_OR_RETURN(cut.assignment,
+                              RefineBoundary(weighted, cut.assignment, method,
+                                             options_.refinement));
+          cut.objective = method.Objective(weighted, cut.assignment);
+        }
+        cut.k_final = DensifyAssignment(cut.assignment);
+      }
+      outcome.module3_seconds = timer.Seconds();
+      outcome.assignment = std::move(cut.assignment);
+      outcome.k_final = cut.k_final;
+      outcome.k_prime = cut.k_prime;
+      outcome.objective = cut.objective;
+      break;
+    }
+    case Scheme::kASG:
+    case Scheme::kNSG: {
+      timer.Restart();
+      // The second level needs at least k supernodes to produce k
+      // partitions.
+      SupergraphMinerOptions miner = options_.miner;
+      miner.min_supernodes = std::max(miner.min_supernodes, k);
+      RP_ASSIGN_OR_RETURN(
+          Supergraph sg,
+          MineSupergraph(graph, miner, &outcome.mining_report));
+      if (sg.num_supernodes() < k) {
+        // Every clustering configuration condensed below k regions (tiny or
+        // near-uniform networks): force the stability pass to its strictest
+        // setting, which splits supernodes down to uniform-feature groups.
+        miner.stability.threshold = 1.0;
+        RP_ASSIGN_OR_RETURN(
+            sg, MineSupergraph(graph, miner, &outcome.mining_report));
+      }
+      if (sg.num_supernodes() < k) {
+        // Fully uniform densities leave nothing for the supergraph to
+        // distinguish: fall back to cutting the road graph directly (a
+        // purely topological split, the only meaningful answer here).
+        outcome.module2_seconds = timer.Seconds();
+        CsrGraph weighted =
+            GaussianWeightedGraph(graph.adjacency(), graph.features());
+        timer.Restart();
+        GraphCutResult cut;
+        if (options_.scheme == Scheme::kASG) {
+          AlphaCutOptions alpha{options_.spectral, pipeline};
+          RP_ASSIGN_OR_RETURN(cut, AlphaCutPartition(weighted, k, alpha));
+        } else {
+          NormalizedCutOptions ncut{options_.spectral, pipeline};
+          RP_ASSIGN_OR_RETURN(cut, NormalizedCutPartition(weighted, k, ncut));
+        }
+        outcome.module3_seconds = timer.Seconds();
+        outcome.num_supernodes = sg.num_supernodes();
+        outcome.assignment = std::move(cut.assignment);
+        outcome.k_final = cut.k_final;
+        outcome.k_prime = cut.k_prime;
+        outcome.objective = cut.objective;
+        break;
+      }
+      outcome.module2_seconds = timer.Seconds();
+      outcome.num_supernodes = sg.num_supernodes();
+
+      timer.Restart();
+      GraphCutResult cut;
+      if (options_.scheme == Scheme::kASG) {
+        AlphaCutOptions alpha{options_.spectral, pipeline};
+        RP_ASSIGN_OR_RETURN(cut, AlphaCutPartition(sg.links(), k, alpha));
+      } else {
+        NormalizedCutOptions ncut{options_.spectral, pipeline};
+        RP_ASSIGN_OR_RETURN(cut, NormalizedCutPartition(sg.links(), k, ncut));
+      }
+      if (options_.refine_boundary) {
+        // Refinement at the supernode level keeps supernodes atomic, as the
+        // supergraph semantics require.
+        if (options_.scheme == Scheme::kASG) {
+          AlphaCutMethod method(options_.spectral);
+          RP_ASSIGN_OR_RETURN(cut.assignment,
+                              RefineBoundary(sg.links(), cut.assignment,
+                                             method, options_.refinement));
+        } else {
+          NormalizedCutMethod method(options_.spectral);
+          RP_ASSIGN_OR_RETURN(cut.assignment,
+                              RefineBoundary(sg.links(), cut.assignment,
+                                             method, options_.refinement));
+        }
+        cut.k_final = DensifyAssignment(cut.assignment);
+      }
+      RP_ASSIGN_OR_RETURN(outcome.assignment,
+                          sg.ExpandAssignment(cut.assignment));
+      outcome.module3_seconds = timer.Seconds();
+      outcome.k_final = cut.k_final;
+      outcome.k_prime = cut.k_prime;
+      outcome.objective = cut.objective;
+      break;
+    }
+    case Scheme::kJiGeroliminis: {
+      CsrGraph weighted =
+          GaussianWeightedGraph(graph.adjacency(), graph.features());
+      timer.Restart();
+      JiGeroliminisOptions ji = options_.ji;
+      ji.ncut.spectral = options_.spectral;
+      ji.ncut.pipeline.kmeans = pipeline.kmeans;
+      RP_ASSIGN_OR_RETURN(
+          GraphCutResult cut,
+          JiGeroliminisPartition(weighted, graph.features(), k, ji));
+      outcome.module3_seconds = timer.Seconds();
+      outcome.assignment = std::move(cut.assignment);
+      outcome.k_final = cut.k_final;
+      outcome.k_prime = cut.k_prime;
+      outcome.objective = cut.objective;
+      break;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace roadpart

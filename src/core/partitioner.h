@@ -1,0 +1,85 @@
+#ifndef ROADPART_CORE_PARTITIONER_H_
+#define ROADPART_CORE_PARTITIONER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/alpha_cut.h"
+#include "core/ji_geroliminis.h"
+#include "core/normalized_cut.h"
+#include "core/refinement.h"
+#include "core/supergraph_miner.h"
+#include "network/road_graph.h"
+#include "network/road_network.h"
+
+namespace roadpart {
+
+/// The evaluation schemes of Section 6.3:
+///  - AG:  alpha-Cut directly on the (Gaussian-weighted) road graph
+///  - ASG: alpha-Cut on the mined road supergraph
+///  - NG:  normalized cut directly on the road graph (the baseline)
+///  - NSG: normalized cut on the road supergraph
+///  - JiGeroliminis: the three-phase method of [5]
+enum class Scheme { kAG, kASG, kNG, kNSG, kJiGeroliminis };
+
+const char* SchemeName(Scheme scheme);
+
+/// End-to-end framework configuration.
+struct PartitionerOptions {
+  Scheme scheme = Scheme::kASG;
+  int k = 6;  ///< desired number of partitions
+  SupergraphMinerOptions miner;           ///< module 2 (supergraph schemes)
+  SpectralOptions spectral;               ///< eigensolver policy
+  KMeansOptions kmeans;                   ///< embedding clustering
+  JiGeroliminisOptions ji;                ///< baseline parameters
+  bool enforce_exact_k = true;            ///< reduce k' -> k (Section 5.4)
+  /// Which Section 5.4 reduction runs when k' > k. The paper adopts
+  /// recursive bipartitioning; greedy pruning often merges better on large
+  /// supergraphs (see bench_ablation_kprime).
+  ExactKMethod exact_k_method = ExactKMethod::kRecursiveBipartition;
+  bool enforce_connectivity = true;       ///< guarantee condition C.2
+  /// Post-pass moving boundary segments between partitions when that lowers
+  /// the cut objective (extension; see core/refinement.h). Off by default to
+  /// match the paper's pipeline.
+  bool refine_boundary = false;
+  RefinementOptions refinement;
+  uint64_t seed = 1;  ///< randomizes embedding k-means (paper: 100 reruns)
+};
+
+/// Framework output, including the Table-3 module timing breakdown.
+struct PartitionOutcome {
+  std::vector<int> assignment;  ///< partition id per road segment
+  int k_final = 0;
+  int k_prime = 0;          ///< partitions before the exact-k reduction
+  int num_supernodes = 0;   ///< 0 for non-supergraph schemes
+  double objective = 0.0;   ///< cut objective on the partitioned graph
+  double module1_seconds = 0.0;  ///< road graph construction
+  double module2_seconds = 0.0;  ///< supergraph mining
+  double module3_seconds = 0.0;  ///< (super)graph partitioning
+  SupergraphMiningReport mining_report;  ///< filled for ASG / NSG
+};
+
+/// Facade over the full framework of Figure 2. One instance is reusable
+/// across networks and timestamps.
+class Partitioner {
+ public:
+  explicit Partitioner(PartitionerOptions options)
+      : options_(std::move(options)) {}
+
+  const PartitionerOptions& options() const { return options_; }
+
+  /// Runs modules 1-3 on a road network (module 1 = dual-graph
+  /// construction is included in the timing breakdown).
+  Result<PartitionOutcome> PartitionNetwork(const RoadNetwork& network) const;
+
+  /// Runs modules 2-3 on a pre-built road graph.
+  Result<PartitionOutcome> PartitionRoadGraph(const RoadGraph& graph) const;
+
+ private:
+  PartitionerOptions options_;
+};
+
+}  // namespace roadpart
+
+#endif  // ROADPART_CORE_PARTITIONER_H_

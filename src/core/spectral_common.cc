@@ -1,0 +1,387 @@
+#include "core/spectral_common.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "graph/connected_components.h"
+#include "graph/graph_algos.h"
+#include "graph/graph_builder.h"
+#include "linalg/symmetric_eigen.h"
+
+namespace roadpart {
+
+Result<DenseMatrix> ExtremeEigenvectors(const LinearOperator& op, int k,
+                                        SpectrumEnd end,
+                                        const SpectralOptions& options) {
+  const int n = op.Dim();
+  if (k <= 0 || k > n) {
+    return Status::InvalidArgument(
+        StrPrintf("need 1 <= k <= %d, got %d", n, k));
+  }
+  if (n <= options.dense_threshold) {
+    DenseMatrix dense = Materialize(op);
+    RP_ASSIGN_OR_RETURN(EigenResult eig, SymmetricEigenDecompose(dense));
+    DenseMatrix out(n, k);
+    for (int c = 0; c < k; ++c) {
+      int col = (end == SpectrumEnd::kSmallest) ? c : n - k + c;
+      for (int r = 0; r < n; ++r) out(r, c) = eig.eigenvectors(r, col);
+    }
+    return out;
+  }
+  RP_ASSIGN_OR_RETURN(EigenResult eig,
+                      LanczosEigen(op, k, end, options.lanczos));
+  return eig.eigenvectors;
+}
+
+DenseMatrix RowNormalize(const DenseMatrix& y) {
+  DenseMatrix z = y;
+  for (int r = 0; r < z.rows(); ++r) {
+    double norm = 0.0;
+    for (int c = 0; c < z.cols(); ++c) norm += z(r, c) * z(r, c);
+    norm = std::sqrt(norm);
+    if (norm > 0.0) {
+      for (int c = 0; c < z.cols(); ++c) z(r, c) /= norm;
+    }
+  }
+  return z;
+}
+
+CsrGraph GaussianWeightedGraph(const CsrGraph& adjacency,
+                               const std::vector<double>& features,
+                               bool degree_normalize) {
+  RP_CHECK(static_cast<int>(features.size()) == adjacency.num_nodes());
+  // Scale by the typical adjacent-pair density difference, not the global
+  // variance: road densities vary smoothly along a road, so the global
+  // spread is far larger than any single-hop difference and would push every
+  // edge weight to ~1 (the cut would then follow topology only). With the
+  // local scale, a typical edge weighs e^{-1/2} and a cross-plateau edge is
+  // exponentially suppressed — which is what "congestion similarity"
+  // affinity (Definition 3) needs to steer the cut.
+  double acc = 0.0;
+  int64_t count = 0;
+  for (int u = 0; u < adjacency.num_nodes(); ++u) {
+    for (int v : adjacency.Neighbors(u)) {
+      if (u < v) {
+        double diff = features[u] - features[v];
+        acc += diff * diff;
+        ++count;
+      }
+    }
+  }
+  double sigma_sq = count > 0 ? acc / static_cast<double>(count) : 0.0;
+  CsrGraph weighted = ReweightGraph(adjacency, [&](int u, int v) {
+    if (sigma_sq <= 0.0) return 1.0;
+    double diff = features[u] - features[v];
+    return std::exp(-(diff * diff) / (2.0 * sigma_sq));
+  });
+  if (!degree_normalize) return weighted;
+  std::vector<double> degree(weighted.num_nodes(), 0.0);
+  for (int v = 0; v < weighted.num_nodes(); ++v) {
+    degree[v] = weighted.WeightedDegree(v);
+  }
+  return ReweightGraph(weighted, [&](int u, int v) {
+    double d = degree[u] * degree[v];
+    if (d <= 0.0) return 0.0;
+    return weighted.EdgeWeight(u, v) / std::sqrt(d);
+  });
+}
+
+Result<CsrGraph> PartitionConnectivityGraph(const CsrGraph& graph,
+                                            const std::vector<int>& assignment,
+                                            int num_partitions) {
+  std::map<std::pair<int, int>, std::pair<double, int>> cross;  // sum(w^2), count
+  for (int u = 0; u < graph.num_nodes(); ++u) {
+    auto nbrs = graph.Neighbors(u);
+    auto wts = graph.NeighborWeights(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      int v = nbrs[i];
+      if (u >= v) continue;
+      int p = assignment[u];
+      int q = assignment[v];
+      if (p == q) continue;
+      if (p > q) std::swap(p, q);
+      auto& entry = cross[{p, q}];
+      entry.first += wts[i] * wts[i];
+      entry.second += 1;
+    }
+  }
+  std::vector<Edge> edges;
+  edges.reserve(cross.size());
+  for (const auto& [pq, acc] : cross) {
+    edges.push_back(
+        {pq.first, pq.second, std::sqrt(acc.first / acc.second)});
+  }
+  return CsrGraph::FromEdges(num_partitions, edges);
+}
+
+namespace {
+
+// Bipartitions a (small, condensed) weighted graph with the method's own
+// 2-way embedding. Guarantees both sides are non-empty for graphs with >= 2
+// nodes, falling back to a median split of the Fiedler-like column.
+Result<std::vector<int>> BipartitionGraph(const CsrGraph& graph,
+                                          const SpectralCutMethod& method,
+                                          const KMeansOptions& kmeans_options) {
+  const int n = graph.num_nodes();
+  RP_CHECK(n >= 2);
+  RP_ASSIGN_OR_RETURN(DenseMatrix z, method.Embed(graph, std::min(2, n)));
+  RP_ASSIGN_OR_RETURN(KMeansResult km, KMeansRows(z, 2, kmeans_options));
+
+  int count1 = 0;
+  for (int a : km.assignment) count1 += a;
+  if (count1 != 0 && count1 != n) return km.assignment;
+
+  // Degenerate clustering: split at the median of the most informative
+  // column (the last one — eigenvalue order puts the constant-ish vector
+  // first for Laplacian-style embeddings).
+  std::vector<int> labels(n, 0);
+  int col = z.cols() - 1;
+  std::vector<std::pair<double, int>> vals(n);
+  for (int i = 0; i < n; ++i) vals[i] = {z(i, col), i};
+  std::sort(vals.begin(), vals.end());
+  for (int i = n / 2; i < n; ++i) labels[vals[i].second] = 1;
+  return labels;
+}
+
+}  // namespace
+
+int DensifyAssignment(std::vector<int>& assignment) {
+  std::map<int, int> remap;
+  for (int& a : assignment) {
+    auto [it, inserted] = remap.try_emplace(a, static_cast<int>(remap.size()));
+    a = it->second;
+  }
+  return static_cast<int>(remap.size());
+}
+
+void EnforcePartitionConnectivity(const CsrGraph& graph,
+                                  std::vector<int>& assignment) {
+  for (int pass = 0; pass < 8; ++pass) {
+    int k = DensifyAssignment(assignment);
+    std::vector<std::vector<int>> groups = GroupByAssignment(assignment, k);
+    bool changed = false;
+    for (int p = 0; p < k; ++p) {
+      auto comps = ComponentsOfSubset(graph, groups[p]);
+      if (comps.size() <= 1) continue;
+      // Keep the largest component; merge the rest into the neighbouring
+      // partition with the strongest total edge weight.
+      size_t largest = 0;
+      for (size_t c = 1; c < comps.size(); ++c) {
+        if (comps[c].size() > comps[largest].size()) largest = c;
+      }
+      for (size_t c = 0; c < comps.size(); ++c) {
+        if (c == largest) continue;
+        std::map<int, double> pull;
+        for (int u : comps[c]) {
+          auto nbrs = graph.Neighbors(u);
+          auto wts = graph.NeighborWeights(u);
+          for (size_t i = 0; i < nbrs.size(); ++i) {
+            if (assignment[nbrs[i]] != p) {
+              pull[assignment[nbrs[i]]] += wts[i];
+            }
+          }
+        }
+        if (pull.empty()) continue;  // isolated in the whole graph
+        int target = pull.begin()->first;
+        double best = pull.begin()->second;
+        for (const auto& [cand, w] : pull) {
+          if (w > best) {
+            best = w;
+            target = cand;
+          }
+        }
+        for (int u : comps[c]) assignment[u] = target;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  DensifyAssignment(assignment);
+}
+
+Result<GraphCutResult> SpectralKWayPartition(
+    const CsrGraph& graph, int k, const SpectralCutMethod& method,
+    const SpectralPipelineOptions& options) {
+  const int n = graph.num_nodes();
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (k > n) {
+    return Status::InvalidArgument(
+        StrPrintf("k=%d exceeds graph order %d", k, n));
+  }
+
+  GraphCutResult result;
+  if (k == 1) {
+    result.assignment.assign(n, 0);
+    result.k_final = 1;
+    result.k_prime = 1;
+    result.objective = method.Objective(graph, result.assignment);
+    return result;
+  }
+
+  // Lines 4-10 of Algorithm 3: embedding + k-means over rows.
+  RP_ASSIGN_OR_RETURN(DenseMatrix z, method.Embed(graph, k));
+  RP_ASSIGN_OR_RETURN(KMeansResult km, KMeansRows(z, k, options.kmeans));
+
+  // Line 11: split clusters into connected components -> k' partitions.
+  std::vector<int> partition(n, -1);
+  int k_prime = 0;
+  std::vector<std::vector<int>> clusters = GroupByAssignment(km.assignment, k);
+  for (const auto& cluster : clusters) {
+    if (cluster.empty()) continue;
+    for (const auto& comp : ComponentsOfSubset(graph, cluster)) {
+      for (int v : comp) partition[v] = k_prime;
+      ++k_prime;
+    }
+  }
+  result.k_prime = k_prime;
+
+  // Lines 12-24: global recursive bipartitioning of the condensed graph
+  // until exactly k partitions remain (or greedy pruning when selected).
+  if (options.enforce_exact_k && k_prime > k &&
+      options.exact_k_method == ExactKMethod::kGreedyMerge) {
+    // Greedy pruning (Section 5.4 alternative): repeatedly merge the pair of
+    // adjacent partitions whose merge lowers the cut objective the most
+    // (equivalently, raises it the least). Per-partition sums make each
+    // candidate evaluation O(1).
+    std::vector<double> volume(k_prime, 0.0);
+    std::vector<double> internal(k_prime, 0.0);
+    std::vector<int> size(k_prime, 0);
+    double total = 0.0;
+    for (int u = 0; u < n; ++u) {
+      int p = partition[u];
+      size[p]++;
+      auto nbrs = graph.Neighbors(u);
+      auto wts = graph.NeighborWeights(u);
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        volume[p] += wts[i];
+        total += wts[i];
+        if (partition[nbrs[i]] == p) internal[p] += wts[i];
+      }
+    }
+    // Ordered-pair cross weights between partitions.
+    std::map<std::pair<int, int>, double> cross;
+    for (int u = 0; u < n; ++u) {
+      auto nbrs = graph.Neighbors(u);
+      auto wts = graph.NeighborWeights(u);
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        int p = partition[u];
+        int q = partition[nbrs[i]];
+        if (p < q) cross[{p, q}] += wts[i];  // counts each edge once (u<v or v<u covered twice; p<q once per direction)
+      }
+    }
+    std::vector<char> alive(k_prime, 1);
+    int remaining = k_prime;
+    while (remaining > k) {
+      double best_delta = 0.0;
+      bool found = false;
+      std::pair<int, int> best_pair{-1, -1};
+      for (const auto& [pq, w] : cross) {
+        auto [p, q] = pq;
+        if (!alive[p] || !alive[q] || w <= 0.0) continue;
+        double merged_term = method.PartitionTerm(
+            volume[p] + volume[q], internal[p] + internal[q] + 2.0 * w,
+            size[p] + size[q], total);
+        double delta = merged_term -
+                       method.PartitionTerm(volume[p], internal[p], size[p],
+                                            total) -
+                       method.PartitionTerm(volume[q], internal[q], size[q],
+                                            total);
+        if (!found || delta < best_delta) {
+          best_delta = delta;
+          best_pair = pq;
+          found = true;
+        }
+      }
+      if (!found) break;  // no adjacent pairs left
+      auto [p, q] = best_pair;
+      // Merge q into p.
+      volume[p] += volume[q];
+      internal[p] += internal[q] + 2.0 * cross[best_pair];
+      size[p] += size[q];
+      alive[q] = 0;
+      // Redirect q's cross weights to p.
+      std::map<std::pair<int, int>, double> updates;
+      for (auto it = cross.begin(); it != cross.end();) {
+        auto [a, b] = it->first;
+        if (a == q || b == q) {
+          int other = (a == q) ? b : a;
+          if (other != p && alive[other]) {
+            auto key = std::minmax(p, other);
+            updates[{key.first, key.second}] += it->second;
+          }
+          it = cross.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      for (const auto& [key, w] : updates) cross[key] += w;
+      for (int v = 0; v < n; ++v) {
+        if (partition[v] == q) partition[v] = p;
+      }
+      --remaining;
+    }
+  } else if (options.enforce_exact_k && k_prime > k) {
+    RP_ASSIGN_OR_RETURN(CsrGraph condensed,
+                        PartitionConnectivityGraph(graph, partition, k_prime));
+    // Work over groups of condensed-node ids, FIFO as in the paper.
+    std::deque<std::vector<int>> fifo;
+    std::vector<std::vector<int>> groups;
+    {
+      std::vector<int> all(k_prime);
+      for (int i = 0; i < k_prime; ++i) all[i] = i;
+      fifo.push_back(all);
+      groups.push_back(std::move(all));
+    }
+    auto find_group = [&](const std::vector<int>& g) -> size_t {
+      for (size_t i = 0; i < groups.size(); ++i) {
+        if (groups[i] == g) return i;
+      }
+      RP_CHECK(false);
+      return 0;
+    };
+    while (static_cast<int>(groups.size()) < k && !fifo.empty()) {
+      std::vector<int> cur = std::move(fifo.front());
+      fifo.pop_front();
+      if (cur.size() < 2) continue;  // unsplittable; stays as-is in `groups`
+      CsrGraph sub = condensed.InducedSubgraph(cur);
+      RP_ASSIGN_OR_RETURN(std::vector<int> side,
+                          BipartitionGraph(sub, method, options.kmeans));
+      std::vector<int> part_a;
+      std::vector<int> part_b;
+      for (size_t i = 0; i < cur.size(); ++i) {
+        (side[i] == 0 ? part_a : part_b).push_back(cur[i]);
+      }
+      size_t slot = find_group(cur);
+      groups[slot] = part_a;
+      groups.push_back(part_b);
+      fifo.push_back(std::move(part_a));
+      fifo.push_back(std::move(part_b));
+    }
+    // Map condensed ids -> final group ids -> node assignment.
+    std::vector<int> condensed_group(k_prime, -1);
+    for (size_t gid = 0; gid < groups.size(); ++gid) {
+      for (int cid : groups[gid]) condensed_group[cid] = static_cast<int>(gid);
+    }
+    for (int v = 0; v < n; ++v) {
+      partition[v] = condensed_group[partition[v]];
+    }
+  }
+
+  if (options.enforce_connectivity) {
+    EnforcePartitionConnectivity(graph, partition);
+  } else {
+    DensifyAssignment(partition);
+  }
+
+  result.assignment = std::move(partition);
+  result.k_final = DensifyAssignment(result.assignment);
+  result.objective = method.Objective(graph, result.assignment);
+  return result;
+}
+
+}  // namespace roadpart

@@ -1,0 +1,127 @@
+#ifndef ROADPART_CORE_SPECTRAL_COMMON_H_
+#define ROADPART_CORE_SPECTRAL_COMMON_H_
+
+#include <vector>
+
+#include "cluster/kmeans.h"
+#include "common/status.h"
+#include "graph/csr_graph.h"
+#include "linalg/lanczos.h"
+#include "linalg/linear_operator.h"
+
+namespace roadpart {
+
+/// Controls how eigenvectors are extracted.
+struct SpectralOptions {
+  /// At or below this operator order the dense Householder+QL solver runs
+  /// (exact); above it the Lanczos solver (the paper's scalability path).
+  int dense_threshold = 600;
+  LanczosOptions lanczos;
+};
+
+/// k eigenvectors at the chosen end of a symmetric operator's spectrum,
+/// as the columns of an n x k matrix (ascending eigenvalue order).
+Result<DenseMatrix> ExtremeEigenvectors(const LinearOperator& op, int k,
+                                        SpectrumEnd end,
+                                        const SpectralOptions& options);
+
+/// Row-normalizes Y to unit-length rows (Equation 8). All-zero rows are left
+/// as zero.
+DenseMatrix RowNormalize(const DenseMatrix& y);
+
+/// Reweights a binary road-graph adjacency with the Gaussian congestion
+/// similarity exp(-(f_u - f_v)^2 / (2 sigma^2)) — the affinity used when
+/// cutting the road graph directly (schemes AG / NG). sigma^2 is the mean
+/// squared *adjacent-pair* feature difference (a local scale; the global
+/// variance would saturate every weight at ~1). Zero-variance features yield
+/// all-ones weights.
+///
+/// With `degree_normalize` (the default) the weights are then divided by
+/// sqrt(d_u d_v): the dual road graph turns every intersection into a
+/// clique, and those topology-induced hubs otherwise dominate the extreme
+/// eigenvectors of the alpha-Cut matrix with localized modes that carry no
+/// congestion information.
+CsrGraph GaussianWeightedGraph(const CsrGraph& adjacency,
+                               const std::vector<double>& features,
+                               bool degree_normalize = true);
+
+/// Result of a k-way spectral graph cut.
+struct GraphCutResult {
+  std::vector<int> assignment;  ///< dense partition ids per node
+  int k_final = 0;              ///< number of partitions returned
+  int k_prime = 0;              ///< partitions before the exact-k reduction
+  double objective = 0.0;       ///< method-specific objective of `assignment`
+};
+
+/// A spectral k-way cut method is defined by its embedding.
+class SpectralCutMethod {
+ public:
+  virtual ~SpectralCutMethod() = default;
+
+  /// Spectral embedding of the weighted graph into `k` dimensions
+  /// (row-normalized; one row per node).
+  virtual Result<DenseMatrix> Embed(const CsrGraph& graph, int k) const = 0;
+
+  /// Objective value of an assignment (smaller = better).
+  virtual double Objective(const CsrGraph& graph,
+                           const std::vector<int>& assignment) const = 0;
+
+  /// One partition's contribution to the objective, given its weighted
+  /// volume (sum of member degrees), its ordered-pair internal weight
+  /// (each intra edge counted twice), its node count and the graph's total
+  /// ordered weight (1^T d). Lets the greedy k'->k pruning evaluate merges
+  /// in O(1) — the paper's "merges the two nearest partitions optimizing
+  /// the defined graph cut".
+  virtual double PartitionTerm(double volume, double internal, int size,
+                               double total) const = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// How k' > k partitions are reduced to exactly k (Section 5.4 discusses
+/// both; the paper adopts recursive bipartitioning for efficiency).
+enum class ExactKMethod {
+  kRecursiveBipartition,  ///< the paper's choice (Algorithm 3 lines 12-24)
+  kGreedyMerge,           ///< iteratively merge the two closest partitions
+};
+
+/// Options shared by the k-way pipeline of Algorithm 3.
+struct SpectralPipelineOptions {
+  KMeansOptions kmeans;
+  /// Reduce k' > k partitions to exactly k by global recursive
+  /// bipartitioning of the partition-connectivity matrix (Section 5.4).
+  bool enforce_exact_k = true;
+  ExactKMethod exact_k_method = ExactKMethod::kRecursiveBipartition;
+  /// Post-pass guaranteeing condition C.2: disconnected fragments of a final
+  /// partition are merged into their best-connected neighbour partition.
+  bool enforce_connectivity = true;
+};
+
+/// The complete k-way pipeline of Algorithm 3, parameterized by the cut
+/// method: embed -> k-means on rows -> split clusters into connected
+/// components (k' >= k) -> optional recursive bipartitioning back to k ->
+/// optional connectivity enforcement.
+Result<GraphCutResult> SpectralKWayPartition(
+    const CsrGraph& graph, int k, const SpectralCutMethod& method,
+    const SpectralPipelineOptions& options);
+
+/// Renumbers partition ids densely in [0, k) preserving first-appearance
+/// order; returns k.
+int DensifyAssignment(std::vector<int>& assignment);
+
+/// Merges disconnected fragments of each partition into their strongest-
+/// connected neighbouring partition until every partition is connected
+/// (condition C.2). Ids come out dense.
+void EnforcePartitionConnectivity(const CsrGraph& graph,
+                                  std::vector<int>& assignment);
+
+/// Partition-connectivity matrix A' of Section 5.4:
+///   A'(i,j) = sqrt( (1/numadj(P_i,P_j)) * sum_{p in P_i, q in P_j} A(p,q)^2 )
+/// over adjacent partition pairs.
+Result<CsrGraph> PartitionConnectivityGraph(const CsrGraph& graph,
+                                            const std::vector<int>& assignment,
+                                            int num_partitions);
+
+}  // namespace roadpart
+
+#endif  // ROADPART_CORE_SPECTRAL_COMMON_H_

@@ -1,0 +1,83 @@
+#include "core/stability.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/logging.h"
+#include "graph/connected_components.h"
+
+namespace roadpart {
+
+double SupernodeStability(const std::vector<double>& member_features) {
+  if (member_features.empty()) return 1.0;
+  double mean = 0.0;
+  for (double f : member_features) mean += f;
+  mean /= static_cast<double>(member_features.size());
+  double acc = 0.0;
+  for (double f : member_features) {
+    acc += std::exp(-std::fabs((f + 1.0) / (mean + 1.0) - 1.0));
+  }
+  return acc / static_cast<double>(member_features.size());
+}
+
+std::vector<std::vector<int>> StabilitySplit(
+    std::vector<std::vector<int>> supernodes,
+    const std::vector<double>& node_features, const CsrGraph& road_graph,
+    const StabilityOptions& options) {
+  std::vector<std::vector<int>> stable;
+  if (options.threshold <= 0.0) return supernodes;
+
+  // LIFO processing exactly as Algorithm 2.
+  std::vector<std::vector<int>> stack = std::move(supernodes);
+  while (!stack.empty()) {
+    std::vector<int> sn = std::move(stack.back());
+    stack.pop_back();
+    if (sn.empty()) continue;
+
+    std::vector<double> feats(sn.size());
+    double mean = 0.0;
+    for (size_t i = 0; i < sn.size(); ++i) {
+      feats[i] = node_features[sn[i]];
+      mean += feats[i];
+    }
+    mean /= static_cast<double>(sn.size());
+
+    double eta = SupernodeStability(feats);
+    if (eta >= options.threshold || sn.size() == 1) {
+      stable.push_back(std::move(sn));
+      continue;
+    }
+
+    // Split at the centroid: members at or below the mean vs above it.
+    std::vector<int> pre;
+    std::vector<int> post;
+    for (size_t i = 0; i < sn.size(); ++i) {
+      if (feats[i] <= mean) {
+        pre.push_back(sn[i]);
+      } else {
+        post.push_back(sn[i]);
+      }
+    }
+    // Uniform features give eta == 1, so both halves are non-empty here; the
+    // check guards degenerate floating-point corners.
+    if (pre.empty() || post.empty()) {
+      stable.push_back(std::move(sn));
+      continue;
+    }
+
+    auto enqueue = [&](std::vector<int>&& part) {
+      if (options.split_into_components) {
+        for (auto& comp : ComponentsOfSubset(road_graph, part)) {
+          stack.push_back(std::move(comp));
+        }
+      } else {
+        stack.push_back(std::move(part));
+      }
+    };
+    enqueue(std::move(pre));
+    enqueue(std::move(post));
+  }
+  return stable;
+}
+
+}  // namespace roadpart

@@ -1,0 +1,38 @@
+#ifndef ROADPART_CORE_STABILITY_H_
+#define ROADPART_CORE_STABILITY_H_
+
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace roadpart {
+
+/// Supernode stability (Definition 9):
+///   eta = (1/|s|) * sum_j exp(-|((f_j + 1)/(mu + 1)) - 1|)  in [0, 1];
+/// 1 iff every member feature equals the mean.
+double SupernodeStability(const std::vector<double>& member_features);
+
+/// Options for the stability-splitting pass (Algorithm 2).
+struct StabilityOptions {
+  /// epsilon_eta: supernodes with eta below this are split. 0 disables
+  /// splitting entirely (the paper's ASG behaviour).
+  double threshold = 0.0;
+  /// After the feature-median split, further split each half into connected
+  /// components of the road graph, which preserves the supernode
+  /// connectivity invariant (Definition 6) that a pure feature split can
+  /// break. On by default; set false for the strictly-literal Algorithm 2.
+  bool split_into_components = true;
+};
+
+/// Runs the LIFO stability check of Algorithm 2 over member lists: unstable
+/// supernodes split at their feature centroid (<= mean vs > mean) until every
+/// resulting supernode is stable. Returns the new member lists; features are
+/// the member means. `node_features` indexes road-graph node ids.
+std::vector<std::vector<int>> StabilitySplit(
+    std::vector<std::vector<int>> supernodes,
+    const std::vector<double>& node_features, const CsrGraph& road_graph,
+    const StabilityOptions& options);
+
+}  // namespace roadpart
+
+#endif  // ROADPART_CORE_STABILITY_H_

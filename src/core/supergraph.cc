@@ -1,0 +1,66 @@
+#include "core/supergraph.h"
+
+#include "common/string_util.h"
+
+namespace roadpart {
+
+Result<Supergraph> Supergraph::Create(std::vector<Supernode> supernodes,
+                                      CsrGraph links, int num_road_nodes) {
+  if (links.num_nodes() != static_cast<int>(supernodes.size())) {
+    return Status::InvalidArgument(
+        StrPrintf("link graph has %d nodes for %zu supernodes",
+                  links.num_nodes(), supernodes.size()));
+  }
+  std::vector<int> owner(num_road_nodes, -1);
+  for (size_t s = 0; s < supernodes.size(); ++s) {
+    if (supernodes[s].members.empty()) {
+      return Status::InvalidArgument(StrPrintf("supernode %zu is empty", s));
+    }
+    for (int v : supernodes[s].members) {
+      if (v < 0 || v >= num_road_nodes) {
+        return Status::OutOfRange(
+            StrPrintf("member %d outside [0,%d)", v, num_road_nodes));
+      }
+      if (owner[v] != -1) {
+        return Status::InvalidArgument(
+            StrPrintf("node %d belongs to supernodes %d and %zu", v, owner[v],
+                      s));
+      }
+      owner[v] = static_cast<int>(s);
+    }
+  }
+  for (int v = 0; v < num_road_nodes; ++v) {
+    if (owner[v] == -1) {
+      return Status::InvalidArgument(
+          StrPrintf("node %d not covered by any supernode", v));
+    }
+  }
+
+  Supergraph sg;
+  sg.supernodes_ = std::move(supernodes);
+  sg.links_ = std::move(links);
+  sg.node_to_supernode_ = std::move(owner);
+  return sg;
+}
+
+std::vector<double> Supergraph::Features() const {
+  std::vector<double> f(supernodes_.size());
+  for (size_t i = 0; i < supernodes_.size(); ++i) f[i] = supernodes_[i].feature;
+  return f;
+}
+
+Result<std::vector<int>> Supergraph::ExpandAssignment(
+    const std::vector<int>& supernode_assignment) const {
+  if (supernode_assignment.size() != supernodes_.size()) {
+    return Status::InvalidArgument(
+        StrPrintf("assignment for %zu supernodes, have %zu",
+                  supernode_assignment.size(), supernodes_.size()));
+  }
+  std::vector<int> node_assignment(node_to_supernode_.size(), -1);
+  for (size_t v = 0; v < node_to_supernode_.size(); ++v) {
+    node_assignment[v] = supernode_assignment[node_to_supernode_[v]];
+  }
+  return node_assignment;
+}
+
+}  // namespace roadpart

@@ -1,0 +1,58 @@
+#ifndef ROADPART_CORE_SUPERGRAPH_H_
+#define ROADPART_CORE_SUPERGRAPH_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "graph/csr_graph.h"
+
+namespace roadpart {
+
+/// A supernode (Definition 6): a set of road-graph nodes with similar
+/// feature values that are interlinked, plus its representative feature.
+struct Supernode {
+  std::vector<int> members;  ///< road-graph node ids
+  double feature = 0.0;      ///< sigma.f (cluster mean / member mean)
+};
+
+/// The road supergraph G_s = (V_s, E_s, W_s) of Definition 8. Superlinks and
+/// their weights live in a weighted CsrGraph over supernode ids.
+class Supergraph {
+ public:
+  Supergraph() = default;
+
+  /// Assembles a supergraph; validates that `supernodes` partition
+  /// [0, num_road_nodes) and that `links` is over supernode ids.
+  static Result<Supergraph> Create(std::vector<Supernode> supernodes,
+                                   CsrGraph links, int num_road_nodes);
+
+  int num_supernodes() const { return static_cast<int>(supernodes_.size()); }
+  int num_road_nodes() const {
+    return static_cast<int>(node_to_supernode_.size());
+  }
+
+  const Supernode& supernode(int id) const { return supernodes_[id]; }
+  const std::vector<Supernode>& supernodes() const { return supernodes_; }
+
+  /// Weighted superlink structure (weights are the omega_i of Equation 3).
+  const CsrGraph& links() const { return links_; }
+
+  /// Supernode id containing road-graph node v.
+  int SupernodeOf(int v) const { return node_to_supernode_[v]; }
+
+  /// Features of all supernodes in id order.
+  std::vector<double> Features() const;
+
+  /// Expands a per-supernode assignment to a per-road-node assignment.
+  Result<std::vector<int>> ExpandAssignment(
+      const std::vector<int>& supernode_assignment) const;
+
+ private:
+  std::vector<Supernode> supernodes_;
+  CsrGraph links_;
+  std::vector<int> node_to_supernode_;
+};
+
+}  // namespace roadpart
+
+#endif  // ROADPART_CORE_SUPERGRAPH_H_

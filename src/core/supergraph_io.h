@@ -1,0 +1,28 @@
+#ifndef ROADPART_CORE_SUPERGRAPH_IO_H_
+#define ROADPART_CORE_SUPERGRAPH_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/supergraph.h"
+
+namespace roadpart {
+
+/// Serializes a mined supergraph so the expensive module-2 result can be
+/// cached across repeated partitioning runs (the paper re-partitions the
+/// same network at every time interval; the supergraph topology only needs
+/// re-mining when densities shift regime). Text format:
+///
+///   # supergraph v1
+///   G <num_road_nodes> <num_supernodes>
+///   <feature> <member_count> <member...>        (one line per supernode)
+///   L <num_links>
+///   <p> <q> <weight>                            (one line per superlink)
+Status SaveSupergraph(const Supergraph& supergraph, const std::string& path);
+
+/// Loads a supergraph saved by SaveSupergraph (validating all invariants).
+Result<Supergraph> LoadSupergraph(const std::string& path);
+
+}  // namespace roadpart
+
+#endif  // ROADPART_CORE_SUPERGRAPH_IO_H_

@@ -1,0 +1,206 @@
+#include "core/supergraph_miner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "cluster/kmeans1d.h"
+#include "cluster/optimality.h"
+#include "graph/connected_components.h"
+#include "graph/graph_algos.h"
+#include "linalg/dense_matrix.h"
+
+namespace roadpart {
+
+double SuperlinkWeight(double feature_p, double feature_q, int num_links,
+                       double sigma_sq, SuperlinkWeightScheme scheme) {
+  RP_CHECK(num_links > 0);
+  double gauss = 1.0;
+  if (sigma_sq > 0.0) {
+    double diff = feature_p - feature_q;
+    gauss = std::exp(-(diff * diff) / (2.0 * sigma_sq));
+  }
+  switch (scheme) {
+    case SuperlinkWeightScheme::kPaperEq3:
+      // sqrt((1/|L|) * sum_L gauss^2) with identical terms == gauss.
+      return gauss;
+    case SuperlinkWeightScheme::kLinkCountScaled:
+      return gauss * std::sqrt(static_cast<double>(num_links));
+  }
+  return gauss;
+}
+
+Result<Supergraph> MineSupergraph(const RoadGraph& road_graph,
+                                  const SupergraphMinerOptions& options,
+                                  SupergraphMiningReport* report) {
+  const CsrGraph& graph = road_graph.adjacency();
+  const std::vector<double>& features = road_graph.features();
+  const int n = graph.num_nodes();
+  if (n == 0) return Status::InvalidArgument("empty road graph");
+
+  SupergraphMiningReport local_report;
+  SupergraphMiningReport& rep = report != nullptr ? *report : local_report;
+
+  // --- Phase A: MCG sweep over kappa on (sampled) feature values. ---
+  std::vector<double> sweep_values = features;
+  if (options.sample_size > 0 &&
+      n > options.sample_size) {
+    Rng rng(options.seed);
+    rng.Shuffle(sweep_values);
+    sweep_values.resize(options.sample_size);
+  }
+  const int max_kappa =
+      std::min<int>(options.max_kappa,
+                    static_cast<int>(sweep_values.size()) - 1);
+  if (max_kappa < 2) {
+    return Status::InvalidArgument("too few feature values for a kappa sweep");
+  }
+
+  double best_mcg = 0.0;
+  for (int kappa = 2; kappa <= max_kappa; ++kappa) {
+    RP_ASSIGN_OR_RETURN(KMeans1DResult km, KMeans1D(sweep_values, kappa));
+    RP_ASSIGN_OR_RETURN(
+        double mcg,
+        ModeratedClusteringGain(sweep_values, km.assignment, kappa));
+    rep.kappas.push_back(kappa);
+    rep.mcg.push_back(mcg);
+    best_mcg = std::max(best_mcg, mcg);
+  }
+
+  double threshold = options.mcg_threshold_absolute >= 0.0
+                         ? options.mcg_threshold_absolute
+                         : options.mcg_threshold_fraction * best_mcg;
+  rep.threshold = threshold;
+
+  for (size_t i = 0; i < rep.kappas.size(); ++i) {
+    if (rep.mcg[i] >= threshold) {
+      rep.shortlisted_kappas.push_back(rep.kappas[i]);
+    }
+  }
+  if (rep.shortlisted_kappas.empty()) {
+    // Threshold above every observed MCG: fall back to the arg-max kappa.
+    size_t best_idx = 0;
+    for (size_t i = 1; i < rep.mcg.size(); ++i) {
+      if (rep.mcg[i] > rep.mcg[best_idx]) best_idx = i;
+    }
+    rep.shortlisted_kappas.push_back(rep.kappas[best_idx]);
+  }
+
+  // --- Phase B: full-data clustering per shortlisted kappa; pick the
+  // configuration with the fewest label-constrained connected components
+  // (Algorithm 1 lines 10-16). ---
+  int best_components = n + 1;
+  std::vector<int> best_component_of;
+  std::vector<int> best_cluster_of;
+  std::vector<double> best_means;
+  int chosen_kappa = 0;
+  bool best_qualifies = false;
+  for (int kappa : rep.shortlisted_kappas) {
+    if (kappa > n) continue;
+    RP_ASSIGN_OR_RETURN(KMeans1DResult km, KMeans1D(features, kappa));
+    ComponentLabels comps = LabelConstrainedComponents(graph, km.assignment);
+    rep.component_counts.push_back(comps.num_components);
+    bool qualifies = comps.num_components >= options.min_supernodes;
+    // Fewest components wins among qualifying configurations; if none
+    // qualifies yet, the one with the MOST components is the best fallback.
+    bool better;
+    if (qualifies == best_qualifies) {
+      better = qualifies ? comps.num_components < best_components
+                         : comps.num_components > best_components ||
+                               chosen_kappa == 0;
+    } else {
+      better = qualifies;
+    }
+    if (better) {
+      best_components = comps.num_components;
+      best_component_of = std::move(comps.component);
+      best_cluster_of = std::move(km.assignment);
+      best_means = std::move(km.means);
+      chosen_kappa = kappa;
+      best_qualifies = qualifies;
+    }
+  }
+  if (chosen_kappa == 0) {
+    return Status::Internal("no usable clustering configuration");
+  }
+  rep.chosen_kappa = chosen_kappa;
+  rep.supernodes_before_stability = best_components;
+
+  // Supernode member lists; feature = mean of the k-means cluster the
+  // component's nodes belong to (lines 17-20).
+  std::vector<std::vector<int>> members(best_components);
+  for (int v = 0; v < n; ++v) members[best_component_of[v]].push_back(v);
+
+  // --- Phase C: optional stability splitting (Algorithm 2). ---
+  bool stability_applied = options.stability.threshold > 0.0;
+  if (stability_applied) {
+    members = StabilitySplit(std::move(members), features, graph,
+                             options.stability);
+  }
+  rep.supernodes_after_stability = static_cast<int>(members.size());
+
+  std::vector<Supernode> supernodes(members.size());
+  for (size_t s = 0; s < members.size(); ++s) {
+    supernodes[s].members = std::move(members[s]);
+    if (stability_applied) {
+      // Split supernodes take their member mean as the new feature.
+      double mean = 0.0;
+      for (int v : supernodes[s].members) mean += features[v];
+      supernodes[s].feature =
+          mean / static_cast<double>(supernodes[s].members.size());
+    } else {
+      supernodes[s].feature =
+          best_means[best_cluster_of[supernodes[s].members.front()]];
+    }
+  }
+
+  rep.stability_values.resize(supernodes.size());
+  for (size_t s = 0; s < supernodes.size(); ++s) {
+    std::vector<double> f;
+    f.reserve(supernodes[s].members.size());
+    for (int v : supernodes[s].members) f.push_back(features[v]);
+    rep.stability_values[s] = SupernodeStability(f);
+  }
+
+  // --- Phase D: superlink establishment and weighting (lines 21-25). ---
+  std::vector<int> owner(n, -1);
+  for (size_t s = 0; s < supernodes.size(); ++s) {
+    for (int v : supernodes[s].members) owner[v] = static_cast<int>(s);
+  }
+  std::map<std::pair<int, int>, int> cross_links;  // (p<q) -> |L_pq|
+  for (int u = 0; u < n; ++u) {
+    for (int v : graph.Neighbors(u)) {
+      if (u >= v) continue;
+      int p = owner[u];
+      int q = owner[v];
+      if (p == q) continue;
+      if (p > q) std::swap(p, q);
+      cross_links[{p, q}]++;
+    }
+  }
+
+  std::vector<double> sfeatures(supernodes.size());
+  for (size_t s = 0; s < supernodes.size(); ++s) {
+    sfeatures[s] = supernodes[s].feature;
+  }
+  const double sigma_sq = Variance(sfeatures);
+
+  std::vector<Edge> superlinks;
+  superlinks.reserve(cross_links.size());
+  for (const auto& [pq, count] : cross_links) {
+    double w = SuperlinkWeight(sfeatures[pq.first], sfeatures[pq.second],
+                               count, sigma_sq, options.weight_scheme);
+    superlinks.push_back({pq.first, pq.second, w});
+  }
+  RP_ASSIGN_OR_RETURN(
+      CsrGraph links,
+      CsrGraph::FromEdges(static_cast<int>(supernodes.size()), superlinks));
+
+  return Supergraph::Create(std::move(supernodes), std::move(links), n);
+}
+
+}  // namespace roadpart

@@ -1,0 +1,85 @@
+#include "graph/connected_components.h"
+
+#include <queue>
+
+#include "common/logging.h"
+
+namespace roadpart {
+
+namespace {
+
+// Shared BFS labelling; `edge_allowed(u, v)` filters edges.
+template <typename EdgeFilter>
+ComponentLabels BfsComponents(const CsrGraph& graph, EdgeFilter edge_allowed) {
+  const int n = graph.num_nodes();
+  ComponentLabels out;
+  out.component.assign(n, -1);
+  std::queue<int> fifo;
+  for (int start = 0; start < n; ++start) {
+    if (out.component[start] != -1) continue;
+    const int id = out.num_components++;
+    out.component[start] = id;
+    fifo.push(start);
+    while (!fifo.empty()) {
+      int u = fifo.front();
+      fifo.pop();
+      for (int v : graph.Neighbors(u)) {
+        if (out.component[v] == -1 && edge_allowed(u, v)) {
+          out.component[v] = id;
+          fifo.push(v);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ComponentLabels ConnectedComponents(const CsrGraph& graph) {
+  return BfsComponents(graph, [](int, int) { return true; });
+}
+
+ComponentLabels LabelConstrainedComponents(const CsrGraph& graph,
+                                           const std::vector<int>& labels) {
+  RP_CHECK(static_cast<int>(labels.size()) == graph.num_nodes());
+  return BfsComponents(
+      graph, [&labels](int u, int v) { return labels[u] == labels[v]; });
+}
+
+std::vector<std::vector<int>> ComponentsOfSubset(
+    const CsrGraph& graph, const std::vector<int>& subset) {
+  std::vector<char> in_subset(graph.num_nodes(), 0);
+  for (int v : subset) {
+    RP_CHECK(v >= 0 && v < graph.num_nodes());
+    in_subset[v] = 1;
+  }
+  std::vector<char> visited(graph.num_nodes(), 0);
+  std::vector<std::vector<int>> components;
+  std::queue<int> fifo;
+  for (int start : subset) {
+    if (visited[start]) continue;
+    components.emplace_back();
+    visited[start] = 1;
+    fifo.push(start);
+    while (!fifo.empty()) {
+      int u = fifo.front();
+      fifo.pop();
+      components.back().push_back(u);
+      for (int v : graph.Neighbors(u)) {
+        if (in_subset[v] && !visited[v]) {
+          visited[v] = 1;
+          fifo.push(v);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+bool IsSubsetConnected(const CsrGraph& graph, const std::vector<int>& subset) {
+  if (subset.size() <= 1) return true;
+  return ComponentsOfSubset(graph, subset).size() == 1;
+}
+
+}  // namespace roadpart

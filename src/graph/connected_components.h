@@ -1,0 +1,38 @@
+#ifndef ROADPART_GRAPH_CONNECTED_COMPONENTS_H_
+#define ROADPART_GRAPH_CONNECTED_COMPONENTS_H_
+
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace roadpart {
+
+/// Result of a connected-components pass: `component[v]` is the 0-based
+/// component id of node v; ids are dense in [0, num_components).
+struct ComponentLabels {
+  std::vector<int> component;
+  int num_components = 0;
+};
+
+/// Standard FIFO (BFS) connected components over the whole graph —
+/// the substrate the paper's Algorithm 1 uses (O(max(n, m))).
+ComponentLabels ConnectedComponents(const CsrGraph& graph);
+
+/// Connected components where an edge (u,v) only counts when
+/// `labels[u] == labels[v]` — the supernode-creation step of Algorithm 1:
+/// nodes are merged when clustered together AND adjacent in the road graph.
+ComponentLabels LabelConstrainedComponents(const CsrGraph& graph,
+                                           const std::vector<int>& labels);
+
+/// Components of the subgraph induced on `subset` (ids refer to positions in
+/// `subset`). Returns one vector of *original* node ids per component.
+std::vector<std::vector<int>> ComponentsOfSubset(const CsrGraph& graph,
+                                                 const std::vector<int>& subset);
+
+/// True if the induced subgraph on `subset` is connected (empty and singleton
+/// subsets count as connected) — condition C.2 of the problem definition.
+bool IsSubsetConnected(const CsrGraph& graph, const std::vector<int>& subset);
+
+}  // namespace roadpart
+
+#endif  // ROADPART_GRAPH_CONNECTED_COMPONENTS_H_

@@ -1,0 +1,127 @@
+#include "graph/csr_graph.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace roadpart {
+
+Result<CsrGraph> CsrGraph::FromEdges(int num_nodes,
+                                     const std::vector<Edge>& edges) {
+  if (num_nodes < 0) return Status::InvalidArgument("negative node count");
+  for (const Edge& e : edges) {
+    if (e.u < 0 || e.u >= num_nodes || e.v < 0 || e.v >= num_nodes) {
+      return Status::OutOfRange(
+          StrPrintf("edge (%d,%d) outside [0,%d)", e.u, e.v, num_nodes));
+    }
+  }
+
+  // Store each non-loop edge in both directions, then sort-and-merge per row.
+  std::vector<int64_t> counts(static_cast<size_t>(num_nodes) + 1, 0);
+  for (const Edge& e : edges) {
+    if (e.u == e.v) continue;
+    counts[e.u + 1]++;
+    counts[e.v + 1]++;
+  }
+  for (int i = 0; i < num_nodes; ++i) counts[i + 1] += counts[i];
+
+  std::vector<std::pair<int, double>> slots(counts[num_nodes]);
+  {
+    std::vector<int64_t> cursor(counts.begin(), counts.end() - 1);
+    for (const Edge& e : edges) {
+      if (e.u == e.v) continue;
+      slots[cursor[e.u]++] = {e.v, e.weight};
+      slots[cursor[e.v]++] = {e.u, e.weight};
+    }
+  }
+
+  CsrGraph g;
+  g.num_nodes_ = num_nodes;
+  g.offsets_.assign(static_cast<size_t>(num_nodes) + 1, 0);
+  g.neighbors_.reserve(slots.size());
+  g.weights_.reserve(slots.size());
+  for (int v = 0; v < num_nodes; ++v) {
+    auto begin = slots.begin() + counts[v];
+    auto end = slots.begin() + counts[v + 1];
+    std::sort(begin, end,
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (auto it = begin; it != end;) {
+      int nbr = it->first;
+      double w = 0.0;
+      while (it != end && it->first == nbr) {
+        w += it->second;
+        ++it;
+      }
+      g.neighbors_.push_back(nbr);
+      g.weights_.push_back(w);
+    }
+    g.offsets_[v + 1] = static_cast<int64_t>(g.neighbors_.size());
+  }
+  return g;
+}
+
+double CsrGraph::WeightedDegree(int v) const {
+  double acc = 0.0;
+  for (double w : NeighborWeights(v)) acc += w;
+  return acc;
+}
+
+bool CsrGraph::HasEdge(int u, int v) const {
+  auto nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+double CsrGraph::EdgeWeight(int u, int v) const {
+  auto nbrs = Neighbors(u);
+  auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  if (it == nbrs.end() || *it != v) return 0.0;
+  return weights_[offsets_[u] + (it - nbrs.begin())];
+}
+
+double CsrGraph::TotalWeight() const {
+  double acc = 0.0;
+  for (double w : weights_) acc += w;
+  return acc / 2.0;
+}
+
+SparseMatrix CsrGraph::ToSparseMatrix() const {
+  std::vector<Triplet> entries;
+  entries.reserve(neighbors_.size());
+  for (int v = 0; v < num_nodes_; ++v) {
+    for (int64_t i = offsets_[v]; i < offsets_[v + 1]; ++i) {
+      entries.push_back({v, neighbors_[i], weights_[i]});
+    }
+  }
+  auto result = SparseMatrix::FromTriplets(num_nodes_, num_nodes_, entries);
+  RP_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+CsrGraph CsrGraph::InducedSubgraph(const std::vector<int>& nodes) const {
+  std::unordered_map<int, int> local;
+  local.reserve(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    RP_CHECK(nodes[i] >= 0 && nodes[i] < num_nodes_);
+    local[nodes[i]] = static_cast<int>(i);
+  }
+  std::vector<Edge> edges;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    int v = nodes[i];
+    auto nbrs = Neighbors(v);
+    auto wts = NeighborWeights(v);
+    for (size_t j = 0; j < nbrs.size(); ++j) {
+      if (nbrs[j] <= v) continue;  // each undirected edge once
+      auto it = local.find(nbrs[j]);
+      if (it != local.end()) {
+        edges.push_back({static_cast<int>(i), it->second, wts[j]});
+      }
+    }
+  }
+  auto result = FromEdges(static_cast<int>(nodes.size()), edges);
+  RP_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+}  // namespace roadpart

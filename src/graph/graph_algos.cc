@@ -1,0 +1,74 @@
+#include "graph/graph_algos.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.h"
+#include "graph/connected_components.h"
+
+namespace roadpart {
+
+std::vector<int> BfsDistances(const CsrGraph& graph, int source) {
+  RP_CHECK(source >= 0 && source < graph.num_nodes());
+  std::vector<int> dist(graph.num_nodes(), -1);
+  std::queue<int> fifo;
+  dist[source] = 0;
+  fifo.push(source);
+  while (!fifo.empty()) {
+    int u = fifo.front();
+    fifo.pop();
+    for (int v : graph.Neighbors(u)) {
+      if (dist[v] == -1) {
+        dist[v] = dist[u] + 1;
+        fifo.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<int> LargestComponent(const CsrGraph& graph) {
+  ComponentLabels labels = ConnectedComponents(graph);
+  std::vector<int> sizes(labels.num_components, 0);
+  for (int c : labels.component) sizes[c]++;
+  int best = 0;
+  for (int c = 1; c < labels.num_components; ++c) {
+    if (sizes[c] > sizes[best]) best = c;
+  }
+  std::vector<int> nodes;
+  nodes.reserve(labels.num_components > 0 ? sizes[best] : 0);
+  for (int v = 0; v < graph.num_nodes(); ++v) {
+    if (labels.component[v] == best) nodes.push_back(v);
+  }
+  return nodes;
+}
+
+GraphStats ComputeGraphStats(const CsrGraph& graph) {
+  GraphStats s;
+  s.num_nodes = graph.num_nodes();
+  s.num_edges = graph.num_edges();
+  s.num_components = ConnectedComponents(graph).num_components;
+  if (s.num_nodes > 0) {
+    s.min_degree = graph.Degree(0);
+    for (int v = 0; v < s.num_nodes; ++v) {
+      int d = graph.Degree(v);
+      s.max_degree = std::max(s.max_degree, d);
+      s.min_degree = std::min(s.min_degree, d);
+    }
+    s.avg_degree = 2.0 * static_cast<double>(s.num_edges) / s.num_nodes;
+  }
+  return s;
+}
+
+std::vector<std::vector<int>> GroupByAssignment(
+    const std::vector<int>& assignment, int num_groups) {
+  std::vector<std::vector<int>> groups(num_groups);
+  for (size_t v = 0; v < assignment.size(); ++v) {
+    int p = assignment[v];
+    RP_CHECK(p >= 0 && p < num_groups);
+    groups[p].push_back(static_cast<int>(v));
+  }
+  return groups;
+}
+
+}  // namespace roadpart

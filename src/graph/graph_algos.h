@@ -1,0 +1,35 @@
+#ifndef ROADPART_GRAPH_GRAPH_ALGOS_H_
+#define ROADPART_GRAPH_GRAPH_ALGOS_H_
+
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace roadpart {
+
+/// Unweighted BFS hop distances from `source` (-1 for unreachable nodes).
+std::vector<int> BfsDistances(const CsrGraph& graph, int source);
+
+/// Node ids of the largest connected component.
+std::vector<int> LargestComponent(const CsrGraph& graph);
+
+/// Basic structural statistics used by generators and reports.
+struct GraphStats {
+  int num_nodes = 0;
+  int64_t num_edges = 0;
+  int num_components = 0;
+  double avg_degree = 0.0;
+  int max_degree = 0;
+  int min_degree = 0;
+};
+
+GraphStats ComputeGraphStats(const CsrGraph& graph);
+
+/// Groups node ids by their assignment label: result[p] lists the nodes with
+/// assignment p. Labels must be dense in [0, num_groups).
+std::vector<std::vector<int>> GroupByAssignment(
+    const std::vector<int>& assignment, int num_groups);
+
+}  // namespace roadpart
+
+#endif  // ROADPART_GRAPH_GRAPH_ALGOS_H_

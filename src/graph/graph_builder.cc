@@ -1,0 +1,6 @@
+#include "graph/graph_builder.h"
+
+// Header-only today; the translation unit anchors the library target and
+// keeps room for non-template builder logic.
+
+namespace roadpart {}  // namespace roadpart

@@ -1,0 +1,50 @@
+#ifndef ROADPART_GRAPH_GRAPH_BUILDER_H_
+#define ROADPART_GRAPH_GRAPH_BUILDER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "graph/csr_graph.h"
+
+namespace roadpart {
+
+/// Incremental undirected-graph builder. Collects edges, then Build() freezes
+/// them into a CsrGraph. Duplicate edges are merged (weights summed).
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(int num_nodes) : num_nodes_(num_nodes) {}
+
+  /// Adds an undirected edge; self-loops are silently ignored at Build.
+  void AddEdge(int u, int v, double weight = 1.0) {
+    edges_.push_back({u, v, weight});
+  }
+
+  int num_nodes() const { return num_nodes_; }
+  size_t num_pending_edges() const { return edges_.size(); }
+
+  Result<CsrGraph> Build() const { return CsrGraph::FromEdges(num_nodes_, edges_); }
+
+ private:
+  int num_nodes_;
+  std::vector<Edge> edges_;
+};
+
+/// Re-weights an existing graph with per-edge weights computed by `fn(u, v)`.
+/// Topology is preserved.
+template <typename WeightFn>
+CsrGraph ReweightGraph(const CsrGraph& graph, WeightFn fn) {
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(graph.num_edges()));
+  for (int u = 0; u < graph.num_nodes(); ++u) {
+    for (int v : graph.Neighbors(u)) {
+      if (u < v) edges.push_back({u, v, fn(u, v)});
+    }
+  }
+  auto result = CsrGraph::FromEdges(graph.num_nodes(), edges);
+  // Topology came from a valid graph; construction cannot fail.
+  return std::move(result).value();
+}
+
+}  // namespace roadpart
+
+#endif  // ROADPART_GRAPH_GRAPH_BUILDER_H_

@@ -1,0 +1,85 @@
+#include "linalg/dense_matrix.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace roadpart {
+
+DenseMatrix::DenseMatrix(int rows, int cols, double fill)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<size_t>(rows) * cols, fill) {
+  RP_CHECK(rows >= 0 && cols >= 0);
+}
+
+void DenseMatrix::Multiply(const double* x, double* y) const {
+  for (int r = 0; r < rows_; ++r) {
+    const double* row = Row(r);
+    double acc = 0.0;
+    for (int c = 0; c < cols_; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+}
+
+DenseMatrix DenseMatrix::Transposed() const {
+  DenseMatrix t(cols_, rows_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+double DenseMatrix::SymmetryError() const {
+  if (rows_ != cols_) return HUGE_VAL;
+  double err = 0.0;
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = r + 1; c < cols_; ++c) {
+      err = std::max(err, std::fabs((*this)(r, c) - (*this)(c, r)));
+    }
+  }
+  return err;
+}
+
+DenseMatrix DenseMatrix::Identity(int n) {
+  DenseMatrix m(n, n);
+  for (int i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  RP_CHECK(a.size() == b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double Norm2(const std::vector<double>& a) { return std::sqrt(Dot(a, a)); }
+
+void Axpy(double alpha, const std::vector<double>& x, std::vector<double>& y) {
+  RP_CHECK(x.size() == y.size());
+  for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void Scale(double alpha, std::vector<double>& x) {
+  for (double& v : x) v *= alpha;
+}
+
+double Sum(const std::vector<double>& a) {
+  double acc = 0.0;
+  for (double v : a) acc += v;
+  return acc;
+}
+
+double Mean(const std::vector<double>& a) {
+  return a.empty() ? 0.0 : Sum(a) / static_cast<double>(a.size());
+}
+
+double Variance(const std::vector<double>& a) {
+  if (a.empty()) return 0.0;
+  double mu = Mean(a);
+  double acc = 0.0;
+  for (double v : a) acc += (v - mu) * (v - mu);
+  return acc / static_cast<double>(a.size());
+}
+
+}  // namespace roadpart

@@ -1,0 +1,79 @@
+#ifndef ROADPART_LINALG_DENSE_MATRIX_H_
+#define ROADPART_LINALG_DENSE_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace roadpart {
+
+/// Row-major dense matrix of doubles. Deliberately minimal: the library only
+/// needs construction, element access, matvec and a few reductions; all heavy
+/// numerics live in the eigensolvers.
+class DenseMatrix {
+ public:
+  DenseMatrix() : rows_(0), cols_(0) {}
+  DenseMatrix(int rows, int cols, double fill = 0.0);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  double& operator()(int r, int c) { return data_[Index(r, c)]; }
+  double operator()(int r, int c) const { return data_[Index(r, c)]; }
+
+  /// Pointer to the start of row `r` (contiguous `cols()` doubles).
+  double* Row(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+  const double* Row(int r) const {
+    return data_.data() + static_cast<size_t>(r) * cols_;
+  }
+
+  /// y = this * x. `x` must have cols() entries, `y` rows() entries.
+  void Multiply(const double* x, double* y) const;
+
+  /// Returns the transpose.
+  DenseMatrix Transposed() const;
+
+  /// Max |a_ij - a_ji| (0 for exactly symmetric matrices).
+  double SymmetryError() const;
+
+  /// Identity matrix of order n.
+  static DenseMatrix Identity(int n);
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+ private:
+  size_t Index(int r, int c) const {
+    return static_cast<size_t>(r) * cols_ + c;
+  }
+
+  int rows_;
+  int cols_;
+  std::vector<double> data_;
+};
+
+// --- Free vector helpers (dense double vectors) ---
+
+/// Dot product; vectors must be the same length.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Euclidean norm.
+double Norm2(const std::vector<double>& a);
+
+/// y += alpha * x.
+void Axpy(double alpha, const std::vector<double>& x, std::vector<double>& y);
+
+/// x *= alpha.
+void Scale(double alpha, std::vector<double>& x);
+
+/// Sum of entries.
+double Sum(const std::vector<double>& a);
+
+/// Arithmetic mean (0 for empty input).
+double Mean(const std::vector<double>& a);
+
+/// Population variance around the mean (0 for empty input).
+double Variance(const std::vector<double>& a);
+
+}  // namespace roadpart
+
+#endif  // ROADPART_LINALG_DENSE_MATRIX_H_

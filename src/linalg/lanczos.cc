@@ -1,0 +1,196 @@
+#include "linalg/lanczos.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace roadpart {
+
+namespace {
+
+// One Lanczos run with full reorthogonalization and Krylov dimension up to
+// `m_max`. Returns the Krylov basis (rows of `basis`), and the tridiagonal
+// coefficients. Stops early on happy breakdown (invariant subspace), in which
+// case the subspace is exact.
+struct KrylovFactorization {
+  std::vector<std::vector<double>> basis;  // v_1 .. v_m, each length n
+  std::vector<double> alpha;               // m diagonal entries
+  std::vector<double> beta;                // m-1 couplings (+ trailing beta_m)
+  double trailing_beta = 0.0;              // beta_m for residual estimates
+  bool exhausted_space = false;            // happy breakdown hit
+};
+
+KrylovFactorization BuildKrylov(const LinearOperator& op, int m_max,
+                                Rng& rng) {
+  const int n = op.Dim();
+  KrylovFactorization kf;
+
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.NextDouble() - 0.5;
+  double nv = Norm2(v);
+  RP_CHECK(nv > 0.0);
+  Scale(1.0 / nv, v);
+
+  std::vector<double> w(n, 0.0);
+  double beta_prev = 0.0;
+
+  for (int j = 0; j < m_max; ++j) {
+    kf.basis.push_back(v);
+    op.Apply(v.data(), w.data());
+    if (j > 0) Axpy(-beta_prev, kf.basis[j - 1], w);
+    double alpha = Dot(w, v);
+    Axpy(-alpha, v, w);
+    kf.alpha.push_back(alpha);
+
+    // Full reorthogonalization, run twice for numerical safety.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (const auto& u : kf.basis) {
+        double proj = Dot(w, u);
+        if (proj != 0.0) Axpy(-proj, u, w);
+      }
+    }
+
+    double beta = Norm2(w);
+    kf.trailing_beta = beta;
+    if (j + 1 == m_max) break;
+
+    if (beta < 1e-13 * (std::fabs(alpha) + 1.0)) {
+      // Invariant subspace found. Try to continue with a fresh random
+      // direction orthogonal to the basis; if the whole space is spanned,
+      // stop.
+      if (static_cast<int>(kf.basis.size()) >= n) {
+        kf.exhausted_space = true;
+        kf.trailing_beta = 0.0;
+        break;
+      }
+      bool found = false;
+      for (int attempt = 0; attempt < 5 && !found; ++attempt) {
+        for (double& x : w) x = rng.NextDouble() - 0.5;
+        for (int pass = 0; pass < 2; ++pass) {
+          for (const auto& u : kf.basis) {
+            double proj = Dot(w, u);
+            if (proj != 0.0) Axpy(-proj, u, w);
+          }
+        }
+        double nw = Norm2(w);
+        if (nw > 1e-10) {
+          Scale(1.0 / nw, w);
+          found = true;
+        }
+      }
+      if (!found) {
+        kf.exhausted_space = true;
+        kf.trailing_beta = 0.0;
+        break;
+      }
+      kf.beta.push_back(0.0);  // decoupled block
+      v = w;
+      beta_prev = 0.0;
+      continue;
+    }
+
+    kf.beta.push_back(beta);
+    beta_prev = beta;
+    Scale(1.0 / beta, w);
+    v = w;
+  }
+  return kf;
+}
+
+}  // namespace
+
+Result<EigenResult> LanczosEigen(const LinearOperator& op, int k,
+                                 SpectrumEnd end,
+                                 const LanczosOptions& options) {
+  const int n = op.Dim();
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  if (k > n) {
+    return Status::InvalidArgument(
+        StrPrintf("k=%d exceeds operator order %d", k, n));
+  }
+
+  Rng rng(options.seed);
+  int m_target = std::min(n, std::max({3 * k + 20, 60}));
+
+  EigenResult best;
+  best.converged = false;
+  best.max_residual = HUGE_VAL;
+
+  for (int restart = 0; restart <= options.max_restarts; ++restart) {
+    const int m_max = std::min({m_target, options.max_subspace, n});
+    KrylovFactorization kf = BuildKrylov(op, m_max, rng);
+    const int m = static_cast<int>(kf.alpha.size());
+    if (m < k) {
+      return Status::Internal("Krylov subspace smaller than k");
+    }
+
+    std::vector<double> sub(kf.beta.begin(), kf.beta.begin() + (m - 1));
+    RP_ASSIGN_OR_RETURN(EigenResult tri,
+                        TridiagonalEigenDecompose(kf.alpha, sub));
+
+    // Select the k Ritz pairs at the requested end (tri is ascending).
+    std::vector<int> sel(k);
+    for (int i = 0; i < k; ++i) {
+      sel[i] = (end == SpectrumEnd::kSmallest) ? i : m - k + i;
+    }
+
+    double spectral_scale = std::max(std::fabs(tri.eigenvalues.front()),
+                                     std::fabs(tri.eigenvalues.back()));
+    if (spectral_scale == 0.0) spectral_scale = 1.0;
+
+    double worst = 0.0;
+    for (int i : sel) {
+      double res = std::fabs(kf.trailing_beta * tri.eigenvectors(m - 1, i));
+      worst = std::max(worst, res);
+    }
+    bool converged =
+        kf.exhausted_space || m == n ||
+        worst <= options.tolerance * spectral_scale;
+
+    if (worst < best.max_residual || converged) {
+      EigenResult out;
+      out.eigenvalues.resize(k);
+      out.eigenvectors = DenseMatrix(n, k);
+      for (int c = 0; c < k; ++c) {
+        int i = sel[c];
+        out.eigenvalues[c] = tri.eigenvalues[i];
+        // Ritz vector x = V * s_i.
+        for (int r = 0; r < n; ++r) {
+          double acc = 0.0;
+          for (int j = 0; j < m; ++j) {
+            acc += kf.basis[j][r] * tri.eigenvectors(j, i);
+          }
+          out.eigenvectors(r, c) = acc;
+        }
+        // Normalize (full reorthogonalization keeps this near 1 already).
+        double norm = 0.0;
+        for (int r = 0; r < n; ++r) {
+          norm += out.eigenvectors(r, c) * out.eigenvectors(r, c);
+        }
+        norm = std::sqrt(norm);
+        if (norm > 0.0) {
+          for (int r = 0; r < n; ++r) out.eigenvectors(r, c) /= norm;
+        }
+      }
+      out.converged = converged;
+      out.max_residual = worst;
+      best = std::move(out);
+    }
+
+    if (best.converged) break;
+    if (m_max >= std::min(n, options.max_subspace)) break;
+    m_target = std::min({2 * m_target, options.max_subspace, n});
+  }
+
+  if (!best.converged) {
+    RP_LOG(Warning) << "Lanczos did not fully converge; max residual "
+                    << best.max_residual;
+  }
+  return best;
+}
+
+}  // namespace roadpart

@@ -1,0 +1,40 @@
+#ifndef ROADPART_LINALG_LANCZOS_H_
+#define ROADPART_LINALG_LANCZOS_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "linalg/linear_operator.h"
+#include "linalg/symmetric_eigen.h"
+
+namespace roadpart {
+
+/// Options for the Lanczos solver.
+struct LanczosOptions {
+  /// Hard cap on Krylov dimension per (re)start; clamped to the operator
+  /// order.
+  int max_subspace = 400;
+  /// Convergence threshold on the Ritz residual |beta_m * s_mi| relative to
+  /// the spectral scale.
+  double tolerance = 1e-9;
+  /// Seed for the random start vector.
+  uint64_t seed = 12345;
+  /// Number of progressively larger restarts before giving up.
+  int max_restarts = 3;
+};
+
+/// Which spectrum end to extract.
+enum class SpectrumEnd { kSmallest, kLargest };
+
+/// Computes the `k` eigenpairs at the requested end of the spectrum of a
+/// symmetric operator using Lanczos iteration with full reorthogonalization.
+/// Eigenvalues come back ascending. If the subspace budget is exhausted
+/// before all pairs converge, the best estimates are returned with
+/// `converged = false` and `max_residual` reporting the worst Ritz residual.
+Result<EigenResult> LanczosEigen(const LinearOperator& op, int k,
+                                 SpectrumEnd end,
+                                 const LanczosOptions& options = {});
+
+}  // namespace roadpart
+
+#endif  // ROADPART_LINALG_LANCZOS_H_

@@ -1,0 +1,62 @@
+#include "linalg/linear_operator.h"
+
+#include "common/logging.h"
+
+namespace roadpart {
+
+SparseOperator::SparseOperator(const SparseMatrix& matrix) : matrix_(matrix) {
+  RP_CHECK(matrix.rows() == matrix.cols());
+}
+
+void SparseOperator::Apply(const double* x, double* y) const {
+  matrix_.Multiply(x, y);
+}
+
+DenseOperator::DenseOperator(const DenseMatrix& matrix) : matrix_(matrix) {
+  RP_CHECK(matrix.rows() == matrix.cols());
+}
+
+void DenseOperator::Apply(const double* x, double* y) const {
+  matrix_.Multiply(x, y);
+}
+
+RankOneUpdatedOperator::RankOneUpdatedOperator(const LinearOperator& base,
+                                               std::vector<double> u,
+                                               double scale, double base_sign)
+    : base_(base), u_(std::move(u)), scale_(scale), base_sign_(base_sign) {
+  RP_CHECK(static_cast<int>(u_.size()) == base_.Dim());
+}
+
+void RankOneUpdatedOperator::Apply(const double* x, double* y) const {
+  base_.Apply(x, y);
+  double ux = 0.0;
+  for (size_t i = 0; i < u_.size(); ++i) ux += u_[i] * x[i];
+  const double coeff = scale_ * ux;
+  for (size_t i = 0; i < u_.size(); ++i) {
+    y[i] = base_sign_ * y[i] + coeff * u_[i];
+  }
+}
+
+ShiftedOperator::ShiftedOperator(const LinearOperator& base, double shift)
+    : base_(base), shift_(shift) {}
+
+void ShiftedOperator::Apply(const double* x, double* y) const {
+  base_.Apply(x, y);
+  for (int i = 0; i < base_.Dim(); ++i) y[i] -= shift_ * x[i];
+}
+
+DenseMatrix Materialize(const LinearOperator& op) {
+  const int n = op.Dim();
+  DenseMatrix m(n, n);
+  std::vector<double> e(n, 0.0);
+  std::vector<double> col(n, 0.0);
+  for (int j = 0; j < n; ++j) {
+    e[j] = 1.0;
+    op.Apply(e.data(), col.data());
+    e[j] = 0.0;
+    for (int i = 0; i < n; ++i) m(i, j) = col[i];
+  }
+  return m;
+}
+
+}  // namespace roadpart

@@ -1,0 +1,87 @@
+#ifndef ROADPART_LINALG_LINEAR_OPERATOR_H_
+#define ROADPART_LINALG_LINEAR_OPERATOR_H_
+
+#include <vector>
+
+#include "linalg/dense_matrix.h"
+#include "linalg/sparse_matrix.h"
+
+namespace roadpart {
+
+/// Abstract symmetric linear operator y = A x. Lets the Lanczos solver work
+/// on implicitly-represented matrices (e.g. the alpha-Cut matrix
+/// M = d d^T / s - A, which is dense but applies in O(nnz + n)).
+class LinearOperator {
+ public:
+  virtual ~LinearOperator() = default;
+
+  /// Operator order (square).
+  virtual int Dim() const = 0;
+
+  /// y = A x; both arrays hold Dim() doubles and must not alias.
+  virtual void Apply(const double* x, double* y) const = 0;
+};
+
+/// Wraps a CSR matrix (must be square).
+class SparseOperator : public LinearOperator {
+ public:
+  /// The referenced matrix must outlive the operator.
+  explicit SparseOperator(const SparseMatrix& matrix);
+
+  int Dim() const override { return matrix_.rows(); }
+  void Apply(const double* x, double* y) const override;
+
+ private:
+  const SparseMatrix& matrix_;
+};
+
+/// Wraps a dense matrix (must be square).
+class DenseOperator : public LinearOperator {
+ public:
+  explicit DenseOperator(const DenseMatrix& matrix);
+
+  int Dim() const override { return matrix_.rows(); }
+  void Apply(const double* x, double* y) const override;
+
+ private:
+  const DenseMatrix& matrix_;
+};
+
+/// y = scale * u (u . x) + sign * B x  — a rank-one update of a base
+/// operator. With scale = 1/s, u = degree vector, sign = -1 and B = A this is
+/// exactly the paper's alpha-Cut matrix M = (d d^T)/s - A.
+class RankOneUpdatedOperator : public LinearOperator {
+ public:
+  RankOneUpdatedOperator(const LinearOperator& base, std::vector<double> u,
+                         double scale, double base_sign);
+
+  int Dim() const override { return base_.Dim(); }
+  void Apply(const double* x, double* y) const override;
+
+ private:
+  const LinearOperator& base_;
+  std::vector<double> u_;
+  double scale_;
+  double base_sign_;
+};
+
+/// y = (B - shift I) x; used to move the spectrum so Lanczos targets one end.
+class ShiftedOperator : public LinearOperator {
+ public:
+  ShiftedOperator(const LinearOperator& base, double shift);
+
+  int Dim() const override { return base_.Dim(); }
+  void Apply(const double* x, double* y) const override;
+
+ private:
+  const LinearOperator& base_;
+  double shift_;
+};
+
+/// Materializes an operator column by column. O(n) Apply calls; intended for
+/// small orders and tests.
+DenseMatrix Materialize(const LinearOperator& op);
+
+}  // namespace roadpart
+
+#endif  // ROADPART_LINALG_LINEAR_OPERATOR_H_

@@ -1,0 +1,159 @@
+#include "linalg/sparse_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace roadpart {
+
+Result<SparseMatrix> SparseMatrix::FromTriplets(
+    int rows, int cols, const std::vector<Triplet>& entries) {
+  if (rows < 0 || cols < 0) {
+    return Status::InvalidArgument("negative matrix dimensions");
+  }
+  for (const Triplet& t : entries) {
+    if (t.row < 0 || t.row >= rows || t.col < 0 || t.col >= cols) {
+      return Status::OutOfRange(
+          StrPrintf("triplet (%d,%d) outside %dx%d", t.row, t.col, rows, cols));
+    }
+  }
+
+  // Counting sort by row, then sort each row's slice by column and merge
+  // duplicates.
+  std::vector<int64_t> counts(static_cast<size_t>(rows) + 1, 0);
+  for (const Triplet& t : entries) counts[t.row + 1]++;
+  for (int r = 0; r < rows; ++r) counts[r + 1] += counts[r];
+
+  std::vector<std::pair<int, double>> slots(entries.size());
+  {
+    std::vector<int64_t> cursor(counts.begin(), counts.end() - 1);
+    for (const Triplet& t : entries) {
+      slots[cursor[t.row]++] = {t.col, t.value};
+    }
+  }
+
+  SparseMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_offsets_.assign(static_cast<size_t>(rows) + 1, 0);
+  m.col_indices_.reserve(entries.size());
+  m.values_.reserve(entries.size());
+
+  for (int r = 0; r < rows; ++r) {
+    auto begin = slots.begin() + counts[r];
+    auto end = slots.begin() + counts[r + 1];
+    std::sort(begin, end,
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (auto it = begin; it != end;) {
+      int col = it->first;
+      double sum = 0.0;
+      while (it != end && it->first == col) {
+        sum += it->second;
+        ++it;
+      }
+      if (sum != 0.0) {
+        m.col_indices_.push_back(col);
+        m.values_.push_back(sum);
+      }
+    }
+    m.row_offsets_[r + 1] = static_cast<int64_t>(m.col_indices_.size());
+  }
+  return m;
+}
+
+Result<SparseMatrix> SparseMatrix::SymmetricFromTriplets(
+    int n, const std::vector<Triplet>& upper_entries) {
+  std::vector<Triplet> all;
+  all.reserve(upper_entries.size() * 2);
+  for (const Triplet& t : upper_entries) {
+    all.push_back(t);
+    if (t.row != t.col) all.push_back({t.col, t.row, t.value});
+  }
+  return FromTriplets(n, n, all);
+}
+
+void SparseMatrix::Multiply(const double* x, double* y) const {
+  for (int r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (int64_t i = row_offsets_[r]; i < row_offsets_[r + 1]; ++i) {
+      acc += values_[i] * x[col_indices_[i]];
+    }
+    y[r] = acc;
+  }
+}
+
+std::vector<double> SparseMatrix::RowSums() const {
+  std::vector<double> sums(rows_, 0.0);
+  for (int r = 0; r < rows_; ++r) {
+    for (int64_t i = row_offsets_[r]; i < row_offsets_[r + 1]; ++i) {
+      sums[r] += values_[i];
+    }
+  }
+  return sums;
+}
+
+double SparseMatrix::TotalSum() const {
+  double acc = 0.0;
+  for (double v : values_) acc += v;
+  return acc;
+}
+
+double SparseMatrix::At(int r, int c) const {
+  RP_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+  auto begin = col_indices_.begin() + row_offsets_[r];
+  auto end = col_indices_.begin() + row_offsets_[r + 1];
+  auto it = std::lower_bound(begin, end, c);
+  if (it == end || *it != c) return 0.0;
+  return values_[it - col_indices_.begin()];
+}
+
+double SparseMatrix::SymmetryError() const {
+  if (rows_ != cols_) return HUGE_VAL;
+  double err = 0.0;
+  for (int r = 0; r < rows_; ++r) {
+    for (int64_t i = row_offsets_[r]; i < row_offsets_[r + 1]; ++i) {
+      int c = col_indices_[i];
+      err = std::max(err, std::fabs(values_[i] - At(c, r)));
+    }
+  }
+  return err;
+}
+
+DenseMatrix SparseMatrix::ToDense() const {
+  DenseMatrix d(rows_, cols_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int64_t i = row_offsets_[r]; i < row_offsets_[r + 1]; ++i) {
+      d(r, col_indices_[i]) = values_[i];
+    }
+  }
+  return d;
+}
+
+SparseMatrix SparseMatrix::Submatrix(const std::vector<int>& indices) const {
+  RP_CHECK(rows_ == cols_);
+  std::unordered_map<int, int> position;
+  position.reserve(indices.size());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    RP_CHECK(indices[i] >= 0 && indices[i] < rows_);
+    position[indices[i]] = static_cast<int>(i);
+  }
+  std::vector<Triplet> kept;
+  for (size_t i = 0; i < indices.size(); ++i) {
+    int r = indices[i];
+    for (int64_t j = row_offsets_[r]; j < row_offsets_[r + 1]; ++j) {
+      auto it = position.find(col_indices_[j]);
+      if (it != position.end()) {
+        kept.push_back({static_cast<int>(i), it->second, values_[j]});
+      }
+    }
+  }
+  auto result = FromTriplets(static_cast<int>(indices.size()),
+                             static_cast<int>(indices.size()), kept);
+  RP_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+}  // namespace roadpart

@@ -1,0 +1,76 @@
+#ifndef ROADPART_LINALG_SPARSE_MATRIX_H_
+#define ROADPART_LINALG_SPARSE_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/dense_matrix.h"
+
+namespace roadpart {
+
+/// One (row, col, value) entry used while assembling a sparse matrix.
+struct Triplet {
+  int row;
+  int col;
+  double value;
+};
+
+/// Compressed-sparse-row matrix of doubles. Immutable once built; build via
+/// FromTriplets (duplicates are summed) or move-construct the raw arrays.
+class SparseMatrix {
+ public:
+  SparseMatrix() : rows_(0), cols_(0) {}
+
+  /// Assembles an n_rows x n_cols CSR matrix; duplicate (r,c) entries are
+  /// summed, explicit zeros are dropped. Column indices within each row come
+  /// out sorted. Fails on out-of-range indices.
+  static Result<SparseMatrix> FromTriplets(int rows, int cols,
+                                           const std::vector<Triplet>& entries);
+
+  /// Builds the symmetric matrix A + A^T - diag(A) from the strictly upper
+  /// (or lower) entries plus diagonal. Convenience for undirected graphs.
+  static Result<SparseMatrix> SymmetricFromTriplets(
+      int n, const std::vector<Triplet>& upper_entries);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int64_t NumNonZeros() const { return static_cast<int64_t>(values_.size()); }
+
+  /// y = A x.
+  void Multiply(const double* x, double* y) const;
+
+  /// Vector of row sums (weighted degrees for adjacency matrices).
+  std::vector<double> RowSums() const;
+
+  /// Sum of all stored values.
+  double TotalSum() const;
+
+  /// Value at (r, c); O(log nnz_row). Returns 0 when not stored.
+  double At(int r, int c) const;
+
+  /// Max |a_ij - a_ji| over stored entries.
+  double SymmetryError() const;
+
+  /// Converts to a dense matrix (use only for small orders).
+  DenseMatrix ToDense() const;
+
+  /// Extracts the square submatrix indexed by `indices` (in the given order).
+  SparseMatrix Submatrix(const std::vector<int>& indices) const;
+
+  // Raw CSR access for algorithms that iterate rows directly.
+  const std::vector<int64_t>& row_offsets() const { return row_offsets_; }
+  const std::vector<int>& col_indices() const { return col_indices_; }
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<int64_t> row_offsets_;  // size rows_+1
+  std::vector<int> col_indices_;      // size nnz
+  std::vector<double> values_;        // size nnz
+};
+
+}  // namespace roadpart
+
+#endif  // ROADPART_LINALG_SPARSE_MATRIX_H_

@@ -1,0 +1,37 @@
+#ifndef ROADPART_LINALG_SYMMETRIC_EIGEN_H_
+#define ROADPART_LINALG_SYMMETRIC_EIGEN_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/dense_matrix.h"
+
+namespace roadpart {
+
+/// Eigenvalues (ascending) and matching eigenvectors (columns of
+/// `eigenvectors`, orthonormal).
+struct EigenResult {
+  std::vector<double> eigenvalues;
+  DenseMatrix eigenvectors;
+  bool converged = true;
+  double max_residual = 0.0;
+};
+
+/// Full eigen-decomposition of a real symmetric matrix via Householder
+/// tridiagonalization followed by implicit-shift QL iteration — the same
+/// "reduce to condensed form, decompose, transform back" scheme the paper
+/// cites from Dongarra et al. [3]. O(n^3) time, O(n^2) space.
+///
+/// `a` must be square and symmetric (tolerated asymmetry ~1e-9 relative); the
+/// solver works on (A + A^T)/2.
+Result<EigenResult> SymmetricEigenDecompose(const DenseMatrix& a);
+
+/// Eigen-decomposition of a symmetric tridiagonal matrix given its diagonal
+/// `d` (n values) and sub-diagonal `e` (n-1 values). Exposed for the Lanczos
+/// solver and for tests.
+Result<EigenResult> TridiagonalEigenDecompose(const std::vector<double>& d,
+                                              const std::vector<double>& e);
+
+}  // namespace roadpart
+
+#endif  // ROADPART_LINALG_SYMMETRIC_EIGEN_H_

@@ -1,0 +1,42 @@
+#include "metrics/modularity.h"
+
+#include <algorithm>
+
+namespace roadpart {
+
+Result<double> Modularity(const CsrGraph& graph,
+                          const std::vector<int>& assignment) {
+  const int n = graph.num_nodes();
+  if (static_cast<int>(assignment.size()) != n) {
+    return Status::InvalidArgument("assignment size != node count");
+  }
+  int k = 0;
+  for (int a : assignment) {
+    if (a < 0) return Status::InvalidArgument("negative partition id");
+    k = std::max(k, a + 1);
+  }
+  const double two_m = 2.0 * graph.TotalWeight();
+  if (two_m <= 0.0) return 0.0;
+
+  // Q = sum_c (w_in_c / 2m - (vol_c / 2m)^2), with w_in_c the total weight of
+  // intra-community edge endpoints.
+  std::vector<double> internal(k, 0.0);  // sum of A_ij within community
+  std::vector<double> volume(k, 0.0);
+  for (int u = 0; u < n; ++u) {
+    auto nbrs = graph.Neighbors(u);
+    auto wts = graph.NeighborWeights(u);
+    volume[assignment[u]] += graph.WeightedDegree(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if (assignment[u] == assignment[nbrs[i]]) {
+        internal[assignment[u]] += wts[i];  // counts each edge twice
+      }
+    }
+  }
+  double q = 0.0;
+  for (int c = 0; c < k; ++c) {
+    q += internal[c] / two_m - (volume[c] / two_m) * (volume[c] / two_m);
+  }
+  return q;
+}
+
+}  // namespace roadpart

@@ -1,0 +1,21 @@
+#ifndef ROADPART_METRICS_MODULARITY_H_
+#define ROADPART_METRICS_MODULARITY_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "graph/csr_graph.h"
+
+namespace roadpart {
+
+/// Newman modularity Q of a weighted undirected graph under `assignment`:
+///   Q = (1/2m) * sum_ij (A_ij - d_i d_j / 2m) * delta(c_i, c_j).
+/// Section 7 notes the alpha-Cut matrix is the negative of the modularity
+/// matrix, so minimizing alpha-Cut approximately maximizes Q; tests exercise
+/// that identity.
+Result<double> Modularity(const CsrGraph& graph,
+                          const std::vector<int>& assignment);
+
+}  // namespace roadpart
+
+#endif  // ROADPART_METRICS_MODULARITY_H_

@@ -1,0 +1,50 @@
+#include "metrics/pairwise.h"
+
+#include <algorithm>
+
+namespace roadpart {
+
+double SumAbsPairwiseDifference(std::vector<double> values) {
+  const size_t n = values.size();
+  if (n < 2) return 0.0;
+  std::sort(values.begin(), values.end());
+  // For ascending values, sum_{i<j} (v_j - v_i) = sum_j (j * v_j - prefix_j).
+  double total = 0.0;
+  double prefix = 0.0;
+  for (size_t j = 0; j < n; ++j) {
+    total += static_cast<double>(j) * values[j] - prefix;
+    prefix += values[j];
+  }
+  return total;
+}
+
+double AverageAbsPairwiseDifference(std::vector<double> values) {
+  const size_t n = values.size();
+  if (n < 2) return 0.0;
+  double pairs = 0.5 * static_cast<double>(n) * static_cast<double>(n - 1);
+  return SumAbsPairwiseDifference(std::move(values)) / pairs;
+}
+
+double AverageAbsCrossDifference(std::vector<double> a,
+                                 std::vector<double> b) {
+  if (a.empty() || b.empty()) return 0.0;
+  std::sort(b.begin(), b.end());
+  std::vector<double> prefix(b.size() + 1, 0.0);
+  for (size_t i = 0; i < b.size(); ++i) prefix[i + 1] = prefix[i] + b[i];
+  const double total_b = prefix.back();
+
+  double total = 0.0;
+  for (double x : a) {
+    // Elements of b below x contribute (x - b_j); above contribute (b_j - x).
+    size_t lo = static_cast<size_t>(
+        std::lower_bound(b.begin(), b.end(), x) - b.begin());
+    double below_sum = prefix[lo];
+    double above_sum = total_b - below_sum;
+    double below_cnt = static_cast<double>(lo);
+    double above_cnt = static_cast<double>(b.size() - lo);
+    total += x * below_cnt - below_sum + above_sum - x * above_cnt;
+  }
+  return total / (static_cast<double>(a.size()) * static_cast<double>(b.size()));
+}
+
+}  // namespace roadpart

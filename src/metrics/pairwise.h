@@ -1,0 +1,22 @@
+#ifndef ROADPART_METRICS_PAIRWISE_H_
+#define ROADPART_METRICS_PAIRWISE_H_
+
+#include <vector>
+
+namespace roadpart {
+
+/// Average absolute difference over all unordered pairs within `values`
+/// (0 for fewer than two values). O(n log n) via sorting + prefix sums,
+/// replacing the O(n^2) definition used by the paper's `intra` metric.
+double AverageAbsPairwiseDifference(std::vector<double> values);
+
+/// Average absolute difference over all cross pairs (a_i, b_j)
+/// (0 if either side is empty). O((m+n) log n).
+double AverageAbsCrossDifference(std::vector<double> a, std::vector<double> b);
+
+/// Sum of absolute differences over all unordered pairs (helper for tests).
+double SumAbsPairwiseDifference(std::vector<double> values);
+
+}  // namespace roadpart
+
+#endif  // ROADPART_METRICS_PAIRWISE_H_

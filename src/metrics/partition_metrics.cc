@@ -1,0 +1,182 @@
+#include "metrics/partition_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/string_util.h"
+#include "metrics/pairwise.h"
+
+namespace roadpart {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+struct Grouping {
+  int k = 0;
+  std::vector<std::vector<double>> features;     // per partition
+  std::vector<double> means;                     // per partition
+  std::vector<std::set<int>> neighbours;         // spatially adjacent partitions
+};
+
+Result<Grouping> BuildGrouping(const CsrGraph& graph,
+                               const std::vector<double>& features,
+                               const std::vector<int>& assignment) {
+  const int n = graph.num_nodes();
+  if (static_cast<int>(features.size()) != n ||
+      static_cast<int>(assignment.size()) != n) {
+    return Status::InvalidArgument("features/assignment size != node count");
+  }
+  int k = 0;
+  for (int a : assignment) {
+    if (a < 0) return Status::InvalidArgument("negative partition id");
+    k = std::max(k, a + 1);
+  }
+  if (k == 0) return Status::InvalidArgument("empty assignment");
+
+  Grouping g;
+  g.k = k;
+  g.features.resize(k);
+  g.means.assign(k, 0.0);
+  g.neighbours.resize(k);
+  for (int v = 0; v < n; ++v) {
+    g.features[assignment[v]].push_back(features[v]);
+  }
+  for (int p = 0; p < k; ++p) {
+    double sum = 0.0;
+    for (double f : g.features[p]) sum += f;
+    if (!g.features[p].empty()) {
+      g.means[p] = sum / static_cast<double>(g.features[p].size());
+    }
+  }
+  for (int u = 0; u < n; ++u) {
+    for (int v : graph.Neighbors(u)) {
+      if (assignment[u] != assignment[v]) {
+        g.neighbours[assignment[u]].insert(assignment[v]);
+      }
+    }
+  }
+  return g;
+}
+
+// Average |f - mean| scatter of a partition (the S(P_i) of the GDBI
+// footnote).
+double MeanAbsScatter(const std::vector<double>& values, double mean) {
+  if (values.empty()) return 0.0;
+  double acc = 0.0;
+  for (double v : values) acc += std::fabs(v - mean);
+  return acc / static_cast<double>(values.size());
+}
+
+}  // namespace
+
+Result<double> InterMetric(const CsrGraph& graph,
+                           const std::vector<double>& features,
+                           const std::vector<int>& assignment) {
+  RP_ASSIGN_OR_RETURN(Grouping g, BuildGrouping(graph, features, assignment));
+  double total = 0.0;
+  int count = 0;
+  for (int p = 0; p < g.k; ++p) {
+    for (int q : g.neighbours[p]) {
+      if (q <= p) continue;  // each adjacent pair once
+      total += AverageAbsCrossDifference(g.features[p], g.features[q]);
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : total / count;
+}
+
+Result<double> IntraMetric(const CsrGraph& graph,
+                           const std::vector<double>& features,
+                           const std::vector<int>& assignment) {
+  RP_ASSIGN_OR_RETURN(Grouping g, BuildGrouping(graph, features, assignment));
+  double total = 0.0;
+  int counted = 0;
+  for (int p = 0; p < g.k; ++p) {
+    if (g.features[p].empty()) continue;
+    total += AverageAbsPairwiseDifference(g.features[p]);
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / counted;
+}
+
+Result<double> GraphDaviesBouldin(const CsrGraph& graph,
+                                  const std::vector<double>& features,
+                                  const std::vector<int>& assignment) {
+  RP_ASSIGN_OR_RETURN(Grouping g, BuildGrouping(graph, features, assignment));
+  // Floor the mean separation at a small fraction of the global spread:
+  // adjacent partitions with (near-)identical means are legitimately bad,
+  // but an unbounded ratio would let one such pair dominate every other
+  // signal in the index.
+  double global_mean = Mean(features);
+  double mad = 0.0;
+  for (double f : features) mad += std::fabs(f - global_mean);
+  if (!features.empty()) mad /= static_cast<double>(features.size());
+  const double sep_floor = std::max(kEps, 1e-3 * mad);
+  double total = 0.0;
+  int counted = 0;
+  for (int p = 0; p < g.k; ++p) {
+    if (g.features[p].empty()) continue;
+    double worst = 0.0;
+    bool has_neighbour = false;
+    double sp = MeanAbsScatter(g.features[p], g.means[p]);
+    for (int q : g.neighbours[p]) {
+      double sq = MeanAbsScatter(g.features[q], g.means[q]);
+      double sep = std::fabs(g.means[p] - g.means[q]);
+      double ratio = (sp + sq) / std::max(sep, sep_floor);
+      worst = std::max(worst, ratio);
+      has_neighbour = true;
+    }
+    if (has_neighbour) {
+      total += worst;
+      ++counted;
+    }
+  }
+  return counted == 0 ? 0.0 : total / counted;
+}
+
+Result<double> AverageNcutSilhouette(const CsrGraph& graph,
+                                     const std::vector<double>& features,
+                                     const std::vector<int>& assignment) {
+  RP_ASSIGN_OR_RETURN(Grouping g, BuildGrouping(graph, features, assignment));
+  // Size-weighted mean of the per-partition compactness/separation ratios:
+  // without the weighting, splitting off singleton partitions (a_i = 0)
+  // would game the measure towards over-fragmented partitionings.
+  double total = 0.0;
+  double weight = 0.0;
+  for (int p = 0; p < g.k; ++p) {
+    if (g.features[p].empty()) continue;
+    double a = AverageAbsPairwiseDifference(g.features[p]);
+    double b = 0.0;
+    bool has_neighbour = false;
+    for (int q : g.neighbours[p]) {
+      double cross = AverageAbsCrossDifference(g.features[p], g.features[q]);
+      if (!has_neighbour || cross < b) b = cross;
+      has_neighbour = true;
+    }
+    if (!has_neighbour) continue;  // isolated partition: no separation term
+    double size = static_cast<double>(g.features[p].size());
+    total += size * (a / std::max(b, kEps));
+    weight += size;
+  }
+  return weight == 0.0 ? 0.0 : total / weight;
+}
+
+Result<PartitionEvaluation> EvaluatePartitions(
+    const CsrGraph& graph, const std::vector<double>& features,
+    const std::vector<int>& assignment) {
+  PartitionEvaluation eval;
+  RP_ASSIGN_OR_RETURN(eval.inter, InterMetric(graph, features, assignment));
+  RP_ASSIGN_OR_RETURN(eval.intra, IntraMetric(graph, features, assignment));
+  RP_ASSIGN_OR_RETURN(eval.gdbi,
+                      GraphDaviesBouldin(graph, features, assignment));
+  RP_ASSIGN_OR_RETURN(eval.ans,
+                      AverageNcutSilhouette(graph, features, assignment));
+  int k = 0;
+  for (int a : assignment) k = std::max(k, a + 1);
+  eval.num_partitions = k;
+  return eval;
+}
+
+}  // namespace roadpart

@@ -1,0 +1,52 @@
+#ifndef ROADPART_METRICS_PARTITION_METRICS_H_
+#define ROADPART_METRICS_PARTITION_METRICS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "graph/csr_graph.h"
+
+namespace roadpart {
+
+/// The four quality measures of Section 6.2 evaluated for one partitioning.
+/// - inter: average inter-partition distance over spatially adjacent pairs
+///   (higher = better heterogeneity, condition C.3).
+/// - intra: average intra-partition pairwise distance (lower = better
+///   homogeneity, condition C.4).
+/// - gdbi: graph Davies-Bouldin index restricted to spatially adjacent
+///   partitions (lower = better overall).
+/// - ans: average NcutSilhouette-style compactness/separation ratio,
+///   size-weighted over partitions (lower = better overall; see DESIGN.md
+///   substitution #4).
+struct PartitionEvaluation {
+  double inter = 0.0;
+  double intra = 0.0;
+  double gdbi = 0.0;
+  double ans = 0.0;
+  int num_partitions = 0;
+};
+
+/// Evaluates a partition assignment over the road graph. `assignment[v]` must
+/// be a dense id in [0, k). Spatial adjacency of partitions is derived from
+/// cross-partition edges of `graph`; `features` are the densities.
+Result<PartitionEvaluation> EvaluatePartitions(
+    const CsrGraph& graph, const std::vector<double>& features,
+    const std::vector<int>& assignment);
+
+/// Individual metrics (same contracts as EvaluatePartitions).
+Result<double> InterMetric(const CsrGraph& graph,
+                           const std::vector<double>& features,
+                           const std::vector<int>& assignment);
+Result<double> IntraMetric(const CsrGraph& graph,
+                           const std::vector<double>& features,
+                           const std::vector<int>& assignment);
+Result<double> GraphDaviesBouldin(const CsrGraph& graph,
+                                  const std::vector<double>& features,
+                                  const std::vector<int>& assignment);
+Result<double> AverageNcutSilhouette(const CsrGraph& graph,
+                                     const std::vector<double>& features,
+                                     const std::vector<int>& assignment);
+
+}  // namespace roadpart
+
+#endif  // ROADPART_METRICS_PARTITION_METRICS_H_

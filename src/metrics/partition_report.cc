@@ -1,0 +1,79 @@
+#include "metrics/partition_report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace roadpart {
+
+Result<std::vector<PartitionSummary>> SummarizePartitions(
+    const CsrGraph& graph, const std::vector<double>& features,
+    const std::vector<int>& assignment) {
+  const int n = graph.num_nodes();
+  if (static_cast<int>(features.size()) != n ||
+      static_cast<int>(assignment.size()) != n) {
+    return Status::InvalidArgument("features/assignment size != node count");
+  }
+  int k = 0;
+  for (int a : assignment) {
+    if (a < 0) return Status::InvalidArgument("negative partition id");
+    k = std::max(k, a + 1);
+  }
+
+  std::vector<PartitionSummary> rows(k);
+  std::vector<double> sum(k, 0.0);
+  std::vector<double> sum_sq(k, 0.0);
+  std::vector<std::set<int>> neighbours(k);
+  for (int p = 0; p < k; ++p) rows[p].id = p;
+
+  for (int v = 0; v < n; ++v) {
+    int p = assignment[v];
+    PartitionSummary& row = rows[p];
+    if (row.size == 0) {
+      row.min_density = features[v];
+      row.max_density = features[v];
+    }
+    row.size++;
+    sum[p] += features[v];
+    sum_sq[p] += features[v] * features[v];
+    row.min_density = std::min(row.min_density, features[v]);
+    row.max_density = std::max(row.max_density, features[v]);
+
+    auto nbrs = graph.Neighbors(v);
+    auto wts = graph.NeighborWeights(v);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if (assignment[nbrs[i]] != p) {
+        neighbours[p].insert(assignment[nbrs[i]]);
+        row.boundary_weight += wts[i];
+      }
+    }
+  }
+  for (int p = 0; p < k; ++p) {
+    PartitionSummary& row = rows[p];
+    if (row.size > 0) {
+      row.mean_density = sum[p] / row.size;
+      row.stddev_density = std::sqrt(
+          std::max(0.0, sum_sq[p] / row.size - row.mean_density * row.mean_density));
+    }
+    row.num_neighbours = static_cast<int>(neighbours[p].size());
+  }
+  return rows;
+}
+
+std::string FormatPartitionTable(const std::vector<PartitionSummary>& rows) {
+  std::ostringstream out;
+  out << StrPrintf("%4s %8s %10s %10s %10s %10s %6s %10s\n", "id", "size",
+                   "mean", "stddev", "min", "max", "nbrs", "boundary");
+  for (const PartitionSummary& row : rows) {
+    out << StrPrintf("%4d %8d %10.4f %10.4f %10.4f %10.4f %6d %10.3f\n",
+                     row.id, row.size, row.mean_density, row.stddev_density,
+                     row.min_density, row.max_density, row.num_neighbours,
+                     row.boundary_weight);
+  }
+  return out.str();
+}
+
+}  // namespace roadpart

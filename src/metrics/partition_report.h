@@ -1,0 +1,36 @@
+#ifndef ROADPART_METRICS_PARTITION_REPORT_H_
+#define ROADPART_METRICS_PARTITION_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/csr_graph.h"
+
+namespace roadpart {
+
+/// Per-partition summary row.
+struct PartitionSummary {
+  int id = 0;
+  int size = 0;                ///< member segments
+  double mean_density = 0.0;
+  double stddev_density = 0.0;
+  double min_density = 0.0;
+  double max_density = 0.0;
+  int num_neighbours = 0;      ///< spatially adjacent partitions
+  double boundary_weight = 0.0;  ///< total cross-partition edge weight
+};
+
+/// Builds the per-partition summaries for an assignment over a (weighted)
+/// road graph with per-node densities.
+Result<std::vector<PartitionSummary>> SummarizePartitions(
+    const CsrGraph& graph, const std::vector<double>& features,
+    const std::vector<int>& assignment);
+
+/// Renders the summaries as an aligned text table (one header + one row per
+/// partition), the way the CLI and examples print them.
+std::string FormatPartitionTable(const std::vector<PartitionSummary>& rows);
+
+}  // namespace roadpart
+
+#endif  // ROADPART_METRICS_PARTITION_REPORT_H_

@@ -1,0 +1,81 @@
+#include "metrics/validity.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/string_util.h"
+#include "graph/connected_components.h"
+#include "graph/graph_algos.h"
+
+namespace roadpart {
+
+Status CheckPartitionValidity(const CsrGraph& graph,
+                              const std::vector<int>& assignment,
+                              bool require_connected) {
+  const int n = graph.num_nodes();
+  if (static_cast<int>(assignment.size()) != n) {
+    return Status::InvalidArgument(
+        StrPrintf("assignment has %zu entries for %d nodes", assignment.size(),
+                  n));
+  }
+  int k = 0;
+  for (int v = 0; v < n; ++v) {
+    if (assignment[v] < 0) {
+      return Status::InvalidArgument(
+          StrPrintf("node %d has negative partition id", v));
+    }
+    k = std::max(k, assignment[v] + 1);
+  }
+  std::vector<int> sizes(k, 0);
+  for (int a : assignment) sizes[a]++;
+  for (int p = 0; p < k; ++p) {
+    if (sizes[p] == 0) {
+      return Status::InvalidArgument(
+          StrPrintf("partition id %d is unused (ids not dense)", p));
+    }
+  }
+  if (require_connected) {
+    std::vector<std::vector<int>> groups = GroupByAssignment(assignment, k);
+    for (int p = 0; p < k; ++p) {
+      if (!IsSubsetConnected(graph, groups[p])) {
+        return Status::FailedPrecondition(
+            StrPrintf("partition %d is not connected", p));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<double> AdjustedRandIndex(const std::vector<int>& a,
+                                 const std::vector<int>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("labelings differ in length");
+  }
+  const size_t n = a.size();
+  if (n < 2) return 1.0;
+
+  std::map<std::pair<int, int>, int64_t> contingency;
+  std::map<int, int64_t> row_sum;
+  std::map<int, int64_t> col_sum;
+  for (size_t i = 0; i < n; ++i) {
+    contingency[{a[i], b[i]}]++;
+    row_sum[a[i]]++;
+    col_sum[b[i]]++;
+  }
+  auto choose2 = [](int64_t x) {
+    return 0.5 * static_cast<double>(x) * static_cast<double>(x - 1);
+  };
+  double sum_cells = 0.0;
+  for (const auto& [key, count] : contingency) sum_cells += choose2(count);
+  double sum_rows = 0.0;
+  for (const auto& [key, count] : row_sum) sum_rows += choose2(count);
+  double sum_cols = 0.0;
+  for (const auto& [key, count] : col_sum) sum_cols += choose2(count);
+  double total_pairs = choose2(static_cast<int64_t>(n));
+  double expected = sum_rows * sum_cols / total_pairs;
+  double max_index = 0.5 * (sum_rows + sum_cols);
+  if (max_index - expected == 0.0) return 1.0;
+  return (sum_cells - expected) / (max_index - expected);
+}
+
+}  // namespace roadpart

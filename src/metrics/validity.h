@@ -1,0 +1,27 @@
+#ifndef ROADPART_METRICS_VALIDITY_H_
+#define ROADPART_METRICS_VALIDITY_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "graph/csr_graph.h"
+
+namespace roadpart {
+
+/// Checks the problem-definition invariants of a partitioning:
+///  - C.1: every node carries a partition id and ids are dense in [0, k);
+///  - C.2 (when `require_connected`): each partition induces a connected
+///    subgraph.
+/// Returns OK or a descriptive error.
+Status CheckPartitionValidity(const CsrGraph& graph,
+                              const std::vector<int>& assignment,
+                              bool require_connected = true);
+
+/// Adjusted Rand Index between two labelings (1 = identical up to renaming,
+/// ~0 = random agreement). Used by planted-partition recovery tests.
+Result<double> AdjustedRandIndex(const std::vector<int>& a,
+                                 const std::vector<int>& b);
+
+}  // namespace roadpart
+
+#endif  // ROADPART_METRICS_VALIDITY_H_

@@ -1,0 +1,253 @@
+#include "netgen/city_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "netgen/orientation.h"
+#include "network/geometry.h"
+
+namespace roadpart {
+
+namespace {
+
+constexpr double kSqMetresPerSqMile = 2589988.110336;
+
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(n), count_(n) {
+    for (int i = 0; i < n; ++i) parent_[i] = i;
+  }
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  bool Union(int a, int b) {
+    int ra = Find(a);
+    int rb = Find(b);
+    if (ra == rb) return false;
+    parent_[ra] = rb;
+    --count_;
+    return true;
+  }
+  int NumComponents() const { return count_; }
+
+ private:
+  std::vector<int> parent_;
+  int count_;
+};
+
+struct Candidate {
+  int u;
+  int v;
+  double length;
+};
+
+// Near-neighbour candidate roads via uniform grid hashing: each point links
+// to every point in its own and the 8 surrounding cells, truncated to the
+// `max_per_node` closest.
+std::vector<Candidate> NearNeighbourCandidates(const std::vector<Point>& pts,
+                                               double cell, int max_per_node) {
+  const int n = static_cast<int>(pts.size());
+  double min_x = pts[0].x;
+  double min_y = pts[0].y;
+  double max_x = pts[0].x;
+  double max_y = pts[0].y;
+  for (const Point& p : pts) {
+    min_x = std::min(min_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+  int gx = std::max(1, static_cast<int>((max_x - min_x) / cell) + 1);
+  int gy = std::max(1, static_cast<int>((max_y - min_y) / cell) + 1);
+  std::vector<std::vector<int>> buckets(static_cast<size_t>(gx) * gy);
+  auto bucket_of = [&](const Point& p) {
+    int bx = std::min(gx - 1, static_cast<int>((p.x - min_x) / cell));
+    int by = std::min(gy - 1, static_cast<int>((p.y - min_y) / cell));
+    return by * gx + bx;
+  };
+  for (int i = 0; i < n; ++i) buckets[bucket_of(pts[i])].push_back(i);
+
+  std::vector<Candidate> candidates;
+  std::vector<std::pair<double, int>> local;
+  for (int i = 0; i < n; ++i) {
+    local.clear();
+    int bx = std::min(gx - 1, static_cast<int>((pts[i].x - min_x) / cell));
+    int by = std::min(gy - 1, static_cast<int>((pts[i].y - min_y) / cell));
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        int cx = bx + dx;
+        int cy = by + dy;
+        if (cx < 0 || cx >= gx || cy < 0 || cy >= gy) continue;
+        for (int j : buckets[static_cast<size_t>(cy) * gx + cx]) {
+          if (j <= i) continue;  // each unordered pair once
+          local.emplace_back(Distance(pts[i], pts[j]), j);
+        }
+      }
+    }
+    if (static_cast<int>(local.size()) > max_per_node) {
+      std::nth_element(local.begin(), local.begin() + max_per_node,
+                       local.end());
+      local.resize(max_per_node);
+    }
+    for (const auto& [d, j] : local) candidates.push_back({i, j, d});
+  }
+  return candidates;
+}
+
+}  // namespace
+
+Result<RoadNetwork> GenerateCityNetwork(const CityOptions& options) {
+  const int n = options.num_intersections;
+  if (n < 2) return Status::InvalidArgument("need at least 2 intersections");
+  if (options.target_segments < n - 1) {
+    return Status::InvalidArgument(
+        StrPrintf("target_segments %d cannot connect %d intersections",
+                  options.target_segments, n));
+  }
+  if (options.area_sq_miles <= 0.0 || options.aspect_ratio <= 0.0) {
+    return Status::InvalidArgument("area and aspect ratio must be positive");
+  }
+
+  Rng rng(options.seed);
+  const double area_m2 = options.area_sq_miles * kSqMetresPerSqMile;
+  const double height = std::sqrt(area_m2 / options.aspect_ratio);
+  const double width = area_m2 / height;
+
+  std::vector<Point> pts(n);
+  for (Point& p : pts) {
+    p = {rng.NextDouble(0.0, width), rng.NextDouble(0.0, height)};
+  }
+
+  // Undirected road budget: with T two-way roads out of E, segments = E + T.
+  // Aim for a balanced mix, then clamp to feasibility.
+  const int target = options.target_segments;
+  const int64_t max_pairs =
+      static_cast<int64_t>(n) * (n - 1) / 2;  // simple graph bound
+  int num_edges = std::max(n - 1, (2 * target + 2) / 3);  // two-way frac ~0.5
+  num_edges = std::min<int64_t>(num_edges, target);
+  num_edges = static_cast<int>(std::min<int64_t>(num_edges, max_pairs));
+  int num_two_way = target - num_edges;
+  if (num_two_way > num_edges) {
+    return Status::InvalidArgument(
+        StrPrintf("target_segments %d exceeds 2x the %lld possible roads",
+                  target, static_cast<long long>(max_pairs)));
+  }
+  RP_CHECK(num_two_way >= 0 && num_two_way <= num_edges);
+
+  // Expected near-neighbour spacing; grow the cell until enough candidates.
+  double cell = 2.0 * std::sqrt(area_m2 / n);
+  std::vector<Candidate> candidates;
+  for (int attempt = 0; attempt < 6; ++attempt) {
+    int per_node = std::max(8, 4 * num_edges / n + 4);
+    candidates = NearNeighbourCandidates(pts, cell, per_node);
+    if (static_cast<int>(candidates.size()) >= num_edges + n / 4) break;
+    cell *= 1.6;
+  }
+  if (static_cast<int>(candidates.size()) < num_edges) {
+    return Status::Internal(
+        StrPrintf("only %zu candidate roads for %d required edges",
+                  candidates.size(), num_edges));
+  }
+
+  // Kruskal pass: shortest roads first gives a Euclidean-MST-like backbone,
+  // then keep adding shortest extras until the budget is met.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.length < b.length;
+            });
+  UnionFind uf(n);
+  std::vector<Candidate> kept;
+  std::vector<Candidate> extras;
+  kept.reserve(num_edges);
+  for (const Candidate& c : candidates) {
+    if (uf.Union(c.u, c.v)) {
+      kept.push_back(c);
+    } else {
+      extras.push_back(c);
+    }
+  }
+  // A near-neighbour graph on uniform points is connected in practice; if
+  // not, stitch remaining components with direct roads between arbitrary
+  // representatives (rare, tiny point sets).
+  if (uf.NumComponents() > 1) {
+    std::vector<int> reps;
+    std::vector<char> seen(n, 0);
+    for (int i = 0; i < n; ++i) {
+      int r = uf.Find(i);
+      if (!seen[r]) {
+        seen[r] = 1;
+        reps.push_back(i);
+      }
+    }
+    for (size_t i = 1; i < reps.size(); ++i) {
+      uf.Union(reps[0], reps[i]);
+      kept.push_back({reps[0], reps[i], Distance(pts[reps[0]], pts[reps[i]])});
+    }
+  }
+  if (static_cast<int>(kept.size()) > num_edges) {
+    // Spanning needs exceeded the budget (target close to n-1): accept the
+    // extra roads and shrink the two-way count instead.
+    num_edges = static_cast<int>(kept.size());
+    num_two_way = std::max(0, target - num_edges);
+  }
+  for (const Candidate& c : extras) {
+    if (static_cast<int>(kept.size()) >= num_edges) break;
+    kept.push_back(c);
+  }
+
+  // Choose two-way roads and one-way directions so the directed network is
+  // strongly connected (bridges get the budget first; see OrientRoads).
+  std::vector<std::pair<int, int>> roads(kept.size());
+  for (size_t i = 0; i < kept.size(); ++i) roads[i] = {kept[i].u, kept[i].v};
+  RoadOrientation orientation = OrientRoads(n, roads, num_two_way, rng);
+
+  std::vector<Intersection> intersections(n);
+  for (int i = 0; i < n; ++i) intersections[i].position = pts[i];
+  std::vector<RoadSegment> segments;
+  segments.reserve(kept.size() + num_two_way);
+  for (size_t i = 0; i < kept.size(); ++i) {
+    double len = std::max(kept[i].length, 1.0);
+    auto [from, to] = orientation.direction[i];
+    segments.push_back({from, to, len, 0.0});
+    if (orientation.two_way[i]) {
+      segments.push_back({to, from, len, 0.0});
+    }
+  }
+
+  return RoadNetwork::Create(std::move(intersections), std::move(segments));
+}
+
+DatasetSpec GetDatasetSpec(DatasetPreset preset) {
+  switch (preset) {
+    case DatasetPreset::kD1:
+      return {"D1", "Downtown San Francisco", 2.5, 420, 237, 0};
+    case DatasetPreset::kM1:
+      return {"M1", "CBD Melbourne", 6.6, 17206, 10096, 25246};
+    case DatasetPreset::kM2:
+      return {"M2", "CBD(+) Melbourne", 31.5, 53494, 28465, 62300};
+    case DatasetPreset::kM3:
+      return {"M3", "Melbourne", 42.03, 79487, 42321, 84999};
+  }
+  return {"?", "?", 0.0, 0, 0, 0};
+}
+
+Result<RoadNetwork> GenerateDataset(DatasetPreset preset, uint64_t seed) {
+  DatasetSpec spec = GetDatasetSpec(preset);
+  CityOptions options;
+  options.num_intersections = spec.intersections;
+  options.target_segments = spec.segments;
+  options.area_sq_miles = spec.area_sq_miles;
+  options.seed = seed;
+  return GenerateCityNetwork(options);
+}
+
+}  // namespace roadpart

@@ -1,0 +1,51 @@
+#ifndef ROADPART_NETGEN_CITY_GENERATOR_H_
+#define ROADPART_NETGEN_CITY_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "network/road_network.h"
+
+namespace roadpart {
+
+/// Options for the irregular city generator. It scatters intersections in a
+/// box of the requested area, links near neighbours into a connected planar-
+/// style street graph, and converts roads to directed segments with a one-way
+/// / two-way mix chosen to land exactly on `target_segments`.
+struct CityOptions {
+  int num_intersections = 1000;
+  int target_segments = 1700;
+  double area_sq_miles = 6.6;
+  double aspect_ratio = 1.3;  ///< width / height of the urban box
+  uint64_t seed = 1;
+};
+
+/// Generates a connected road network matching the requested statistics.
+/// `target_segments` must lie in [num_intersections-1, 2*candidate edges];
+/// infeasible combinations return InvalidArgument.
+Result<RoadNetwork> GenerateCityNetwork(const CityOptions& options);
+
+/// The four datasets of Table 1, synthesized at the paper's published sizes
+/// (real San Francisco / Melbourne data is not publicly available; see
+/// DESIGN.md substitution #1).
+enum class DatasetPreset { kD1, kM1, kM2, kM3 };
+
+/// Published Table 1 statistics for a preset.
+struct DatasetSpec {
+  std::string name;
+  std::string place;
+  double area_sq_miles;
+  int segments;
+  int intersections;
+  int vehicles;  ///< MNTG population used by the paper (0 for D1)
+};
+
+DatasetSpec GetDatasetSpec(DatasetPreset preset);
+
+/// Synthesizes a network with the preset's intersection/segment counts.
+Result<RoadNetwork> GenerateDataset(DatasetPreset preset, uint64_t seed);
+
+}  // namespace roadpart
+
+#endif  // ROADPART_NETGEN_CITY_GENERATOR_H_

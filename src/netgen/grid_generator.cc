@@ -1,0 +1,120 @@
+#include "netgen/grid_generator.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/connected_components.h"
+#include "graph/csr_graph.h"
+#include "netgen/orientation.h"
+#include "network/geometry.h"
+
+namespace roadpart {
+
+namespace {
+
+// Disjoint-set for spanning-tree selection.
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(n) {
+    for (int i = 0; i < n; ++i) parent_[i] = i;
+  }
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  bool Union(int a, int b) {
+    int ra = Find(a);
+    int rb = Find(b);
+    if (ra == rb) return false;
+    parent_[ra] = rb;
+    return true;
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+Result<RoadNetwork> GenerateGridNetwork(const GridOptions& options) {
+  if (options.rows < 2 || options.cols < 2) {
+    return Status::InvalidArgument("grid needs at least 2x2 intersections");
+  }
+  if (options.two_way_fraction < 0.0 || options.two_way_fraction > 1.0) {
+    return Status::InvalidArgument("two_way_fraction must be in [0,1]");
+  }
+  if (options.edge_keep_prob <= 0.0 || options.edge_keep_prob > 1.0) {
+    return Status::InvalidArgument("edge_keep_prob must be in (0,1]");
+  }
+
+  Rng rng(options.seed);
+  const int rows = options.rows;
+  const int cols = options.cols;
+  const int n = rows * cols;
+
+  std::vector<Intersection> intersections(n);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      double jx = rng.NextDouble(-1.0, 1.0) * options.jitter * options.spacing_metres;
+      double jy = rng.NextDouble(-1.0, 1.0) * options.jitter * options.spacing_metres;
+      intersections[r * cols + c].position = {c * options.spacing_metres + jx,
+                                              r * options.spacing_metres + jy};
+    }
+  }
+
+  // Candidate undirected roads: 4-neighbour grid links, shuffled so the
+  // spanning tree is random.
+  std::vector<std::pair<int, int>> candidates;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      int v = r * cols + c;
+      if (c + 1 < cols) candidates.emplace_back(v, v + 1);
+      if (r + 1 < rows) candidates.emplace_back(v, v + cols);
+    }
+  }
+  rng.Shuffle(candidates);
+
+  UnionFind uf(n);
+  std::vector<std::pair<int, int>> kept;
+  std::vector<std::pair<int, int>> extras;
+  for (const auto& e : candidates) {
+    if (uf.Union(e.first, e.second)) {
+      kept.push_back(e);  // tree edge: always kept for connectivity
+    } else {
+      extras.push_back(e);
+    }
+  }
+  for (const auto& e : extras) {
+    if (rng.NextDouble() < options.edge_keep_prob) kept.push_back(e);
+  }
+
+  // Binomially sample the two-way budget from the requested fraction, then
+  // orient for strong connectivity (bridges become two-way first).
+  int budget = 0;
+  for (size_t i = 0; i < kept.size(); ++i) {
+    if (rng.NextDouble() < options.two_way_fraction) ++budget;
+  }
+  RoadOrientation orientation =
+      OrientRoads(n, kept, budget, rng);
+
+  std::vector<RoadSegment> segments;
+  segments.reserve(kept.size() * 2);
+  for (size_t i = 0; i < kept.size(); ++i) {
+    auto [from, to] = orientation.direction[i];
+    double len =
+        Distance(intersections[from].position, intersections[to].position);
+    segments.push_back({from, to, len, 0.0});
+    if (orientation.two_way[i]) {
+      segments.push_back({to, from, len, 0.0});
+    }
+  }
+
+  return RoadNetwork::Create(std::move(intersections), std::move(segments));
+}
+
+}  // namespace roadpart

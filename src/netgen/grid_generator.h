@@ -1,0 +1,30 @@
+#ifndef ROADPART_NETGEN_GRID_GENERATOR_H_
+#define ROADPART_NETGEN_GRID_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "network/road_network.h"
+
+namespace roadpart {
+
+/// Options for the perturbed-grid generator (Manhattan-style street layout).
+struct GridOptions {
+  int rows = 10;                  ///< intersection rows
+  int cols = 10;                  ///< intersection columns
+  double spacing_metres = 100.0;  ///< block edge length
+  double jitter = 0.1;            ///< positional jitter, fraction of spacing
+  double two_way_fraction = 0.8;  ///< probability a road gets both directions
+  double edge_keep_prob = 1.0;    ///< survival probability of non-tree edges
+  uint64_t seed = 1;
+};
+
+/// Generates a connected grid road network. A random spanning tree is always
+/// kept so `edge_keep_prob < 1` cannot disconnect the network. Each kept road
+/// becomes two opposite segments with probability `two_way_fraction`, else a
+/// single segment with random direction.
+Result<RoadNetwork> GenerateGridNetwork(const GridOptions& options);
+
+}  // namespace roadpart
+
+#endif  // ROADPART_NETGEN_GRID_GENERATOR_H_

@@ -1,0 +1,114 @@
+#include "netgen/orientation.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace roadpart {
+
+namespace {
+
+// Adjacency with road indices for DFS passes.
+struct Adjacency {
+  std::vector<std::vector<std::pair<int, int>>> nbr;  // (node, road index)
+
+  Adjacency(int n, const std::vector<std::pair<int, int>>& roads) : nbr(n) {
+    for (size_t r = 0; r < roads.size(); ++r) {
+      nbr[roads[r].first].emplace_back(roads[r].second, static_cast<int>(r));
+      nbr[roads[r].second].emplace_back(roads[r].first, static_cast<int>(r));
+    }
+  }
+};
+
+}  // namespace
+
+RoadOrientation OrientRoads(int n,
+                            const std::vector<std::pair<int, int>>& roads,
+                            int two_way_budget, Rng& rng) {
+  const int m = static_cast<int>(roads.size());
+  RoadOrientation out;
+  out.two_way.assign(m, 0);
+  out.direction.resize(m);
+  for (int r = 0; r < m; ++r) out.direction[r] = roads[r];
+
+  Adjacency adj(n, roads);
+
+  // --- Iterative Tarjan bridge finding + DFS orientation in one pass. ---
+  std::vector<int> disc(n, -1);
+  std::vector<int> low(n, 0);
+  std::vector<char> is_bridge(m, 0);
+  std::vector<char> visited_edge(m, 0);
+  int time = 0;
+
+  struct Frame {
+    int node;
+    int parent_road;  // road used to enter `node` (-1 for roots)
+    size_t next = 0;
+  };
+  std::vector<Frame> stack;
+  for (int root = 0; root < n; ++root) {
+    if (disc[root] != -1) continue;
+    disc[root] = low[root] = time++;
+    stack.push_back({root, -1, 0});
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (f.next < adj.nbr[f.node].size()) {
+        auto [w, road] = adj.nbr[f.node][f.next++];
+        if (road == f.parent_road) continue;
+        if (disc[w] == -1) {
+          // Tree edge: orient away from the root (node -> w).
+          visited_edge[road] = 1;
+          out.direction[road] = {f.node, w};
+          disc[w] = low[w] = time++;
+          stack.push_back({w, road, 0});
+        } else if (!visited_edge[road]) {
+          // Back edge (w is an ancestor): orient towards the ancestor.
+          visited_edge[road] = 1;
+          out.direction[road] = {f.node, w};
+          low[f.node] = std::min(low[f.node], disc[w]);
+        }
+      } else {
+        stack.pop_back();
+        if (!stack.empty()) {
+          Frame& parent = stack.back();
+          low[parent.node] = std::min(low[parent.node], low[f.node]);
+          if (low[f.node] > disc[parent.node] && f.parent_road >= 0) {
+            is_bridge[f.parent_road] = 1;
+          }
+        }
+      }
+    }
+  }
+
+  // --- Spend the two-way budget: bridges first, then random extras. ---
+  std::vector<int> bridges;
+  std::vector<int> non_bridges;
+  for (int r = 0; r < m; ++r) {
+    (is_bridge[r] ? bridges : non_bridges).push_back(r);
+  }
+  rng.Shuffle(bridges);
+  rng.Shuffle(non_bridges);
+
+  int budget = two_way_budget;
+  for (int r : bridges) {
+    if (budget <= 0) {
+      ++out.unpaved_bridges;
+      continue;
+    }
+    out.two_way[r] = 1;
+    --budget;
+  }
+  for (int r : non_bridges) {
+    if (budget <= 0) break;
+    out.two_way[r] = 1;
+    --budget;
+  }
+  if (out.unpaved_bridges > 0) {
+    RP_LOG(Debug) << out.unpaved_bridges
+                  << " bridges left one-way (two-way budget exhausted); the "
+                     "network is not strongly connected";
+  }
+  return out;
+}
+
+}  // namespace roadpart

@@ -1,0 +1,43 @@
+#ifndef ROADPART_NETGEN_ORIENTATION_H_
+#define ROADPART_NETGEN_ORIENTATION_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace roadpart {
+
+/// Result of orienting an undirected road set into directed segments.
+struct RoadOrientation {
+  /// Per input road: does it carry both directions?
+  std::vector<char> two_way;
+  /// Per input road: the (from, to) direction of its (first) segment.
+  std::vector<std::pair<int, int>> direction;
+  /// Bridges that could not be made two-way because the budget ran out;
+  /// each leaves the network not strongly connected.
+  int unpaved_bridges = 0;
+};
+
+/// Chooses two-way roads and one-way directions so the resulting directed
+/// network is strongly connected whenever possible, preserving the exact
+/// two-way budget (so Table-1 segment counts stay intact).
+///
+/// Construction (Robbins' theorem): a connected undirected graph has a
+/// strongly connected orientation iff it is 2-edge-connected, and its
+/// bridges can never be one-way. So the two-way budget goes to bridges
+/// first; every remaining one-way road is oriented by DFS — tree edges away
+/// from the root, back edges towards the ancestor — which makes each
+/// 2-edge-connected component strongly connected. Leftover budget is spent
+/// on random non-bridge roads.
+///
+/// `roads` are undirected endpoint pairs over nodes [0, n); the graph should
+/// be connected for a fully strongly connected result. `two_way_budget` is
+/// the number of roads that may carry both directions.
+RoadOrientation OrientRoads(int n,
+                            const std::vector<std::pair<int, int>>& roads,
+                            int two_way_budget, Rng& rng);
+
+}  // namespace roadpart
+
+#endif  // ROADPART_NETGEN_ORIENTATION_H_

@@ -1,0 +1,77 @@
+#include "netgen/radial_generator.h"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "netgen/orientation.h"
+#include "network/geometry.h"
+
+namespace roadpart {
+
+Result<RoadNetwork> GenerateRadialNetwork(const RadialOptions& options) {
+  if (options.num_rings < 1 || options.num_spokes < 3) {
+    return Status::InvalidArgument("need >=1 ring and >=3 spokes");
+  }
+  if (options.two_way_fraction < 0.0 || options.two_way_fraction > 1.0) {
+    return Status::InvalidArgument("two_way_fraction must be in [0,1]");
+  }
+
+  Rng rng(options.seed);
+  const int rings = options.num_rings;
+  const int spokes = options.num_spokes;
+
+  // Node 0 is the centre; node 1 + ring*spokes + spoke is a crossing.
+  std::vector<Intersection> intersections;
+  intersections.push_back({Point{0.0, 0.0}});
+  for (int r = 0; r < rings; ++r) {
+    double radius = (r + 1) * options.ring_spacing_metres;
+    for (int s = 0; s < spokes; ++s) {
+      double angle = 2.0 * M_PI * s / spokes;
+      intersections.push_back(
+          {Point{radius * std::cos(angle), radius * std::sin(angle)}});
+    }
+  }
+  auto node_id = [&](int ring, int spoke) {
+    return 1 + ring * spokes + spoke;
+  };
+
+  std::vector<std::pair<int, int>> roads;
+  // Spoke stretches: centre -> first ring, then ring r -> ring r+1.
+  for (int s = 0; s < spokes; ++s) {
+    roads.emplace_back(0, node_id(0, s));
+    for (int r = 0; r + 1 < rings; ++r) {
+      roads.emplace_back(node_id(r, s), node_id(r + 1, s));
+    }
+  }
+  // Ring arcs.
+  for (int r = 0; r < rings; ++r) {
+    for (int s = 0; s < spokes; ++s) {
+      roads.emplace_back(node_id(r, s), node_id(r, (s + 1) % spokes));
+    }
+  }
+
+  int budget = 0;
+  for (size_t i = 0; i < roads.size(); ++i) {
+    if (rng.NextDouble() < options.two_way_fraction) ++budget;
+  }
+  RoadOrientation orientation = OrientRoads(
+      static_cast<int>(intersections.size()), roads, budget, rng);
+
+  std::vector<RoadSegment> segments;
+  segments.reserve(roads.size() * 2);
+  for (size_t i = 0; i < roads.size(); ++i) {
+    auto [from, to] = orientation.direction[i];
+    double len =
+        Distance(intersections[from].position, intersections[to].position);
+    segments.push_back({from, to, len, 0.0});
+    if (orientation.two_way[i]) {
+      segments.push_back({to, from, len, 0.0});
+    }
+  }
+
+  return RoadNetwork::Create(std::move(intersections), std::move(segments));
+}
+
+}  // namespace roadpart

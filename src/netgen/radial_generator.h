@@ -1,0 +1,28 @@
+#ifndef ROADPART_NETGEN_RADIAL_GENERATOR_H_
+#define ROADPART_NETGEN_RADIAL_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "network/road_network.h"
+
+namespace roadpart {
+
+/// Options for the ring-radial generator (European-CBD-style layout: a city
+/// centre with circular ring roads and radial spokes).
+struct RadialOptions {
+  int num_rings = 5;
+  int num_spokes = 8;
+  double ring_spacing_metres = 200.0;
+  double two_way_fraction = 0.9;
+  uint64_t seed = 1;
+};
+
+/// Generates a connected ring-radial network with a centre intersection.
+/// Intersections sit where spokes cross rings; ring arcs and spoke stretches
+/// become roads.
+Result<RoadNetwork> GenerateRadialNetwork(const RadialOptions& options);
+
+}  // namespace roadpart
+
+#endif  // ROADPART_NETGEN_RADIAL_GENERATOR_H_

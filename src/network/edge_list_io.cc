@@ -1,0 +1,135 @@
+#include "network/edge_list_io.h"
+
+#include <fstream>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "common/string_util.h"
+#include "network/geometry.h"
+
+namespace roadpart {
+
+namespace {
+
+// Reads non-empty, non-comment lines; skips an optional non-numeric header.
+Result<std::vector<std::vector<std::string>>> ReadCsv(
+    const std::string& path, size_t min_fields) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    std::string_view t = Trim(line);
+    if (t.empty() || t[0] == '#') continue;
+    auto fields = Split(t, ',');
+    if (first) {
+      first = false;
+      // Header detection: the first field of a header is not a number.
+      if (!ParseInt(fields[0]).ok() && !ParseDouble(fields[0]).ok()) continue;
+    }
+    if (fields.size() < min_fields) {
+      return Status::IOError(
+          StrPrintf("%s: expected >= %zu fields, got %zu in '%s'",
+                    path.c_str(), min_fields, fields.size(), line.c_str()));
+    }
+    rows.push_back(std::move(fields));
+  }
+  return rows;
+}
+
+}  // namespace
+
+Result<RoadNetwork> LoadEdgeListNetwork(const std::string& nodes_csv_path,
+                                        const std::string& edges_csv_path) {
+  RP_ASSIGN_OR_RETURN(auto node_rows, ReadCsv(nodes_csv_path, 3));
+  RP_ASSIGN_OR_RETURN(auto edge_rows, ReadCsv(edges_csv_path, 2));
+
+  std::map<int64_t, int> id_map;
+  std::vector<Intersection> intersections;
+  intersections.reserve(node_rows.size());
+  for (const auto& row : node_rows) {
+    RP_ASSIGN_OR_RETURN(int64_t id, ParseInt(row[0]));
+    RP_ASSIGN_OR_RETURN(double x, ParseDouble(row[1]));
+    RP_ASSIGN_OR_RETURN(double y, ParseDouble(row[2]));
+    if (!id_map.emplace(id, static_cast<int>(intersections.size())).second) {
+      return Status::InvalidArgument(
+          StrPrintf("duplicate node id %lld", static_cast<long long>(id)));
+    }
+    intersections.push_back({Point{x, y}});
+  }
+
+  std::vector<RoadSegment> segments;
+  segments.reserve(edge_rows.size() * 2);
+  for (const auto& row : edge_rows) {
+    RP_ASSIGN_OR_RETURN(int64_t from_id, ParseInt(row[0]));
+    RP_ASSIGN_OR_RETURN(int64_t to_id, ParseInt(row[1]));
+    auto from_it = id_map.find(from_id);
+    auto to_it = id_map.find(to_id);
+    if (from_it == id_map.end() || to_it == id_map.end()) {
+      return Status::InvalidArgument(
+          StrPrintf("edge references unknown node (%lld,%lld)",
+                    static_cast<long long>(from_id),
+                    static_cast<long long>(to_id)));
+    }
+    int from = from_it->second;
+    int to = to_it->second;
+    double length = Distance(intersections[from].position,
+                             intersections[to].position);
+    if (row.size() >= 3 && !Trim(row[2]).empty()) {
+      RP_ASSIGN_OR_RETURN(length, ParseDouble(row[2]));
+    }
+    if (length <= 0.0) length = 1.0;  // degenerate geometry
+    int64_t oneway = 0;
+    if (row.size() >= 4 && !Trim(row[3]).empty()) {
+      RP_ASSIGN_OR_RETURN(oneway, ParseInt(row[3]));
+    }
+    double density = 0.0;
+    if (row.size() >= 5 && !Trim(row[4]).empty()) {
+      RP_ASSIGN_OR_RETURN(density, ParseDouble(row[4]));
+    }
+    segments.push_back({from, to, length, density});
+    if (oneway == 0) segments.push_back({to, from, length, density});
+  }
+  return RoadNetwork::Create(std::move(intersections), std::move(segments));
+}
+
+Status SaveEdgeListNetwork(const RoadNetwork& network,
+                           const std::string& nodes_csv_path,
+                           const std::string& edges_csv_path) {
+  {
+    std::ofstream out(nodes_csv_path);
+    if (!out) return Status::IOError("cannot open " + nodes_csv_path);
+    out << "node_id,x,y\n";
+    for (int i = 0; i < network.num_intersections(); ++i) {
+      const Point& p = network.intersection(i).position;
+      out << StrPrintf("%d,%.6f,%.6f\n", i, p.x, p.y);
+    }
+    if (!out) return Status::IOError("write failed for " + nodes_csv_path);
+  }
+
+  // Fold two-way pairs: a reverse twin (same endpoints, opposite direction)
+  // with an unused index turns a row into oneway=0.
+  std::set<std::pair<int, int>> remaining;
+  for (int i = 0; i < network.num_segments(); ++i) {
+    const RoadSegment& s = network.segment(i);
+    remaining.insert({s.from, s.to});
+  }
+  std::ofstream out(edges_csv_path);
+  if (!out) return Status::IOError("cannot open " + edges_csv_path);
+  out << "from_id,to_id,length,oneway,density\n";
+  for (int i = 0; i < network.num_segments(); ++i) {
+    const RoadSegment& s = network.segment(i);
+    if (!remaining.count({s.from, s.to})) continue;  // folded already
+    remaining.erase({s.from, s.to});
+    bool two_way = remaining.count({s.to, s.from}) > 0;
+    if (two_way) remaining.erase({s.to, s.from});
+    out << StrPrintf("%d,%d,%.6f,%d,%.9f\n", s.from, s.to, s.length,
+                     two_way ? 0 : 1, s.density);
+  }
+  if (!out) return Status::IOError("write failed for " + edges_csv_path);
+  return Status::OK();
+}
+
+}  // namespace roadpart

@@ -1,0 +1,34 @@
+#ifndef ROADPART_NETWORK_EDGE_LIST_IO_H_
+#define ROADPART_NETWORK_EDGE_LIST_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "network/road_network.h"
+
+namespace roadpart {
+
+/// Loads a road network from the common two-CSV layout real road datasets
+/// ship in (e.g. OpenStreetMap extracts post-processed with osmnx):
+///
+///   nodes.csv:  node_id,x,y                    (header optional)
+///   edges.csv:  from_id,to_id[,length[,oneway[,density]]]
+///
+/// - `node_id`s may be arbitrary integers; they are remapped densely.
+/// - `length` defaults to the Euclidean endpoint distance (metres).
+/// - `oneway` is 0/1 (default 0): 0 adds both directed segments.
+/// - `density` (vehicles/metre) defaults to 0 and applies to both
+///   directions of a two-way road.
+Result<RoadNetwork> LoadEdgeListNetwork(const std::string& nodes_csv_path,
+                                        const std::string& edges_csv_path);
+
+/// Writes the matching nodes/edges CSV pair. Two-way roads (segment pairs
+/// sharing both endpoints) are folded into a single `oneway=0` row with the
+/// forward direction's density.
+Status SaveEdgeListNetwork(const RoadNetwork& network,
+                           const std::string& nodes_csv_path,
+                           const std::string& edges_csv_path);
+
+}  // namespace roadpart
+
+#endif  // ROADPART_NETWORK_EDGE_LIST_IO_H_

@@ -1,0 +1,54 @@
+#include "network/geojson_export.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace roadpart {
+
+Result<std::string> GeoJsonString(const RoadNetwork& network,
+                                  const GeoJsonOptions& options) {
+  if (!options.partition.empty() &&
+      static_cast<int>(options.partition.size()) != network.num_segments()) {
+    return Status::InvalidArgument(
+        StrPrintf("partition has %zu entries for %d segments",
+                  options.partition.size(), network.num_segments()));
+  }
+  std::ostringstream out;
+  out << "{\"type\":\"FeatureCollection\",\"features\":[";
+  for (int i = 0; i < network.num_segments(); ++i) {
+    const RoadSegment& s = network.segment(i);
+    const Point& a = network.intersection(s.from).position;
+    const Point& b = network.intersection(s.to).position;
+    if (i > 0) out << ",";
+    out << "{\"type\":\"Feature\",\"geometry\":{\"type\":\"LineString\","
+        << StrPrintf("\"coordinates\":[[%.6f,%.6f],[%.6f,%.6f]]}",
+                     a.x * options.coordinate_scale,
+                     a.y * options.coordinate_scale,
+                     b.x * options.coordinate_scale,
+                     b.y * options.coordinate_scale)
+        << ",\"properties\":{" << StrPrintf("\"id\":%d", i);
+    if (options.include_density) {
+      out << StrPrintf(",\"density\":%.9f", s.density);
+    }
+    if (!options.partition.empty()) {
+      out << StrPrintf(",\"partition\":%d", options.partition[i]);
+    }
+    out << "}}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+Status ExportGeoJson(const RoadNetwork& network, const GeoJsonOptions& options,
+                     const std::string& path) {
+  RP_ASSIGN_OR_RETURN(std::string json, GeoJsonString(network, options));
+  std::ofstream file(path);
+  if (!file) return Status::IOError("cannot open " + path + " for writing");
+  file << json << "\n";
+  if (!file) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace roadpart

@@ -1,0 +1,37 @@
+#ifndef ROADPART_NETWORK_GEOJSON_EXPORT_H_
+#define ROADPART_NETWORK_GEOJSON_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "network/road_network.h"
+
+namespace roadpart {
+
+/// Options for GeoJSON export.
+struct GeoJsonOptions {
+  /// Per-segment partition ids (optional; empty = no partition property).
+  std::vector<int> partition;
+  /// Include the current segment densities as a property.
+  bool include_density = true;
+  /// Scale factor from local metres to output coordinates (GeoJSON viewers
+  /// accept plain planar coordinates; 1.0 keeps metres).
+  double coordinate_scale = 1.0;
+};
+
+/// Serializes the network (and optionally a partitioning) as a GeoJSON
+/// FeatureCollection of LineString features — one per road segment, with
+/// `id`, `density` and `partition` properties — so results drop straight
+/// into common map viewers for visual inspection of the partition maps the
+/// paper shows.
+Status ExportGeoJson(const RoadNetwork& network, const GeoJsonOptions& options,
+                     const std::string& path);
+
+/// In-memory variant (exposed for tests).
+Result<std::string> GeoJsonString(const RoadNetwork& network,
+                                  const GeoJsonOptions& options);
+
+}  // namespace roadpart
+
+#endif  // ROADPART_NETWORK_GEOJSON_EXPORT_H_

@@ -1,0 +1,15 @@
+#include "network/geometry.h"
+
+#include <cmath>
+
+namespace roadpart {
+
+double Distance(const Point& a, const Point& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+Point Lerp(const Point& a, const Point& b, double t) {
+  return {a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t};
+}
+
+}  // namespace roadpart

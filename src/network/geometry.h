@@ -1,0 +1,33 @@
+#ifndef ROADPART_NETWORK_GEOMETRY_H_
+#define ROADPART_NETWORK_GEOMETRY_H_
+
+namespace roadpart {
+
+/// Planar point; coordinates are metres in a local projection.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Euclidean distance in metres.
+double Distance(const Point& a, const Point& b);
+
+/// Axis-aligned bounding box.
+struct BoundingBox {
+  Point min;
+  Point max;
+
+  double WidthMetres() const { return max.x - min.x; }
+  double HeightMetres() const { return max.y - min.y; }
+  double AreaSqMetres() const { return WidthMetres() * HeightMetres(); }
+  /// Area in square miles (1 sq mile = 2,589,988.11 m^2) — the unit Table 1
+  /// reports.
+  double AreaSqMiles() const { return AreaSqMetres() / 2589988.110336; }
+};
+
+/// Linear interpolation along the segment a->b at fraction t in [0,1].
+Point Lerp(const Point& a, const Point& b, double t);
+
+}  // namespace roadpart
+
+#endif  // ROADPART_NETWORK_GEOMETRY_H_

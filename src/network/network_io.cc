@@ -1,0 +1,114 @@
+#include "network/network_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace roadpart {
+
+Status SaveRoadNetwork(const RoadNetwork& network, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << "# roadnet v1\n";
+  out << "I " << network.num_intersections() << "\n";
+  for (const Intersection& it : network.intersections()) {
+    out << StrPrintf("%.6f %.6f\n", it.position.x, it.position.y);
+  }
+  out << "S " << network.num_segments() << "\n";
+  for (const RoadSegment& s : network.segments()) {
+    out << StrPrintf("%d %d %.6f %.9f\n", s.from, s.to, s.length, s.density);
+  }
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<RoadNetwork> LoadRoadNetwork(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::string line;
+
+  auto next_line = [&](std::string& out_line) -> bool {
+    while (std::getline(in, out_line)) {
+      std::string_view t = Trim(out_line);
+      if (!t.empty() && t[0] != '#') {
+        out_line = std::string(t);
+        return true;
+      }
+    }
+    return false;
+  };
+
+  if (!next_line(line)) return Status::IOError("empty network file " + path);
+  std::istringstream header_i(line);
+  char tag = 0;
+  int ni = 0;
+  header_i >> tag >> ni;
+  if (tag != 'I' || ni < 0) {
+    return Status::IOError("malformed intersection header in " + path);
+  }
+  std::vector<Intersection> intersections(ni);
+  for (int i = 0; i < ni; ++i) {
+    if (!next_line(line)) return Status::IOError("truncated intersections");
+    std::istringstream ss(line);
+    if (!(ss >> intersections[i].position.x >> intersections[i].position.y)) {
+      return Status::IOError(StrPrintf("bad intersection line %d", i));
+    }
+  }
+
+  if (!next_line(line)) return Status::IOError("missing segment header");
+  std::istringstream header_s(line);
+  int ns = 0;
+  header_s >> tag >> ns;
+  if (tag != 'S' || ns < 0) {
+    return Status::IOError("malformed segment header in " + path);
+  }
+  std::vector<RoadSegment> segments(ns);
+  for (int i = 0; i < ns; ++i) {
+    if (!next_line(line)) return Status::IOError("truncated segments");
+    std::istringstream ss(line);
+    if (!(ss >> segments[i].from >> segments[i].to >> segments[i].length >>
+          segments[i].density)) {
+      return Status::IOError(StrPrintf("bad segment line %d", i));
+    }
+  }
+  return RoadNetwork::Create(std::move(intersections), std::move(segments));
+}
+
+Status SaveDensities(const std::vector<double>& densities,
+                     const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  for (double d : densities) out << StrPrintf("%.9f\n", d);
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<std::vector<double>> LoadDensities(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::vector<double> densities;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string_view t = Trim(line);
+    if (t.empty() || t[0] == '#') continue;
+    RP_ASSIGN_OR_RETURN(double d, ParseDouble(t));
+    densities.push_back(d);
+  }
+  return densities;
+}
+
+Status SavePartitionCsv(const std::vector<int>& assignment,
+                        const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << "segment_id,partition_id\n";
+  for (size_t i = 0; i < assignment.size(); ++i) {
+    out << i << "," << assignment[i] << "\n";
+  }
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace roadpart

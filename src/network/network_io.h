@@ -1,0 +1,36 @@
+#ifndef ROADPART_NETWORK_NETWORK_IO_H_
+#define ROADPART_NETWORK_NETWORK_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "network/road_network.h"
+
+namespace roadpart {
+
+/// Serializes a road network to a simple line-oriented text format:
+///   # roadnet v1
+///   I <num_intersections>
+///   <x> <y>                     (one line per intersection, id = line order)
+///   S <num_segments>
+///   <from> <to> <length> <density>
+Status SaveRoadNetwork(const RoadNetwork& network, const std::string& path);
+
+/// Loads a network saved by SaveRoadNetwork.
+Result<RoadNetwork> LoadRoadNetwork(const std::string& path);
+
+/// Writes one density per line.
+Status SaveDensities(const std::vector<double>& densities,
+                     const std::string& path);
+
+/// Reads densities written by SaveDensities.
+Result<std::vector<double>> LoadDensities(const std::string& path);
+
+/// Writes "segment_id,partition_id" CSV with a header.
+Status SavePartitionCsv(const std::vector<int>& assignment,
+                        const std::string& path);
+
+}  // namespace roadpart
+
+#endif  // ROADPART_NETWORK_NETWORK_IO_H_

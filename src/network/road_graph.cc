@@ -1,0 +1,68 @@
+#include "network/road_graph.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace roadpart {
+
+CsrGraph BuildDualAdjacency(const RoadNetwork& network) {
+  // Every intersection induces a clique over its incident segments. Pairs can
+  // repeat (two segments sharing both endpoints, e.g. the two directions of a
+  // two-way road); dedupe so the adjacency stays binary.
+  std::vector<std::pair<int, int>> pairs;
+  for (int i = 0; i < network.num_intersections(); ++i) {
+    const std::vector<int>& inc = network.SegmentsAt(i);
+    for (size_t a = 0; a < inc.size(); ++a) {
+      for (size_t b = a + 1; b < inc.size(); ++b) {
+        int u = inc[a];
+        int v = inc[b];
+        if (u > v) std::swap(u, v);
+        if (u != v) pairs.emplace_back(u, v);
+      }
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+
+  std::vector<Edge> edges;
+  edges.reserve(pairs.size());
+  for (const auto& [u, v] : pairs) edges.push_back({u, v, 1.0});
+  auto graph = CsrGraph::FromEdges(network.num_segments(), edges);
+  RP_CHECK(graph.ok());
+  return std::move(graph).value();
+}
+
+RoadGraph RoadGraph::FromNetwork(const RoadNetwork& network) {
+  RoadGraph rg;
+  rg.adjacency_ = BuildDualAdjacency(network);
+  rg.features_ = network.Densities();
+  return rg;
+}
+
+Result<RoadGraph> RoadGraph::FromParts(CsrGraph adjacency,
+                                       std::vector<double> features) {
+  if (static_cast<int>(features.size()) != adjacency.num_nodes()) {
+    return Status::InvalidArgument(
+        StrPrintf("feature count %zu != node count %d", features.size(),
+                  adjacency.num_nodes()));
+  }
+  RoadGraph rg;
+  rg.adjacency_ = std::move(adjacency);
+  rg.features_ = std::move(features);
+  return rg;
+}
+
+Status RoadGraph::SetFeatures(std::vector<double> features) {
+  if (static_cast<int>(features.size()) != adjacency_.num_nodes()) {
+    return Status::InvalidArgument(
+        StrPrintf("feature count %zu != node count %d", features.size(),
+                  adjacency_.num_nodes()));
+  }
+  features_ = std::move(features);
+  return Status::OK();
+}
+
+}  // namespace roadpart

@@ -1,0 +1,47 @@
+#ifndef ROADPART_NETWORK_ROAD_GRAPH_H_
+#define ROADPART_NETWORK_ROAD_GRAPH_H_
+
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "network/road_network.h"
+
+namespace roadpart {
+
+/// The road graph G = (V, E) of Definition 2: the dual of the road network.
+/// Node i is road segment i; an undirected edge joins two segments that share
+/// at least one intersection. Star topologies in the network become cliques
+/// here; linear stretches stay linear. Features are the segment densities.
+class RoadGraph {
+ public:
+  RoadGraph() = default;
+
+  /// Builds the dual graph from a network; features are snapshotted from the
+  /// network's current densities.
+  static RoadGraph FromNetwork(const RoadNetwork& network);
+
+  /// Constructs directly from an adjacency graph + features (for tests and
+  /// for workloads that bypass RoadNetwork).
+  static Result<RoadGraph> FromParts(CsrGraph adjacency,
+                                     std::vector<double> features);
+
+  int num_nodes() const { return adjacency_.num_nodes(); }
+  const CsrGraph& adjacency() const { return adjacency_; }
+
+  /// v_i.f — the traffic density of segment i.
+  const std::vector<double>& features() const { return features_; }
+
+  /// Replaces the feature vector (e.g. for a new timestamp).
+  Status SetFeatures(std::vector<double> features);
+
+ private:
+  CsrGraph adjacency_;
+  std::vector<double> features_;
+};
+
+/// Builds only the dual adjacency structure (binary, unweighted).
+CsrGraph BuildDualAdjacency(const RoadNetwork& network);
+
+}  // namespace roadpart
+
+#endif  // ROADPART_NETWORK_ROAD_GRAPH_H_

@@ -1,0 +1,80 @@
+#ifndef ROADPART_NETWORK_ROAD_NETWORK_H_
+#define ROADPART_NETWORK_ROAD_NETWORK_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "network/geometry.h"
+
+namespace roadpart {
+
+/// Intersection point (Definition 1's iota).
+struct Intersection {
+  Point position;
+};
+
+/// Directed road segment (Definition 1's r_i). Two-way roads are modelled as
+/// two opposite segments sharing both endpoints, exactly as Section 2.1
+/// prescribes.
+struct RoadSegment {
+  int from = 0;         // tail intersection id
+  int to = 0;           // head intersection id
+  double length = 0.0;  // metres
+  double density = 0.0; // vehicles per metre (r_i.d)
+};
+
+/// The real urban road network N = (I, R) of Definition 1: intersections as
+/// nodes connected by directed road segments carrying traffic densities.
+class RoadNetwork {
+ public:
+  /// Validates endpoints and lengths; computes incidence lists.
+  static Result<RoadNetwork> Create(std::vector<Intersection> intersections,
+                                    std::vector<RoadSegment> segments);
+
+  int num_intersections() const {
+    return static_cast<int>(intersections_.size());
+  }
+  int num_segments() const { return static_cast<int>(segments_.size()); }
+
+  const Intersection& intersection(int id) const { return intersections_[id]; }
+  const RoadSegment& segment(int id) const { return segments_[id]; }
+  const std::vector<RoadSegment>& segments() const { return segments_; }
+  const std::vector<Intersection>& intersections() const {
+    return intersections_;
+  }
+
+  /// Segment ids incident to an intersection (as tail or head).
+  const std::vector<int>& SegmentsAt(int intersection_id) const {
+    return incident_[intersection_id];
+  }
+
+  /// Segment ids leaving an intersection (tail == intersection).
+  const std::vector<int>& SegmentsFrom(int intersection_id) const {
+    return outgoing_[intersection_id];
+  }
+
+  /// Overwrites all segment densities; size must equal num_segments().
+  Status SetDensities(const std::vector<double>& densities);
+
+  /// Snapshot of current per-segment densities (the road-graph features).
+  std::vector<double> Densities() const;
+
+  double density(int segment_id) const { return segments_[segment_id].density; }
+  void set_density(int segment_id, double d) { segments_[segment_id].density = d; }
+
+  /// Bounding box over intersection positions.
+  BoundingBox Bounds() const;
+
+  /// Total directed length in metres.
+  double TotalLengthMetres() const;
+
+ private:
+  std::vector<Intersection> intersections_;
+  std::vector<RoadSegment> segments_;
+  std::vector<std::vector<int>> incident_;  // per intersection
+  std::vector<std::vector<int>> outgoing_;  // per intersection
+};
+
+}  // namespace roadpart
+
+#endif  // ROADPART_NETWORK_ROAD_NETWORK_H_

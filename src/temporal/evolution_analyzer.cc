@@ -1,0 +1,63 @@
+#include "temporal/evolution_analyzer.h"
+
+#include "common/timer.h"
+#include "core/partition_tracker.h"
+#include "metrics/partition_metrics.h"
+
+namespace roadpart {
+
+Result<EvolutionResult> AnalyzeEvolution(const RoadGraph& road_graph,
+                                         const SnapshotSeries& series,
+                                         const EvolutionOptions& options) {
+  if (series.num_segments() != road_graph.num_nodes()) {
+    return Status::InvalidArgument(
+        "series segment count does not match the road graph");
+  }
+  if (series.num_snapshots() == 0) {
+    return Status::InvalidArgument("empty snapshot series");
+  }
+
+  Partitioner partitioner(options.partitioner);
+  PartitionTracker tracker;
+  RoadGraph graph = road_graph;  // mutable copy for per-snapshot features
+
+  EvolutionResult result;
+  result.steps.reserve(series.num_snapshots());
+  double churn_sum = 0.0;
+  int churn_count = 0;
+
+  for (int t = 0; t < series.num_snapshots(); ++t) {
+    RP_RETURN_IF_ERROR(graph.SetFeatures(series.densities(t)));
+    Timer timer;
+    RP_ASSIGN_OR_RETURN(PartitionOutcome outcome,
+                        partitioner.PartitionRoadGraph(graph));
+    EvolutionStep step;
+    step.seconds = timer.Seconds();
+    step.timestamp_seconds = series.timestamp(t);
+    step.k_final = outcome.k_final;
+    step.num_supernodes = outcome.num_supernodes;
+    step.mean_density = series.MeanDensity(t);
+    RP_ASSIGN_OR_RETURN(step.assignment, tracker.Align(outcome.assignment));
+    step.churn = tracker.last_churn();
+    RP_ASSIGN_OR_RETURN(
+        double ans,
+        AverageNcutSilhouette(graph.adjacency(), graph.features(),
+                              outcome.assignment));
+    step.ans = ans;
+
+    if (t > 0) {
+      churn_sum += step.churn;
+      ++churn_count;
+      double running_mean = churn_sum / churn_count;
+      if (step.churn > options.regime_threshold &&
+          step.churn > 2.0 * running_mean) {
+        result.regime_changes.push_back(t);
+      }
+    }
+    result.steps.push_back(std::move(step));
+  }
+  result.mean_churn = churn_count > 0 ? churn_sum / churn_count : 0.0;
+  return result;
+}
+
+}  // namespace roadpart

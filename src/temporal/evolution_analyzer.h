@@ -1,0 +1,53 @@
+#ifndef ROADPART_TEMPORAL_EVOLUTION_ANALYZER_H_
+#define ROADPART_TEMPORAL_EVOLUTION_ANALYZER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/partitioner.h"
+#include "network/road_graph.h"
+#include "temporal/snapshot_series.h"
+
+namespace roadpart {
+
+/// Per-snapshot record of the repeated-partitioning workflow.
+struct EvolutionStep {
+  double timestamp_seconds = 0.0;
+  std::vector<int> assignment;  ///< tracked (stable) region ids
+  int k_final = 0;
+  int num_supernodes = 0;
+  double mean_density = 0.0;
+  double ans = 0.0;    ///< partition quality at this snapshot
+  double churn = 0.0;  ///< fraction of segments changing region vs previous
+  double seconds = 0.0;  ///< wall time of this re-partitioning
+};
+
+/// Aggregate outcome of analyzing a whole series.
+struct EvolutionResult {
+  std::vector<EvolutionStep> steps;
+  /// Snapshot indices where churn spikes above `regime_threshold` — regime
+  /// changes such as peak onset/dissolution.
+  std::vector<int> regime_changes;
+  double mean_churn = 0.0;
+};
+
+/// Options for the evolution analysis.
+struct EvolutionOptions {
+  PartitionerOptions partitioner;  ///< scheme/k used at every snapshot
+  /// Churn above this fraction (and above twice the running mean) marks a
+  /// regime change.
+  double regime_threshold = 0.25;
+};
+
+/// Runs the paper's repeated-interval workflow over a snapshot series:
+/// re-partition at every snapshot, align region ids over time, measure
+/// quality and churn, and flag regime changes. This is the analysis loop the
+/// paper's introduction motivates ("studying and analyzing the congestion
+/// and its evolving nature with respect to time").
+Result<EvolutionResult> AnalyzeEvolution(const RoadGraph& road_graph,
+                                         const SnapshotSeries& series,
+                                         const EvolutionOptions& options);
+
+}  // namespace roadpart
+
+#endif  // ROADPART_TEMPORAL_EVOLUTION_ANALYZER_H_

@@ -1,0 +1,62 @@
+#include "temporal/series_io.h"
+
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace roadpart {
+
+Status SaveSnapshotSeries(const SnapshotSeries& series,
+                          const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << "# segments: " << series.num_segments() << "\n";
+  for (int t = 0; t < series.num_snapshots(); ++t) {
+    out << StrPrintf("%.3f", series.timestamp(t));
+    for (double d : series.densities(t)) {
+      out << StrPrintf(",%.9f", d);
+    }
+    out << "\n";
+  }
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<SnapshotSeries> LoadSnapshotSeries(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+
+  std::string line;
+  int num_segments = -1;
+  std::vector<std::pair<double, std::vector<double>>> rows;
+  while (std::getline(in, line)) {
+    std::string_view t = Trim(line);
+    if (t.empty() || t[0] == '#') continue;
+    auto fields = Split(t, ',');
+    if (fields.size() < 2) {
+      return Status::IOError("snapshot row needs a timestamp and densities");
+    }
+    RP_ASSIGN_OR_RETURN(double timestamp, ParseDouble(fields[0]));
+    std::vector<double> densities(fields.size() - 1);
+    for (size_t i = 1; i < fields.size(); ++i) {
+      RP_ASSIGN_OR_RETURN(densities[i - 1], ParseDouble(fields[i]));
+    }
+    if (num_segments == -1) {
+      num_segments = static_cast<int>(densities.size());
+    } else if (static_cast<int>(densities.size()) != num_segments) {
+      return Status::IOError(
+          StrPrintf("snapshot rows disagree on segment count (%d vs %zu)",
+                    num_segments, densities.size()));
+    }
+    rows.emplace_back(timestamp, std::move(densities));
+  }
+  if (num_segments < 0) return Status::IOError("empty series file " + path);
+
+  SnapshotSeries series(num_segments);
+  for (auto& [timestamp, densities] : rows) {
+    RP_RETURN_IF_ERROR(series.Append(timestamp, std::move(densities)));
+  }
+  return series;
+}
+
+}  // namespace roadpart

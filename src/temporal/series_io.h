@@ -1,0 +1,22 @@
+#ifndef ROADPART_TEMPORAL_SERIES_IO_H_
+#define ROADPART_TEMPORAL_SERIES_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "temporal/snapshot_series.h"
+
+namespace roadpart {
+
+/// Saves a snapshot series as time-major CSV:
+///   timestamp,d0,d1,...,d{n-1}
+/// One row per snapshot; a `# segments: n` comment precedes the data.
+Status SaveSnapshotSeries(const SnapshotSeries& series,
+                          const std::string& path);
+
+/// Loads a series saved by SaveSnapshotSeries (or any CSV in that layout).
+Result<SnapshotSeries> LoadSnapshotSeries(const std::string& path);
+
+}  // namespace roadpart
+
+#endif  // ROADPART_TEMPORAL_SERIES_IO_H_

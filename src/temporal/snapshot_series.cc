@@ -1,0 +1,84 @@
+#include "temporal/snapshot_series.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace roadpart {
+
+Status SnapshotSeries::Append(double timestamp_seconds,
+                              std::vector<double> densities) {
+  if (static_cast<int>(densities.size()) != num_segments_) {
+    return Status::InvalidArgument(
+        StrPrintf("snapshot has %zu densities for %d segments",
+                  densities.size(), num_segments_));
+  }
+  if (!timestamps_.empty() && timestamp_seconds <= timestamps_.back()) {
+    return Status::InvalidArgument("timestamps must strictly increase");
+  }
+  for (double d : densities) {
+    if (d < 0.0) return Status::InvalidArgument("negative density");
+  }
+  timestamps_.push_back(timestamp_seconds);
+  snapshots_.push_back(std::move(densities));
+  return Status::OK();
+}
+
+double SnapshotSeries::MeanDensity(int t) const {
+  const std::vector<double>& snap = snapshots_[t];
+  if (snap.empty()) return 0.0;
+  double acc = 0.0;
+  for (double d : snap) acc += d;
+  return acc / static_cast<double>(snap.size());
+}
+
+std::vector<double> SnapshotSeries::SegmentMeans() const {
+  std::vector<double> means(num_segments_, 0.0);
+  if (snapshots_.empty()) return means;
+  for (const auto& snap : snapshots_) {
+    for (int i = 0; i < num_segments_; ++i) means[i] += snap[i];
+  }
+  for (double& m : means) m /= static_cast<double>(snapshots_.size());
+  return means;
+}
+
+std::vector<double> SnapshotSeries::SegmentStdDevs() const {
+  std::vector<double> stddevs(num_segments_, 0.0);
+  if (snapshots_.size() < 2) return stddevs;
+  std::vector<double> means = SegmentMeans();
+  for (const auto& snap : snapshots_) {
+    for (int i = 0; i < num_segments_; ++i) {
+      double d = snap[i] - means[i];
+      stddevs[i] += d * d;
+    }
+  }
+  for (double& s : stddevs) {
+    s = std::sqrt(s / static_cast<double>(snapshots_.size()));
+  }
+  return stddevs;
+}
+
+double SnapshotSeries::ChangeFrom(int t) const {
+  if (t <= 0 || num_segments_ == 0) return 0.0;
+  double acc = 0.0;
+  for (int i = 0; i < num_segments_; ++i) {
+    acc += std::fabs(snapshots_[t][i] - snapshots_[t - 1][i]);
+  }
+  return acc / static_cast<double>(num_segments_);
+}
+
+int SnapshotSeries::PeakSnapshot() const {
+  int best = 0;
+  double best_mean = -1.0;
+  for (int t = 0; t < num_snapshots(); ++t) {
+    double m = MeanDensity(t);
+    if (m > best_mean) {
+      best_mean = m;
+      best = t;
+    }
+  }
+  return best;
+}
+
+}  // namespace roadpart

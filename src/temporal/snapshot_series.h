@@ -1,0 +1,55 @@
+#ifndef ROADPART_TEMPORAL_SNAPSHOT_SERIES_H_
+#define ROADPART_TEMPORAL_SNAPSHOT_SERIES_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace roadpart {
+
+/// A time series of per-segment density snapshots — the input to the
+/// paper's "partitioning the network repeatedly at regular intervals of
+/// time" workflow (the D1 data is exactly such a series: 120 snapshots at
+/// 2-minute intervals).
+class SnapshotSeries {
+ public:
+  /// Creates a series for a network with `num_segments` road segments.
+  explicit SnapshotSeries(int num_segments) : num_segments_(num_segments) {}
+
+  int num_segments() const { return num_segments_; }
+  int num_snapshots() const { return static_cast<int>(snapshots_.size()); }
+
+  /// Appends a snapshot; densities must have num_segments() entries and the
+  /// timestamp must be strictly increasing.
+  Status Append(double timestamp_seconds, std::vector<double> densities);
+
+  double timestamp(int t) const { return timestamps_[t]; }
+  const std::vector<double>& densities(int t) const { return snapshots_[t]; }
+
+  /// Mean density over all segments at snapshot t (the network-level
+  /// congestion curve).
+  double MeanDensity(int t) const;
+
+  /// Per-segment temporal mean across all snapshots.
+  std::vector<double> SegmentMeans() const;
+
+  /// Per-segment temporal standard deviation across all snapshots; segments
+  /// with high values are the ones whose congestion regime changes.
+  std::vector<double> SegmentStdDevs() const;
+
+  /// L1 distance between consecutive snapshots, normalized by segment count
+  /// (0 for t = 0) — a cheap change-detection signal.
+  double ChangeFrom(int t) const;
+
+  /// Index of the snapshot with the highest mean density (the peak).
+  int PeakSnapshot() const;
+
+ private:
+  int num_segments_;
+  std::vector<double> timestamps_;
+  std::vector<std::vector<double>> snapshots_;
+};
+
+}  // namespace roadpart
+
+#endif  // ROADPART_TEMPORAL_SNAPSHOT_SERIES_H_

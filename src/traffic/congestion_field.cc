@@ -1,0 +1,116 @@
+#include "traffic/congestion_field.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace roadpart {
+
+CongestionField::CongestionField(const RoadNetwork& network,
+                                 const CongestionFieldOptions& options)
+    : network_(network), options_(options) {
+  Rng rng(options.seed);
+  BoundingBox box = network.Bounds();
+  double diag = std::max(1.0, std::hypot(box.WidthMetres(), box.HeightMetres()));
+  radius_ = std::max(1.0, options.hotspot_radius_fraction * diag);
+
+  for (int h = 0; h < options.num_hotspots; ++h) {
+    hotspots_.push_back({rng.NextDouble(box.min.x, box.max.x),
+                         rng.NextDouble(box.min.y, box.max.y)});
+    phases_.push_back(rng.NextDouble());
+  }
+
+  midpoints_.resize(network.num_segments());
+  noise_.resize(network.num_segments());
+  for (int i = 0; i < network.num_segments(); ++i) {
+    const RoadSegment& s = network.segment(i);
+    midpoints_[i] = Lerp(network.intersection(s.from).position,
+                         network.intersection(s.to).position, 0.5);
+    // Multiplicative noise centred on 1 with the requested spread, floored
+    // so densities stay positive.
+    noise_[i] = std::max(
+        0.05, 1.0 + options.noise_fraction * rng.NextGaussian());
+  }
+}
+
+std::vector<double> CongestionField::DensitiesAt(double time01) const {
+  std::vector<double> densities(network_.num_segments(), 0.0);
+  std::vector<double> amplitude(hotspots_.size(), options_.hotspot_peak_vpm);
+  if (time01 >= 0.0) {
+    for (size_t h = 0; h < hotspots_.size(); ++h) {
+      // Raised cosine centred on the hotspot's phase: amplitude in [0, peak].
+      double delta = time01 - phases_[h];
+      delta -= std::round(delta);  // wrap to [-0.5, 0.5]
+      amplitude[h] =
+          options_.hotspot_peak_vpm * 0.5 * (1.0 + std::cos(2.0 * M_PI * delta));
+    }
+  }
+  if (options_.voronoi_tiling && !hotspots_.empty()) {
+    // Each hotspot carries a distinct congestion level; a segment takes the
+    // level of its nearest centre (modulated by the centre's amplitude).
+    const size_t nh = hotspots_.size();
+    for (int i = 0; i < network_.num_segments(); ++i) {
+      size_t nearest = 0;
+      double best = Distance(midpoints_[i], hotspots_[0]);
+      for (size_t h = 1; h < nh; ++h) {
+        double dist = Distance(midpoints_[i], hotspots_[h]);
+        if (dist < best) {
+          best = dist;
+          nearest = h;
+        }
+      }
+      double level_frac =
+          nh > 1 ? static_cast<double>(nearest) / (nh - 1) : 1.0;
+      double d = options_.base_density_vpm +
+                 level_frac * amplitude[nearest];
+      densities[i] = std::max(0.0, d * noise_[i]);
+    }
+    return densities;
+  }
+  const double p = options_.falloff_exponent;
+  for (int i = 0; i < network_.num_segments(); ++i) {
+    double d = options_.base_density_vpm;
+    for (size_t h = 0; h < hotspots_.size(); ++h) {
+      double dist = Distance(midpoints_[i], hotspots_[h]);
+      d += amplitude[h] * std::exp(-0.5 * std::pow(dist / radius_, p));
+    }
+    densities[i] = std::max(0.0, d * noise_[i]);
+  }
+  return densities;
+}
+
+std::vector<int> CongestionField::DominantHotspot() const {
+  std::vector<int> dominant(network_.num_segments(), -1);
+  if (options_.voronoi_tiling && !hotspots_.empty()) {
+    for (int i = 0; i < network_.num_segments(); ++i) {
+      size_t nearest = 0;
+      double best = Distance(midpoints_[i], hotspots_[0]);
+      for (size_t h = 1; h < hotspots_.size(); ++h) {
+        double dist = Distance(midpoints_[i], hotspots_[h]);
+        if (dist < best) {
+          best = dist;
+          nearest = h;
+        }
+      }
+      dominant[i] = static_cast<int>(nearest);
+    }
+    return dominant;
+  }
+  for (int i = 0; i < network_.num_segments(); ++i) {
+    double best = options_.base_density_vpm;
+    for (size_t h = 0; h < hotspots_.size(); ++h) {
+      double dist = Distance(midpoints_[i], hotspots_[h]);
+      double contrib =
+          options_.hotspot_peak_vpm *
+          std::exp(-0.5 * std::pow(dist / radius_, options_.falloff_exponent));
+      if (contrib > best) {
+        best = contrib;
+        dominant[i] = static_cast<int>(h);
+      }
+    }
+  }
+  return dominant;
+}
+
+}  // namespace roadpart

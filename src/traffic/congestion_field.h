@@ -1,0 +1,70 @@
+#ifndef ROADPART_TRAFFIC_CONGESTION_FIELD_H_
+#define ROADPART_TRAFFIC_CONGESTION_FIELD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "network/geometry.h"
+#include "network/road_network.h"
+
+namespace roadpart {
+
+/// Options for the synthetic congestion field.
+struct CongestionFieldOptions {
+  int num_hotspots = 4;
+  double base_density_vpm = 0.01;   ///< ambient vehicles/metre
+  double hotspot_peak_vpm = 0.12;   ///< extra density at a hotspot centre
+  double hotspot_radius_fraction = 0.18;  ///< of the network diagonal
+  double noise_fraction = 0.10;     ///< multiplicative lognormal-ish noise
+  /// Radial falloff exponent p in exp(-0.5 (d/r)^p). p = 2 is a plain
+  /// Gaussian; the default p = 4 (super-Gaussian) gives a flat congested
+  /// plateau with a sharp edge, matching the jammed-core / free-periphery
+  /// contrast of peak-hour microsimulation data (the paper's D1 input).
+  double falloff_exponent = 4.0;
+  /// When true, the field is a *tiling*: every segment takes the congestion
+  /// level of its nearest hotspot centre (levels spread between base and
+  /// base+peak), so distinct-density regions cover the whole network — the
+  /// structure of city-wide rush-hour data (every area has *some* congestion
+  /// level), as opposed to isolated hotspots over an empty background.
+  bool voronoi_tiling = false;
+  uint64_t seed = 1;
+};
+
+/// Fast, repeatable generator of spatially correlated congestion: a handful
+/// of Gaussian hotspots (city centre, stations, …) over an ambient base.
+/// Used where the full micro-simulation is unnecessary; it produces the same
+/// kind of input the partitioner consumes (one density per segment) with
+/// controllable spatial structure, so partitions exist to be found.
+class CongestionField {
+ public:
+  CongestionField(const RoadNetwork& network,
+                  const CongestionFieldOptions& options);
+
+  /// Densities at a time-of-day phase `time01` in [0,1]: each hotspot's
+  /// amplitude follows a raised-cosine peak with its own phase, emulating
+  /// morning/evening waves. `time01 < 0` disables modulation (static field).
+  std::vector<double> DensitiesAt(double time01) const;
+
+  /// Static field (all hotspots at full amplitude).
+  std::vector<double> Densities() const { return DensitiesAt(-1.0); }
+
+  const std::vector<Point>& hotspots() const { return hotspots_; }
+
+  /// Ground-truth hotspot id per segment (nearest dominant hotspot, or -1
+  /// when the base density dominates) — used by recovery tests.
+  std::vector<int> DominantHotspot() const;
+
+ private:
+  const RoadNetwork& network_;
+  CongestionFieldOptions options_;
+  std::vector<Point> hotspots_;
+  std::vector<double> phases_;       // per-hotspot temporal phase
+  std::vector<Point> midpoints_;     // per-segment geometric midpoint
+  std::vector<double> noise_;        // per-segment multiplicative noise
+  double radius_ = 1.0;
+};
+
+}  // namespace roadpart
+
+#endif  // ROADPART_TRAFFIC_CONGESTION_FIELD_H_

@@ -1,0 +1,114 @@
+#include "traffic/density_mapper.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace roadpart {
+
+namespace {
+
+// Distance from point p to the closed segment a-b.
+double PointSegmentDistance(const Point& p, const Point& a, const Point& b) {
+  double dx = b.x - a.x;
+  double dy = b.y - a.y;
+  double len2 = dx * dx + dy * dy;
+  double t = 0.0;
+  if (len2 > 0.0) {
+    t = ((p.x - a.x) * dx + (p.y - a.y) * dy) / len2;
+    t = std::clamp(t, 0.0, 1.0);
+  }
+  double px = a.x + t * dx;
+  double py = a.y + t * dy;
+  return std::hypot(p.x - px, p.y - py);
+}
+
+}  // namespace
+
+DensityMapper::DensityMapper(const RoadNetwork& network) : network_(network) {
+  BoundingBox box = network.Bounds();
+  origin_ = box.min;
+  const int ns = network.num_segments();
+  // Aim for a handful of segments per cell.
+  double area = std::max(box.AreaSqMetres(), 1.0);
+  cell_ = std::max(1.0, std::sqrt(area / std::max(ns, 1)) * 2.0);
+  gx_ = std::max(1, static_cast<int>(box.WidthMetres() / cell_) + 1);
+  gy_ = std::max(1, static_cast<int>(box.HeightMetres() / cell_) + 1);
+  buckets_.assign(static_cast<size_t>(gx_) * gy_, {});
+
+  // Register each segment in every cell its bounding box overlaps (segments
+  // are short relative to cells, so this stays near O(1) cells per segment).
+  for (int i = 0; i < ns; ++i) {
+    const RoadSegment& s = network.segment(i);
+    const Point& a = network.intersection(s.from).position;
+    const Point& b = network.intersection(s.to).position;
+    int x0 = std::clamp(static_cast<int>((std::min(a.x, b.x) - origin_.x) / cell_), 0, gx_ - 1);
+    int x1 = std::clamp(static_cast<int>((std::max(a.x, b.x) - origin_.x) / cell_), 0, gx_ - 1);
+    int y0 = std::clamp(static_cast<int>((std::min(a.y, b.y) - origin_.y) / cell_), 0, gy_ - 1);
+    int y1 = std::clamp(static_cast<int>((std::max(a.y, b.y) - origin_.y) / cell_), 0, gy_ - 1);
+    for (int y = y0; y <= y1; ++y) {
+      for (int x = x0; x <= x1; ++x) {
+        buckets_[static_cast<size_t>(y) * gx_ + x].push_back(i);
+      }
+    }
+  }
+}
+
+double DensityMapper::SegmentDistance(int segment_id, const Point& p) const {
+  const RoadSegment& s = network_.segment(segment_id);
+  return PointSegmentDistance(p, network_.intersection(s.from).position,
+                              network_.intersection(s.to).position);
+}
+
+int DensityMapper::NearestSegment(const Point& p) const {
+  if (network_.num_segments() == 0) return -1;
+  int cx = std::clamp(static_cast<int>((p.x - origin_.x) / cell_), 0, gx_ - 1);
+  int cy = std::clamp(static_cast<int>((p.y - origin_.y) / cell_), 0, gy_ - 1);
+
+  int best = -1;
+  double best_dist = std::numeric_limits<double>::infinity();
+  const int max_ring = std::max(gx_, gy_);
+  for (int ring = 0; ring <= max_ring; ++ring) {
+    // Once a hit exists and the ring's nearest possible distance exceeds it,
+    // stop.
+    if (best >= 0 && (ring - 1) * cell_ > best_dist) break;
+    bool any_cell = false;
+    for (int y = cy - ring; y <= cy + ring; ++y) {
+      if (y < 0 || y >= gy_) continue;
+      for (int x = cx - ring; x <= cx + ring; ++x) {
+        if (x < 0 || x >= gx_) continue;
+        // Only the ring boundary (interior already visited).
+        if (ring > 0 && std::abs(x - cx) != ring && std::abs(y - cy) != ring) {
+          continue;
+        }
+        any_cell = true;
+        for (int seg : buckets_[static_cast<size_t>(y) * gx_ + x]) {
+          double d = SegmentDistance(seg, p);
+          if (d < best_dist || (d == best_dist && seg < best)) {
+            best_dist = d;
+            best = seg;
+          }
+        }
+      }
+    }
+    if (!any_cell && ring > std::max(gx_, gy_)) break;
+  }
+  return best;
+}
+
+std::vector<double> DensityMapper::ComputeDensities(
+    const std::vector<Point>& vehicle_positions) const {
+  std::vector<double> densities(network_.num_segments(), 0.0);
+  for (const Point& p : vehicle_positions) {
+    int seg = NearestSegment(p);
+    if (seg >= 0) densities[seg] += 1.0;
+  }
+  for (int i = 0; i < network_.num_segments(); ++i) {
+    densities[i] /= network_.segment(i).length;
+  }
+  return densities;
+}
+
+}  // namespace roadpart

@@ -1,0 +1,133 @@
+#include "traffic/microsim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "traffic/router.h"
+
+namespace roadpart {
+
+namespace {
+
+struct VehicleState {
+  Route route;
+  int leg = 0;               // index into route.segment_ids
+  double offset_metres = 0.0;
+  double departure = 0.0;
+  bool departed = false;
+  bool finished = false;
+};
+
+}  // namespace
+
+Result<SimulationResult> RunMicrosim(const RoadNetwork& network,
+                                     const std::vector<Trip>& trips,
+                                     const MicrosimOptions& options) {
+  if (options.step_seconds <= 0.0 || options.total_seconds <= 0.0 ||
+      options.record_every_seconds <= 0.0) {
+    return Status::InvalidArgument("time parameters must be positive");
+  }
+  if (options.jam_density_vpm <= 0.0 || options.free_speed_mps <= 0.0) {
+    return Status::InvalidArgument("traffic parameters must be positive");
+  }
+
+  Router router(network);
+  std::vector<VehicleState> vehicles;
+  vehicles.reserve(trips.size());
+  int unroutable = 0;
+  for (const Trip& trip : trips) {
+    auto route = router.ShortestPath(trip.origin, trip.destination);
+    if (!route.ok() || route->segment_ids.empty()) {
+      ++unroutable;
+      continue;
+    }
+    VehicleState v;
+    v.route = std::move(route).value();
+    v.departure = trip.departure_seconds;
+    vehicles.push_back(std::move(v));
+  }
+  if (unroutable > 0) {
+    RP_LOG(Debug) << unroutable << " trips had no route and were dropped";
+  }
+
+  const int ns = network.num_segments();
+  std::vector<int> occupancy(ns, 0);  // vehicles currently on each segment
+  std::vector<double> seg_length(ns);
+  for (int i = 0; i < ns; ++i) seg_length[i] = network.segment(i).length;
+
+  SimulationResult result;
+  double next_record = options.record_every_seconds;
+
+  auto record_snapshot = [&]() {
+    std::vector<double> dens(ns, 0.0);
+    for (int i = 0; i < ns; ++i) {
+      dens[i] = occupancy[i] / seg_length[i];
+    }
+    result.densities.push_back(std::move(dens));
+    if (options.record_positions) {
+      std::vector<Point> pos;
+      for (const VehicleState& v : vehicles) {
+        if (!v.departed || v.finished) continue;
+        const RoadSegment& s = network.segment(v.route.segment_ids[v.leg]);
+        double t = std::clamp(v.offset_metres / s.length, 0.0, 1.0);
+        pos.push_back(Lerp(network.intersection(s.from).position,
+                           network.intersection(s.to).position, t));
+      }
+      result.positions.push_back(std::move(pos));
+    }
+  };
+
+  for (double now = 0.0; now < options.total_seconds;
+       now += options.step_seconds) {
+    // Departures.
+    for (VehicleState& v : vehicles) {
+      if (!v.departed && !v.finished && v.departure <= now) {
+        v.departed = true;
+        v.leg = 0;
+        v.offset_metres = 0.0;
+        occupancy[v.route.segment_ids[0]]++;
+      }
+    }
+
+    // Movement: speed from the density at the start of the step.
+    for (VehicleState& v : vehicles) {
+      if (!v.departed || v.finished) continue;
+      double budget = options.step_seconds;
+      while (budget > 0.0 && !v.finished) {
+        int seg_id = v.route.segment_ids[v.leg];
+        double k = occupancy[seg_id] / seg_length[seg_id];
+        double frac = std::max(options.min_speed_fraction,
+                               1.0 - k / options.jam_density_vpm);
+        double speed = options.free_speed_mps * frac;
+        double remaining = seg_length[seg_id] - v.offset_metres;
+        double step_dist = speed * budget;
+        if (step_dist < remaining) {
+          v.offset_metres += step_dist;
+          budget = 0.0;
+        } else {
+          budget -= remaining / speed;
+          occupancy[seg_id]--;
+          ++v.leg;
+          if (v.leg >= static_cast<int>(v.route.segment_ids.size())) {
+            v.finished = true;
+            ++result.completed_trips;
+          } else {
+            occupancy[v.route.segment_ids[v.leg]]++;
+            v.offset_metres = 0.0;
+          }
+        }
+      }
+    }
+
+    if (now + options.step_seconds >= next_record) {
+      record_snapshot();
+      next_record += options.record_every_seconds;
+    }
+  }
+
+  if (result.densities.empty()) record_snapshot();
+  return result;
+}
+
+}  // namespace roadpart

@@ -1,0 +1,47 @@
+#ifndef ROADPART_TRAFFIC_MICROSIM_H_
+#define ROADPART_TRAFFIC_MICROSIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "network/geometry.h"
+#include "network/road_network.h"
+#include "traffic/trip_generator.h"
+
+namespace roadpart {
+
+/// Options for the discrete-time traffic micro-simulator. Speeds follow the
+/// Greenshields relation v = v_free * max(v_min_frac, 1 - k / k_jam) with k
+/// the instantaneous density of the occupied segment, so congestion feeds
+/// back into travel times (queues grow behind hotspots).
+struct MicrosimOptions {
+  double step_seconds = 2.0;
+  double record_every_seconds = 120.0;  ///< paper's D1 used 2-minute intervals
+  double total_seconds = 3600.0;
+  double free_speed_mps = 13.9;       ///< ~50 km/h urban
+  double jam_density_vpm = 0.15;      ///< vehicles per metre at standstill
+  double min_speed_fraction = 0.05;   ///< crawl floor, keeps the sim live
+  bool record_positions = false;      ///< also emit (x,y) vehicle snapshots
+};
+
+/// Simulation output: one density vector per recorded timestamp (and
+/// optionally the raw vehicle positions, for exercising DensityMapper).
+struct SimulationResult {
+  /// densities[t][segment] in vehicles/metre.
+  std::vector<std::vector<double>> densities;
+  /// positions[t] = active-vehicle planar positions (empty unless requested).
+  std::vector<std::vector<Point>> positions;
+  /// Trips that finished within the horizon.
+  int completed_trips = 0;
+};
+
+/// Runs the micro-simulation of `trips` over `network`. Routes are computed
+/// once at departure with the given router (shortest by length).
+Result<SimulationResult> RunMicrosim(const RoadNetwork& network,
+                                     const std::vector<Trip>& trips,
+                                     const MicrosimOptions& options);
+
+}  // namespace roadpart
+
+#endif  // ROADPART_TRAFFIC_MICROSIM_H_

@@ -1,0 +1,62 @@
+#include "traffic/router.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/string_util.h"
+
+namespace roadpart {
+
+Result<Route> Router::ShortestPath(int from_intersection,
+                                   int to_intersection) const {
+  const int ni = network_.num_intersections();
+  if (from_intersection < 0 || from_intersection >= ni || to_intersection < 0 ||
+      to_intersection >= ni) {
+    return Status::OutOfRange("intersection id out of range");
+  }
+  if (from_intersection == to_intersection) return Route{};
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(ni, kInf);
+  std::vector<int> via_segment(ni, -1);  // segment used to reach node
+  using Item = std::pair<double, int>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap;
+  dist[from_intersection] = 0.0;
+  heap.push({0.0, from_intersection});
+
+  while (!heap.empty()) {
+    auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) continue;
+    if (u == to_intersection) break;
+    for (int seg_id : network_.SegmentsFrom(u)) {
+      const RoadSegment& s = network_.segment(seg_id);
+      double nd = d + s.length;
+      if (nd < dist[s.to]) {
+        dist[s.to] = nd;
+        via_segment[s.to] = seg_id;
+        heap.push({nd, s.to});
+      }
+    }
+  }
+
+  if (via_segment[to_intersection] == -1) {
+    return Status::NotFound(
+        StrPrintf("no route from %d to %d", from_intersection,
+                  to_intersection));
+  }
+
+  Route route;
+  route.length_metres = dist[to_intersection];
+  int at = to_intersection;
+  while (at != from_intersection) {
+    int seg_id = via_segment[at];
+    route.segment_ids.push_back(seg_id);
+    at = network_.segment(seg_id).from;
+  }
+  std::reverse(route.segment_ids.begin(), route.segment_ids.end());
+  return route;
+}
+
+}  // namespace roadpart

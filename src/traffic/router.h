@@ -1,0 +1,34 @@
+#ifndef ROADPART_TRAFFIC_ROUTER_H_
+#define ROADPART_TRAFFIC_ROUTER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "network/road_network.h"
+
+namespace roadpart {
+
+/// A directed route through the network as a sequence of segment ids.
+struct Route {
+  std::vector<int> segment_ids;
+  double length_metres = 0.0;
+};
+
+/// Shortest-path router over the directed segment graph (Dijkstra by
+/// length). The referenced network must outlive the router.
+class Router {
+ public:
+  explicit Router(const RoadNetwork& network) : network_(network) {}
+
+  /// Shortest directed route between two intersections; NotFound when the
+  /// destination is unreachable.
+  Result<Route> ShortestPath(int from_intersection,
+                             int to_intersection) const;
+
+ private:
+  const RoadNetwork& network_;
+};
+
+}  // namespace roadpart
+
+#endif  // ROADPART_TRAFFIC_ROUTER_H_

@@ -1,0 +1,81 @@
+#include "traffic/trip_generator.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "traffic/router.h"
+
+namespace roadpart {
+
+Result<TripSet> GenerateTrips(const RoadNetwork& network,
+                              const TripGeneratorOptions& options) {
+  if (network.num_intersections() < 2) {
+    return Status::InvalidArgument("network too small for trips");
+  }
+  if (options.num_vehicles < 0) {
+    return Status::InvalidArgument("negative vehicle count");
+  }
+  if (options.hotspot_bias < 0.0 || options.hotspot_bias > 1.0) {
+    return Status::InvalidArgument("hotspot_bias must be in [0,1]");
+  }
+
+  Rng rng(options.seed);
+  const int ni = network.num_intersections();
+  BoundingBox box = network.Bounds();
+  const double diag = std::hypot(box.WidthMetres(), box.HeightMetres());
+  const double radius = std::max(1.0, options.hotspot_radius_fraction * diag);
+
+  TripSet out;
+  for (int h = 0; h < options.num_hotspots; ++h) {
+    out.hotspots.push_back({rng.NextDouble(box.min.x, box.max.x),
+                            rng.NextDouble(box.min.y, box.max.y)});
+  }
+
+  // Precompute, per hotspot, sampling weights over intersections that decay
+  // with distance from the hotspot.
+  std::vector<std::vector<double>> hotspot_weights(out.hotspots.size());
+  for (size_t h = 0; h < out.hotspots.size(); ++h) {
+    hotspot_weights[h].resize(ni);
+    for (int i = 0; i < ni; ++i) {
+      double d = Distance(network.intersection(i).position, out.hotspots[h]);
+      hotspot_weights[h][i] = std::exp(-0.5 * (d / radius) * (d / radius));
+    }
+  }
+
+  Router router(network);
+  int unroutable_kept = 0;
+  out.trips.reserve(options.num_vehicles);
+  for (int v = 0; v < options.num_vehicles; ++v) {
+    Trip trip;
+    const int attempts =
+        options.require_routable ? std::max(1, options.max_route_attempts) : 1;
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+      trip.origin = static_cast<int>(rng.NextBounded(ni));
+      if (!out.hotspots.empty() && rng.NextDouble() < options.hotspot_bias) {
+        size_t h = rng.NextBounded(out.hotspots.size());
+        trip.destination =
+            static_cast<int>(rng.NextWeighted(hotspot_weights[h]));
+      } else {
+        trip.destination = static_cast<int>(rng.NextBounded(ni));
+      }
+      if (trip.destination == trip.origin) {
+        trip.destination = (trip.destination + 1) % ni;
+      }
+      if (!options.require_routable ||
+          router.ShortestPath(trip.origin, trip.destination).ok()) {
+        break;
+      }
+      if (attempt + 1 == attempts) ++unroutable_kept;
+    }
+    trip.departure_seconds = rng.NextDouble(0.0, options.horizon_seconds);
+    out.trips.push_back(trip);
+  }
+  if (unroutable_kept > 0) {
+    RP_LOG(Debug) << unroutable_kept
+                  << " trips stayed unroutable after resampling";
+  }
+  return out;
+}
+
+}  // namespace roadpart

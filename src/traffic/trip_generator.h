@@ -1,0 +1,50 @@
+#ifndef ROADPART_TRAFFIC_TRIP_GENERATOR_H_
+#define ROADPART_TRAFFIC_TRIP_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "network/geometry.h"
+#include "network/road_network.h"
+
+namespace roadpart {
+
+/// One vehicle's travel demand.
+struct Trip {
+  int origin = 0;            ///< intersection id
+  int destination = 0;       ///< intersection id
+  double departure_seconds = 0.0;
+};
+
+/// Options for the MNTG-substitute demand generator. Destinations are biased
+/// towards a set of attraction hotspots (CBD, stations, …) so the resulting
+/// congestion is spatially structured, as in real urban traffic.
+struct TripGeneratorOptions {
+  int num_vehicles = 1000;
+  double horizon_seconds = 3600.0;  ///< departures uniform in [0, horizon)
+  int num_hotspots = 3;
+  double hotspot_bias = 0.7;  ///< probability a destination is hotspot-drawn
+  double hotspot_radius_fraction = 0.15;  ///< of the network diagonal
+  /// Resample origin/destination pairs until a directed route exists (up to
+  /// `max_route_attempts` tries per vehicle). Synthetic one-way assignments
+  /// can leave intersection pairs unreachable; real travel demand only
+  /// exists between reachable places, so this is on by default.
+  bool require_routable = true;
+  int max_route_attempts = 25;
+  uint64_t seed = 1;
+};
+
+/// Generated demand plus the hotspot centres used (for inspection/plots).
+struct TripSet {
+  std::vector<Trip> trips;
+  std::vector<Point> hotspots;
+};
+
+/// Generates random trips over the network.
+Result<TripSet> GenerateTrips(const RoadNetwork& network,
+                              const TripGeneratorOptions& options);
+
+}  // namespace roadpart
+
+#endif  // ROADPART_TRAFFIC_TRIP_GENERATOR_H_

@@ -1,0 +1,99 @@
+// End-to-end test of the roadpart_cli binary (path injected by CMake as
+// RP_CLI_PATH): generate -> mine -> simulate -> partition -> evaluate ->
+// sweep, all through the real command-line surface.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace roadpart {
+namespace {
+
+#ifndef RP_CLI_PATH
+#define RP_CLI_PATH "roadpart_cli"
+#endif
+
+int RunCli(const std::string& args) {
+  std::string command = std::string(RP_CLI_PATH) + " " + args +
+                        " > /dev/null 2>&1";
+  return std::system(command.c_str());
+}
+
+bool FileNonEmpty(const std::string& path) {
+  std::ifstream in(path);
+  return in.good() && in.peek() != std::ifstream::traits_type::eof();
+}
+
+class CliWorkflowTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = testing::TempDir();
+    net_ = dir_ + "/cli_city.net";
+    ASSERT_EQ(RunCli("generate --preset=D1 --seed=3 " + net_), 0);
+    ASSERT_TRUE(FileNonEmpty(net_));
+  }
+
+  std::string dir_;
+  std::string net_;
+};
+
+TEST_F(CliWorkflowTest, PartitionAndEvaluate) {
+  std::string csv = dir_ + "/cli_partition.csv";
+  EXPECT_EQ(RunCli("partition --scheme=ASG --k=5 " + net_ + " " + csv), 0);
+  EXPECT_TRUE(FileNonEmpty(csv));
+  EXPECT_EQ(RunCli("evaluate " + net_ + " " + csv), 0);
+  std::remove(csv.c_str());
+}
+
+TEST_F(CliWorkflowTest, MineWritesSupergraph) {
+  std::string sg = dir_ + "/cli_city.sg";
+  EXPECT_EQ(RunCli("mine " + net_ + " " + sg), 0);
+  EXPECT_TRUE(FileNonEmpty(sg));
+  std::remove(sg.c_str());
+}
+
+TEST_F(CliWorkflowTest, SimulateWritesDensities) {
+  std::string densities = dir_ + "/cli.densities";
+  EXPECT_EQ(
+      RunCli("simulate --vehicles=500 --horizon=600 " + net_ + " " + densities),
+      0);
+  EXPECT_TRUE(FileNonEmpty(densities));
+  std::remove(densities.c_str());
+}
+
+TEST_F(CliWorkflowTest, SeriesAndAnalyze) {
+  std::string series = dir_ + "/cli_series.csv";
+  std::string densities = dir_ + "/cli2.densities";
+  EXPECT_EQ(RunCli("simulate --vehicles=400 --horizon=600 --interval=200 "
+                   "--series=" +
+                   series + " " + net_ + " " + densities),
+            0);
+  EXPECT_TRUE(FileNonEmpty(series));
+  EXPECT_EQ(RunCli("analyze --scheme=ASG --k=3 " + net_ + " " + series), 0);
+  std::remove(series.c_str());
+  std::remove(densities.c_str());
+}
+
+TEST_F(CliWorkflowTest, SweepRuns) {
+  EXPECT_EQ(RunCli("sweep --scheme=ASG --kmin=2 --kmax=4 " + net_), 0);
+}
+
+TEST_F(CliWorkflowTest, BadInputsFailCleanly) {
+  EXPECT_NE(RunCli("partition --scheme=BOGUS --k=5 " + net_ + " /tmp/x.csv"), 0);
+  EXPECT_NE(RunCli("generate --preset=XX /tmp/x.net"), 0);
+  EXPECT_NE(RunCli("evaluate /no/such.net /no/such.csv"), 0);
+  EXPECT_NE(RunCli("nonsense"), 0);
+  EXPECT_NE(RunCli(""), 0);
+}
+
+TEST(CliTest, TearDownNetwork) {
+  // Cleanup of the shared network file after the suite (best effort).
+  std::remove((testing::TempDir() + "/cli_city.net").c_str());
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace roadpart

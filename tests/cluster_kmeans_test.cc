@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "cluster/kmeans.h"
+#include "cluster/kmeans1d.h"
+#include "common/rng.h"
+
+namespace roadpart {
+namespace {
+
+// --- KMeans1D ---
+
+TEST(KMeans1DTest, SeparatesObviousClusters) {
+  std::vector<double> values = {0.0, 0.1, 0.2, 10.0, 10.1, 10.2};
+  auto r = KMeans1D(values, 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->assignment[0], r->assignment[1]);
+  EXPECT_EQ(r->assignment[1], r->assignment[2]);
+  EXPECT_EQ(r->assignment[3], r->assignment[4]);
+  EXPECT_NE(r->assignment[0], r->assignment[3]);
+  EXPECT_NEAR(r->means[0], 0.1, 1e-9);
+  EXPECT_NEAR(r->means[1], 10.1, 1e-9);
+  EXPECT_NEAR(r->wcss, 0.04, 1e-9);
+}
+
+TEST(KMeans1DTest, Deterministic) {
+  Rng rng(4);
+  std::vector<double> values;
+  for (int i = 0; i < 500; ++i) values.push_back(rng.NextDouble());
+  auto a = KMeans1D(values, 7);
+  auto b = KMeans1D(values, 7);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->assignment, b->assignment);
+  EXPECT_EQ(a->means, b->means);
+}
+
+TEST(KMeans1DTest, InvalidArgs) {
+  EXPECT_FALSE(KMeans1D({1.0, 2.0}, 0).ok());
+  EXPECT_FALSE(KMeans1D({1.0, 2.0}, 3).ok());
+}
+
+TEST(KMeans1DTest, KEqualsN) {
+  std::vector<double> values = {3.0, 1.0, 2.0};
+  auto r = KMeans1D(values, 3);
+  ASSERT_TRUE(r.ok());
+  // Each point its own cluster; zero WCSS.
+  EXPECT_NEAR(r->wcss, 0.0, 1e-12);
+  std::set<int> distinct(r->assignment.begin(), r->assignment.end());
+  EXPECT_EQ(distinct.size(), 3u);
+}
+
+TEST(KMeans1DTest, DuplicateValues) {
+  std::vector<double> values(20, 5.0);
+  values.push_back(9.0);
+  auto r = KMeans1D(values, 2);
+  ASSERT_TRUE(r.ok());
+  // All 5.0s together, the 9.0 alone.
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(r->assignment[i], r->assignment[0]);
+  EXPECT_NE(r->assignment[20], r->assignment[0]);
+}
+
+TEST(KMeans1DTest, MeansSortedAscending) {
+  Rng rng(8);
+  std::vector<double> values;
+  for (int i = 0; i < 300; ++i) values.push_back(rng.NextGaussian());
+  auto r = KMeans1D(values, 5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(std::is_sorted(r->means.begin(), r->means.end()));
+}
+
+TEST(KMeans1DTest, AssignmentConsistentWithNearestMean) {
+  Rng rng(15);
+  std::vector<double> values;
+  for (int i = 0; i < 200; ++i) values.push_back(rng.NextDouble(0, 10));
+  auto r = KMeans1D(values, 4);
+  ASSERT_TRUE(r.ok());
+  for (size_t i = 0; i < values.size(); ++i) {
+    double assigned = std::fabs(values[i] - r->means[r->assignment[i]]);
+    for (double m : r->means) {
+      EXPECT_LE(assigned, std::fabs(values[i] - m) + 1e-9);
+    }
+  }
+}
+
+class KMeans1DSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(KMeans1DSweep, WcssDecreasesWithK) {
+  Rng rng(100 + GetParam());
+  std::vector<double> values;
+  for (int i = 0; i < 400; ++i) values.push_back(rng.NextGaussian(0, 3));
+  double prev = HUGE_VAL;
+  for (int k = 1; k <= GetParam(); ++k) {
+    auto r = KMeans1D(values, k);
+    ASSERT_TRUE(r.ok());
+    EXPECT_LE(r->wcss, prev + 1e-6) << "k=" << k;
+    prev = r->wcss;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MaxK, KMeans1DSweep, ::testing::Values(4, 8, 16));
+
+// --- KMeansRows ---
+
+DenseMatrix ThreeBlobs(int per_blob, uint64_t seed) {
+  Rng rng(seed);
+  DenseMatrix pts(3 * per_blob, 2);
+  const double centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  for (int b = 0; b < 3; ++b) {
+    for (int i = 0; i < per_blob; ++i) {
+      pts(b * per_blob + i, 0) = centers[b][0] + rng.NextGaussian() * 0.3;
+      pts(b * per_blob + i, 1) = centers[b][1] + rng.NextGaussian() * 0.3;
+    }
+  }
+  return pts;
+}
+
+TEST(KMeansRowsTest, RecoversBlobs) {
+  DenseMatrix pts = ThreeBlobs(30, 21);
+  KMeansOptions opt;
+  opt.seed = 5;
+  auto r = KMeansRows(pts, 3, opt);
+  ASSERT_TRUE(r.ok());
+  // Each blob must be pure.
+  for (int b = 0; b < 3; ++b) {
+    int label = r->assignment[b * 30];
+    for (int i = 0; i < 30; ++i) EXPECT_EQ(r->assignment[b * 30 + i], label);
+  }
+  // And the three labels distinct.
+  std::set<int> labels = {r->assignment[0], r->assignment[30],
+                          r->assignment[60]};
+  EXPECT_EQ(labels.size(), 3u);
+}
+
+TEST(KMeansRowsTest, SeedReproducible) {
+  DenseMatrix pts = ThreeBlobs(20, 22);
+  KMeansOptions opt;
+  opt.seed = 77;
+  auto a = KMeansRows(pts, 3, opt);
+  auto b = KMeansRows(pts, 3, opt);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->assignment, b->assignment);
+}
+
+TEST(KMeansRowsTest, InvalidArgs) {
+  DenseMatrix pts(3, 2);
+  EXPECT_FALSE(KMeansRows(pts, 0).ok());
+  EXPECT_FALSE(KMeansRows(pts, 4).ok());
+  KMeansOptions opt;
+  opt.restarts = 0;
+  EXPECT_FALSE(KMeansRows(pts, 2, opt).ok());
+}
+
+TEST(KMeansRowsTest, NoEmptyClusters) {
+  // Heavy duplication tempts empty clusters; the re-seeding must prevent
+  // them.
+  DenseMatrix pts(50, 1);
+  for (int i = 0; i < 48; ++i) pts(i, 0) = 1.0;
+  pts(48, 0) = 5.0;
+  pts(49, 0) = 9.0;
+  KMeansOptions opt;
+  opt.seed = 2;
+  auto r = KMeansRows(pts, 3, opt);
+  ASSERT_TRUE(r.ok());
+  std::vector<int> counts(3, 0);
+  for (int a : r->assignment) counts[a]++;
+  for (int c : counts) EXPECT_GT(c, 0);
+}
+
+TEST(KMeansRowsTest, RandomInitAlsoWorks) {
+  DenseMatrix pts = ThreeBlobs(15, 31);
+  KMeansOptions opt;
+  opt.use_kmeanspp = false;
+  opt.restarts = 10;
+  opt.seed = 3;
+  auto r = KMeansRows(pts, 3, opt);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r->wcss, 50.0);
+}
+
+TEST(KMeansRowsTest, MoreRestartsNeverWorse) {
+  DenseMatrix pts = ThreeBlobs(20, 41);
+  KMeansOptions one;
+  one.restarts = 1;
+  one.seed = 7;
+  KMeansOptions many;
+  many.restarts = 8;
+  many.seed = 7;
+  auto a = KMeansRows(pts, 4, one);
+  auto b = KMeansRows(pts, 4, many);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_LE(b->wcss, a->wcss + 1e-9);
+}
+
+TEST(KMeansRowsTest, SingleCluster) {
+  DenseMatrix pts = ThreeBlobs(10, 51);
+  auto r = KMeansRows(pts, 1);
+  ASSERT_TRUE(r.ok());
+  for (int a : r->assignment) EXPECT_EQ(a, 0);
+}
+
+}  // namespace
+}  // namespace roadpart

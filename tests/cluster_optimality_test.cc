@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/kmeans1d.h"
+#include "cluster/optimality.h"
+#include "common/rng.h"
+
+namespace roadpart {
+namespace {
+
+TEST(ClusterErrorSumsTest, HandComputed) {
+  // Two clusters: {0, 2} (mean 1) and {10} (mean 10); global mean 4.
+  std::vector<double> values = {0.0, 2.0, 10.0};
+  std::vector<int> assignment = {0, 0, 1};
+  auto sums = ComputeClusterErrorSums(values, assignment, 2);
+  ASSERT_TRUE(sums.ok());
+  // gain = (2-1)*(1-4)^2 + (1-1)*(10-4)^2 = 9.
+  EXPECT_NEAR(sums->gain, 9.0, 1e-12);
+  // intra = (0-1)^2 + (2-1)^2 + 0 = 2.
+  EXPECT_NEAR(sums->intra_error, 2.0, 1e-12);
+  // inter = (1-4)^2 + (10-4)^2 = 45.
+  EXPECT_NEAR(sums->inter_error, 45.0, 1e-12);
+}
+
+TEST(ClusterErrorSumsTest, Validation) {
+  EXPECT_FALSE(ComputeClusterErrorSums({1.0}, {0, 1}, 2).ok());
+  EXPECT_FALSE(ComputeClusterErrorSums({1.0}, {2}, 2).ok());
+  EXPECT_FALSE(ComputeClusterErrorSums({1.0}, {-1}, 1).ok());
+  EXPECT_FALSE(ComputeClusterErrorSums({1.0}, {0}, 0).ok());
+}
+
+TEST(McgTest, HandComputed) {
+  // Clusters {0, 2} and {10}: Theta1_0 = 9, ratio = 2/(2*9) = 1/9,
+  // Theta2_0 = 1 - log2(1 + 1/9); singleton cluster contributes 0.
+  std::vector<double> values = {0.0, 2.0, 10.0};
+  std::vector<int> assignment = {0, 0, 1};
+  auto mcg = ModeratedClusteringGain(values, assignment, 2);
+  ASSERT_TRUE(mcg.ok());
+  double expected = 9.0 * (1.0 - std::log2(1.0 + 1.0 / 9.0));
+  EXPECT_NEAR(mcg.value(), expected, 1e-12);
+}
+
+TEST(McgTest, PerfectClustersGetFullGain) {
+  // Zero intra error: Theta2 = 1 and MCG equals the clustering gain.
+  std::vector<double> values = {1.0, 1.0, 5.0, 5.0};
+  std::vector<int> assignment = {0, 0, 1, 1};
+  double mcg = ModeratedClusteringGain(values, assignment, 2).value();
+  double gain = ClusteringGain(values, assignment, 2).value();
+  EXPECT_NEAR(mcg, gain, 1e-12);
+  EXPECT_GT(mcg, 0.0);
+}
+
+TEST(McgTest, DiffuseClustersModeratedToZero) {
+  // A cluster whose spread dwarfs its separation has Theta2 clamped to 0.
+  std::vector<double> values = {-10.0, 10.0, 0.5};
+  std::vector<int> assignment = {0, 0, 1};  // cluster 0: mean 0, huge spread
+  double mcg = ModeratedClusteringGain(values, assignment, 2).value();
+  EXPECT_NEAR(mcg, 0.0, 1e-9);
+}
+
+TEST(McgTest, SingleClusterIsZero) {
+  // One cluster: mu_q == mu_0, so Theta1 = 0.
+  std::vector<double> values = {1.0, 2.0, 3.0};
+  std::vector<int> assignment = {0, 0, 0};
+  EXPECT_NEAR(ModeratedClusteringGain(values, assignment, 1).value(), 0.0,
+              1e-12);
+}
+
+TEST(McgTest, ElbowAtTrueK) {
+  // Three well-separated blobs. As the paper's Figure 5 shows, MCG keeps
+  // creeping up with kappa, so the *maximum* is not the signal — the elbow
+  // is: the jump from kappa=2 to the true kappa=3 dwarfs every later
+  // increment (this is exactly what the threshold epsilon_theta captures).
+  Rng rng(33);
+  std::vector<double> values;
+  for (double center : {0.0, 50.0, 100.0}) {
+    for (int i = 0; i < 40; ++i) {
+      values.push_back(center + rng.NextGaussian() * 0.8);
+    }
+  }
+  std::vector<double> mcg_at(8, 0.0);
+  for (int kappa = 2; kappa <= 7; ++kappa) {
+    auto km = KMeans1D(values, kappa).value();
+    mcg_at[kappa] =
+        ModeratedClusteringGain(values, km.assignment, kappa).value();
+  }
+  double jump_to_true = mcg_at[3] - mcg_at[2];
+  EXPECT_GT(jump_to_true, 0.0);
+  for (int kappa = 4; kappa <= 7; ++kappa) {
+    double later_jump = std::fabs(mcg_at[kappa] - mcg_at[kappa - 1]);
+    EXPECT_LT(later_jump, 0.2 * jump_to_true) << "kappa=" << kappa;
+  }
+}
+
+TEST(ClusteringGainTest, GrowsWithSeparation) {
+  std::vector<int> assignment = {0, 0, 1, 1};
+  double near = ClusteringGain({0, 0, 1, 1}, assignment, 2).value();
+  double far = ClusteringGain({0, 0, 9, 9}, assignment, 2).value();
+  EXPECT_GT(far, near);
+}
+
+TEST(ClusteringBalanceTest, PrefersTightClusters) {
+  std::vector<int> assignment = {0, 0, 1, 1};
+  // Tight clusters, same means.
+  double tight = ClusteringBalance({0.0, 0.2, 9.8, 10.0}, assignment, 2).value();
+  double loose = ClusteringBalance({-2.0, 2.2, 7.8, 12.0}, assignment, 2).value();
+  EXPECT_LT(tight, loose);
+}
+
+TEST(OptimalityMeasuresTest, EmptyClusterIdsTolerated) {
+  // Cluster 1 unused: measures must still compute (skipping it).
+  std::vector<double> values = {1.0, 2.0};
+  std::vector<int> assignment = {0, 2};
+  auto mcg = ModeratedClusteringGain(values, assignment, 3);
+  ASSERT_TRUE(mcg.ok());
+  EXPECT_GE(mcg.value(), 0.0);
+}
+
+class McgKappaSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(McgKappaSweep, NonNegativeAndFinite) {
+  Rng rng(500 + GetParam());
+  std::vector<double> values;
+  for (int i = 0; i < 300; ++i) values.push_back(rng.NextDouble(0, 0.2));
+  int kappa = GetParam();
+  auto km = KMeans1D(values, kappa).value();
+  double mcg = ModeratedClusteringGain(values, km.assignment, kappa).value();
+  EXPECT_GE(mcg, 0.0);
+  EXPECT_TRUE(std::isfinite(mcg));
+}
+
+INSTANTIATE_TEST_SUITE_P(Kappas, McgKappaSweep,
+                         ::testing::Values(2, 3, 5, 8, 13, 20, 40));
+
+}  // namespace
+}  // namespace roadpart

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/parallel.h"
+
+namespace roadpart {
+namespace {
+
+TEST(ParallelForTest, CoversEveryIndexOnce) {
+  const int n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  ParallelFor(n, [&](int i) { hits[i].fetch_add(1); });
+  for (int i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelForTest, ZeroAndOneCount) {
+  int calls = 0;
+  ParallelFor(0, [&](int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  ParallelFor(1, [&](int i) {
+    EXPECT_EQ(i, 0);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelForTest, SingleThreadRunsInline) {
+  std::vector<int> order;
+  ParallelFor(5, [&](int i) { order.push_back(i); }, /*num_threads=*/1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, ResultsMatchSequential) {
+  const int n = 5000;
+  std::vector<double> parallel_out(n);
+  std::vector<double> sequential_out(n);
+  auto work = [](int i) { return std::sqrt(static_cast<double>(i) * 13.7); };
+  ParallelFor(n, [&](int i) { parallel_out[i] = work(i); });
+  for (int i = 0; i < n; ++i) sequential_out[i] = work(i);
+  EXPECT_EQ(parallel_out, sequential_out);
+}
+
+TEST(ParallelForTest, MoreThreadsThanWork) {
+  std::vector<std::atomic<int>> hits(3);
+  ParallelFor(3, [&](int i) { hits[i].fetch_add(1); }, /*num_threads=*/64);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelForTest, DefaultParallelismPositive) {
+  EXPECT_GE(DefaultParallelism(), 1);
+}
+
+}  // namespace
+}  // namespace roadpart

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/timer.h"
+#include "core/distributed_repartition.h"
+#include "metrics/validity.h"
+#include "netgen/grid_generator.h"
+#include "traffic/congestion_field.h"
+
+namespace roadpart {
+namespace {
+
+struct Fixture {
+  RoadNetwork network;
+  RoadGraph graph;
+  std::vector<int> initial;
+};
+
+Fixture MakeSetup(uint64_t seed) {
+  GridOptions grid;
+  grid.rows = 10;
+  grid.cols = 10;
+  grid.seed = seed;
+  RoadNetwork net = GenerateGridNetwork(grid).value();
+  CongestionFieldOptions field_opt;
+  field_opt.num_hotspots = 3;
+  field_opt.voronoi_tiling = true;
+  field_opt.seed = seed + 7;
+  CongestionField field(net, field_opt);
+  (void)net.SetDensities(field.Densities());
+  RoadGraph rg = RoadGraph::FromNetwork(net);
+
+  PartitionerOptions options;
+  options.scheme = Scheme::kASG;
+  options.k = 3;
+  options.seed = seed;
+  auto outcome = Partitioner(options).PartitionRoadGraph(rg).value();
+  return {std::move(net), std::move(rg), std::move(outcome.assignment)};
+}
+
+TEST(DistributedRepartitionTest, SplitsEveryRegion) {
+  Fixture s = MakeSetup(5);
+  DistributedRepartitionOptions options;
+  options.partitioner.scheme = Scheme::kAG;
+  options.partitioner.k = 2;
+  options.partitioner.seed = 9;
+  auto result = RepartitionWithinRegions(s.graph, s.initial, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // 3 regions x 2 sub-partitions (regions can fall back to staying whole).
+  EXPECT_GE(result->k_final, 3);
+  EXPECT_LE(result->k_final, 6);
+  EXPECT_EQ(result->regions_repartitioned +
+                (result->k_final - 2 * result->regions_repartitioned),
+            3);
+  EXPECT_TRUE(
+      CheckPartitionValidity(s.graph.adjacency(), result->assignment).ok());
+}
+
+TEST(DistributedRepartitionTest, SubPartitionsNestInsideRegions) {
+  Fixture s = MakeSetup(6);
+  DistributedRepartitionOptions options;
+  options.partitioner.scheme = Scheme::kAG;
+  options.partitioner.k = 2;
+  options.partitioner.seed = 11;
+  auto result = RepartitionWithinRegions(s.graph, s.initial, options);
+  ASSERT_TRUE(result.ok());
+  // A refreshed label never spans two old regions.
+  std::vector<int> owner(result->k_final, -1);
+  for (size_t v = 0; v < s.initial.size(); ++v) {
+    int sub = result->assignment[v];
+    if (owner[sub] == -1) {
+      owner[sub] = s.initial[v];
+    } else {
+      EXPECT_EQ(owner[sub], s.initial[v]) << "node " << v;
+    }
+  }
+}
+
+TEST(DistributedRepartitionTest, KOneKeepsRegions) {
+  Fixture s = MakeSetup(7);
+  DistributedRepartitionOptions options;
+  options.partitioner.k = 1;
+  auto result = RepartitionWithinRegions(s.graph, s.initial, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->k_final, 3);
+  EXPECT_EQ(result->regions_repartitioned, 0);
+}
+
+TEST(DistributedRepartitionTest, TriggerSkipsUniformRegions) {
+  Fixture s = MakeSetup(8);
+  DistributedRepartitionOptions options;
+  options.partitioner.scheme = Scheme::kAG;
+  options.partitioner.k = 2;
+  options.trigger_ratio = 100.0;  // nothing is THAT spread out
+  auto result = RepartitionWithinRegions(s.graph, s.initial, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->regions_repartitioned, 0);
+  EXPECT_EQ(result->k_final, 3);
+}
+
+TEST(DistributedRepartitionTest, Validation) {
+  Fixture s = MakeSetup(9);
+  DistributedRepartitionOptions options;
+  EXPECT_FALSE(RepartitionWithinRegions(s.graph, {0, 1}, options).ok());
+  std::vector<int> negative = s.initial;
+  negative[0] = -1;
+  EXPECT_FALSE(RepartitionWithinRegions(s.graph, negative, options).ok());
+  options.partitioner.k = 0;
+  EXPECT_FALSE(RepartitionWithinRegions(s.graph, s.initial, options).ok());
+}
+
+TEST(DistributedRepartitionTest, FasterThanGlobalRepartitioning) {
+  // The Section 6.4 claim: per-region refresh costs less than a whole-
+  // network partition at comparable granularity.
+  Fixture s = MakeSetup(10);
+  DistributedRepartitionOptions options;
+  options.partitioner.scheme = Scheme::kAG;
+  options.partitioner.k = 2;
+  options.partitioner.seed = 3;
+  auto local = RepartitionWithinRegions(s.graph, s.initial, options);
+  ASSERT_TRUE(local.ok());
+
+  PartitionerOptions global;
+  global.scheme = Scheme::kAG;
+  global.k = local->k_final;
+  global.seed = 3;
+  Timer timer;
+  auto whole = Partitioner(global).PartitionRoadGraph(s.graph);
+  double global_seconds = timer.Seconds();
+  ASSERT_TRUE(whole.ok());
+  // Distributed must not be drastically slower; usually it is much faster
+  // (the test is lenient to stay robust on loaded machines).
+  EXPECT_LT(local->seconds, global_seconds * 2.0 + 0.05);
+}
+
+}  // namespace
+}  // namespace roadpart

@@ -1,0 +1,135 @@
+// Property tests of the supergraph miner over randomized road graphs:
+// invariants of Definitions 6-8 must hold for every input.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "core/supergraph_miner.h"
+#include "graph/connected_components.h"
+#include "netgen/grid_generator.h"
+#include "network/road_graph.h"
+#include "traffic/congestion_field.h"
+
+namespace roadpart {
+namespace {
+
+struct MinerCase {
+  uint64_t seed;
+  double stability_threshold;
+};
+
+class MinerPropertySweep
+    : public ::testing::TestWithParam<std::tuple<uint64_t, double>> {};
+
+TEST_P(MinerPropertySweep, InvariantsHold) {
+  auto [seed, stability] = GetParam();
+  GridOptions grid;
+  grid.rows = 7 + static_cast<int>(seed % 4);
+  grid.cols = 7;
+  grid.seed = seed;
+  RoadNetwork net = GenerateGridNetwork(grid).value();
+  CongestionFieldOptions field_opt;
+  field_opt.num_hotspots = 2 + static_cast<int>(seed % 3);
+  field_opt.voronoi_tiling = (seed % 2) == 0;
+  field_opt.seed = seed * 31 + 1;
+  CongestionField field(net, field_opt);
+  (void)net.SetDensities(field.Densities());
+  RoadGraph rg = RoadGraph::FromNetwork(net);
+
+  SupergraphMinerOptions options;
+  options.stability.threshold = stability;
+  options.seed = seed;
+  SupergraphMiningReport report;
+  auto sg_or = MineSupergraph(rg, options, &report);
+  ASSERT_TRUE(sg_or.ok()) << sg_or.status().ToString();
+  const Supergraph& sg = *sg_or;
+
+  // Members partition V (Definition 6/8).
+  std::set<int> seen;
+  for (const Supernode& sn : sg.supernodes()) {
+    ASSERT_FALSE(sn.members.empty());
+    for (int v : sn.members) {
+      EXPECT_TRUE(seen.insert(v).second);
+      EXPECT_EQ(sg.SupernodeOf(v), &sn - sg.supernodes().data());
+    }
+  }
+  EXPECT_EQ(static_cast<int>(seen.size()), rg.num_nodes());
+
+  // Supernodes are interlinked (connected) in the road graph.
+  for (const Supernode& sn : sg.supernodes()) {
+    EXPECT_TRUE(IsSubsetConnected(rg.adjacency(), sn.members));
+  }
+
+  // Supernode feature range: with a stability pass, features are member
+  // means (inside the member range); without one they are k-means cluster
+  // means, which live inside the global feature range (a component of a
+  // cluster need not straddle the cluster's global mean).
+  double global_lo = *std::min_element(rg.features().begin(),
+                                       rg.features().end());
+  double global_hi = *std::max_element(rg.features().begin(),
+                                       rg.features().end());
+  for (const Supernode& sn : sg.supernodes()) {
+    double lo = global_lo;
+    double hi = global_hi;
+    if (stability > 0.0) {
+      lo = hi = rg.features()[sn.members[0]];
+      for (int v : sn.members) {
+        lo = std::min(lo, rg.features()[v]);
+        hi = std::max(hi, rg.features()[v]);
+      }
+    }
+    EXPECT_GE(sn.feature, lo - 1e-9);
+    EXPECT_LE(sn.feature, hi + 1e-9);
+  }
+
+  // Superlink weights are valid similarities (Definition 8 / Equation 3).
+  const CsrGraph& links = sg.links();
+  for (int s = 0; s < links.num_nodes(); ++s) {
+    for (size_t i = 0; i < links.Neighbors(s).size(); ++i) {
+      double w = links.NeighborWeights(s)[i];
+      EXPECT_GT(w, 0.0);
+      EXPECT_LE(w, 1.0 + 1e-12);
+    }
+  }
+
+  // Superlinks exist iff cross edges exist (Definition 7).
+  std::set<std::pair<int, int>> expected;
+  for (int u = 0; u < rg.num_nodes(); ++u) {
+    for (int v : rg.adjacency().Neighbors(u)) {
+      int p = sg.SupernodeOf(u);
+      int q = sg.SupernodeOf(v);
+      if (p != q) expected.insert({std::min(p, q), std::max(p, q)});
+    }
+  }
+  std::set<std::pair<int, int>> actual;
+  for (int s = 0; s < links.num_nodes(); ++s) {
+    for (int t : links.Neighbors(s)) {
+      if (s < t) actual.insert({s, t});
+    }
+  }
+  EXPECT_EQ(actual, expected);
+
+  // Report is self-consistent.
+  EXPECT_EQ(report.supernodes_after_stability, sg.num_supernodes());
+  EXPECT_GE(report.chosen_kappa, 2);
+  // Stability values in [0, 1]; with a threshold, multi-member supernodes
+  // meet it.
+  for (size_t s = 0; s < report.stability_values.size(); ++s) {
+    EXPECT_GE(report.stability_values[s], 0.0);
+    EXPECT_LE(report.stability_values[s], 1.0);
+    if (stability > 0.0 && sg.supernode(static_cast<int>(s)).members.size() > 1) {
+      EXPECT_GE(report.stability_values[s], stability - 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, MinerPropertySweep,
+    ::testing::Combine(::testing::Values<uint64_t>(1, 2, 3, 5, 8),
+                       ::testing::Values(0.0, 0.9, 0.99)));
+
+}  // namespace
+}  // namespace roadpart

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/ji_geroliminis.h"
+#include "core/normalized_cut.h"
+#include "core/spectral_common.h"
+#include "metrics/validity.h"
+
+namespace roadpart {
+namespace {
+
+CsrGraph TwoCommunities() {
+  std::vector<Edge> edges;
+  for (int base : {0, 5}) {
+    for (int i = 0; i < 5; ++i) {
+      for (int j = i + 1; j < 5; ++j) {
+        edges.push_back({base + i, base + j, 1.0});
+      }
+    }
+  }
+  edges.push_back({4, 5, 0.05});
+  return CsrGraph::FromEdges(10, edges).value();
+}
+
+CsrGraph CliqueRing(int k, int m) {
+  std::vector<Edge> edges;
+  for (int c = 0; c < k; ++c) {
+    int base = c * m;
+    for (int i = 0; i < m; ++i) {
+      for (int j = i + 1; j < m; ++j) {
+        edges.push_back({base + i, base + j, 1.0});
+      }
+    }
+    int next_base = ((c + 1) % k) * m;
+    edges.push_back({base + m - 1, next_base, 0.05});
+  }
+  return CsrGraph::FromEdges(k * m, edges).value();
+}
+
+TEST(NormalizedCutObjectiveTest, HandComputed) {
+  // Path 0-1-2 split {0}/{1,2}: cut = 1, vol({0}) = 1, vol({1,2}) = 3.
+  CsrGraph g = CsrGraph::FromEdges(3, {{0, 1, 1.0}, {1, 2, 1.0}}).value();
+  double ncut = NormalizedCutObjective(g, {0, 1, 1});
+  EXPECT_NEAR(ncut, 1.0 / 1.0 + 1.0 / 3.0, 1e-12);
+}
+
+TEST(NormalizedCutObjectiveTest, GoodSplitLower) {
+  CsrGraph g = TwoCommunities();
+  std::vector<int> good = {0, 0, 0, 0, 0, 1, 1, 1, 1, 1};
+  std::vector<int> bad = {0, 1, 0, 1, 0, 1, 0, 1, 0, 1};
+  EXPECT_LT(NormalizedCutObjective(g, good),
+            NormalizedCutObjective(g, bad));
+}
+
+TEST(NormalizedCutPartitionTest, RecoversTwoCommunities) {
+  CsrGraph g = TwoCommunities();
+  auto cut = NormalizedCutPartition(g, 2);
+  ASSERT_TRUE(cut.ok());
+  EXPECT_EQ(cut->k_final, 2);
+  for (int i = 1; i < 5; ++i) EXPECT_EQ(cut->assignment[i], cut->assignment[0]);
+  for (int i = 6; i < 10; ++i) EXPECT_EQ(cut->assignment[i], cut->assignment[5]);
+  EXPECT_NE(cut->assignment[0], cut->assignment[5]);
+}
+
+TEST(NormalizedCutPartitionTest, ValidAcrossK) {
+  CsrGraph g = CliqueRing(5, 5);
+  for (int k = 2; k <= 5; ++k) {
+    NormalizedCutOptions opt;
+    opt.pipeline.kmeans.seed = 40 + k;
+    auto cut = NormalizedCutPartition(g, k, opt);
+    ASSERT_TRUE(cut.ok()) << "k=" << k;
+    EXPECT_EQ(cut->k_final, k);
+    EXPECT_TRUE(CheckPartitionValidity(g, cut->assignment).ok());
+  }
+}
+
+TEST(NormalizedCutPartitionTest, LanczosPathWorks) {
+  CsrGraph g = CliqueRing(3, 12);
+  NormalizedCutOptions opt;
+  opt.spectral.dense_threshold = 4;  // force Lanczos
+  opt.pipeline.kmeans.seed = 2;
+  auto cut = NormalizedCutPartition(g, 3, opt);
+  ASSERT_TRUE(cut.ok());
+  EXPECT_EQ(cut->k_final, 3);
+  for (int c = 0; c < 3; ++c) {
+    int label = cut->assignment[c * 12];
+    for (int i = 0; i < 12; ++i) EXPECT_EQ(cut->assignment[c * 12 + i], label);
+  }
+}
+
+TEST(NormalizedCutPartitionTest, IsolatedNodeTolerated) {
+  // Node 3 has no edges; the embedding must not blow up on zero degree.
+  CsrGraph g = CsrGraph::FromEdges(4, {{0, 1, 1.0}, {1, 2, 1.0}}).value();
+  NormalizedCutOptions opt;
+  opt.pipeline.enforce_connectivity = false;
+  opt.pipeline.enforce_exact_k = false;
+  auto cut = NormalizedCutPartition(g, 2, opt);
+  ASSERT_TRUE(cut.ok());
+  EXPECT_GE(cut->k_final, 2);
+}
+
+// --- Ji & Geroliminis baseline ---
+
+// A path with three density plateaus.
+struct JigFixture {
+  CsrGraph graph;
+  std::vector<double> features;
+};
+
+JigFixture ThreePlateaus() {
+  const int n = 30;
+  std::vector<Edge> edges;
+  for (int i = 0; i + 1 < n; ++i) edges.push_back({i, i + 1, 1.0});
+  std::vector<double> f(n);
+  for (int i = 0; i < n; ++i) f[i] = (i < 10) ? 0.1 : (i < 20 ? 0.5 : 0.9);
+  return {CsrGraph::FromEdges(n, edges).value(), f};
+}
+
+TEST(JiGeroliminisTest, ProducesKConnectedPartitions) {
+  JigFixture fx = ThreePlateaus();
+  CsrGraph weighted = GaussianWeightedGraph(fx.graph, fx.features);
+  auto cut = JiGeroliminisPartition(weighted, fx.features, 3);
+  ASSERT_TRUE(cut.ok());
+  EXPECT_EQ(cut->k_final, 3);
+  EXPECT_TRUE(CheckPartitionValidity(weighted, cut->assignment).ok());
+}
+
+TEST(JiGeroliminisTest, FindsThePlateaus) {
+  JigFixture fx = ThreePlateaus();
+  CsrGraph weighted = GaussianWeightedGraph(fx.graph, fx.features);
+  auto cut = JiGeroliminisPartition(weighted, fx.features, 3);
+  ASSERT_TRUE(cut.ok());
+  // Interior nodes of each plateau share labels.
+  for (int base : {0, 10, 20}) {
+    for (int i = 2; i < 8; ++i) {
+      EXPECT_EQ(cut->assignment[base + i], cut->assignment[base + 2])
+          << "plateau at " << base;
+    }
+  }
+}
+
+TEST(JiGeroliminisTest, BoundaryAdjustmentImprovesUniformity) {
+  JigFixture fx = ThreePlateaus();
+  CsrGraph weighted = GaussianWeightedGraph(fx.graph, fx.features);
+  JiGeroliminisOptions no_adjust;
+  no_adjust.boundary_rounds = 0;
+  JiGeroliminisOptions adjust;
+  adjust.boundary_rounds = 5;
+  auto a = JiGeroliminisPartition(weighted, fx.features, 3, no_adjust);
+  auto b = JiGeroliminisPartition(weighted, fx.features, 3, adjust);
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto sse = [&](const std::vector<int>& assignment) {
+    std::vector<double> sum(3, 0.0);
+    std::vector<double> sq(3, 0.0);
+    std::vector<int> cnt(3, 0);
+    for (size_t v = 0; v < assignment.size(); ++v) {
+      sum[assignment[v]] += fx.features[v];
+      sq[assignment[v]] += fx.features[v] * fx.features[v];
+      cnt[assignment[v]]++;
+    }
+    double total = 0.0;
+    for (int p = 0; p < 3; ++p) {
+      if (cnt[p]) total += sq[p] - sum[p] * sum[p] / cnt[p];
+    }
+    return total;
+  };
+  EXPECT_LE(sse(b->assignment), sse(a->assignment) + 1e-9);
+}
+
+TEST(JiGeroliminisTest, Validation) {
+  JigFixture fx = ThreePlateaus();
+  CsrGraph weighted = GaussianWeightedGraph(fx.graph, fx.features);
+  std::vector<double> short_features = {1.0};
+  EXPECT_FALSE(JiGeroliminisPartition(weighted, short_features, 3).ok());
+  EXPECT_FALSE(JiGeroliminisPartition(weighted, fx.features, 0).ok());
+  EXPECT_FALSE(JiGeroliminisPartition(weighted, fx.features, 1000).ok());
+}
+
+}  // namespace
+}  // namespace roadpart

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "core/optimal_k.h"
+#include "netgen/grid_generator.h"
+#include "traffic/congestion_field.h"
+
+namespace roadpart {
+namespace {
+
+RoadGraph TiledRoadGraph(int num_regions, uint64_t seed) {
+  GridOptions grid;
+  grid.rows = 10;
+  grid.cols = 10;
+  grid.seed = seed;
+  RoadNetwork net = GenerateGridNetwork(grid).value();
+  CongestionFieldOptions field_opt;
+  field_opt.num_hotspots = num_regions;
+  field_opt.voronoi_tiling = true;
+  field_opt.noise_fraction = 0.03;
+  field_opt.seed = seed + 50;
+  CongestionField field(net, field_opt);
+  (void)net.SetDensities(field.Densities());
+  return RoadGraph::FromNetwork(net);
+}
+
+TEST(FindOptimalKTest, SweepCoversRangeAndPicksMinimum) {
+  RoadGraph rg = TiledRoadGraph(3, 7);
+  OptimalKOptions options;
+  options.partitioner.scheme = Scheme::kASG;
+  options.partitioner.seed = 3;
+  options.k_min = 2;
+  options.k_max = 8;
+  auto result = FindOptimalK(rg, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->sweep.empty());
+  // The reported optimum really is the sweep minimum.
+  for (const KSweepPoint& point : result->sweep) {
+    EXPECT_GE(point.ans, result->optimal_ans - 1e-12);
+    EXPECT_GE(point.k, 2);
+    EXPECT_LE(point.k, 8);
+    EXPECT_EQ(point.assignment.size(),
+              static_cast<size_t>(rg.num_nodes()));
+  }
+  EXPECT_GE(result->optimal_k, 2);
+  EXPECT_LE(result->optimal_k, 8);
+}
+
+TEST(FindOptimalKTest, FindsPlantedRegionCountApproximately) {
+  // With 4 crisp tiled regions, the ANS optimum should land near 4 (the
+  // connected-region count can exceed the level count slightly).
+  RoadGraph rg = TiledRoadGraph(4, 11);
+  OptimalKOptions options;
+  options.partitioner.scheme = Scheme::kASG;
+  options.partitioner.seed = 5;
+  options.k_min = 2;
+  options.k_max = 10;
+  auto result = FindOptimalK(rg, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->optimal_k, 3);
+  EXPECT_LE(result->optimal_k, 8);
+}
+
+TEST(FindOptimalKTest, LocalMinimaExcludeGlobal) {
+  RoadGraph rg = TiledRoadGraph(3, 13);
+  OptimalKOptions options;
+  options.partitioner.scheme = Scheme::kASG;
+  options.partitioner.seed = 7;
+  options.k_min = 2;
+  options.k_max = 12;
+  auto result = FindOptimalK(rg, options);
+  ASSERT_TRUE(result.ok());
+  for (int k : result->local_minima) {
+    EXPECT_NE(k, result->optimal_k);
+  }
+}
+
+TEST(FindOptimalKTest, InvalidRangeRejected) {
+  RoadGraph rg = TiledRoadGraph(3, 17);
+  OptimalKOptions options;
+  options.k_min = 5;
+  options.k_max = 2;
+  EXPECT_FALSE(FindOptimalK(rg, options).ok());
+  options.k_min = 0;
+  options.k_max = 4;
+  EXPECT_FALSE(FindOptimalK(rg, options).ok());
+}
+
+TEST(FindOptimalKTest, OversizedKsSkippedGracefully) {
+  // k_max beyond the node count: those ks fail internally but the sweep
+  // still returns the feasible part.
+  RoadGraph rg = TiledRoadGraph(3, 19);
+  OptimalKOptions options;
+  options.partitioner.scheme = Scheme::kAG;
+  options.partitioner.seed = 2;
+  options.k_min = rg.num_nodes() - 1;
+  options.k_max = rg.num_nodes() + 5;
+  auto result = FindOptimalK(rg, options);
+  ASSERT_TRUE(result.ok());
+  for (const KSweepPoint& point : result->sweep) {
+    EXPECT_LE(point.k, rg.num_nodes());
+  }
+}
+
+}  // namespace
+}  // namespace roadpart

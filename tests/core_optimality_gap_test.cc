@@ -1,0 +1,112 @@
+// Optimality-gap property tests: on graphs small enough to enumerate every
+// bipartition, the spectral alpha-Cut relaxation must land at or near the
+// discrete optimum of its own objective (the paper's Section 5.4 argues the
+// relaxation is a good surrogate for the NP-complete problem).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/alpha_cut.h"
+#include "core/normalized_cut.h"
+
+namespace roadpart {
+namespace {
+
+CsrGraph RandomConnectedGraph(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  for (int i = 1; i < n; ++i) {
+    edges.push_back({static_cast<int>(rng.NextBounded(i)), i,
+                     0.2 + rng.NextDouble()});
+  }
+  for (int e = 0; e < n; ++e) {
+    int u = static_cast<int>(rng.NextBounded(n));
+    int v = static_cast<int>(rng.NextBounded(n));
+    if (u != v) edges.push_back({u, v, 0.2 + rng.NextDouble()});
+  }
+  return CsrGraph::FromEdges(n, edges).value();
+}
+
+// Exhaustive minimum of `objective` over all 2-partitions.
+template <typename Objective>
+double BruteForceBest(const CsrGraph& g, Objective objective) {
+  const int n = g.num_nodes();
+  double best = std::numeric_limits<double>::infinity();
+  // Node 0 fixed in side 0 to halve the space; both sides non-empty.
+  for (uint32_t mask = 1; mask < (1u << (n - 1)); ++mask) {
+    std::vector<int> assignment(n, 0);
+    for (int v = 1; v < n; ++v) {
+      if (mask & (1u << (v - 1))) assignment[v] = 1;
+    }
+    best = std::min(best, objective(g, assignment));
+  }
+  return best;
+}
+
+class OptimalityGapSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OptimalityGapSweep, AlphaCutNearDiscreteOptimum) {
+  const int n = 10;
+  CsrGraph g = RandomConnectedGraph(n, GetParam());
+  double brute = BruteForceBest(
+      g, [](const CsrGraph& gr, const std::vector<int>& a) {
+        return AlphaCutObjective(gr, a);
+      });
+
+  AlphaCutOptions options;
+  options.pipeline.kmeans.seed = GetParam() + 1;
+  options.pipeline.enforce_connectivity = false;  // compare raw objectives
+  auto cut = AlphaCutPartition(g, 2, options);
+  ASSERT_TRUE(cut.ok());
+  double achieved = AlphaCutObjective(g, cut->assignment);
+
+  // The spectral solution must close most of the gap between a random
+  // bipartition and the optimum. Scale tolerance by the objective spread.
+  Rng rng(GetParam() + 2);
+  double random_avg = 0.0;
+  const int samples = 50;
+  for (int s = 0; s < samples; ++s) {
+    std::vector<int> assignment(n, 0);
+    bool any1 = false;
+    for (int v = 1; v < n; ++v) {
+      assignment[v] = static_cast<int>(rng.NextBounded(2));
+      any1 |= assignment[v] == 1;
+    }
+    if (!any1) assignment[n - 1] = 1;
+    random_avg += AlphaCutObjective(g, assignment);
+  }
+  random_avg /= samples;
+
+  double spread = random_avg - brute;
+  ASSERT_GT(spread, 0.0);
+  EXPECT_LE(achieved, brute + 0.35 * spread)
+      << "achieved " << achieved << " brute " << brute << " random "
+      << random_avg;
+}
+
+TEST_P(OptimalityGapSweep, NormalizedCutNearDiscreteOptimum) {
+  const int n = 10;
+  CsrGraph g = RandomConnectedGraph(n, GetParam() + 100);
+  double brute = BruteForceBest(
+      g, [](const CsrGraph& gr, const std::vector<int>& a) {
+        return NormalizedCutObjective(gr, a);
+      });
+  NormalizedCutOptions options;
+  options.pipeline.kmeans.seed = GetParam() + 3;
+  options.pipeline.enforce_connectivity = false;
+  auto cut = NormalizedCutPartition(g, 2, options);
+  ASSERT_TRUE(cut.ok());
+  double achieved = NormalizedCutObjective(g, cut->assignment);
+  // ncut objective for k=2 lies in (0, 2]; allow a modest relaxation gap.
+  EXPECT_LE(achieved, brute + 0.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimalityGapSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace roadpart

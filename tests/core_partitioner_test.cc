@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/partitioner.h"
+#include "metrics/partition_metrics.h"
+#include "metrics/validity.h"
+#include "netgen/grid_generator.h"
+#include "traffic/congestion_field.h"
+
+namespace roadpart {
+namespace {
+
+RoadNetwork HotspotNetwork(uint64_t seed = 1) {
+  GridOptions grid;
+  grid.rows = 10;
+  grid.cols = 10;
+  grid.seed = seed;
+  RoadNetwork net = GenerateGridNetwork(grid).value();
+  CongestionFieldOptions field_opt;
+  field_opt.num_hotspots = 3;
+  field_opt.seed = seed + 100;
+  CongestionField field(net, field_opt);
+  (void)net.SetDensities(field.Densities());
+  return net;
+}
+
+TEST(SchemeNameTest, AllNamed) {
+  EXPECT_STREQ(SchemeName(Scheme::kAG), "AG");
+  EXPECT_STREQ(SchemeName(Scheme::kASG), "ASG");
+  EXPECT_STREQ(SchemeName(Scheme::kNG), "NG");
+  EXPECT_STREQ(SchemeName(Scheme::kNSG), "NSG");
+  EXPECT_STREQ(SchemeName(Scheme::kJiGeroliminis), "JiGeroliminis");
+}
+
+class PartitionerSchemeTest : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(PartitionerSchemeTest, ProducesValidKPartitions) {
+  RoadNetwork net = HotspotNetwork();
+  PartitionerOptions options;
+  options.scheme = GetParam();
+  options.k = 4;
+  options.seed = 7;
+  Partitioner partitioner(options);
+  auto outcome = partitioner.PartitionNetwork(net);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->k_final, 4);
+  EXPECT_EQ(outcome->assignment.size(),
+            static_cast<size_t>(net.num_segments()));
+  RoadGraph rg = RoadGraph::FromNetwork(net);
+  EXPECT_TRUE(CheckPartitionValidity(rg.adjacency(), outcome->assignment).ok());
+}
+
+TEST_P(PartitionerSchemeTest, TimingsPopulated) {
+  RoadNetwork net = HotspotNetwork(2);
+  PartitionerOptions options;
+  options.scheme = GetParam();
+  options.k = 3;
+  Partitioner partitioner(options);
+  auto outcome = partitioner.PartitionNetwork(net);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_GE(outcome->module1_seconds, 0.0);
+  EXPECT_GE(outcome->module3_seconds, 0.0);
+  bool supergraph_scheme =
+      GetParam() == Scheme::kASG || GetParam() == Scheme::kNSG;
+  if (supergraph_scheme) {
+    EXPECT_GT(outcome->num_supernodes, 0);
+    EXPECT_GE(outcome->module2_seconds, 0.0);
+  } else {
+    EXPECT_EQ(outcome->num_supernodes, 0);
+    EXPECT_EQ(outcome->module2_seconds, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, PartitionerSchemeTest,
+                         ::testing::Values(Scheme::kAG, Scheme::kASG,
+                                           Scheme::kNG, Scheme::kNSG,
+                                           Scheme::kJiGeroliminis),
+                         [](const auto& info) {
+                           return std::string(SchemeName(info.param));
+                         });
+
+TEST(PartitionerTest, SupergraphSchemesReduceProblemSize) {
+  RoadNetwork net = HotspotNetwork(3);
+  PartitionerOptions options;
+  options.scheme = Scheme::kASG;
+  options.k = 4;
+  Partitioner partitioner(options);
+  auto outcome = partitioner.PartitionNetwork(net);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_GT(outcome->num_supernodes, 0);
+  EXPECT_LT(outcome->num_supernodes, net.num_segments());
+  EXPECT_GT(outcome->mining_report.chosen_kappa, 1);
+}
+
+TEST(PartitionerTest, SeedsChangeOnlyRandomizedParts) {
+  RoadNetwork net = HotspotNetwork(4);
+  RoadGraph rg = RoadGraph::FromNetwork(net);
+  PartitionerOptions a;
+  a.scheme = Scheme::kASG;
+  a.k = 4;
+  a.seed = 1;
+  PartitionerOptions b = a;
+  auto out_a1 = Partitioner(a).PartitionRoadGraph(rg);
+  auto out_a2 = Partitioner(a).PartitionRoadGraph(rg);
+  ASSERT_TRUE(out_a1.ok() && out_a2.ok());
+  // Same seed: identical assignment.
+  EXPECT_EQ(out_a1->assignment, out_a2->assignment);
+  (void)b;
+}
+
+TEST(PartitionerTest, StabilityOptionFlowsThrough) {
+  RoadNetwork net = HotspotNetwork(5);
+  PartitionerOptions loose;
+  loose.scheme = Scheme::kASG;
+  loose.k = 3;
+  loose.miner.stability.threshold = 0.0;
+  PartitionerOptions strict = loose;
+  strict.miner.stability.threshold = 0.999;
+  auto out_loose = Partitioner(loose).PartitionNetwork(net);
+  auto out_strict = Partitioner(strict).PartitionNetwork(net);
+  ASSERT_TRUE(out_loose.ok() && out_strict.ok());
+  EXPECT_GE(out_strict->num_supernodes, out_loose->num_supernodes);
+}
+
+TEST(PartitionerTest, InvalidKPropagates) {
+  RoadNetwork net = HotspotNetwork(6);
+  PartitionerOptions options;
+  options.scheme = Scheme::kAG;
+  options.k = net.num_segments() + 1;
+  auto outcome = Partitioner(options).PartitionNetwork(net);
+  EXPECT_FALSE(outcome.ok());
+}
+
+TEST(PartitionerTest, PartitionsFollowCongestionStructure) {
+  // With strong hotspots, the ASG partitioning must beat a size-balanced
+  // arbitrary split on the ANS metric.
+  RoadNetwork net = HotspotNetwork(7);
+  RoadGraph rg = RoadGraph::FromNetwork(net);
+  PartitionerOptions options;
+  options.scheme = Scheme::kASG;
+  options.k = 4;
+  auto outcome = Partitioner(options).PartitionRoadGraph(rg);
+  ASSERT_TRUE(outcome.ok());
+  double ans_cut =
+      AverageNcutSilhouette(rg.adjacency(), rg.features(), outcome->assignment)
+          .value();
+  // Stripes of equal size as the arbitrary baseline.
+  std::vector<int> stripes(rg.num_nodes());
+  for (int v = 0; v < rg.num_nodes(); ++v) {
+    stripes[v] = v * 4 / rg.num_nodes();
+  }
+  double ans_stripes =
+      AverageNcutSilhouette(rg.adjacency(), rg.features(), stripes).value();
+  EXPECT_LT(ans_cut, ans_stripes);
+}
+
+}  // namespace
+}  // namespace roadpart

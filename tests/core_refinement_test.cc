@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "core/alpha_cut.h"
+#include "core/normalized_cut.h"
+#include "core/refinement.h"
+#include "metrics/validity.h"
+
+namespace roadpart {
+namespace {
+
+CsrGraph TwoCommunities() {
+  std::vector<Edge> edges;
+  for (int base : {0, 5}) {
+    for (int i = 0; i < 5; ++i) {
+      for (int j = i + 1; j < 5; ++j) {
+        edges.push_back({base + i, base + j, 1.0});
+      }
+    }
+  }
+  edges.push_back({4, 5, 0.05});
+  return CsrGraph::FromEdges(10, edges).value();
+}
+
+TEST(RefinementTest, FixesAMisplacedNode) {
+  CsrGraph g = TwoCommunities();
+  // Node 4 starts on the wrong side.
+  std::vector<int> bad = {0, 0, 0, 0, 1, 1, 1, 1, 1, 1};
+  AlphaCutMethod method;
+  double before = method.Objective(g, bad);
+  int moves = 0;
+  auto refined = RefineBoundary(g, bad, method, {}, &moves);
+  ASSERT_TRUE(refined.ok());
+  double after = method.Objective(g, *refined);
+  EXPECT_GT(moves, 0);
+  EXPECT_LT(after, before);
+  // Node 4 rejoined its clique.
+  EXPECT_EQ((*refined)[4], (*refined)[0]);
+}
+
+TEST(RefinementTest, OptimalPartitionUntouched) {
+  CsrGraph g = TwoCommunities();
+  std::vector<int> good = {0, 0, 0, 0, 0, 1, 1, 1, 1, 1};
+  AlphaCutMethod method;
+  int moves = 0;
+  auto refined = RefineBoundary(g, good, method, {}, &moves);
+  ASSERT_TRUE(refined.ok());
+  EXPECT_EQ(moves, 0);
+  EXPECT_EQ(*refined, good);
+}
+
+TEST(RefinementTest, NeverEmptiesAPartition) {
+  // A path where the objective would love to dissolve the middle partition.
+  CsrGraph g =
+      CsrGraph::FromEdges(4, {{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}}).value();
+  std::vector<int> a = {0, 0, 1, 2};
+  AlphaCutMethod method;
+  auto refined = RefineBoundary(g, a, method, {});
+  ASSERT_TRUE(refined.ok());
+  int k = 0;
+  for (int p : *refined) k = std::max(k, p + 1);
+  std::vector<int> counts(k, 0);
+  for (int p : *refined) counts[p]++;
+  for (int c : counts) EXPECT_GT(c, 0);
+}
+
+TEST(RefinementTest, ObjectiveNeverIncreases) {
+  CsrGraph g = TwoCommunities();
+  for (const SpectralCutMethod* method :
+       std::initializer_list<const SpectralCutMethod*>{
+           new AlphaCutMethod(), new NormalizedCutMethod()}) {
+    std::vector<int> mixed = {0, 1, 0, 1, 0, 1, 0, 1, 0, 1};
+    double before = method->Objective(g, mixed);
+    RefinementOptions options;
+    options.enforce_connectivity = false;  // isolate the move logic
+    auto refined = RefineBoundary(g, mixed, *method, options);
+    ASSERT_TRUE(refined.ok());
+    EXPECT_LE(method->Objective(g, *refined), before + 1e-9)
+        << method->name();
+    delete method;
+  }
+}
+
+TEST(RefinementTest, ConnectivityRestoredByDefault) {
+  CsrGraph g = TwoCommunities();
+  std::vector<int> scattered = {0, 1, 0, 1, 0, 1, 0, 1, 0, 1};
+  AlphaCutMethod method;
+  auto refined = RefineBoundary(g, scattered, method, {});
+  ASSERT_TRUE(refined.ok());
+  EXPECT_TRUE(CheckPartitionValidity(g, *refined).ok());
+}
+
+TEST(RefinementTest, RejectsSizeMismatch) {
+  CsrGraph g = TwoCommunities();
+  AlphaCutMethod method;
+  EXPECT_FALSE(RefineBoundary(g, {0, 1}, method, {}).ok());
+}
+
+TEST(RefinementTest, ImprovesAlphaCutPartitions) {
+  // End to end: refined alpha-Cut partitions are at least as good as raw
+  // ones under the alpha-Cut objective.
+  CsrGraph g = TwoCommunities();
+  AlphaCutOptions options;
+  options.pipeline.kmeans.seed = 3;
+  auto cut = AlphaCutPartition(g, 2, options).value();
+  AlphaCutMethod method;
+  auto refined = RefineBoundary(g, cut.assignment, method, {});
+  ASSERT_TRUE(refined.ok());
+  EXPECT_LE(method.Objective(g, *refined),
+            method.Objective(g, cut.assignment) + 1e-9);
+}
+
+}  // namespace
+}  // namespace roadpart

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/alpha_cut.h"
+#include "core/spectral_common.h"
+#include "linalg/symmetric_eigen.h"
+#include "metrics/validity.h"
+
+namespace roadpart {
+namespace {
+
+CsrGraph CliqueRing(int k, int m) {
+  std::vector<Edge> edges;
+  for (int c = 0; c < k; ++c) {
+    int base = c * m;
+    for (int i = 0; i < m; ++i) {
+      for (int j = i + 1; j < m; ++j) {
+        edges.push_back({base + i, base + j, 1.0});
+      }
+    }
+    int next_base = ((c + 1) % k) * m;
+    edges.push_back({base + m - 1, next_base, 0.05});
+  }
+  return CsrGraph::FromEdges(k * m, edges).value();
+}
+
+TEST(DensifyAssignmentTest, RenumbersDensely) {
+  std::vector<int> a = {5, 5, 9, 2, 9};
+  int k = DensifyAssignment(a);
+  EXPECT_EQ(k, 3);
+  EXPECT_EQ(a, (std::vector<int>{0, 0, 1, 2, 1}));
+}
+
+TEST(DensifyAssignmentTest, AlreadyDenseUnchanged) {
+  std::vector<int> a = {0, 1, 2, 1};
+  EXPECT_EQ(DensifyAssignment(a), 3);
+  EXPECT_EQ(a, (std::vector<int>{0, 1, 2, 1}));
+}
+
+TEST(EnforcePartitionConnectivityTest, MergesFragments) {
+  // Path 0-1-2-3-4; partition 0 = {0, 4} is disconnected.
+  CsrGraph g = CsrGraph::FromEdges(
+                   5, {{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}, {3, 4, 1.0}})
+                   .value();
+  std::vector<int> a = {0, 1, 1, 1, 0};
+  EnforcePartitionConnectivity(g, a);
+  EXPECT_TRUE(CheckPartitionValidity(g, a).ok());
+}
+
+TEST(EnforcePartitionConnectivityTest, FragmentJoinsStrongestNeighbour) {
+  // Path with weighted edges: fragment {4} must join the partition with the
+  // heavier connecting edge.
+  CsrGraph g = CsrGraph::FromEdges(
+                   5, {{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}, {3, 4, 9.0}})
+                   .value();
+  std::vector<int> a = {0, 0, 1, 1, 0};  // {0,1,4} disconnected
+  EnforcePartitionConnectivity(g, a);
+  EXPECT_TRUE(CheckPartitionValidity(g, a).ok());
+  EXPECT_EQ(a[4], a[3]);  // joined via the weight-9 edge
+}
+
+TEST(EnforcePartitionConnectivityTest, ConnectedInputUntouched) {
+  CsrGraph g = CliqueRing(3, 4);
+  std::vector<int> a(12);
+  for (int i = 0; i < 12; ++i) a[i] = i / 4;
+  std::vector<int> before = a;
+  EnforcePartitionConnectivity(g, a);
+  EXPECT_EQ(a, before);
+}
+
+TEST(ExtremeEigenvectorsTest, DenseAndLanczosAgree) {
+  CsrGraph g = CliqueRing(4, 8);
+  SparseMatrix a = g.ToSparseMatrix();
+  SparseOperator op(a);
+  SpectralOptions dense_opt;
+  dense_opt.dense_threshold = 1000;
+  SpectralOptions lanczos_opt;
+  lanczos_opt.dense_threshold = 4;
+  auto dense = ExtremeEigenvectors(op, 3, SpectrumEnd::kSmallest, dense_opt);
+  auto lanczos =
+      ExtremeEigenvectors(op, 3, SpectrumEnd::kSmallest, lanczos_opt);
+  ASSERT_TRUE(dense.ok() && lanczos.ok());
+  // Clique graphs have degenerate extreme eigenvalues, so individual columns
+  // are not unique; the spanned subspaces must agree: every Lanczos column
+  // lies (numerically) in the dense column span.
+  const int n = g.num_nodes();
+  for (int c = 0; c < 3; ++c) {
+    double norm_sq = 0.0;
+    double projected_sq = 0.0;
+    for (int r = 0; r < n; ++r) {
+      norm_sq += (*lanczos)(r, c) * (*lanczos)(r, c);
+    }
+    for (int dc = 0; dc < 3; ++dc) {
+      double dot = 0.0;
+      for (int r = 0; r < n; ++r) dot += (*lanczos)(r, c) * (*dense)(r, dc);
+      projected_sq += dot * dot;
+    }
+    EXPECT_NEAR(projected_sq, norm_sq, 1e-5) << "column " << c;
+  }
+}
+
+TEST(ExtremeEigenvectorsTest, InvalidK) {
+  CsrGraph g = CliqueRing(2, 3);
+  SparseMatrix a = g.ToSparseMatrix();
+  SparseOperator op(a);
+  SpectralOptions opt;
+  EXPECT_FALSE(ExtremeEigenvectors(op, 0, SpectrumEnd::kSmallest, opt).ok());
+  EXPECT_FALSE(ExtremeEigenvectors(op, 7, SpectrumEnd::kSmallest, opt).ok());
+}
+
+TEST(GreedyMergeTest, ReachesExactKAndStaysValid) {
+  CsrGraph g = CliqueRing(8, 4);
+  AlphaCutOptions opt;
+  opt.pipeline.exact_k_method = ExactKMethod::kGreedyMerge;
+  opt.pipeline.kmeans.seed = 5;
+  auto cut = AlphaCutPartition(g, 3, opt);
+  ASSERT_TRUE(cut.ok());
+  EXPECT_EQ(cut->k_final, 3);
+  EXPECT_TRUE(CheckPartitionValidity(g, cut->assignment).ok());
+}
+
+TEST(GreedyMergeTest, MergesMostSimilarFirst) {
+  // Three cliques where two are joined by a much heavier bridge: reducing
+  // 3 -> 2 must merge across the heavy bridge.
+  std::vector<Edge> edges;
+  for (int c = 0; c < 3; ++c) {
+    int base = c * 4;
+    for (int i = 0; i < 4; ++i) {
+      for (int j = i + 1; j < 4; ++j) edges.push_back({base + i, base + j, 1.0});
+    }
+  }
+  edges.push_back({3, 4, 2.0});    // clique0 - clique1, heavy
+  edges.push_back({7, 8, 0.01});   // clique1 - clique2, light
+  CsrGraph g = CsrGraph::FromEdges(12, edges).value();
+  AlphaCutOptions opt;
+  opt.pipeline.exact_k_method = ExactKMethod::kGreedyMerge;
+  opt.pipeline.kmeans.seed = 5;
+  auto cut = AlphaCutPartition(g, 2, opt);
+  ASSERT_TRUE(cut.ok());
+  EXPECT_EQ(cut->k_final, 2);
+  EXPECT_EQ(cut->assignment[0], cut->assignment[4]);   // merged pair
+  EXPECT_NE(cut->assignment[0], cut->assignment[8]);
+}
+
+TEST(SpectralPipelineTest, KEqualGraphOrder) {
+  CsrGraph g = CliqueRing(3, 2);
+  AlphaCutOptions opt;
+  opt.pipeline.kmeans.seed = 3;
+  auto cut = AlphaCutPartition(g, 6, opt);
+  ASSERT_TRUE(cut.ok());
+  EXPECT_EQ(cut->k_final, 6);  // every node its own partition
+}
+
+class RandomGraphSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomGraphSweep, PipelineAlwaysValid) {
+  // Random connected weighted graphs: the pipeline must always deliver
+  // exactly k valid connected partitions.
+  Rng rng(GetParam());
+  const int n = 40;
+  std::vector<Edge> edges;
+  for (int i = 1; i < n; ++i) {
+    edges.push_back({static_cast<int>(rng.NextBounded(i)), i,
+                     0.1 + rng.NextDouble()});
+  }
+  for (int extra = 0; extra < 40; ++extra) {
+    int u = static_cast<int>(rng.NextBounded(n));
+    int v = static_cast<int>(rng.NextBounded(n));
+    if (u != v) edges.push_back({u, v, 0.1 + rng.NextDouble()});
+  }
+  CsrGraph g = CsrGraph::FromEdges(n, edges).value();
+  for (int k : {2, 4, 7}) {
+    AlphaCutOptions opt;
+    opt.pipeline.kmeans.seed = GetParam();
+    auto cut = AlphaCutPartition(g, k, opt);
+    ASSERT_TRUE(cut.ok()) << "k=" << k;
+    EXPECT_EQ(cut->k_final, k);
+    EXPECT_TRUE(CheckPartitionValidity(g, cut->assignment).ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21));
+
+}  // namespace
+}  // namespace roadpart

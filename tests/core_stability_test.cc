@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "core/stability.h"
+#include "graph/connected_components.h"
+#include "graph/csr_graph.h"
+
+namespace roadpart {
+namespace {
+
+CsrGraph Path(int n) {
+  std::vector<Edge> edges;
+  for (int i = 0; i + 1 < n; ++i) edges.push_back({i, i + 1, 1.0});
+  return CsrGraph::FromEdges(n, edges).value();
+}
+
+// --- SupernodeStability (Definition 9) ---
+
+TEST(StabilityMeasureTest, UniformIsOne) {
+  EXPECT_DOUBLE_EQ(SupernodeStability({0.5, 0.5, 0.5}), 1.0);
+  EXPECT_DOUBLE_EQ(SupernodeStability({0.0, 0.0}), 1.0);
+}
+
+TEST(StabilityMeasureTest, SingletonIsOne) {
+  EXPECT_DOUBLE_EQ(SupernodeStability({3.7}), 1.0);
+}
+
+TEST(StabilityMeasureTest, InUnitInterval) {
+  Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> f;
+    int n = 1 + static_cast<int>(rng.NextBounded(20));
+    for (int i = 0; i < n; ++i) f.push_back(rng.NextDouble(0.0, 10.0));
+    double eta = SupernodeStability(f);
+    EXPECT_GE(eta, 0.0);
+    EXPECT_LE(eta, 1.0);
+  }
+}
+
+TEST(StabilityMeasureTest, SpreadLowersStability) {
+  double tight = SupernodeStability({1.0, 1.01, 0.99});
+  double loose = SupernodeStability({0.1, 1.0, 5.0});
+  EXPECT_GT(tight, loose);
+  EXPECT_LT(tight, 1.0);
+}
+
+TEST(StabilityMeasureTest, HandComputed) {
+  // Features {0, 2}: mean 1. eta = 0.5*(exp(-|1/2 - 1|) + exp(-|3/2 - 1|))
+  //                             = exp(-0.5).
+  EXPECT_NEAR(SupernodeStability({0.0, 2.0}), std::exp(-0.5), 1e-12);
+}
+
+// --- StabilitySplit (Algorithm 2) ---
+
+TEST(StabilitySplitTest, ThresholdZeroIsNoOp) {
+  CsrGraph g = Path(4);
+  std::vector<std::vector<int>> sns = {{0, 1, 2, 3}};
+  StabilityOptions opt;
+  opt.threshold = 0.0;
+  auto out = StabilitySplit(sns, {0.0, 1.0, 2.0, 3.0}, g, opt);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].size(), 4u);
+}
+
+TEST(StabilitySplitTest, AllResultsMeetThreshold) {
+  CsrGraph g = Path(10);
+  std::vector<double> f = {0.1, 0.2, 0.9, 1.5, 2.0, 2.1, 5.0, 5.1, 9.0, 9.5};
+  std::vector<std::vector<int>> sns = {{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}};
+  StabilityOptions opt;
+  opt.threshold = 0.95;
+  auto out = StabilitySplit(sns, f, g, opt);
+  for (const auto& sn : out) {
+    std::vector<double> feats;
+    for (int v : sn) feats.push_back(f[v]);
+    // Singletons always pass; larger groups must meet the threshold.
+    if (sn.size() > 1) {
+      EXPECT_GE(SupernodeStability(feats), opt.threshold);
+    }
+  }
+}
+
+TEST(StabilitySplitTest, PreservesNodeSet) {
+  CsrGraph g = Path(8);
+  std::vector<double> f = {0.0, 3.0, 0.1, 2.9, 0.2, 3.1, 0.3, 2.8};
+  std::vector<std::vector<int>> sns = {{0, 1, 2, 3}, {4, 5, 6, 7}};
+  StabilityOptions opt;
+  opt.threshold = 0.99;
+  auto out = StabilitySplit(sns, f, g, opt);
+  std::set<int> nodes;
+  for (const auto& sn : out) {
+    EXPECT_FALSE(sn.empty());
+    for (int v : sn) EXPECT_TRUE(nodes.insert(v).second);
+  }
+  EXPECT_EQ(nodes.size(), 8u);
+}
+
+TEST(StabilitySplitTest, StableSupernodeUntouched) {
+  CsrGraph g = Path(3);
+  std::vector<std::vector<int>> sns = {{0, 1, 2}};
+  StabilityOptions opt;
+  opt.threshold = 0.9;
+  auto out = StabilitySplit(sns, {1.0, 1.0, 1.0}, g, opt);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].size(), 3u);
+}
+
+TEST(StabilitySplitTest, ComponentSplittingKeepsConnectivity) {
+  // Features alternate so a pure feature split would interleave nodes of the
+  // path; with split_into_components on, every output is connected.
+  CsrGraph g = Path(8);
+  std::vector<double> f = {0.0, 9.0, 0.1, 9.1, 0.2, 9.2, 0.3, 9.3};
+  std::vector<std::vector<int>> sns = {{0, 1, 2, 3, 4, 5, 6, 7}};
+  StabilityOptions opt;
+  opt.threshold = 0.99;
+  opt.split_into_components = true;
+  auto out = StabilitySplit(sns, f, g, opt);
+  for (const auto& sn : out) {
+    EXPECT_TRUE(IsSubsetConnected(g, sn));
+  }
+}
+
+TEST(StabilitySplitTest, LiteralModeMayDisconnect) {
+  CsrGraph g = Path(8);
+  std::vector<double> f = {0.0, 9.0, 0.1, 9.1, 0.2, 9.2, 0.3, 9.3};
+  std::vector<std::vector<int>> sns = {{0, 1, 2, 3, 4, 5, 6, 7}};
+  StabilityOptions opt;
+  opt.threshold = 0.99;
+  opt.split_into_components = false;
+  auto out = StabilitySplit(sns, f, g, opt);
+  // The literal Algorithm 2 splits by feature only; on this alternating
+  // path at least one resulting supernode is disconnected — the caveat the
+  // split_into_components option fixes.
+  bool any_disconnected = false;
+  for (const auto& sn : out) {
+    if (!IsSubsetConnected(g, sn)) any_disconnected = true;
+  }
+  EXPECT_TRUE(any_disconnected);
+}
+
+TEST(StabilitySplitTest, ExtremeThresholdTerminates) {
+  // threshold = 1.0: splitting continues until uniform-feature groups (here:
+  // singletons), exercising the worst case O(2 n_r - n_sigma) bound.
+  CsrGraph g = Path(16);
+  std::vector<double> f;
+  for (int i = 0; i < 16; ++i) f.push_back(i * 0.37);
+  std::vector<std::vector<int>> sns = {
+      {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}};
+  StabilityOptions opt;
+  opt.threshold = 1.0;
+  auto out = StabilitySplit(sns, f, g, opt);
+  EXPECT_EQ(out.size(), 16u);
+}
+
+TEST(StabilitySplitTest, EqualFeaturesStayTogetherAtThresholdOne) {
+  CsrGraph g = Path(6);
+  std::vector<double> f = {2.0, 2.0, 2.0, 7.0, 7.0, 7.0};
+  std::vector<std::vector<int>> sns = {{0, 1, 2, 3, 4, 5}};
+  StabilityOptions opt;
+  opt.threshold = 1.0;
+  auto out = StabilitySplit(sns, f, g, opt);
+  // Splits once into the 2.0-run and the 7.0-run, both perfectly stable.
+  ASSERT_EQ(out.size(), 2u);
+  std::vector<size_t> sizes = {out[0].size(), out[1].size()};
+  std::sort(sizes.begin(), sizes.end());
+  EXPECT_EQ(sizes[0], 3u);
+  EXPECT_EQ(sizes[1], 3u);
+}
+
+class StabilitySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(StabilitySweep, MonotoneInThreshold) {
+  // More supernodes with a stricter threshold.
+  Rng rng(77);
+  const int n = 60;
+  CsrGraph g = Path(n);
+  std::vector<double> f;
+  for (int i = 0; i < n; ++i) f.push_back(rng.NextDouble(0, 1));
+  std::vector<int> all(n);
+  for (int i = 0; i < n; ++i) all[i] = i;
+  StabilityOptions lo;
+  lo.threshold = GetParam();
+  StabilityOptions hi;
+  hi.threshold = std::min(1.0, GetParam() + 0.2);
+  auto out_lo = StabilitySplit({all}, f, g, lo);
+  auto out_hi = StabilitySplit({all}, f, g, hi);
+  EXPECT_LE(out_lo.size(), out_hi.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, StabilitySweep,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.8));
+
+}  // namespace
+}  // namespace roadpart

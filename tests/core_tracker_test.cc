@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "core/partition_tracker.h"
+
+namespace roadpart {
+namespace {
+
+TEST(PartitionTrackerTest, FirstCallFixesIds) {
+  PartitionTracker tracker;
+  auto aligned = tracker.Align({0, 0, 1, 1, 2});
+  ASSERT_TRUE(aligned.ok());
+  EXPECT_EQ(*aligned, (std::vector<int>{0, 0, 1, 1, 2}));
+  EXPECT_EQ(tracker.num_regions_seen(), 3);
+  EXPECT_DOUBLE_EQ(tracker.last_churn(), 0.0);
+}
+
+TEST(PartitionTrackerTest, RelabellingMatchesPrevious) {
+  PartitionTracker tracker;
+  ASSERT_TRUE(tracker.Align({0, 0, 1, 1}).ok());
+  // Same partitioning, labels swapped: alignment must undo the swap.
+  auto aligned = tracker.Align({1, 1, 0, 0});
+  ASSERT_TRUE(aligned.ok());
+  EXPECT_EQ(*aligned, (std::vector<int>{0, 0, 1, 1}));
+  EXPECT_DOUBLE_EQ(tracker.last_churn(), 0.0);
+}
+
+TEST(PartitionTrackerTest, ChurnMeasuresMovement) {
+  PartitionTracker tracker;
+  ASSERT_TRUE(tracker.Align({0, 0, 1, 1}).ok());
+  // One node moves from region 0 to region 1.
+  auto aligned = tracker.Align({0, 1, 1, 1});
+  ASSERT_TRUE(aligned.ok());
+  EXPECT_EQ(*aligned, (std::vector<int>{0, 1, 1, 1}));
+  EXPECT_DOUBLE_EQ(tracker.last_churn(), 0.25);
+}
+
+TEST(PartitionTrackerTest, NewRegionGetsFreshId) {
+  PartitionTracker tracker;
+  ASSERT_TRUE(tracker.Align({0, 0, 0, 1, 1, 1}).ok());
+  // Region 1 splits in two: the larger piece keeps id 1, the splinter gets
+  // a fresh id 2.
+  auto aligned = tracker.Align({0, 0, 0, 1, 1, 2});
+  ASSERT_TRUE(aligned.ok());
+  EXPECT_EQ((*aligned)[3], 1);
+  EXPECT_EQ((*aligned)[4], 1);
+  EXPECT_EQ((*aligned)[5], 2);
+  EXPECT_EQ(tracker.num_regions_seen(), 3);
+}
+
+TEST(PartitionTrackerTest, MergedRegionsKeepDominantId) {
+  PartitionTracker tracker;
+  ASSERT_TRUE(tracker.Align({0, 0, 0, 1, 2, 2}).ok());
+  // Regions 1 and 2 merge; merged region overlaps region 2 more.
+  auto aligned = tracker.Align({0, 0, 0, 1, 1, 1});
+  ASSERT_TRUE(aligned.ok());
+  EXPECT_EQ((*aligned)[3], 2);
+  EXPECT_EQ((*aligned)[4], 2);
+  EXPECT_EQ((*aligned)[5], 2);
+}
+
+TEST(PartitionTrackerTest, RejectsBadInput) {
+  PartitionTracker tracker;
+  ASSERT_TRUE(tracker.Align({0, 1}).ok());
+  EXPECT_FALSE(tracker.Align({0, 1, 2}).ok());  // node count changed
+  EXPECT_FALSE(tracker.Align({0, -1}).ok());
+}
+
+TEST(PartitionTrackerTest, StableAcrossManySnapshots) {
+  PartitionTracker tracker;
+  std::vector<int> base = {0, 0, 0, 1, 1, 1, 2, 2, 2};
+  ASSERT_TRUE(tracker.Align(base).ok());
+  for (int step = 0; step < 10; ++step) {
+    // Arbitrary relabelling each snapshot.
+    std::vector<int> shuffled(base.size());
+    for (size_t v = 0; v < base.size(); ++v) {
+      shuffled[v] = (base[v] + step) % 3;
+    }
+    auto aligned = tracker.Align(shuffled);
+    ASSERT_TRUE(aligned.ok());
+    EXPECT_EQ(*aligned, base) << "step " << step;
+    EXPECT_DOUBLE_EQ(tracker.last_churn(), 0.0);
+  }
+  EXPECT_EQ(tracker.num_regions_seen(), 3);
+}
+
+}  // namespace
+}  // namespace roadpart

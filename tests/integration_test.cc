@@ -1,0 +1,247 @@
+// End-to-end integration tests: generators -> traffic -> road graph ->
+// supergraph -> partitioning -> metrics, including planted-structure
+// recovery.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "roadpart/roadpart.h"
+
+namespace roadpart {
+namespace {
+
+TEST(IntegrationTest, FullPipelineOnGridWithMicrosim) {
+  GridOptions grid;
+  grid.rows = 9;
+  grid.cols = 9;
+  grid.two_way_fraction = 1.0;
+  grid.seed = 8;
+  RoadNetwork net = GenerateGridNetwork(grid).value();
+
+  TripGeneratorOptions demand;
+  demand.num_vehicles = 800;
+  demand.horizon_seconds = 400.0;
+  demand.num_hotspots = 2;
+  demand.hotspot_bias = 0.9;
+  demand.seed = 21;
+  TripSet trips = GenerateTrips(net, demand).value();
+
+  MicrosimOptions sim;
+  sim.total_seconds = 600.0;
+  sim.record_every_seconds = 200.0;
+  SimulationResult result = RunMicrosim(net, trips.trips, sim).value();
+  ASSERT_FALSE(result.densities.empty());
+  // Use a mid-simulation snapshot (traffic en route); the final one can be
+  // nearly empty after everyone has arrived.
+  ASSERT_TRUE(
+      net.SetDensities(result.densities[result.densities.size() / 2]).ok());
+
+  PartitionerOptions options;
+  options.scheme = Scheme::kASG;
+  options.k = 3;
+  auto outcome = Partitioner(options).PartitionNetwork(net);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  RoadGraph rg = RoadGraph::FromNetwork(net);
+  EXPECT_TRUE(
+      CheckPartitionValidity(rg.adjacency(), outcome->assignment).ok());
+  auto eval =
+      EvaluatePartitions(rg.adjacency(), rg.features(), outcome->assignment);
+  ASSERT_TRUE(eval.ok());
+  EXPECT_EQ(eval->num_partitions, 3);
+}
+
+TEST(IntegrationTest, PositionsThroughDensityMapperMatchOccupancy) {
+  // The MNTG-style path: simulate, emit positions, map positions back to
+  // segments; the mapped density must integrate to the en-route vehicle
+  // count, same as the direct occupancy densities.
+  GridOptions grid;
+  grid.rows = 6;
+  grid.cols = 6;
+  grid.two_way_fraction = 1.0;
+  grid.jitter = 0.0;
+  grid.seed = 2;
+  RoadNetwork net = GenerateGridNetwork(grid).value();
+
+  TripGeneratorOptions demand;
+  demand.num_vehicles = 200;
+  demand.horizon_seconds = 20.0;
+  demand.seed = 5;
+  TripSet trips = GenerateTrips(net, demand).value();
+
+  MicrosimOptions sim;
+  sim.total_seconds = 120.0;
+  sim.record_every_seconds = 60.0;
+  sim.record_positions = true;
+  SimulationResult result = RunMicrosim(net, trips.trips, sim).value();
+  ASSERT_FALSE(result.positions.empty());
+
+  DensityMapper mapper(net);
+  for (size_t t = 0; t < result.positions.size(); ++t) {
+    auto mapped = mapper.ComputeDensities(result.positions[t]);
+    double mapped_vehicles = 0.0;
+    double direct_vehicles = 0.0;
+    for (int i = 0; i < net.num_segments(); ++i) {
+      mapped_vehicles += mapped[i] * net.segment(i).length;
+      direct_vehicles += result.densities[t][i] * net.segment(i).length;
+    }
+    EXPECT_NEAR(mapped_vehicles, direct_vehicles, 1e-6);
+  }
+}
+
+TEST(IntegrationTest, PlantedPlateausRecoveredExactly) {
+  // A long path with k strongly separated density plateaus must be recovered
+  // by every scheme.
+  const int n = 60;
+  std::vector<Edge> edges;
+  for (int i = 0; i + 1 < n; ++i) edges.push_back({i, i + 1, 1.0});
+  CsrGraph graph = CsrGraph::FromEdges(n, edges).value();
+  std::vector<double> features(n);
+  std::vector<int> truth(n);
+  for (int i = 0; i < n; ++i) {
+    truth[i] = i / 20;
+    features[i] = 0.1 + 0.8 * truth[i] + 0.002 * (i % 20);
+  }
+  RoadGraph rg = RoadGraph::FromParts(graph, features).value();
+
+  for (Scheme scheme : {Scheme::kAG, Scheme::kASG, Scheme::kNG}) {
+    PartitionerOptions options;
+    options.scheme = scheme;
+    options.k = 3;
+    options.seed = 13;
+    auto outcome = Partitioner(options).PartitionRoadGraph(rg);
+    ASSERT_TRUE(outcome.ok()) << SchemeName(scheme);
+    double ari = AdjustedRandIndex(truth, outcome->assignment).value();
+    // The alpha-Cut schemes recover the plateaus essentially exactly; NG is
+    // allowed a boundary-node wobble (which is the paper's point).
+    double floor = scheme == Scheme::kNG ? 0.80 : 0.95;
+    EXPECT_GT(ari, floor) << SchemeName(scheme) << " ARI=" << ari;
+  }
+}
+
+TEST(IntegrationTest, HotspotRecoveryOnCity) {
+  // City network + congestion field with well-separated hotspots: the
+  // partitioning must correlate clearly with the dominant-hotspot ground
+  // truth.
+  CityOptions city;
+  city.num_intersections = 300;
+  city.target_segments = 520;
+  city.area_sq_miles = 3.0;
+  city.seed = 31;
+  RoadNetwork net = GenerateCityNetwork(city).value();
+  CongestionFieldOptions field_opt;
+  field_opt.num_hotspots = 2;
+  field_opt.hotspot_peak_vpm = 0.2;
+  field_opt.base_density_vpm = 0.005;
+  field_opt.noise_fraction = 0.02;
+  field_opt.hotspot_radius_fraction = 0.25;
+  field_opt.seed = 37;
+  CongestionField field(net, field_opt);
+  (void)net.SetDensities(field.Densities());
+
+  PartitionerOptions options;
+  options.scheme = Scheme::kASG;
+  options.k = 3;  // hotspots + background
+  options.seed = 5;
+  auto outcome = Partitioner(options).PartitionNetwork(net);
+  ASSERT_TRUE(outcome.ok());
+
+  // Within each discovered partition the density spread must be much
+  // smaller than the global spread.
+  RoadGraph rg = RoadGraph::FromNetwork(net);
+  double intra = IntraMetric(rg.adjacency(), rg.features(),
+                             outcome->assignment)
+                     .value();
+  std::vector<int> all_one(net.num_segments(), 0);
+  double global = IntraMetric(rg.adjacency(), rg.features(), all_one).value();
+  EXPECT_LT(intra, 0.8 * global);
+}
+
+TEST(IntegrationTest, RepartitioningOverTimeIsStable) {
+  // Slowly varying congestion: consecutive partitionings should agree far
+  // more than chance (the repeated-interval use case of Section 1).
+  GridOptions grid;
+  grid.rows = 8;
+  grid.cols = 8;
+  grid.seed = 41;
+  RoadNetwork net = GenerateGridNetwork(grid).value();
+  CongestionFieldOptions field_opt;
+  field_opt.num_hotspots = 2;
+  field_opt.noise_fraction = 0.02;
+  field_opt.seed = 43;
+  CongestionField field(net, field_opt);
+
+  RoadGraph rg = RoadGraph::FromNetwork(net);
+  PartitionerOptions options;
+  options.scheme = Scheme::kASG;
+  options.k = 3;
+  options.seed = 3;
+  Partitioner partitioner(options);
+
+  std::vector<int> prev;
+  for (double t : {0.30, 0.32, 0.34}) {
+    ASSERT_TRUE(rg.SetFeatures(field.DensitiesAt(t)).ok());
+    auto outcome = partitioner.PartitionRoadGraph(rg);
+    ASSERT_TRUE(outcome.ok());
+    if (!prev.empty()) {
+      double ari = AdjustedRandIndex(prev, outcome->assignment).value();
+      EXPECT_GT(ari, 0.5);
+    }
+    prev = outcome->assignment;
+  }
+}
+
+TEST(IntegrationTest, SaveLoadPartitionPipeline) {
+  GridOptions grid;
+  grid.rows = 6;
+  grid.cols = 6;
+  grid.seed = 51;
+  RoadNetwork net = GenerateGridNetwork(grid).value();
+  CongestionField field(net, {});
+  (void)net.SetDensities(field.Densities());
+
+  std::string net_path = testing::TempDir() + "/integration_net.txt";
+  ASSERT_TRUE(SaveRoadNetwork(net, net_path).ok());
+  RoadNetwork loaded = LoadRoadNetwork(net_path).value();
+
+  PartitionerOptions options;
+  options.scheme = Scheme::kAG;
+  options.k = 3;
+  options.seed = 17;
+  auto a = Partitioner(options).PartitionNetwork(net);
+  auto b = Partitioner(options).PartitionNetwork(loaded);
+  ASSERT_TRUE(a.ok() && b.ok());
+  // Round-tripped network gives an equally valid partitioning (same sizes).
+  EXPECT_EQ(a->assignment.size(), b->assignment.size());
+  double ari = AdjustedRandIndex(a->assignment, b->assignment).value();
+  EXPECT_GT(ari, 0.8);  // densities round-trip at 1e-9 precision
+  std::remove(net_path.c_str());
+}
+
+TEST(IntegrationTest, D1SizedEndToEndAllSchemes) {
+  RoadNetwork net = GenerateDataset(DatasetPreset::kD1, 61).value();
+  CongestionFieldOptions field_opt;
+  field_opt.num_hotspots = 3;
+  field_opt.seed = 67;
+  CongestionField field(net, field_opt);
+  (void)net.SetDensities(field.Densities());
+  RoadGraph rg = RoadGraph::FromNetwork(net);
+
+  for (Scheme scheme : {Scheme::kAG, Scheme::kASG, Scheme::kNG, Scheme::kNSG,
+                        Scheme::kJiGeroliminis}) {
+    PartitionerOptions options;
+    options.scheme = scheme;
+    options.k = 6;
+    options.seed = 71;
+    auto outcome = Partitioner(options).PartitionRoadGraph(rg);
+    ASSERT_TRUE(outcome.ok()) << SchemeName(scheme);
+    EXPECT_EQ(outcome->k_final, 6) << SchemeName(scheme);
+    EXPECT_TRUE(
+        CheckPartitionValidity(rg.adjacency(), outcome->assignment).ok())
+        << SchemeName(scheme);
+  }
+}
+
+}  // namespace
+}  // namespace roadpart

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/dense_matrix.h"
+#include "linalg/linear_operator.h"
+
+namespace roadpart {
+namespace {
+
+TEST(DenseMatrixTest, ConstructAndIndex) {
+  DenseMatrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(DenseMatrixTest, MultiplyMatchesManual) {
+  DenseMatrix m(2, 3);
+  // [1 2 3; 4 5 6] * [1 1 1]^T = [6 15]^T
+  int val = 1;
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 3; ++c) m(r, c) = val++;
+  }
+  double x[3] = {1.0, 1.0, 1.0};
+  double y[2];
+  m.Multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+}
+
+TEST(DenseMatrixTest, Transposed) {
+  DenseMatrix m(2, 3);
+  m(0, 2) = 7.0;
+  DenseMatrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_DOUBLE_EQ(t(2, 0), 7.0);
+}
+
+TEST(DenseMatrixTest, SymmetryError) {
+  DenseMatrix m(2, 2);
+  m(0, 1) = 1.0;
+  m(1, 0) = 1.0;
+  EXPECT_DOUBLE_EQ(m.SymmetryError(), 0.0);
+  m(1, 0) = 1.5;
+  EXPECT_DOUBLE_EQ(m.SymmetryError(), 0.5);
+}
+
+TEST(DenseMatrixTest, Identity) {
+  DenseMatrix i = DenseMatrix::Identity(3);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(i(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(VectorOpsTest, DotAndNorm) {
+  std::vector<double> a = {3.0, 4.0};
+  std::vector<double> b = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 11.0);
+  EXPECT_DOUBLE_EQ(Norm2(a), 5.0);
+}
+
+TEST(VectorOpsTest, AxpyScale) {
+  std::vector<double> x = {1.0, 2.0};
+  std::vector<double> y = {10.0, 20.0};
+  Axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 24.0);
+  Scale(0.5, y);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+}
+
+TEST(VectorOpsTest, SumMeanVariance) {
+  std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Sum(v), 10.0);
+  EXPECT_DOUBLE_EQ(Mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(Variance(v), 1.25);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({}), 0.0);
+}
+
+TEST(LinearOperatorTest, DenseOperatorMatchesMatrix) {
+  DenseMatrix m(3, 3);
+  m(0, 0) = 2.0;
+  m(1, 2) = -1.0;
+  m(2, 1) = -1.0;
+  DenseOperator op(m);
+  double x[3] = {1.0, 2.0, 3.0};
+  double y[3];
+  op.Apply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 2.0);
+  EXPECT_DOUBLE_EQ(y[1], -3.0);
+  EXPECT_DOUBLE_EQ(y[2], -2.0);
+}
+
+TEST(LinearOperatorTest, RankOneUpdatedMatchesFormula) {
+  // M = u u^T / s - A with A = I.
+  DenseMatrix a = DenseMatrix::Identity(3);
+  DenseOperator a_op(a);
+  std::vector<double> u = {1.0, 2.0, 3.0};
+  double s = 6.0;
+  RankOneUpdatedOperator m_op(a_op, u, 1.0 / s, -1.0);
+  DenseMatrix m = Materialize(m_op);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      double expected = u[i] * u[j] / s - (i == j ? 1.0 : 0.0);
+      EXPECT_NEAR(m(i, j), expected, 1e-14);
+    }
+  }
+}
+
+TEST(LinearOperatorTest, ShiftedOperator) {
+  DenseMatrix a = DenseMatrix::Identity(2);
+  a(0, 0) = 3.0;
+  DenseOperator a_op(a);
+  ShiftedOperator shifted(a_op, 1.0);
+  DenseMatrix m = Materialize(shifted);
+  EXPECT_NEAR(m(0, 0), 2.0, 1e-14);
+  EXPECT_NEAR(m(1, 1), 0.0, 1e-14);
+}
+
+TEST(LinearOperatorTest, MaterializeRoundTrip) {
+  DenseMatrix m(4, 4);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) m(i, j) = i * 10 + j;
+  }
+  DenseOperator op(m);
+  DenseMatrix back = Materialize(op);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) EXPECT_DOUBLE_EQ(back(i, j), m(i, j));
+  }
+}
+
+}  // namespace
+}  // namespace roadpart

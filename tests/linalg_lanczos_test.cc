@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/lanczos.h"
+#include "linalg/linear_operator.h"
+#include "linalg/sparse_matrix.h"
+#include "linalg/symmetric_eigen.h"
+
+namespace roadpart {
+namespace {
+
+// Sparse symmetric "ring + random chords" test matrix.
+SparseMatrix RingMatrix(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Triplet> upper;
+  for (int i = 0; i < n; ++i) {
+    upper.push_back({i, (i + 1) % n, 1.0 + rng.NextDouble()});
+  }
+  for (int c = 0; c < n / 4; ++c) {
+    int a = static_cast<int>(rng.NextBounded(n));
+    int b = static_cast<int>(rng.NextBounded(n));
+    if (a != b) upper.push_back({std::min(a, b), std::max(a, b), rng.NextDouble()});
+  }
+  return SparseMatrix::SymmetricFromTriplets(n, upper).value();
+}
+
+TEST(LanczosTest, DiagonalSmallest) {
+  auto m = SparseMatrix::FromTriplets(
+      5, 5,
+      {{0, 0, 5.0}, {1, 1, 1.0}, {2, 2, 3.0}, {3, 3, -2.0}, {4, 4, 10.0}});
+  ASSERT_TRUE(m.ok());
+  SparseOperator op(*m);
+  auto eig = LanczosEigen(op, 2, SpectrumEnd::kSmallest);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_TRUE(eig->converged);
+  EXPECT_NEAR(eig->eigenvalues[0], -2.0, 1e-8);
+  EXPECT_NEAR(eig->eigenvalues[1], 1.0, 1e-8);
+}
+
+TEST(LanczosTest, DiagonalLargest) {
+  auto m = SparseMatrix::FromTriplets(
+      4, 4, {{0, 0, 5.0}, {1, 1, 1.0}, {2, 2, 3.0}, {3, 3, 10.0}});
+  ASSERT_TRUE(m.ok());
+  SparseOperator op(*m);
+  auto eig = LanczosEigen(op, 2, SpectrumEnd::kLargest);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->eigenvalues[0], 5.0, 1e-8);
+  EXPECT_NEAR(eig->eigenvalues[1], 10.0, 1e-8);
+}
+
+TEST(LanczosTest, InvalidK) {
+  auto m = SparseMatrix::FromTriplets(3, 3, {{0, 0, 1.0}});
+  ASSERT_TRUE(m.ok());
+  SparseOperator op(*m);
+  EXPECT_FALSE(LanczosEigen(op, 0, SpectrumEnd::kSmallest).ok());
+  EXPECT_FALSE(LanczosEigen(op, 4, SpectrumEnd::kSmallest).ok());
+}
+
+TEST(LanczosTest, FullSpectrumSmallMatrix) {
+  // k == n: Lanczos spans the whole space and must be exact.
+  SparseMatrix m = RingMatrix(8, 3);
+  SparseOperator op(m);
+  auto lanczos = LanczosEigen(op, 8, SpectrumEnd::kSmallest);
+  ASSERT_TRUE(lanczos.ok());
+  auto dense = SymmetricEigenDecompose(m.ToDense());
+  ASSERT_TRUE(dense.ok());
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_NEAR(lanczos->eigenvalues[i], dense->eigenvalues[i], 1e-8);
+  }
+}
+
+class LanczosSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(LanczosSweep, AgreesWithDenseSolver) {
+  const int n = std::get<0>(GetParam());
+  const int k = std::get<1>(GetParam());
+  SparseMatrix m = RingMatrix(n, 100 + n);
+  SparseOperator op(m);
+
+  auto lanczos = LanczosEigen(op, k, SpectrumEnd::kSmallest);
+  ASSERT_TRUE(lanczos.ok());
+  auto dense = SymmetricEigenDecompose(m.ToDense());
+  ASSERT_TRUE(dense.ok());
+  for (int i = 0; i < k; ++i) {
+    EXPECT_NEAR(lanczos->eigenvalues[i], dense->eigenvalues[i], 1e-6)
+        << "eigenvalue " << i << " of n=" << n;
+  }
+
+  // Residual check on the returned vectors.
+  std::vector<double> v(n);
+  std::vector<double> av(n);
+  for (int j = 0; j < k; ++j) {
+    for (int i = 0; i < n; ++i) v[i] = lanczos->eigenvectors(i, j);
+    op.Apply(v.data(), av.data());
+    double res = 0.0;
+    for (int i = 0; i < n; ++i) {
+      double r = av[i] - lanczos->eigenvalues[j] * v[i];
+      res += r * r;
+    }
+    EXPECT_LT(std::sqrt(res), 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, LanczosSweep,
+    ::testing::Values(std::make_tuple(30, 2), std::make_tuple(50, 4),
+                      std::make_tuple(80, 6), std::make_tuple(120, 8),
+                      std::make_tuple(200, 5), std::make_tuple(300, 10)));
+
+TEST(LanczosTest, RankOneAlphaCutOperator) {
+  // The alpha-Cut operator M = d d^T / s - A applied through Lanczos must
+  // match the dense decomposition of the materialized matrix.
+  SparseMatrix a = RingMatrix(60, 42);
+  SparseOperator a_op(a);
+  std::vector<double> d = a.RowSums();
+  double s = 0.0;
+  for (double x : d) s += x;
+  RankOneUpdatedOperator m_op(a_op, d, 1.0 / s, -1.0);
+
+  auto lanczos = LanczosEigen(m_op, 4, SpectrumEnd::kSmallest);
+  ASSERT_TRUE(lanczos.ok());
+  auto dense = SymmetricEigenDecompose(Materialize(m_op));
+  ASSERT_TRUE(dense.ok());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(lanczos->eigenvalues[i], dense->eigenvalues[i], 1e-6);
+  }
+}
+
+TEST(LanczosTest, DisconnectedGraphHandlesBreakdown) {
+  // Two disjoint triangles: invariant subspaces force Lanczos restarts.
+  std::vector<Triplet> upper;
+  for (int base : {0, 3}) {
+    upper.push_back({base, base + 1, 1.0});
+    upper.push_back({base + 1, base + 2, 1.0});
+    upper.push_back({base, base + 2, 1.0});
+  }
+  SparseMatrix m = SparseMatrix::SymmetricFromTriplets(6, upper).value();
+  SparseOperator op(m);
+  auto eig = LanczosEigen(op, 3, SpectrumEnd::kLargest);
+  ASSERT_TRUE(eig.ok());
+  // Each triangle has top eigenvalue 2 (multiplicity 2 overall).
+  EXPECT_NEAR(eig->eigenvalues[2], 2.0, 1e-7);
+  EXPECT_NEAR(eig->eigenvalues[1], 2.0, 1e-7);
+}
+
+}  // namespace
+}  // namespace roadpart

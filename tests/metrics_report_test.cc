@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "metrics/partition_report.h"
+
+namespace roadpart {
+namespace {
+
+// Path of 5, weights 1, features with two levels; split {0,1,2} | {3,4}.
+struct Fixture {
+  CsrGraph graph = CsrGraph::FromEdges(
+                       5, {{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 2.0}, {3, 4, 1.0}})
+                       .value();
+  std::vector<double> features = {0.1, 0.2, 0.3, 0.9, 1.1};
+  std::vector<int> assignment = {0, 0, 0, 1, 1};
+};
+
+TEST(PartitionReportTest, SummariesCorrect) {
+  Fixture f;
+  auto rows = SummarizePartitions(f.graph, f.features, f.assignment);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  const PartitionSummary& p0 = (*rows)[0];
+  EXPECT_EQ(p0.id, 0);
+  EXPECT_EQ(p0.size, 3);
+  EXPECT_NEAR(p0.mean_density, 0.2, 1e-12);
+  EXPECT_NEAR(p0.min_density, 0.1, 1e-12);
+  EXPECT_NEAR(p0.max_density, 0.3, 1e-12);
+  EXPECT_EQ(p0.num_neighbours, 1);
+  EXPECT_NEAR(p0.boundary_weight, 2.0, 1e-12);  // the weight-2 bridge
+
+  const PartitionSummary& p1 = (*rows)[1];
+  EXPECT_EQ(p1.size, 2);
+  EXPECT_NEAR(p1.mean_density, 1.0, 1e-12);
+  EXPECT_NEAR(p1.boundary_weight, 2.0, 1e-12);
+}
+
+TEST(PartitionReportTest, StddevComputed) {
+  Fixture f;
+  auto rows = SummarizePartitions(f.graph, f.features, f.assignment);
+  ASSERT_TRUE(rows.ok());
+  // Partition 1: {0.9, 1.1}, mean 1.0, population stddev 0.1.
+  EXPECT_NEAR((*rows)[1].stddev_density, 0.1, 1e-9);
+}
+
+TEST(PartitionReportTest, SinglePartitionNoBoundary) {
+  Fixture f;
+  std::vector<int> one(5, 0);
+  auto rows = SummarizePartitions(f.graph, f.features, one);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0].num_neighbours, 0);
+  EXPECT_DOUBLE_EQ((*rows)[0].boundary_weight, 0.0);
+}
+
+TEST(PartitionReportTest, Validation) {
+  Fixture f;
+  EXPECT_FALSE(SummarizePartitions(f.graph, {0.1}, f.assignment).ok());
+  EXPECT_FALSE(SummarizePartitions(f.graph, f.features, {0, 0}).ok());
+  std::vector<int> negative = {0, 0, 0, -1, 0};
+  EXPECT_FALSE(SummarizePartitions(f.graph, f.features, negative).ok());
+}
+
+TEST(PartitionReportTest, TableFormat) {
+  Fixture f;
+  auto rows = SummarizePartitions(f.graph, f.features, f.assignment).value();
+  std::string table = FormatPartitionTable(rows);
+  // One header + two rows.
+  EXPECT_EQ(std::count(table.begin(), table.end(), '\n'), 3);
+  EXPECT_NE(table.find("boundary"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace roadpart

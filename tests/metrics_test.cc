@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "graph/csr_graph.h"
+#include "metrics/modularity.h"
+#include "metrics/pairwise.h"
+#include "metrics/partition_metrics.h"
+#include "metrics/validity.h"
+
+namespace roadpart {
+namespace {
+
+// --- pairwise ---
+
+double BruteIntra(const std::vector<double>& v) {
+  double total = 0.0;
+  int count = 0;
+  for (size_t i = 0; i < v.size(); ++i) {
+    for (size_t j = i + 1; j < v.size(); ++j) {
+      total += std::fabs(v[i] - v[j]);
+      ++count;
+    }
+  }
+  return count ? total / count : 0.0;
+}
+
+double BruteCross(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  double total = 0.0;
+  for (double x : a) {
+    for (double y : b) total += std::fabs(x - y);
+  }
+  return total / (a.size() * b.size());
+}
+
+TEST(PairwiseTest, IntraMatchesBruteForce) {
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> v;
+    int n = 2 + static_cast<int>(rng.NextBounded(40));
+    for (int i = 0; i < n; ++i) v.push_back(rng.NextDouble(-5, 5));
+    EXPECT_NEAR(AverageAbsPairwiseDifference(v), BruteIntra(v), 1e-10);
+  }
+}
+
+TEST(PairwiseTest, CrossMatchesBruteForce) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> a;
+    std::vector<double> b;
+    for (int i = 0; i < 1 + static_cast<int>(rng.NextBounded(30)); ++i) {
+      a.push_back(rng.NextDouble(-5, 5));
+    }
+    for (int i = 0; i < 1 + static_cast<int>(rng.NextBounded(30)); ++i) {
+      b.push_back(rng.NextDouble(-5, 5));
+    }
+    EXPECT_NEAR(AverageAbsCrossDifference(a, b), BruteCross(a, b), 1e-10);
+  }
+}
+
+TEST(PairwiseTest, Degenerate) {
+  EXPECT_DOUBLE_EQ(AverageAbsPairwiseDifference({}), 0.0);
+  EXPECT_DOUBLE_EQ(AverageAbsPairwiseDifference({1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(AverageAbsCrossDifference({}, {1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(AverageAbsCrossDifference({2.0}, {5.0}), 3.0);
+}
+
+// --- partition metrics ---
+
+// Path of 6 nodes, densities in two plateaus; partitions {0,1,2} {3,4,5}.
+struct Fixture {
+  CsrGraph graph;
+  std::vector<double> features;
+  std::vector<int> assignment;
+};
+
+Fixture TwoPlateaus() {
+  std::vector<Edge> edges;
+  for (int i = 0; i + 1 < 6; ++i) edges.push_back({i, i + 1, 1.0});
+  Fixture f{CsrGraph::FromEdges(6, edges).value(),
+            {1.0, 1.0, 1.0, 5.0, 5.0, 5.0},
+            {0, 0, 0, 1, 1, 1}};
+  return f;
+}
+
+TEST(PartitionMetricsTest, InterOnPlateaus) {
+  Fixture f = TwoPlateaus();
+  auto inter = InterMetric(f.graph, f.features, f.assignment);
+  ASSERT_TRUE(inter.ok());
+  EXPECT_NEAR(inter.value(), 4.0, 1e-12);  // |1 - 5| everywhere
+}
+
+TEST(PartitionMetricsTest, IntraOnPlateaus) {
+  Fixture f = TwoPlateaus();
+  auto intra = IntraMetric(f.graph, f.features, f.assignment);
+  ASSERT_TRUE(intra.ok());
+  EXPECT_NEAR(intra.value(), 0.0, 1e-12);
+}
+
+TEST(PartitionMetricsTest, AnsZeroForPerfectSplit) {
+  Fixture f = TwoPlateaus();
+  auto ans = AverageNcutSilhouette(f.graph, f.features, f.assignment);
+  ASSERT_TRUE(ans.ok());
+  EXPECT_NEAR(ans.value(), 0.0, 1e-12);  // zero intra, positive inter
+}
+
+TEST(PartitionMetricsTest, GdbiZeroForPerfectSplit) {
+  Fixture f = TwoPlateaus();
+  auto gdbi = GraphDaviesBouldin(f.graph, f.features, f.assignment);
+  ASSERT_TRUE(gdbi.ok());
+  EXPECT_NEAR(gdbi.value(), 0.0, 1e-12);  // zero scatter
+}
+
+TEST(PartitionMetricsTest, BadSplitScoresWorse) {
+  Fixture f = TwoPlateaus();
+  std::vector<int> bad = {0, 0, 1, 1, 0, 0};  // mixes the plateaus
+  // bad has disconnected partition 0, but metrics don't require C.2.
+  double good_ans =
+      AverageNcutSilhouette(f.graph, f.features, f.assignment).value();
+  double bad_ans = AverageNcutSilhouette(f.graph, f.features, bad).value();
+  EXPECT_LT(good_ans, bad_ans);
+  double good_intra = IntraMetric(f.graph, f.features, f.assignment).value();
+  double bad_intra = IntraMetric(f.graph, f.features, bad).value();
+  EXPECT_LT(good_intra, bad_intra);
+}
+
+TEST(PartitionMetricsTest, EvaluateBundles) {
+  Fixture f = TwoPlateaus();
+  auto eval = EvaluatePartitions(f.graph, f.features, f.assignment);
+  ASSERT_TRUE(eval.ok());
+  EXPECT_EQ(eval->num_partitions, 2);
+  EXPECT_NEAR(eval->inter, 4.0, 1e-12);
+  EXPECT_NEAR(eval->intra, 0.0, 1e-12);
+}
+
+TEST(PartitionMetricsTest, SinglePartitionNoNeighbours) {
+  Fixture f = TwoPlateaus();
+  std::vector<int> one(6, 0);
+  auto eval = EvaluatePartitions(f.graph, f.features, one);
+  ASSERT_TRUE(eval.ok());
+  EXPECT_DOUBLE_EQ(eval->inter, 0.0);  // no adjacent pairs
+  EXPECT_GT(eval->intra, 0.0);
+}
+
+TEST(PartitionMetricsTest, Validation) {
+  Fixture f = TwoPlateaus();
+  EXPECT_FALSE(InterMetric(f.graph, {1.0}, f.assignment).ok());
+  EXPECT_FALSE(InterMetric(f.graph, f.features, {0, 0, 0}).ok());
+  std::vector<int> negative = {0, 0, 0, -1, 0, 0};
+  EXPECT_FALSE(InterMetric(f.graph, f.features, negative).ok());
+}
+
+// --- modularity ---
+
+TEST(ModularityTest, TwoCliquesWithBridge) {
+  // Two triangles joined by one edge; the natural split has high Q.
+  std::vector<Edge> edges = {{0, 1, 1}, {1, 2, 1}, {0, 2, 1},
+                             {3, 4, 1}, {4, 5, 1}, {3, 5, 1},
+                             {2, 3, 1}};
+  CsrGraph g = CsrGraph::FromEdges(6, edges).value();
+  double q_good = Modularity(g, {0, 0, 0, 1, 1, 1}).value();
+  double q_bad = Modularity(g, {0, 1, 0, 1, 0, 1}).value();
+  double q_one = Modularity(g, {0, 0, 0, 0, 0, 0}).value();
+  EXPECT_GT(q_good, 0.3);
+  EXPECT_LT(q_bad, q_good);
+  EXPECT_NEAR(q_one, 0.0, 1e-12);
+}
+
+TEST(ModularityTest, HandComputedValue) {
+  // Single edge, two nodes, each its own community: Q = 0/1 - 2*(1/2)^2 = -0.5.
+  CsrGraph g = CsrGraph::FromEdges(2, {{0, 1, 1.0}}).value();
+  EXPECT_NEAR(Modularity(g, {0, 1}).value(), -0.5, 1e-12);
+  EXPECT_NEAR(Modularity(g, {0, 0}).value(), 0.0, 1e-12);
+}
+
+TEST(ModularityTest, Validation) {
+  CsrGraph g = CsrGraph::FromEdges(2, {{0, 1, 1.0}}).value();
+  EXPECT_FALSE(Modularity(g, {0}).ok());
+  EXPECT_FALSE(Modularity(g, {0, -2}).ok());
+}
+
+// --- validity ---
+
+TEST(ValidityTest, AcceptsGoodPartition) {
+  Fixture f = TwoPlateaus();
+  EXPECT_TRUE(CheckPartitionValidity(f.graph, f.assignment).ok());
+}
+
+TEST(ValidityTest, RejectsDisconnected) {
+  Fixture f = TwoPlateaus();
+  std::vector<int> disconnected = {0, 1, 0, 0, 0, 0};  // partition 0 split
+  EXPECT_FALSE(CheckPartitionValidity(f.graph, disconnected).ok());
+  EXPECT_TRUE(
+      CheckPartitionValidity(f.graph, disconnected, false).ok());
+}
+
+TEST(ValidityTest, RejectsSparseIds) {
+  Fixture f = TwoPlateaus();
+  std::vector<int> sparse = {0, 0, 0, 2, 2, 2};  // id 1 unused
+  EXPECT_FALSE(CheckPartitionValidity(f.graph, sparse, false).ok());
+}
+
+TEST(ValidityTest, RejectsWrongLength) {
+  Fixture f = TwoPlateaus();
+  EXPECT_FALSE(CheckPartitionValidity(f.graph, {0, 0}).ok());
+}
+
+// --- ARI ---
+
+TEST(AriTest, IdenticalIsOne) {
+  std::vector<int> a = {0, 0, 1, 1, 2, 2};
+  EXPECT_NEAR(AdjustedRandIndex(a, a).value(), 1.0, 1e-12);
+}
+
+TEST(AriTest, RenamingIsOne) {
+  std::vector<int> a = {0, 0, 1, 1};
+  std::vector<int> b = {5, 5, 3, 3};
+  EXPECT_NEAR(AdjustedRandIndex(a, b).value(), 1.0, 1e-12);
+}
+
+TEST(AriTest, IndependentNearZero) {
+  Rng rng(11);
+  std::vector<int> a;
+  std::vector<int> b;
+  for (int i = 0; i < 2000; ++i) {
+    a.push_back(static_cast<int>(rng.NextBounded(4)));
+    b.push_back(static_cast<int>(rng.NextBounded(4)));
+  }
+  EXPECT_NEAR(AdjustedRandIndex(a, b).value(), 0.0, 0.03);
+}
+
+TEST(AriTest, Validation) {
+  EXPECT_FALSE(AdjustedRandIndex({0, 1}, {0}).ok());
+}
+
+}  // namespace
+}  // namespace roadpart

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "common/rng.h"
+#include "netgen/city_generator.h"
+#include "netgen/grid_generator.h"
+#include "netgen/orientation.h"
+#include "netgen/radial_generator.h"
+#include "traffic/router.h"
+
+namespace roadpart {
+namespace {
+
+// Directed reachability count from `start` over the oriented roads.
+int ReachableCount(int n, const std::vector<std::pair<int, int>>& roads,
+                   const RoadOrientation& orientation, int start) {
+  std::vector<std::vector<int>> out(n);
+  for (size_t r = 0; r < roads.size(); ++r) {
+    auto [from, to] = orientation.direction[r];
+    out[from].push_back(to);
+    if (orientation.two_way[r]) out[to].push_back(from);
+  }
+  std::vector<char> seen(n, 0);
+  std::queue<int> fifo;
+  seen[start] = 1;
+  fifo.push(start);
+  int count = 1;
+  while (!fifo.empty()) {
+    int u = fifo.front();
+    fifo.pop();
+    for (int v : out[u]) {
+      if (!seen[v]) {
+        seen[v] = 1;
+        ++count;
+        fifo.push(v);
+      }
+    }
+  }
+  return count;
+}
+
+bool StronglyConnected(int n, const std::vector<std::pair<int, int>>& roads,
+                       const RoadOrientation& orientation) {
+  if (n == 0) return true;
+  if (ReachableCount(n, roads, orientation, 0) != n) return false;
+  // Reverse reachability: flip every direction.
+  RoadOrientation reversed = orientation;
+  for (auto& [from, to] : reversed.direction) std::swap(from, to);
+  return ReachableCount(n, roads, reversed, 0) == n;
+}
+
+TEST(OrientRoadsTest, CycleNeedsNoTwoWay) {
+  // A 4-cycle is 2-edge-connected: strongly connectable with zero budget.
+  std::vector<std::pair<int, int>> roads = {{0, 1}, {1, 2}, {2, 3}, {3, 0}};
+  Rng rng(1);
+  RoadOrientation o = OrientRoads(4, roads, 0, rng);
+  EXPECT_EQ(o.unpaved_bridges, 0);
+  EXPECT_TRUE(StronglyConnected(4, roads, o));
+}
+
+TEST(OrientRoadsTest, TreeNeedsAllTwoWay) {
+  // A path: every edge is a bridge.
+  std::vector<std::pair<int, int>> roads = {{0, 1}, {1, 2}, {2, 3}};
+  Rng rng(2);
+  RoadOrientation o = OrientRoads(4, roads, 3, rng);
+  EXPECT_EQ(o.unpaved_bridges, 0);
+  for (char tw : o.two_way) EXPECT_TRUE(tw);
+  EXPECT_TRUE(StronglyConnected(4, roads, o));
+}
+
+TEST(OrientRoadsTest, InsufficientBudgetReported) {
+  std::vector<std::pair<int, int>> roads = {{0, 1}, {1, 2}, {2, 3}};
+  Rng rng(3);
+  RoadOrientation o = OrientRoads(4, roads, 1, rng);
+  EXPECT_EQ(o.unpaved_bridges, 2);
+}
+
+TEST(OrientRoadsTest, BridgePlusCycle) {
+  // Two triangles joined by one bridge: budget 1 must land on the bridge.
+  std::vector<std::pair<int, int>> roads = {{0, 1}, {1, 2}, {0, 2},
+                                            {2, 3},              // bridge
+                                            {3, 4}, {4, 5}, {3, 5}};
+  Rng rng(4);
+  RoadOrientation o = OrientRoads(6, roads, 1, rng);
+  EXPECT_EQ(o.unpaved_bridges, 0);
+  EXPECT_TRUE(o.two_way[3]);
+  EXPECT_TRUE(StronglyConnected(6, roads, o));
+}
+
+TEST(OrientRoadsTest, ExtraBudgetSpent) {
+  std::vector<std::pair<int, int>> roads = {{0, 1}, {1, 2}, {2, 0}};
+  Rng rng(5);
+  RoadOrientation o = OrientRoads(3, roads, 2, rng);
+  int total = 0;
+  for (char tw : o.two_way) total += tw;
+  EXPECT_EQ(total, 2);  // exact budget even without bridges
+  EXPECT_TRUE(StronglyConnected(3, roads, o));
+}
+
+class OrientationSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OrientationSweep, RandomGraphsStronglyConnected) {
+  Rng rng(GetParam());
+  const int n = 30;
+  // Random connected graph with enough extra edges + full bridge budget.
+  std::vector<std::pair<int, int>> roads;
+  for (int i = 1; i < n; ++i) {
+    roads.emplace_back(static_cast<int>(rng.NextBounded(i)), i);
+  }
+  for (int e = 0; e < 15; ++e) {
+    int u = static_cast<int>(rng.NextBounded(n));
+    int v = static_cast<int>(rng.NextBounded(n));
+    if (u != v) roads.emplace_back(u, v);
+  }
+  Rng orient_rng(GetParam() + 1);
+  RoadOrientation o = OrientRoads(n, roads, static_cast<int>(roads.size()) / 2 + 10,
+                                  orient_rng);
+  if (o.unpaved_bridges == 0) {
+    EXPECT_TRUE(StronglyConnected(n, roads, o));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OrientationSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55));
+
+// --- Generators produce (largely) routable networks ---
+
+TEST(GeneratorRoutabilityTest, GridFullyTwoWayStronglyConnected) {
+  GridOptions opt;
+  opt.rows = 6;
+  opt.cols = 6;
+  opt.two_way_fraction = 1.0;
+  opt.seed = 7;
+  RoadNetwork net = GenerateGridNetwork(opt).value();
+  // With everything two-way and connected, any pair is routable.
+  Router router(net);
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    int a = static_cast<int>(rng.NextBounded(net.num_intersections()));
+    int b = static_cast<int>(rng.NextBounded(net.num_intersections()));
+    if (a == b) continue;
+    EXPECT_TRUE(router.ShortestPath(a, b).ok()) << a << "->" << b;
+  }
+}
+
+TEST(GeneratorRoutabilityTest, MixedGridMostlyRoutable) {
+  GridOptions opt;
+  opt.rows = 8;
+  opt.cols = 8;
+  opt.two_way_fraction = 0.6;
+  opt.seed = 11;
+  RoadNetwork net = GenerateGridNetwork(opt).value();
+  Router router(net);
+  Rng rng(13);
+  int ok_count = 0;
+  int total = 0;
+  for (int i = 0; i < 200; ++i) {
+    int a = static_cast<int>(rng.NextBounded(net.num_intersections()));
+    int b = static_cast<int>(rng.NextBounded(net.num_intersections()));
+    if (a == b) continue;
+    ++total;
+    ok_count += router.ShortestPath(a, b).ok();
+  }
+  // A dense grid with 60% two-way budget covers all bridges: fully
+  // strongly connected.
+  EXPECT_EQ(ok_count, total);
+}
+
+}  // namespace
+}  // namespace roadpart

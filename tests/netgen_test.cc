@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/connected_components.h"
+#include "netgen/city_generator.h"
+#include "netgen/grid_generator.h"
+#include "netgen/radial_generator.h"
+#include "network/road_graph.h"
+
+namespace roadpart {
+namespace {
+
+// Undirected connectivity of the road network's intersections.
+bool NetworkConnected(const RoadNetwork& net) {
+  std::vector<Edge> edges;
+  for (const RoadSegment& s : net.segments()) {
+    edges.push_back({s.from, s.to, 1.0});
+  }
+  auto g = CsrGraph::FromEdges(net.num_intersections(), edges);
+  return ConnectedComponents(*g).num_components == 1;
+}
+
+TEST(GridGeneratorTest, BasicShape) {
+  GridOptions opt;
+  opt.rows = 5;
+  opt.cols = 7;
+  opt.two_way_fraction = 1.0;
+  auto net = GenerateGridNetwork(opt);
+  ASSERT_TRUE(net.ok());
+  EXPECT_EQ(net->num_intersections(), 35);
+  // Full grid: 2*5*7 - 5 - 7 = 58 roads, all two-way.
+  EXPECT_EQ(net->num_segments(), 116);
+  EXPECT_TRUE(NetworkConnected(*net));
+}
+
+TEST(GridGeneratorTest, OneWayOnly) {
+  GridOptions opt;
+  opt.rows = 4;
+  opt.cols = 4;
+  opt.two_way_fraction = 0.0;
+  auto net = GenerateGridNetwork(opt);
+  ASSERT_TRUE(net.ok());
+  EXPECT_EQ(net->num_segments(), 24);  // one segment per road
+}
+
+TEST(GridGeneratorTest, EdgeDroppingKeepsConnected) {
+  GridOptions opt;
+  opt.rows = 10;
+  opt.cols = 10;
+  opt.edge_keep_prob = 0.3;
+  opt.seed = 77;
+  auto net = GenerateGridNetwork(opt);
+  ASSERT_TRUE(net.ok());
+  EXPECT_TRUE(NetworkConnected(*net));
+  EXPECT_LT(net->num_segments(), 2 * (2 * 10 * 10 - 20));
+}
+
+TEST(GridGeneratorTest, Deterministic) {
+  GridOptions opt;
+  opt.seed = 5;
+  auto a = GenerateGridNetwork(opt);
+  auto b = GenerateGridNetwork(opt);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->num_segments(), b->num_segments());
+  for (int i = 0; i < a->num_segments(); ++i) {
+    EXPECT_EQ(a->segment(i).from, b->segment(i).from);
+    EXPECT_EQ(a->segment(i).to, b->segment(i).to);
+  }
+}
+
+TEST(GridGeneratorTest, RejectsBadOptions) {
+  GridOptions opt;
+  opt.rows = 1;
+  EXPECT_FALSE(GenerateGridNetwork(opt).ok());
+  opt = {};
+  opt.two_way_fraction = 1.5;
+  EXPECT_FALSE(GenerateGridNetwork(opt).ok());
+  opt = {};
+  opt.edge_keep_prob = 0.0;
+  EXPECT_FALSE(GenerateGridNetwork(opt).ok());
+}
+
+TEST(RadialGeneratorTest, ShapeAndConnectivity) {
+  RadialOptions opt;
+  opt.num_rings = 3;
+  opt.num_spokes = 6;
+  opt.two_way_fraction = 1.0;
+  auto net = GenerateRadialNetwork(opt);
+  ASSERT_TRUE(net.ok());
+  EXPECT_EQ(net->num_intersections(), 1 + 3 * 6);
+  // Roads: spokes 3*6 stretches + rings 3*6 arcs = 36, all two-way.
+  EXPECT_EQ(net->num_segments(), 72);
+  EXPECT_TRUE(NetworkConnected(*net));
+}
+
+TEST(RadialGeneratorTest, RejectsBadOptions) {
+  RadialOptions opt;
+  opt.num_spokes = 2;
+  EXPECT_FALSE(GenerateRadialNetwork(opt).ok());
+}
+
+TEST(CityGeneratorTest, HitsTargets) {
+  CityOptions opt;
+  opt.num_intersections = 500;
+  opt.target_segments = 850;
+  opt.area_sq_miles = 2.0;
+  opt.seed = 11;
+  auto net = GenerateCityNetwork(opt);
+  ASSERT_TRUE(net.ok());
+  EXPECT_EQ(net->num_intersections(), 500);
+  EXPECT_EQ(net->num_segments(), 850);
+  EXPECT_TRUE(NetworkConnected(*net));
+  EXPECT_NEAR(net->Bounds().AreaSqMiles(), 2.0, 0.2);
+}
+
+TEST(CityGeneratorTest, RejectsInfeasible) {
+  CityOptions opt;
+  opt.num_intersections = 100;
+  opt.target_segments = 50;  // cannot connect 100 intersections
+  EXPECT_FALSE(GenerateCityNetwork(opt).ok());
+  opt = {};
+  opt.num_intersections = 1;
+  EXPECT_FALSE(GenerateCityNetwork(opt).ok());
+  opt = {};
+  opt.area_sq_miles = -1.0;
+  EXPECT_FALSE(GenerateCityNetwork(opt).ok());
+}
+
+TEST(CityGeneratorTest, DualGraphConnected) {
+  CityOptions opt;
+  opt.num_intersections = 300;
+  opt.target_segments = 500;
+  opt.seed = 3;
+  auto net = GenerateCityNetwork(opt);
+  ASSERT_TRUE(net.ok());
+  CsrGraph dual = BuildDualAdjacency(*net);
+  EXPECT_EQ(ConnectedComponents(dual).num_components, 1);
+}
+
+TEST(DatasetPresetTest, SpecsMatchTable1) {
+  DatasetSpec d1 = GetDatasetSpec(DatasetPreset::kD1);
+  EXPECT_EQ(d1.segments, 420);
+  EXPECT_EQ(d1.intersections, 237);
+  EXPECT_DOUBLE_EQ(d1.area_sq_miles, 2.5);
+  DatasetSpec m1 = GetDatasetSpec(DatasetPreset::kM1);
+  EXPECT_EQ(m1.segments, 17206);
+  EXPECT_EQ(m1.intersections, 10096);
+  EXPECT_EQ(m1.vehicles, 25246);
+  DatasetSpec m3 = GetDatasetSpec(DatasetPreset::kM3);
+  EXPECT_EQ(m3.segments, 79487);
+}
+
+TEST(DatasetPresetTest, D1GeneratesAtPublishedSize) {
+  auto net = GenerateDataset(DatasetPreset::kD1, 1);
+  ASSERT_TRUE(net.ok());
+  EXPECT_EQ(net->num_intersections(), 237);
+  EXPECT_EQ(net->num_segments(), 420);
+  EXPECT_TRUE(NetworkConnected(*net));
+}
+
+class CitySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CitySweep, AlwaysConnectedAndExact) {
+  CityOptions opt;
+  opt.num_intersections = 237;
+  opt.target_segments = 420;
+  opt.area_sq_miles = 2.5;
+  opt.seed = GetParam();
+  auto net = GenerateCityNetwork(opt);
+  ASSERT_TRUE(net.ok());
+  EXPECT_EQ(net->num_segments(), 420);
+  EXPECT_TRUE(NetworkConnected(*net));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CitySweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace roadpart

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "network/edge_list_io.h"
+
+namespace roadpart {
+namespace {
+
+std::string WriteTemp(const std::string& name, const std::string& content) {
+  std::string path = testing::TempDir() + "/" + name;
+  std::ofstream out(path);
+  out << content;
+  return path;
+}
+
+TEST(EdgeListIoTest, LoadsBasicNetwork) {
+  std::string nodes = WriteTemp("n1.csv",
+                                "node_id,x,y\n"
+                                "10,0,0\n"
+                                "20,100,0\n"
+                                "30,100,100\n");
+  std::string edges = WriteTemp("e1.csv",
+                                "from_id,to_id,length,oneway,density\n"
+                                "10,20,100,0,0.05\n"
+                                "20,30,,1,0.1\n");
+  auto net = LoadEdgeListNetwork(nodes, edges);
+  ASSERT_TRUE(net.ok()) << net.status().ToString();
+  EXPECT_EQ(net->num_intersections(), 3);
+  // Two-way road -> 2 segments; one-way -> 1.
+  EXPECT_EQ(net->num_segments(), 3);
+  EXPECT_DOUBLE_EQ(net->segment(0).density, 0.05);
+  EXPECT_DOUBLE_EQ(net->segment(1).density, 0.05);
+  // Missing length falls back to Euclidean distance.
+  EXPECT_NEAR(net->segment(2).length, 100.0, 1e-9);
+  std::remove(nodes.c_str());
+  std::remove(edges.c_str());
+}
+
+TEST(EdgeListIoTest, HeaderOptionalAndCommentsSkipped) {
+  std::string nodes = WriteTemp("n2.csv",
+                                "# a comment\n"
+                                "0,0,0\n"
+                                "1,50,0\n");
+  std::string edges = WriteTemp("e2.csv", "0,1\n");
+  auto net = LoadEdgeListNetwork(nodes, edges);
+  ASSERT_TRUE(net.ok());
+  EXPECT_EQ(net->num_segments(), 2);  // default two-way
+  EXPECT_NEAR(net->segment(0).length, 50.0, 1e-9);
+  std::remove(nodes.c_str());
+  std::remove(edges.c_str());
+}
+
+TEST(EdgeListIoTest, RejectsUnknownNode) {
+  std::string nodes = WriteTemp("n3.csv", "0,0,0\n1,1,1\n");
+  std::string edges = WriteTemp("e3.csv", "0,7\n");
+  EXPECT_FALSE(LoadEdgeListNetwork(nodes, edges).ok());
+  std::remove(nodes.c_str());
+  std::remove(edges.c_str());
+}
+
+TEST(EdgeListIoTest, RejectsDuplicateNodeIds) {
+  std::string nodes = WriteTemp("n4.csv", "5,0,0\n5,1,1\n");
+  std::string edges = WriteTemp("e4.csv", "");
+  EXPECT_FALSE(LoadEdgeListNetwork(nodes, edges).ok());
+  std::remove(nodes.c_str());
+  std::remove(edges.c_str());
+}
+
+TEST(EdgeListIoTest, RejectsMalformedRows) {
+  std::string nodes = WriteTemp("n5.csv", "0,0\n");  // too few fields
+  std::string edges = WriteTemp("e5.csv", "0,1\n");
+  EXPECT_FALSE(LoadEdgeListNetwork(nodes, edges).ok());
+  std::remove(nodes.c_str());
+
+  nodes = WriteTemp("n6.csv", "0,abc,0\n");
+  EXPECT_FALSE(LoadEdgeListNetwork(nodes, edges).ok());
+  std::remove(nodes.c_str());
+  std::remove(edges.c_str());
+}
+
+TEST(EdgeListIoTest, MissingFilesReported) {
+  EXPECT_FALSE(LoadEdgeListNetwork("/no/such/nodes.csv",
+                                   "/no/such/edges.csv")
+                   .ok());
+}
+
+TEST(EdgeListIoTest, SaveLoadRoundTrip) {
+  std::string nodes = WriteTemp("n7.csv",
+                                "0,0,0\n1,100,0\n2,100,100\n");
+  std::string edges = WriteTemp("e7.csv",
+                                "0,1,100,0,0.25\n"
+                                "1,2,100,1,0.5\n");
+  RoadNetwork net = LoadEdgeListNetwork(nodes, edges).value();
+
+  std::string nodes2 = testing::TempDir() + "/n7b.csv";
+  std::string edges2 = testing::TempDir() + "/e7b.csv";
+  ASSERT_TRUE(SaveEdgeListNetwork(net, nodes2, edges2).ok());
+  RoadNetwork back = LoadEdgeListNetwork(nodes2, edges2).value();
+  EXPECT_EQ(back.num_intersections(), net.num_intersections());
+  EXPECT_EQ(back.num_segments(), net.num_segments());
+  double total_density = 0.0;
+  double total_density_back = 0.0;
+  for (int i = 0; i < net.num_segments(); ++i) {
+    total_density += net.segment(i).density;
+    total_density_back += back.segment(i).density;
+  }
+  EXPECT_NEAR(total_density, total_density_back, 1e-9);
+  for (const char* p : {nodes.c_str(), edges.c_str(), nodes2.c_str(),
+                        edges2.c_str()}) {
+    std::remove(p);
+  }
+}
+
+}  // namespace
+}  // namespace roadpart

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "network/geojson_export.h"
+
+namespace roadpart {
+namespace {
+
+RoadNetwork TinyNetwork() {
+  std::vector<Intersection> pts = {{{0.0, 0.0}}, {{100.0, 0.0}}};
+  std::vector<RoadSegment> segs = {{0, 1, 100.0, 0.25},
+                                   {1, 0, 100.0, 0.5}};
+  return RoadNetwork::Create(std::move(pts), std::move(segs)).value();
+}
+
+TEST(GeoJsonTest, ContainsAllSegments) {
+  RoadNetwork net = TinyNetwork();
+  GeoJsonOptions options;
+  auto json = GeoJsonString(net, options);
+  ASSERT_TRUE(json.ok());
+  EXPECT_NE(json->find("\"FeatureCollection\""), std::string::npos);
+  EXPECT_NE(json->find("\"id\":0"), std::string::npos);
+  EXPECT_NE(json->find("\"id\":1"), std::string::npos);
+  EXPECT_NE(json->find("\"density\":0.250000000"), std::string::npos);
+  // Two features.
+  size_t count = 0;
+  size_t pos = 0;
+  while ((pos = json->find("\"Feature\"", pos)) != std::string::npos) {
+    ++count;
+    pos += 1;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(GeoJsonTest, PartitionProperty) {
+  RoadNetwork net = TinyNetwork();
+  GeoJsonOptions options;
+  options.partition = {3, 7};
+  auto json = GeoJsonString(net, options);
+  ASSERT_TRUE(json.ok());
+  EXPECT_NE(json->find("\"partition\":3"), std::string::npos);
+  EXPECT_NE(json->find("\"partition\":7"), std::string::npos);
+}
+
+TEST(GeoJsonTest, PartitionSizeValidated) {
+  RoadNetwork net = TinyNetwork();
+  GeoJsonOptions options;
+  options.partition = {1};
+  EXPECT_FALSE(GeoJsonString(net, options).ok());
+}
+
+TEST(GeoJsonTest, DensityOmittedWhenDisabled) {
+  RoadNetwork net = TinyNetwork();
+  GeoJsonOptions options;
+  options.include_density = false;
+  auto json = GeoJsonString(net, options);
+  ASSERT_TRUE(json.ok());
+  EXPECT_EQ(json->find("density"), std::string::npos);
+}
+
+TEST(GeoJsonTest, CoordinateScaleApplied) {
+  RoadNetwork net = TinyNetwork();
+  GeoJsonOptions options;
+  options.coordinate_scale = 0.01;
+  auto json = GeoJsonString(net, options);
+  ASSERT_TRUE(json.ok());
+  EXPECT_NE(json->find("[1.000000,0.000000]"), std::string::npos);
+}
+
+TEST(GeoJsonTest, ExportWritesFile) {
+  RoadNetwork net = TinyNetwork();
+  std::string path = testing::TempDir() + "/net.geojson";
+  ASSERT_TRUE(ExportGeoJson(net, {}, path).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("FeatureCollection"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(GeoJsonTest, ExportRejectsBadPath) {
+  RoadNetwork net = TinyNetwork();
+  EXPECT_FALSE(ExportGeoJson(net, {}, "/nonexistent-dir/x.geojson").ok());
+}
+
+}  // namespace
+}  // namespace roadpart

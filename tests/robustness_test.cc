@@ -1,0 +1,185 @@
+// Robustness tests: malformed inputs, degenerate networks and extreme
+// parameters must produce clean Status errors (or sensible results), never
+// crashes.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "roadpart/roadpart.h"
+
+namespace roadpart {
+namespace {
+
+std::string WriteTemp(const std::string& name, const std::string& content) {
+  std::string path = testing::TempDir() + "/" + name;
+  std::ofstream out(path);
+  out << content;
+  return path;
+}
+
+// --- Malformed network files ---
+
+TEST(RobustnessTest, TruncatedNetworkFile) {
+  std::string path = WriteTemp("trunc.net",
+                               "# roadnet v1\nI 3\n0 0\n");  // 1 of 3 nodes
+  EXPECT_FALSE(LoadRoadNetwork(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(RobustnessTest, GarbageNetworkFile) {
+  std::string path = WriteTemp("garbage.net", "this is not a network\n");
+  EXPECT_FALSE(LoadRoadNetwork(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(RobustnessTest, NetworkWithDanglingSegment) {
+  std::string path = WriteTemp("dangling.net",
+                               "I 2\n0 0\n1 1\nS 1\n0 5 10.0 0.0\n");
+  EXPECT_FALSE(LoadRoadNetwork(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(RobustnessTest, EmptyDensityFile) {
+  std::string path = WriteTemp("empty.densities", "");
+  auto densities = LoadDensities(path);
+  ASSERT_TRUE(densities.ok());
+  EXPECT_TRUE(densities->empty());
+  std::remove(path.c_str());
+}
+
+TEST(RobustnessTest, NonNumericDensityFile) {
+  std::string path = WriteTemp("bad.densities", "0.1\nnope\n0.2\n");
+  EXPECT_FALSE(LoadDensities(path).ok());
+  std::remove(path.c_str());
+}
+
+// --- Degenerate partitioning inputs ---
+
+RoadGraph TinyGraph(int n) {
+  std::vector<Edge> edges;
+  for (int i = 0; i + 1 < n; ++i) edges.push_back({i, i + 1, 1.0});
+  std::vector<double> f(n, 0.0);
+  for (int i = 0; i < n; ++i) f[i] = 0.1 * i;
+  return RoadGraph::FromParts(CsrGraph::FromEdges(n, edges).value(), f)
+      .value();
+}
+
+TEST(RobustnessTest, UniformDensitiesStillPartition) {
+  // All segments identical: any k-way split is as good as any other, but the
+  // pipeline must not divide by zero anywhere.
+  RoadGraph rg =
+      RoadGraph::FromParts(TinyGraph(20).adjacency(),
+                           std::vector<double>(20, 0.5))
+          .value();
+  for (Scheme scheme : {Scheme::kAG, Scheme::kASG, Scheme::kNG}) {
+    PartitionerOptions options;
+    options.scheme = scheme;
+    options.k = 3;
+    options.seed = 4;
+    auto outcome = Partitioner(options).PartitionRoadGraph(rg);
+    ASSERT_TRUE(outcome.ok()) << SchemeName(scheme) << ": "
+                              << outcome.status().ToString();
+    EXPECT_EQ(outcome->k_final, 3);
+  }
+}
+
+TEST(RobustnessTest, AllZeroDensities) {
+  RoadGraph rg = RoadGraph::FromParts(TinyGraph(12).adjacency(),
+                                      std::vector<double>(12, 0.0))
+                     .value();
+  PartitionerOptions options;
+  options.scheme = Scheme::kASG;
+  options.k = 2;
+  auto outcome = Partitioner(options).PartitionRoadGraph(rg);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->k_final, 2);
+}
+
+TEST(RobustnessTest, TwoNodeGraph) {
+  RoadGraph rg = TinyGraph(2);
+  PartitionerOptions options;
+  options.scheme = Scheme::kAG;
+  options.k = 2;
+  auto outcome = Partitioner(options).PartitionRoadGraph(rg);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->k_final, 2);
+  EXPECT_NE(outcome->assignment[0], outcome->assignment[1]);
+}
+
+TEST(RobustnessTest, ExtremeDensityMagnitudes) {
+  // Huge dynamic range must not break the eigen machinery (scaling guards).
+  std::vector<double> f = {1e-9, 2e-9, 1e-9, 0.5, 0.6, 0.5, 900.0, 950.0,
+                           920.0, 910.0};
+  RoadGraph rg =
+      RoadGraph::FromParts(TinyGraph(10).adjacency(), f).value();
+  PartitionerOptions options;
+  options.scheme = Scheme::kAG;
+  options.k = 3;
+  options.seed = 6;
+  auto outcome = Partitioner(options).PartitionRoadGraph(rg);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_TRUE(
+      CheckPartitionValidity(rg.adjacency(), outcome->assignment).ok());
+}
+
+TEST(RobustnessTest, MetricsOnSingletonPartitions) {
+  RoadGraph rg = TinyGraph(4);
+  std::vector<int> singletons = {0, 1, 2, 3};
+  auto eval =
+      EvaluatePartitions(rg.adjacency(), rg.features(), singletons);
+  ASSERT_TRUE(eval.ok());
+  EXPECT_DOUBLE_EQ(eval->intra, 0.0);
+  EXPECT_GT(eval->inter, 0.0);
+}
+
+TEST(RobustnessTest, SupergraphOnStarTopology) {
+  // Star network: the dual is a clique; mining must still work.
+  std::vector<Intersection> pts(7);
+  pts[0].position = {0, 0};
+  for (int i = 1; i < 7; ++i) {
+    pts[i].position = {100.0 * i, 50.0};
+  }
+  std::vector<RoadSegment> segs;
+  for (int i = 1; i < 7; ++i) segs.push_back({0, i, 100.0, 0.01 * i});
+  RoadNetwork net = RoadNetwork::Create(pts, segs).value();
+  RoadGraph rg = RoadGraph::FromNetwork(net);
+  auto sg = MineSupergraph(rg, {});
+  ASSERT_TRUE(sg.ok());
+  EXPECT_GE(sg->num_supernodes(), 1);
+}
+
+TEST(RobustnessTest, GeneratorsAtMinimumSizes) {
+  GridOptions grid;
+  grid.rows = 2;
+  grid.cols = 2;
+  EXPECT_TRUE(GenerateGridNetwork(grid).ok());
+  RadialOptions radial;
+  radial.num_rings = 1;
+  radial.num_spokes = 3;
+  EXPECT_TRUE(GenerateRadialNetwork(radial).ok());
+  CityOptions city;
+  city.num_intersections = 2;
+  city.target_segments = 2;
+  city.area_sq_miles = 0.1;
+  EXPECT_TRUE(GenerateCityNetwork(city).ok());
+}
+
+TEST(RobustnessTest, MicrosimWithNoTrips) {
+  GridOptions grid;
+  grid.rows = 3;
+  grid.cols = 3;
+  RoadNetwork net = GenerateGridNetwork(grid).value();
+  MicrosimOptions sim;
+  sim.total_seconds = 10.0;
+  sim.record_every_seconds = 5.0;
+  auto result = RunMicrosim(net, {}, sim);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->completed_trips, 0);
+  for (const auto& snap : result->densities) {
+    for (double d : snap) EXPECT_DOUBLE_EQ(d, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace roadpart

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "temporal/series_io.h"
+
+namespace roadpart {
+namespace {
+
+TEST(SeriesIoTest, RoundTrip) {
+  SnapshotSeries series(3);
+  ASSERT_TRUE(series.Append(120.0, {0.1, 0.2, 0.3}).ok());
+  ASSERT_TRUE(series.Append(240.0, {0.15, 0.25, 0.35}).ok());
+  std::string path = testing::TempDir() + "/series_roundtrip.csv";
+  ASSERT_TRUE(SaveSnapshotSeries(series, path).ok());
+
+  auto loaded = LoadSnapshotSeries(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->num_snapshots(), 2);
+  EXPECT_EQ(loaded->num_segments(), 3);
+  EXPECT_NEAR(loaded->timestamp(0), 120.0, 1e-9);
+  EXPECT_NEAR(loaded->densities(1)[2], 0.35, 1e-9);
+  std::remove(path.c_str());
+}
+
+TEST(SeriesIoTest, RejectsRaggedRows) {
+  std::string path = testing::TempDir() + "/series_ragged.csv";
+  {
+    std::ofstream out(path);
+    out << "0,0.1,0.2\n10,0.1\n";
+  }
+  EXPECT_FALSE(LoadSnapshotSeries(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SeriesIoTest, RejectsGarbageAndMissing) {
+  std::string path = testing::TempDir() + "/series_garbage.csv";
+  {
+    std::ofstream out(path);
+    out << "0,abc\n";
+  }
+  EXPECT_FALSE(LoadSnapshotSeries(path).ok());
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadSnapshotSeries("/no/such/series.csv").ok());
+}
+
+TEST(SeriesIoTest, EmptyFileRejected) {
+  std::string path = testing::TempDir() + "/series_empty.csv";
+  { std::ofstream out(path); }
+  EXPECT_FALSE(LoadSnapshotSeries(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SeriesIoTest, CommentsSkipped) {
+  std::string path = testing::TempDir() + "/series_comments.csv";
+  {
+    std::ofstream out(path);
+    out << "# segments: 2\n0,0.1,0.2\n";
+  }
+  auto loaded = LoadSnapshotSeries(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_segments(), 2);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace roadpart

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "netgen/grid_generator.h"
+#include "network/road_graph.h"
+#include "temporal/evolution_analyzer.h"
+#include "temporal/snapshot_series.h"
+#include "traffic/congestion_field.h"
+
+namespace roadpart {
+namespace {
+
+// --- SnapshotSeries ---
+
+TEST(SnapshotSeriesTest, AppendValidates) {
+  SnapshotSeries series(3);
+  EXPECT_TRUE(series.Append(0.0, {1.0, 2.0, 3.0}).ok());
+  EXPECT_FALSE(series.Append(1.0, {1.0, 2.0}).ok());        // wrong size
+  EXPECT_FALSE(series.Append(0.0, {1.0, 2.0, 3.0}).ok());   // non-increasing
+  EXPECT_FALSE(series.Append(2.0, {1.0, -2.0, 3.0}).ok());  // negative
+  EXPECT_EQ(series.num_snapshots(), 1);
+}
+
+TEST(SnapshotSeriesTest, MeanDensity) {
+  SnapshotSeries series(4);
+  ASSERT_TRUE(series.Append(0.0, {1.0, 2.0, 3.0, 4.0}).ok());
+  EXPECT_DOUBLE_EQ(series.MeanDensity(0), 2.5);
+}
+
+TEST(SnapshotSeriesTest, SegmentStatistics) {
+  SnapshotSeries series(2);
+  ASSERT_TRUE(series.Append(0.0, {1.0, 10.0}).ok());
+  ASSERT_TRUE(series.Append(1.0, {3.0, 10.0}).ok());
+  auto means = series.SegmentMeans();
+  EXPECT_DOUBLE_EQ(means[0], 2.0);
+  EXPECT_DOUBLE_EQ(means[1], 10.0);
+  auto stds = series.SegmentStdDevs();
+  EXPECT_DOUBLE_EQ(stds[0], 1.0);  // values 1, 3 around mean 2
+  EXPECT_DOUBLE_EQ(stds[1], 0.0);
+}
+
+TEST(SnapshotSeriesTest, ChangeDetection) {
+  SnapshotSeries series(2);
+  ASSERT_TRUE(series.Append(0.0, {1.0, 1.0}).ok());
+  ASSERT_TRUE(series.Append(1.0, {1.0, 1.0}).ok());
+  ASSERT_TRUE(series.Append(2.0, {5.0, 1.0}).ok());
+  EXPECT_DOUBLE_EQ(series.ChangeFrom(0), 0.0);
+  EXPECT_DOUBLE_EQ(series.ChangeFrom(1), 0.0);
+  EXPECT_DOUBLE_EQ(series.ChangeFrom(2), 2.0);  // (|5-1| + 0) / 2
+}
+
+TEST(SnapshotSeriesTest, PeakSnapshot) {
+  SnapshotSeries series(1);
+  ASSERT_TRUE(series.Append(0.0, {0.1}).ok());
+  ASSERT_TRUE(series.Append(1.0, {0.9}).ok());
+  ASSERT_TRUE(series.Append(2.0, {0.5}).ok());
+  EXPECT_EQ(series.PeakSnapshot(), 1);
+}
+
+// --- AnalyzeEvolution ---
+
+class EvolutionFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GridOptions grid;
+    grid.rows = 8;
+    grid.cols = 8;
+    grid.seed = 5;
+    network_ = GenerateGridNetwork(grid).value();
+    graph_ = RoadGraph::FromNetwork(network_);
+  }
+
+  RoadNetwork network_;
+  RoadGraph graph_;
+};
+
+TEST_F(EvolutionFixture, StableFieldLowChurn) {
+  CongestionFieldOptions field_opt;
+  field_opt.num_hotspots = 3;
+  field_opt.voronoi_tiling = true;
+  field_opt.noise_fraction = 0.02;
+  field_opt.seed = 9;
+  CongestionField field(network_, field_opt);
+
+  SnapshotSeries series(network_.num_segments());
+  // Slowly varying phases -> the same spatial structure every snapshot.
+  for (int t = 0; t < 5; ++t) {
+    ASSERT_TRUE(series.Append(t * 120.0, field.DensitiesAt(0.3 + 0.005 * t))
+                    .ok());
+  }
+
+  EvolutionOptions options;
+  options.partitioner.scheme = Scheme::kASG;
+  options.partitioner.k = 3;
+  options.partitioner.seed = 3;
+  auto result = AnalyzeEvolution(graph_, series, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->steps.size(), 5u);
+  EXPECT_LT(result->mean_churn, 0.35);
+  for (const auto& step : result->steps) {
+    EXPECT_EQ(step.k_final, 3);
+    EXPECT_EQ(step.assignment.size(),
+              static_cast<size_t>(network_.num_segments()));
+  }
+}
+
+TEST_F(EvolutionFixture, RegimeChangeDetected) {
+  CongestionFieldOptions before_opt;
+  before_opt.num_hotspots = 2;
+  before_opt.voronoi_tiling = true;
+  before_opt.noise_fraction = 0.02;
+  before_opt.seed = 11;
+  CongestionField before(network_, before_opt);
+  CongestionFieldOptions after_opt = before_opt;
+  after_opt.seed = 77;  // completely different hotspot geometry
+  CongestionField after(network_, after_opt);
+
+  SnapshotSeries series(network_.num_segments());
+  for (int t = 0; t < 4; ++t) {
+    ASSERT_TRUE(series.Append(t * 120.0, before.Densities()).ok());
+  }
+  for (int t = 4; t < 8; ++t) {
+    ASSERT_TRUE(series.Append(t * 120.0, after.Densities()).ok());
+  }
+
+  EvolutionOptions options;
+  options.partitioner.scheme = Scheme::kASG;
+  options.partitioner.k = 2;
+  options.partitioner.seed = 3;
+  options.regime_threshold = 0.2;
+  auto result = AnalyzeEvolution(graph_, series, options);
+  ASSERT_TRUE(result.ok());
+  // The flip at t = 4 must register as a regime change.
+  bool found = false;
+  for (int t : result->regime_changes) found |= (t == 4);
+  EXPECT_TRUE(found) << "regime changes: " << result->regime_changes.size();
+}
+
+TEST_F(EvolutionFixture, Validation) {
+  SnapshotSeries wrong(graph_.num_nodes() + 1);
+  EvolutionOptions options;
+  EXPECT_FALSE(AnalyzeEvolution(graph_, wrong, options).ok());
+  SnapshotSeries empty(graph_.num_nodes());
+  EXPECT_FALSE(AnalyzeEvolution(graph_, empty, options).ok());
+}
+
+}  // namespace
+}  // namespace roadpart

@@ -1,0 +1,114 @@
+// Dynamics-level tests of the micro-simulator: congestion feedback
+// (Greenshields speeds), horizon/throughput behaviour.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "traffic/microsim.h"
+#include "traffic/router.h"
+
+namespace roadpart {
+namespace {
+
+// A single 10-segment one-way corridor, 100 m each.
+RoadNetwork Corridor() {
+  std::vector<Intersection> pts;
+  for (int i = 0; i <= 10; ++i) {
+    pts.push_back({{i * 100.0, 0.0}});
+  }
+  std::vector<RoadSegment> segs;
+  for (int i = 0; i < 10; ++i) {
+    segs.push_back({i, i + 1, 100.0, 0.0});
+  }
+  return RoadNetwork::Create(std::move(pts), std::move(segs)).value();
+}
+
+// Seconds until `count` vehicles entering at t=0 all arrive.
+double TimeToDrain(int count) {
+  RoadNetwork net = Corridor();
+  std::vector<Trip> trips(count);
+  for (Trip& t : trips) {
+    t.origin = 0;
+    t.destination = 10;
+    t.departure_seconds = 0.0;
+  }
+  MicrosimOptions sim;
+  sim.step_seconds = 1.0;
+  sim.record_every_seconds = 10.0;
+  sim.total_seconds = 36000.0;
+  SimulationResult result = RunMicrosim(net, trips, sim).value();
+  EXPECT_EQ(result.completed_trips, count);
+  // Find the first snapshot where the corridor is empty again.
+  for (size_t t = 0; t < result.densities.size(); ++t) {
+    double total = 0.0;
+    for (double d : result.densities[t]) total += d;
+    if (total == 0.0) return (t + 1) * sim.record_every_seconds;
+  }
+  return 36000.0;
+}
+
+TEST(MicrosimDynamicsTest, FreeFlowTravelTime) {
+  // One vehicle, 1 km at 13.9 m/s ~ 72 s; drained by the 80 s snapshot.
+  double t = TimeToDrain(1);
+  EXPECT_GE(t, 70.0);
+  EXPECT_LE(t, 110.0);
+}
+
+TEST(MicrosimDynamicsTest, CongestionSlowsTraffic) {
+  // A platoon of 120 vehicles dumped at once on the corridor (jam density
+  // 0.15/m * 100 m = 15 vehicles per segment) must take several times the
+  // free-flow time to drain.
+  double free_flow = TimeToDrain(1);
+  double jammed = TimeToDrain(120);
+  EXPECT_GT(jammed, 3.0 * free_flow);
+}
+
+TEST(MicrosimDynamicsTest, ThroughputMonotoneInLoad) {
+  double t60 = TimeToDrain(60);
+  double t120 = TimeToDrain(120);
+  EXPECT_GE(t120, t60);
+}
+
+TEST(MicrosimDynamicsTest, DensityPeaksWhereVehiclesAre) {
+  RoadNetwork net = Corridor();
+  std::vector<Trip> trips(10);
+  for (Trip& t : trips) {
+    t.origin = 0;
+    t.destination = 10;
+    t.departure_seconds = 0.0;
+  }
+  MicrosimOptions sim;
+  sim.step_seconds = 1.0;
+  sim.record_every_seconds = 5.0;
+  sim.total_seconds = 20.0;  // vehicles still near the corridor start
+  SimulationResult result = RunMicrosim(net, trips, sim).value();
+  ASSERT_FALSE(result.densities.empty());
+  const auto& snap = result.densities.front();
+  // All mass on the first segment at t = 5s (free speed 13.9 m/s < 100 m).
+  EXPECT_GT(snap[0], 0.0);
+  double tail = 0.0;
+  for (int i = 2; i < 10; ++i) tail += snap[i];
+  EXPECT_DOUBLE_EQ(tail, 0.0);
+}
+
+TEST(MicrosimDynamicsTest, DepartureTimeRespected) {
+  RoadNetwork net = Corridor();
+  std::vector<Trip> trips = {{0, 10, 100.0}};  // departs at t = 100
+  MicrosimOptions sim;
+  sim.step_seconds = 1.0;
+  sim.record_every_seconds = 50.0;
+  sim.total_seconds = 300.0;
+  SimulationResult result = RunMicrosim(net, trips, sim).value();
+  // First snapshot (t = 50): nothing on the road yet.
+  double total = 0.0;
+  for (double d : result.densities[0]) total += d;
+  EXPECT_DOUBLE_EQ(total, 0.0);
+  // Snapshot at t = 150: vehicle en route.
+  total = 0.0;
+  for (double d : result.densities[2]) total += d;
+  EXPECT_GT(total, 0.0);
+}
+
+}  // namespace
+}  // namespace roadpart

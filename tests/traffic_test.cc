@@ -1,0 +1,305 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "netgen/grid_generator.h"
+#include "traffic/congestion_field.h"
+#include "traffic/density_mapper.h"
+#include "traffic/microsim.h"
+#include "traffic/router.h"
+#include "traffic/trip_generator.h"
+
+namespace roadpart {
+namespace {
+
+RoadNetwork TestGrid(uint64_t seed = 1) {
+  GridOptions opt;
+  opt.rows = 8;
+  opt.cols = 8;
+  opt.spacing_metres = 100.0;
+  opt.two_way_fraction = 1.0;
+  opt.jitter = 0.0;
+  opt.seed = seed;
+  return GenerateGridNetwork(opt).value();
+}
+
+// --- Router ---
+
+TEST(RouterTest, FindsShortestPath) {
+  RoadNetwork net = TestGrid();
+  Router router(net);
+  auto route = router.ShortestPath(0, 63);
+  ASSERT_TRUE(route.ok());
+  EXPECT_FALSE(route->segment_ids.empty());
+  // Manhattan distance on a 8x8 grid of 100m blocks: 14 hops = 1400 m.
+  EXPECT_NEAR(route->length_metres, 1400.0, 1e-6);
+  // Route is contiguous: each segment starts where the previous ended.
+  int at = 0;
+  for (int seg_id : route->segment_ids) {
+    EXPECT_EQ(net.segment(seg_id).from, at);
+    at = net.segment(seg_id).to;
+  }
+  EXPECT_EQ(at, 63);
+}
+
+TEST(RouterTest, TrivialAndInvalid) {
+  RoadNetwork net = TestGrid();
+  Router router(net);
+  auto same = router.ShortestPath(5, 5);
+  ASSERT_TRUE(same.ok());
+  EXPECT_TRUE(same->segment_ids.empty());
+  EXPECT_FALSE(router.ShortestPath(-1, 5).ok());
+  EXPECT_FALSE(router.ShortestPath(0, 1000).ok());
+}
+
+TEST(RouterTest, RespectsOneWayDirections) {
+  // Two intersections, a single one-way road 0->1: no route 1->0.
+  std::vector<Intersection> pts = {{{0.0, 0.0}}, {{10.0, 0.0}}};
+  RoadNetwork net =
+      RoadNetwork::Create(pts, {{0, 1, 10.0, 0.0}}).value();
+  Router router(net);
+  EXPECT_TRUE(router.ShortestPath(0, 1).ok());
+  EXPECT_FALSE(router.ShortestPath(1, 0).ok());
+}
+
+// --- Trip generator ---
+
+TEST(TripGeneratorTest, GeneratesRequestedVehicles) {
+  RoadNetwork net = TestGrid();
+  TripGeneratorOptions opt;
+  opt.num_vehicles = 500;
+  opt.seed = 3;
+  auto trips = GenerateTrips(net, opt);
+  ASSERT_TRUE(trips.ok());
+  EXPECT_EQ(trips->trips.size(), 500u);
+  EXPECT_EQ(trips->hotspots.size(), 3u);
+  for (const Trip& t : trips->trips) {
+    EXPECT_GE(t.origin, 0);
+    EXPECT_LT(t.origin, net.num_intersections());
+    EXPECT_NE(t.origin, t.destination);
+    EXPECT_GE(t.departure_seconds, 0.0);
+    EXPECT_LT(t.departure_seconds, opt.horizon_seconds);
+  }
+}
+
+TEST(TripGeneratorTest, HotspotBiasConcentratesDestinations) {
+  RoadNetwork net = TestGrid();
+  TripGeneratorOptions biased;
+  biased.num_vehicles = 3000;
+  biased.num_hotspots = 1;
+  biased.hotspot_bias = 1.0;
+  biased.hotspot_radius_fraction = 0.08;
+  biased.seed = 5;
+  auto trips = GenerateTrips(net, biased);
+  ASSERT_TRUE(trips.ok());
+  // Average distance of destinations to the hotspot must be far below the
+  // average over all intersections.
+  Point h = trips->hotspots[0];
+  double dest_avg = 0.0;
+  for (const Trip& t : trips->trips) {
+    dest_avg += Distance(net.intersection(t.destination).position, h);
+  }
+  dest_avg /= trips->trips.size();
+  double all_avg = 0.0;
+  for (int i = 0; i < net.num_intersections(); ++i) {
+    all_avg += Distance(net.intersection(i).position, h);
+  }
+  all_avg /= net.num_intersections();
+  EXPECT_LT(dest_avg, 0.7 * all_avg);
+}
+
+TEST(TripGeneratorTest, RejectsBadOptions) {
+  RoadNetwork net = TestGrid();
+  TripGeneratorOptions opt;
+  opt.hotspot_bias = 2.0;
+  EXPECT_FALSE(GenerateTrips(net, opt).ok());
+  opt = {};
+  opt.num_vehicles = -1;
+  EXPECT_FALSE(GenerateTrips(net, opt).ok());
+}
+
+// --- Microsim ---
+
+TEST(MicrosimTest, ConservesAndCompletes) {
+  RoadNetwork net = TestGrid();
+  TripGeneratorOptions demand;
+  demand.num_vehicles = 200;
+  demand.horizon_seconds = 300.0;
+  demand.seed = 7;
+  TripSet trips = GenerateTrips(net, demand).value();
+
+  MicrosimOptions sim;
+  sim.total_seconds = 3000.0;  // enough for all trips to finish
+  sim.record_every_seconds = 300.0;
+  auto result = RunMicrosim(net, trips.trips, sim);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->completed_trips, 150);  // most trips finish
+  ASSERT_FALSE(result->densities.empty());
+  for (const auto& snapshot : result->densities) {
+    ASSERT_EQ(snapshot.size(), static_cast<size_t>(net.num_segments()));
+    for (double d : snapshot) EXPECT_GE(d, 0.0);
+  }
+  // Final snapshot: nearly everyone arrived, densities ~0.
+  double final_total = 0.0;
+  for (double d : result->densities.back()) final_total += d;
+  double first_total = 0.0;
+  for (double d : result->densities.front()) first_total += d;
+  EXPECT_LT(final_total, first_total);
+}
+
+TEST(MicrosimTest, VehicleCountMatchesDensityIntegral) {
+  RoadNetwork net = TestGrid();
+  TripGeneratorOptions demand;
+  demand.num_vehicles = 300;
+  demand.horizon_seconds = 10.0;  // everyone departs almost immediately
+  demand.seed = 9;
+  TripSet trips = GenerateTrips(net, demand).value();
+
+  MicrosimOptions sim;
+  sim.total_seconds = 60.0;
+  sim.record_every_seconds = 30.0;
+  auto result = RunMicrosim(net, trips.trips, sim);
+  ASSERT_TRUE(result.ok());
+  // Sum over segments of density * length = number of en-route vehicles,
+  // which is bounded by the fleet size.
+  for (const auto& snapshot : result->densities) {
+    double vehicles = 0.0;
+    for (int i = 0; i < net.num_segments(); ++i) {
+      vehicles += snapshot[i] * net.segment(i).length;
+    }
+    EXPECT_LE(vehicles, 300.0 + 1e-6);
+  }
+}
+
+TEST(MicrosimTest, RecordsPositionsWhenAsked) {
+  RoadNetwork net = TestGrid();
+  TripGeneratorOptions demand;
+  demand.num_vehicles = 50;
+  demand.horizon_seconds = 5.0;
+  TripSet trips = GenerateTrips(net, demand).value();
+  MicrosimOptions sim;
+  sim.total_seconds = 40.0;
+  sim.record_every_seconds = 20.0;
+  sim.record_positions = true;
+  auto result = RunMicrosim(net, trips.trips, sim);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->positions.size(), result->densities.size());
+  BoundingBox box = net.Bounds();
+  for (const auto& snapshot : result->positions) {
+    for (const Point& p : snapshot) {
+      EXPECT_GE(p.x, box.min.x - 1.0);
+      EXPECT_LE(p.x, box.max.x + 1.0);
+    }
+  }
+}
+
+TEST(MicrosimTest, RejectsBadOptions) {
+  RoadNetwork net = TestGrid();
+  MicrosimOptions sim;
+  sim.step_seconds = 0.0;
+  EXPECT_FALSE(RunMicrosim(net, {}, sim).ok());
+  sim = {};
+  sim.jam_density_vpm = -1.0;
+  EXPECT_FALSE(RunMicrosim(net, {}, sim).ok());
+}
+
+// --- DensityMapper ---
+
+TEST(DensityMapperTest, MapsPointsToNearestSegment) {
+  RoadNetwork net = TestGrid();
+  DensityMapper mapper(net);
+  // A point exactly on segment 0's midpoint maps to segment 0 or its twin.
+  const RoadSegment& s0 = net.segment(0);
+  Point mid = Lerp(net.intersection(s0.from).position,
+                   net.intersection(s0.to).position, 0.5);
+  int seg = mapper.NearestSegment(mid);
+  ASSERT_GE(seg, 0);
+  const RoadSegment& found = net.segment(seg);
+  // Same geometry: endpoints match in some order.
+  bool same_road = (found.from == s0.from && found.to == s0.to) ||
+                   (found.from == s0.to && found.to == s0.from);
+  EXPECT_TRUE(same_road);
+}
+
+TEST(DensityMapperTest, DensitiesCountPerMetre) {
+  RoadNetwork net = TestGrid();
+  DensityMapper mapper(net);
+  const RoadSegment& s0 = net.segment(0);
+  Point mid = Lerp(net.intersection(s0.from).position,
+                   net.intersection(s0.to).position, 0.5);
+  // Ten vehicles on the same spot.
+  std::vector<Point> vehicles(10, mid);
+  auto densities = mapper.ComputeDensities(vehicles);
+  double total = 0.0;
+  for (int i = 0; i < net.num_segments(); ++i) {
+    total += densities[i] * net.segment(i).length;
+  }
+  EXPECT_NEAR(total, 10.0, 1e-9);
+}
+
+TEST(DensityMapperTest, FarPointStillMaps) {
+  RoadNetwork net = TestGrid();
+  DensityMapper mapper(net);
+  EXPECT_GE(mapper.NearestSegment({-5000.0, -5000.0}), 0);
+}
+
+// --- CongestionField ---
+
+TEST(CongestionFieldTest, NonNegativeAndStructured) {
+  RoadNetwork net = TestGrid();
+  CongestionFieldOptions opt;
+  opt.num_hotspots = 2;
+  opt.noise_fraction = 0.05;
+  opt.seed = 13;
+  CongestionField field(net, opt);
+  auto d = field.Densities();
+  ASSERT_EQ(d.size(), static_cast<size_t>(net.num_segments()));
+  double min_d = d[0];
+  double max_d = d[0];
+  for (double x : d) {
+    EXPECT_GE(x, 0.0);
+    min_d = std::min(min_d, x);
+    max_d = std::max(max_d, x);
+  }
+  // Hotspots create real contrast.
+  EXPECT_GT(max_d, 2.0 * min_d);
+}
+
+TEST(CongestionFieldTest, TemporalModulationChangesField) {
+  RoadNetwork net = TestGrid();
+  CongestionFieldOptions opt;
+  opt.seed = 17;
+  opt.noise_fraction = 0.0;
+  CongestionField field(net, opt);
+  auto a = field.DensitiesAt(0.0);
+  auto b = field.DensitiesAt(0.5);
+  double diff = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) diff += std::fabs(a[i] - b[i]);
+  EXPECT_GT(diff, 0.0);
+}
+
+TEST(CongestionFieldTest, StaticFieldDeterministic) {
+  RoadNetwork net = TestGrid();
+  CongestionFieldOptions opt;
+  opt.seed = 19;
+  CongestionField f1(net, opt);
+  CongestionField f2(net, opt);
+  EXPECT_EQ(f1.Densities(), f2.Densities());
+}
+
+TEST(CongestionFieldTest, DominantHotspotCoversNetwork) {
+  RoadNetwork net = TestGrid();
+  CongestionFieldOptions opt;
+  opt.num_hotspots = 3;
+  opt.seed = 23;
+  CongestionField field(net, opt);
+  auto dom = field.DominantHotspot();
+  ASSERT_EQ(dom.size(), static_cast<size_t>(net.num_segments()));
+  for (int h : dom) {
+    EXPECT_GE(h, -1);
+    EXPECT_LT(h, 3);
+  }
+}
+
+}  // namespace
+}  // namespace roadpart

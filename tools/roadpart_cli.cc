@@ -1,0 +1,364 @@
+// roadpart_cli — command-line front end for the library.
+//
+//   roadpart_cli generate  --preset=D1|M1|M2|M3 --seed=N --hotspots=H out.net
+//   roadpart_cli partition --scheme=ASG --k=6 [--stability=E] in.net out.csv
+//   roadpart_cli evaluate  in.net partition.csv
+//   roadpart_cli sweep     --scheme=ASG --kmin=2 --kmax=20 in.net
+//
+// Networks use the text format of network_io.h; partitions are
+// "segment_id,partition_id" CSV.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "roadpart/roadpart.h"
+
+namespace roadpart {
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  roadpart_cli generate  --preset=D1|M1|M2|M3 [--seed=N]"
+      " [--hotspots=H] <out.net>\n"
+      "  roadpart_cli partition --scheme=AG|ASG|NG|NSG|JIG [--k=K]"
+      " [--seed=N] [--stability=E] <in.net> <out.csv>\n"
+      "  roadpart_cli evaluate  <in.net> <partition.csv>\n"
+      "  roadpart_cli simulate  [--vehicles=N] [--horizon=S] [--interval=S]"
+      " [--snapshot=T] [--seed=N] <in.net> <out.densities>\n"
+      "  roadpart_cli mine      [--stability=E] [--seed=N] <in.net>"
+      " <out.supergraph>\n"
+      "  roadpart_cli analyze   [--scheme=S] [--k=K] [--seed=N] <in.net>"
+      " <series.csv>\n"
+      "  roadpart_cli sweep     [--scheme=S] [--kmin=A] [--kmax=B]"
+      " [--seed=N] <in.net>\n");
+  return 2;
+}
+
+Result<Scheme> ParseScheme(const std::string& name) {
+  if (name == "AG") return Scheme::kAG;
+  if (name == "ASG") return Scheme::kASG;
+  if (name == "NG") return Scheme::kNG;
+  if (name == "NSG") return Scheme::kNSG;
+  if (name == "JIG" || name == "JiGeroliminis") {
+    return Scheme::kJiGeroliminis;
+  }
+  return Status::InvalidArgument("unknown scheme '" + name + "'");
+}
+
+Result<DatasetPreset> ParsePreset(const std::string& name) {
+  if (name == "D1") return DatasetPreset::kD1;
+  if (name == "M1") return DatasetPreset::kM1;
+  if (name == "M2") return DatasetPreset::kM2;
+  if (name == "M3") return DatasetPreset::kM3;
+  return Status::InvalidArgument("unknown preset '" + name + "'");
+}
+
+Result<std::vector<int>> LoadPartitionCsv(const std::string& path,
+                                          int num_segments) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::vector<int> assignment(num_segments, -1);
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    std::string_view t = Trim(line);
+    if (t.empty()) continue;
+    if (first && StartsWith(t, "segment_id")) {
+      first = false;
+      continue;
+    }
+    first = false;
+    auto parts = Split(t, ',');
+    if (parts.size() != 2) {
+      return Status::IOError("malformed partition line: " + line);
+    }
+    RP_ASSIGN_OR_RETURN(int64_t seg, ParseInt(parts[0]));
+    RP_ASSIGN_OR_RETURN(int64_t part, ParseInt(parts[1]));
+    if (seg < 0 || seg >= num_segments) {
+      return Status::OutOfRange(StrPrintf("segment id %lld out of range",
+                                          static_cast<long long>(seg)));
+    }
+    assignment[seg] = static_cast<int>(part);
+  }
+  for (int i = 0; i < num_segments; ++i) {
+    if (assignment[i] < 0) {
+      return Status::InvalidArgument(
+          StrPrintf("segment %d missing from partition file", i));
+    }
+  }
+  return assignment;
+}
+
+int CmdGenerate(const FlagParser& flags) {
+  if (flags.positional().size() != 1) return Usage();
+  auto preset = ParsePreset(flags.GetString("preset", "D1"));
+  if (!preset.ok()) return Fail(preset.status());
+  auto seed = flags.GetInt("seed", 1);
+  if (!seed.ok()) return Fail(seed.status());
+  auto hotspots = flags.GetInt("hotspots", 3);
+  if (!hotspots.ok()) return Fail(hotspots.status());
+
+  auto net = GenerateDataset(*preset, static_cast<uint64_t>(*seed));
+  if (!net.ok()) return Fail(net.status());
+  CongestionFieldOptions field;
+  field.num_hotspots = static_cast<int>(*hotspots);
+  field.seed = static_cast<uint64_t>(*seed) + 1000;
+  CongestionField congestion(*net, field);
+  Status st = net->SetDensities(congestion.Densities());
+  if (!st.ok()) return Fail(st);
+  st = SaveRoadNetwork(*net, flags.positional()[0]);
+  if (!st.ok()) return Fail(st);
+  std::printf("wrote %s: %d intersections, %d segments\n",
+              flags.positional()[0].c_str(), net->num_intersections(),
+              net->num_segments());
+  return 0;
+}
+
+int CmdPartition(const FlagParser& flags) {
+  if (flags.positional().size() != 2) return Usage();
+  auto scheme = ParseScheme(flags.GetString("scheme", "ASG"));
+  if (!scheme.ok()) return Fail(scheme.status());
+  auto k = flags.GetInt("k", 6);
+  if (!k.ok()) return Fail(k.status());
+  auto seed = flags.GetInt("seed", 1);
+  if (!seed.ok()) return Fail(seed.status());
+  auto stability = flags.GetDouble("stability", 0.0);
+  if (!stability.ok()) return Fail(stability.status());
+
+  auto net = LoadRoadNetwork(flags.positional()[0]);
+  if (!net.ok()) return Fail(net.status());
+
+  PartitionerOptions options;
+  options.scheme = *scheme;
+  options.k = static_cast<int>(*k);
+  options.seed = static_cast<uint64_t>(*seed);
+  options.miner.stability.threshold = *stability;
+  auto outcome = Partitioner(options).PartitionNetwork(*net);
+  if (!outcome.ok()) return Fail(outcome.status());
+
+  Status st = SavePartitionCsv(outcome->assignment, flags.positional()[1]);
+  if (!st.ok()) return Fail(st);
+  std::printf("scheme=%s k=%d k'=%d supernodes=%d  "
+              "timings: %.3fs / %.3fs / %.3fs\n",
+              SchemeName(*scheme), outcome->k_final, outcome->k_prime,
+              outcome->num_supernodes, outcome->module1_seconds,
+              outcome->module2_seconds, outcome->module3_seconds);
+  return 0;
+}
+
+int CmdEvaluate(const FlagParser& flags) {
+  if (flags.positional().size() != 2) return Usage();
+  auto net = LoadRoadNetwork(flags.positional()[0]);
+  if (!net.ok()) return Fail(net.status());
+  auto assignment = LoadPartitionCsv(flags.positional()[1],
+                                     net->num_segments());
+  if (!assignment.ok()) return Fail(assignment.status());
+
+  RoadGraph rg = RoadGraph::FromNetwork(*net);
+  Status validity = CheckPartitionValidity(rg.adjacency(), *assignment);
+  auto eval = EvaluatePartitions(rg.adjacency(), rg.features(), *assignment);
+  if (!eval.ok()) return Fail(eval.status());
+  auto q = Modularity(GaussianWeightedGraph(rg.adjacency(), rg.features()),
+                      *assignment);
+  std::printf("k=%d  inter=%.4f  intra=%.4f  GDBI=%.4f  ANS=%.4f  Q=%.4f\n",
+              eval->num_partitions, eval->inter, eval->intra, eval->gdbi,
+              eval->ans, q.ok() ? q.value() : 0.0);
+  std::printf("validity (C.1 disjoint cover, C.2 connectivity): %s\n",
+              validity.ok() ? "OK" : validity.ToString().c_str());
+  auto rows = SummarizePartitions(rg.adjacency(), rg.features(), *assignment);
+  if (rows.ok()) {
+    std::printf("%s", FormatPartitionTable(*rows).c_str());
+  }
+  return 0;
+}
+
+int CmdMine(const FlagParser& flags) {
+  if (flags.positional().size() != 2) return Usage();
+  auto stability = flags.GetDouble("stability", 0.0);
+  auto seed = flags.GetInt("seed", 1);
+  if (!stability.ok() || !seed.ok()) return Usage();
+
+  auto net = LoadRoadNetwork(flags.positional()[0]);
+  if (!net.ok()) return Fail(net.status());
+  RoadGraph rg = RoadGraph::FromNetwork(*net);
+
+  SupergraphMinerOptions options;
+  options.stability.threshold = *stability;
+  options.seed = static_cast<uint64_t>(*seed);
+  SupergraphMiningReport report;
+  auto sg = MineSupergraph(rg, options, &report);
+  if (!sg.ok()) return Fail(sg.status());
+  Status st = SaveSupergraph(*sg, flags.positional()[1]);
+  if (!st.ok()) return Fail(st);
+  std::printf("mined %s: kappa*=%d, %d supernodes (%d before stability), "
+              "%lld superlinks; matrix order %d -> %d\n",
+              flags.positional()[1].c_str(), report.chosen_kappa,
+              sg->num_supernodes(), report.supernodes_before_stability,
+              static_cast<long long>(sg->links().num_edges()),
+              rg.num_nodes(), sg->num_supernodes());
+  return 0;
+}
+
+int CmdSimulate(const FlagParser& flags) {
+  if (flags.positional().size() != 2) return Usage();
+  auto vehicles = flags.GetInt("vehicles", 5000);
+  auto horizon = flags.GetDouble("horizon", 3600.0);
+  auto interval = flags.GetDouble("interval", 120.0);
+  auto snapshot = flags.GetInt("snapshot", -1);
+  auto seed = flags.GetInt("seed", 1);
+  if (!vehicles.ok() || !horizon.ok() || !interval.ok() || !snapshot.ok() ||
+      !seed.ok()) {
+    return Usage();
+  }
+
+  auto net = LoadRoadNetwork(flags.positional()[0]);
+  if (!net.ok()) return Fail(net.status());
+
+  TripGeneratorOptions demand;
+  demand.num_vehicles = static_cast<int>(*vehicles);
+  demand.horizon_seconds = *horizon;
+  demand.seed = static_cast<uint64_t>(*seed);
+  auto trips = GenerateTrips(*net, demand);
+  if (!trips.ok()) return Fail(trips.status());
+
+  MicrosimOptions sim;
+  sim.total_seconds = *horizon;
+  sim.record_every_seconds = *interval;
+  auto result = RunMicrosim(*net, trips->trips, sim);
+  if (!result.ok()) return Fail(result.status());
+  if (result->densities.empty()) {
+    return Fail(Status::Internal("simulation produced no snapshots"));
+  }
+
+  SnapshotSeries series(net->num_segments());
+  for (size_t i = 0; i < result->densities.size(); ++i) {
+    Status append = series.Append((i + 1) * *interval, result->densities[i]);
+    if (!append.ok()) return Fail(append);
+  }
+  std::string series_path = flags.GetString("series", "");
+  if (!series_path.empty()) {
+    Status st = SaveSnapshotSeries(series, series_path);
+    if (!st.ok()) return Fail(st);
+    std::printf("wrote full series (%d snapshots) to %s\n",
+                series.num_snapshots(), series_path.c_str());
+  }
+  int t = static_cast<int>(*snapshot);
+  if (t < 0 || t >= static_cast<int>(result->densities.size())) {
+    // Default: the peak snapshot (highest mean density).
+    t = series.PeakSnapshot();
+  }
+  Status st = SaveDensities(result->densities[t], flags.positional()[1]);
+  if (!st.ok()) return Fail(st);
+  std::printf("simulated %zu snapshots (%d trips completed); wrote snapshot "
+              "%d to %s\n",
+              result->densities.size(), result->completed_trips, t,
+              flags.positional()[1].c_str());
+  return 0;
+}
+
+int CmdAnalyze(const FlagParser& flags) {
+  if (flags.positional().size() != 2) return Usage();
+  auto scheme = ParseScheme(flags.GetString("scheme", "ASG"));
+  if (!scheme.ok()) return Fail(scheme.status());
+  auto k = flags.GetInt("k", 4);
+  auto seed = flags.GetInt("seed", 1);
+  if (!k.ok() || !seed.ok()) return Usage();
+
+  auto net = LoadRoadNetwork(flags.positional()[0]);
+  if (!net.ok()) return Fail(net.status());
+  auto series = LoadSnapshotSeries(flags.positional()[1]);
+  if (!series.ok()) return Fail(series.status());
+  RoadGraph rg = RoadGraph::FromNetwork(*net);
+
+  EvolutionOptions options;
+  options.partitioner.scheme = *scheme;
+  options.partitioner.k = static_cast<int>(*k);
+  options.partitioner.seed = static_cast<uint64_t>(*seed);
+  auto result = AnalyzeEvolution(rg, *series, options);
+  if (!result.ok()) return Fail(result.status());
+
+  std::printf("%10s %8s %10s %8s %8s %8s\n", "t(s)", "k", "mean_dens",
+              "ANS", "churn", "sec");
+  for (const EvolutionStep& step : result->steps) {
+    std::printf("%10.0f %8d %10.5f %8.4f %7.1f%% %8.3f\n",
+                step.timestamp_seconds, step.k_final, step.mean_density,
+                step.ans, 100.0 * step.churn, step.seconds);
+  }
+  std::printf("mean churn %.1f%%; regime changes at:", 
+              100.0 * result->mean_churn);
+  if (result->regime_changes.empty()) std::printf(" (none)");
+  for (int t : result->regime_changes) std::printf(" t=%d", t);
+  std::printf("\n");
+  return 0;
+}
+
+int CmdSweep(const FlagParser& flags) {
+  if (flags.positional().size() != 1) return Usage();
+  auto scheme = ParseScheme(flags.GetString("scheme", "ASG"));
+  if (!scheme.ok()) return Fail(scheme.status());
+  auto kmin = flags.GetInt("kmin", 2);
+  auto kmax = flags.GetInt("kmax", 20);
+  auto seed = flags.GetInt("seed", 1);
+  if (!kmin.ok() || !kmax.ok() || !seed.ok()) return Usage();
+
+  auto net = LoadRoadNetwork(flags.positional()[0]);
+  if (!net.ok()) return Fail(net.status());
+  RoadGraph rg = RoadGraph::FromNetwork(*net);
+
+  OptimalKOptions options;
+  options.partitioner.scheme = *scheme;
+  options.partitioner.seed = static_cast<uint64_t>(*seed);
+  options.k_min = static_cast<int>(*kmin);
+  options.k_max = static_cast<int>(*kmax);
+  auto result = FindOptimalK(rg, options);
+  if (!result.ok()) return Fail(result.status());
+
+  std::printf("%4s %10s %10s %10s %10s\n", "k", "inter", "intra", "GDBI",
+              "ANS");
+  for (const KSweepPoint& point : result->sweep) {
+    std::printf("%4d %10.4f %10.4f %10.4f %10.4f\n", point.k, point.inter,
+                point.intra, point.gdbi, point.ans);
+  }
+  std::printf("optimal k by ANS: %d (%.4f)", result->optimal_k,
+              result->optimal_ans);
+  if (!result->local_minima.empty()) {
+    std::printf("; other candidates:");
+    for (int k : result->local_minima) std::printf(" %d", k);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  auto flags = FlagParser::Parse(
+      argc - 2, argv + 2,
+      {"preset", "seed", "hotspots", "scheme", "k", "stability", "kmin",
+       "kmax", "vehicles", "horizon", "interval", "snapshot", "series"});
+  if (!flags.ok()) return Fail(flags.status());
+
+  if (command == "generate") return CmdGenerate(*flags);
+  if (command == "partition") return CmdPartition(*flags);
+  if (command == "evaluate") return CmdEvaluate(*flags);
+  if (command == "simulate") return CmdSimulate(*flags);
+  if (command == "mine") return CmdMine(*flags);
+  if (command == "analyze") return CmdAnalyze(*flags);
+  if (command == "sweep") return CmdSweep(*flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace roadpart
+
+int main(int argc, char** argv) { return roadpart::Main(argc, argv); }
