@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_kprime.dir/bench_ablation_kprime.cc.o"
+  "CMakeFiles/bench_ablation_kprime.dir/bench_ablation_kprime.cc.o.d"
+  "bench_ablation_kprime"
+  "bench_ablation_kprime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_kprime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

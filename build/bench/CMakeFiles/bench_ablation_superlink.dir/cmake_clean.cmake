@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_superlink.dir/bench_ablation_superlink.cc.o"
+  "CMakeFiles/bench_ablation_superlink.dir/bench_ablation_superlink.cc.o.d"
+  "bench_ablation_superlink"
+  "bench_ablation_superlink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_superlink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_d1_microsim.dir/bench_d1_microsim.cc.o"
+  "CMakeFiles/bench_d1_microsim.dir/bench_d1_microsim.cc.o.d"
+  "bench_d1_microsim"
+  "bench_d1_microsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_d1_microsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

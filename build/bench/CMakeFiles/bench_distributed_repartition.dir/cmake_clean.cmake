@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_distributed_repartition.dir/bench_distributed_repartition.cc.o"
+  "CMakeFiles/bench_distributed_repartition.dir/bench_distributed_repartition.cc.o.d"
+  "bench_distributed_repartition"
+  "bench_distributed_repartition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_distributed_repartition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_mcg_supernodes.dir/bench_fig5_mcg_supernodes.cc.o"
+  "CMakeFiles/bench_fig5_mcg_supernodes.dir/bench_fig5_mcg_supernodes.cc.o.d"
+  "bench_fig5_mcg_supernodes"
+  "bench_fig5_mcg_supernodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_mcg_supernodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

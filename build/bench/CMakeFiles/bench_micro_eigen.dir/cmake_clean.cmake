@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_eigen.dir/bench_micro_eigen.cc.o"
+  "CMakeFiles/bench_micro_eigen.dir/bench_micro_eigen.cc.o.d"
+  "bench_micro_eigen"
+  "bench_micro_eigen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_eigen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_kmeans.cc" "bench/CMakeFiles/bench_micro_kmeans.dir/bench_micro_kmeans.cc.o" "gcc" "bench/CMakeFiles/bench_micro_kmeans.dir/bench_micro_kmeans.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rp_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_netgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congestion_monitoring.dir/congestion_monitoring.cpp.o"
+  "CMakeFiles/congestion_monitoring.dir/congestion_monitoring.cpp.o.d"
+  "congestion_monitoring"
+  "congestion_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congestion_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/visualize_partitions.dir/visualize_partitions.cpp.o"
+  "CMakeFiles/visualize_partitions.dir/visualize_partitions.cpp.o.d"
+  "visualize_partitions"
+  "visualize_partitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/visualize_partitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/kmeans.cc" "src/CMakeFiles/rp_cluster.dir/cluster/kmeans.cc.o" "gcc" "src/CMakeFiles/rp_cluster.dir/cluster/kmeans.cc.o.d"
+  "/root/repo/src/cluster/kmeans1d.cc" "src/CMakeFiles/rp_cluster.dir/cluster/kmeans1d.cc.o" "gcc" "src/CMakeFiles/rp_cluster.dir/cluster/kmeans1d.cc.o.d"
+  "/root/repo/src/cluster/kmeans1d_dp.cc" "src/CMakeFiles/rp_cluster.dir/cluster/kmeans1d_dp.cc.o" "gcc" "src/CMakeFiles/rp_cluster.dir/cluster/kmeans1d_dp.cc.o.d"
+  "/root/repo/src/cluster/optimality.cc" "src/CMakeFiles/rp_cluster.dir/cluster/optimality.cc.o" "gcc" "src/CMakeFiles/rp_cluster.dir/cluster/optimality.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_cluster.dir/cluster/kmeans.cc.o"
+  "CMakeFiles/rp_cluster.dir/cluster/kmeans.cc.o.d"
+  "CMakeFiles/rp_cluster.dir/cluster/kmeans1d.cc.o"
+  "CMakeFiles/rp_cluster.dir/cluster/kmeans1d.cc.o.d"
+  "CMakeFiles/rp_cluster.dir/cluster/kmeans1d_dp.cc.o"
+  "CMakeFiles/rp_cluster.dir/cluster/kmeans1d_dp.cc.o.d"
+  "CMakeFiles/rp_cluster.dir/cluster/optimality.cc.o"
+  "CMakeFiles/rp_cluster.dir/cluster/optimality.cc.o.d"
+  "librp_cluster.a"
+  "librp_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

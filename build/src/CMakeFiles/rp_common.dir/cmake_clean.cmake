@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_common.dir/common/flags.cc.o"
+  "CMakeFiles/rp_common.dir/common/flags.cc.o.d"
+  "CMakeFiles/rp_common.dir/common/logging.cc.o"
+  "CMakeFiles/rp_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/rp_common.dir/common/parallel.cc.o"
+  "CMakeFiles/rp_common.dir/common/parallel.cc.o.d"
+  "CMakeFiles/rp_common.dir/common/rng.cc.o"
+  "CMakeFiles/rp_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/rp_common.dir/common/status.cc.o"
+  "CMakeFiles/rp_common.dir/common/status.cc.o.d"
+  "CMakeFiles/rp_common.dir/common/string_util.cc.o"
+  "CMakeFiles/rp_common.dir/common/string_util.cc.o.d"
+  "CMakeFiles/rp_common.dir/common/timer.cc.o"
+  "CMakeFiles/rp_common.dir/common/timer.cc.o.d"
+  "librp_common.a"
+  "librp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/alpha_cut.cc" "src/CMakeFiles/rp_core.dir/core/alpha_cut.cc.o" "gcc" "src/CMakeFiles/rp_core.dir/core/alpha_cut.cc.o.d"
+  "/root/repo/src/core/distributed_repartition.cc" "src/CMakeFiles/rp_core.dir/core/distributed_repartition.cc.o" "gcc" "src/CMakeFiles/rp_core.dir/core/distributed_repartition.cc.o.d"
+  "/root/repo/src/core/ji_geroliminis.cc" "src/CMakeFiles/rp_core.dir/core/ji_geroliminis.cc.o" "gcc" "src/CMakeFiles/rp_core.dir/core/ji_geroliminis.cc.o.d"
+  "/root/repo/src/core/normalized_cut.cc" "src/CMakeFiles/rp_core.dir/core/normalized_cut.cc.o" "gcc" "src/CMakeFiles/rp_core.dir/core/normalized_cut.cc.o.d"
+  "/root/repo/src/core/optimal_k.cc" "src/CMakeFiles/rp_core.dir/core/optimal_k.cc.o" "gcc" "src/CMakeFiles/rp_core.dir/core/optimal_k.cc.o.d"
+  "/root/repo/src/core/partition_tracker.cc" "src/CMakeFiles/rp_core.dir/core/partition_tracker.cc.o" "gcc" "src/CMakeFiles/rp_core.dir/core/partition_tracker.cc.o.d"
+  "/root/repo/src/core/partitioner.cc" "src/CMakeFiles/rp_core.dir/core/partitioner.cc.o" "gcc" "src/CMakeFiles/rp_core.dir/core/partitioner.cc.o.d"
+  "/root/repo/src/core/refinement.cc" "src/CMakeFiles/rp_core.dir/core/refinement.cc.o" "gcc" "src/CMakeFiles/rp_core.dir/core/refinement.cc.o.d"
+  "/root/repo/src/core/spectral_common.cc" "src/CMakeFiles/rp_core.dir/core/spectral_common.cc.o" "gcc" "src/CMakeFiles/rp_core.dir/core/spectral_common.cc.o.d"
+  "/root/repo/src/core/stability.cc" "src/CMakeFiles/rp_core.dir/core/stability.cc.o" "gcc" "src/CMakeFiles/rp_core.dir/core/stability.cc.o.d"
+  "/root/repo/src/core/supergraph.cc" "src/CMakeFiles/rp_core.dir/core/supergraph.cc.o" "gcc" "src/CMakeFiles/rp_core.dir/core/supergraph.cc.o.d"
+  "/root/repo/src/core/supergraph_io.cc" "src/CMakeFiles/rp_core.dir/core/supergraph_io.cc.o" "gcc" "src/CMakeFiles/rp_core.dir/core/supergraph_io.cc.o.d"
+  "/root/repo/src/core/supergraph_miner.cc" "src/CMakeFiles/rp_core.dir/core/supergraph_miner.cc.o" "gcc" "src/CMakeFiles/rp_core.dir/core/supergraph_miner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rp_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

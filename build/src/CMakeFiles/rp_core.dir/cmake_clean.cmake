@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_core.dir/core/alpha_cut.cc.o"
+  "CMakeFiles/rp_core.dir/core/alpha_cut.cc.o.d"
+  "CMakeFiles/rp_core.dir/core/distributed_repartition.cc.o"
+  "CMakeFiles/rp_core.dir/core/distributed_repartition.cc.o.d"
+  "CMakeFiles/rp_core.dir/core/ji_geroliminis.cc.o"
+  "CMakeFiles/rp_core.dir/core/ji_geroliminis.cc.o.d"
+  "CMakeFiles/rp_core.dir/core/normalized_cut.cc.o"
+  "CMakeFiles/rp_core.dir/core/normalized_cut.cc.o.d"
+  "CMakeFiles/rp_core.dir/core/optimal_k.cc.o"
+  "CMakeFiles/rp_core.dir/core/optimal_k.cc.o.d"
+  "CMakeFiles/rp_core.dir/core/partition_tracker.cc.o"
+  "CMakeFiles/rp_core.dir/core/partition_tracker.cc.o.d"
+  "CMakeFiles/rp_core.dir/core/partitioner.cc.o"
+  "CMakeFiles/rp_core.dir/core/partitioner.cc.o.d"
+  "CMakeFiles/rp_core.dir/core/refinement.cc.o"
+  "CMakeFiles/rp_core.dir/core/refinement.cc.o.d"
+  "CMakeFiles/rp_core.dir/core/spectral_common.cc.o"
+  "CMakeFiles/rp_core.dir/core/spectral_common.cc.o.d"
+  "CMakeFiles/rp_core.dir/core/stability.cc.o"
+  "CMakeFiles/rp_core.dir/core/stability.cc.o.d"
+  "CMakeFiles/rp_core.dir/core/supergraph.cc.o"
+  "CMakeFiles/rp_core.dir/core/supergraph.cc.o.d"
+  "CMakeFiles/rp_core.dir/core/supergraph_io.cc.o"
+  "CMakeFiles/rp_core.dir/core/supergraph_io.cc.o.d"
+  "CMakeFiles/rp_core.dir/core/supergraph_miner.cc.o"
+  "CMakeFiles/rp_core.dir/core/supergraph_miner.cc.o.d"
+  "librp_core.a"
+  "librp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/connected_components.cc" "src/CMakeFiles/rp_graph.dir/graph/connected_components.cc.o" "gcc" "src/CMakeFiles/rp_graph.dir/graph/connected_components.cc.o.d"
+  "/root/repo/src/graph/csr_graph.cc" "src/CMakeFiles/rp_graph.dir/graph/csr_graph.cc.o" "gcc" "src/CMakeFiles/rp_graph.dir/graph/csr_graph.cc.o.d"
+  "/root/repo/src/graph/graph_algos.cc" "src/CMakeFiles/rp_graph.dir/graph/graph_algos.cc.o" "gcc" "src/CMakeFiles/rp_graph.dir/graph/graph_algos.cc.o.d"
+  "/root/repo/src/graph/graph_builder.cc" "src/CMakeFiles/rp_graph.dir/graph/graph_builder.cc.o" "gcc" "src/CMakeFiles/rp_graph.dir/graph/graph_builder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

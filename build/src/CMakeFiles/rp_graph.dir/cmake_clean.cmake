@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_graph.dir/graph/connected_components.cc.o"
+  "CMakeFiles/rp_graph.dir/graph/connected_components.cc.o.d"
+  "CMakeFiles/rp_graph.dir/graph/csr_graph.cc.o"
+  "CMakeFiles/rp_graph.dir/graph/csr_graph.cc.o.d"
+  "CMakeFiles/rp_graph.dir/graph/graph_algos.cc.o"
+  "CMakeFiles/rp_graph.dir/graph/graph_algos.cc.o.d"
+  "CMakeFiles/rp_graph.dir/graph/graph_builder.cc.o"
+  "CMakeFiles/rp_graph.dir/graph/graph_builder.cc.o.d"
+  "librp_graph.a"
+  "librp_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/dense_matrix.cc" "src/CMakeFiles/rp_linalg.dir/linalg/dense_matrix.cc.o" "gcc" "src/CMakeFiles/rp_linalg.dir/linalg/dense_matrix.cc.o.d"
+  "/root/repo/src/linalg/lanczos.cc" "src/CMakeFiles/rp_linalg.dir/linalg/lanczos.cc.o" "gcc" "src/CMakeFiles/rp_linalg.dir/linalg/lanczos.cc.o.d"
+  "/root/repo/src/linalg/linear_operator.cc" "src/CMakeFiles/rp_linalg.dir/linalg/linear_operator.cc.o" "gcc" "src/CMakeFiles/rp_linalg.dir/linalg/linear_operator.cc.o.d"
+  "/root/repo/src/linalg/sparse_matrix.cc" "src/CMakeFiles/rp_linalg.dir/linalg/sparse_matrix.cc.o" "gcc" "src/CMakeFiles/rp_linalg.dir/linalg/sparse_matrix.cc.o.d"
+  "/root/repo/src/linalg/symmetric_eigen.cc" "src/CMakeFiles/rp_linalg.dir/linalg/symmetric_eigen.cc.o" "gcc" "src/CMakeFiles/rp_linalg.dir/linalg/symmetric_eigen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

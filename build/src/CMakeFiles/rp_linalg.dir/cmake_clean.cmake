@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_linalg.dir/linalg/dense_matrix.cc.o"
+  "CMakeFiles/rp_linalg.dir/linalg/dense_matrix.cc.o.d"
+  "CMakeFiles/rp_linalg.dir/linalg/lanczos.cc.o"
+  "CMakeFiles/rp_linalg.dir/linalg/lanczos.cc.o.d"
+  "CMakeFiles/rp_linalg.dir/linalg/linear_operator.cc.o"
+  "CMakeFiles/rp_linalg.dir/linalg/linear_operator.cc.o.d"
+  "CMakeFiles/rp_linalg.dir/linalg/sparse_matrix.cc.o"
+  "CMakeFiles/rp_linalg.dir/linalg/sparse_matrix.cc.o.d"
+  "CMakeFiles/rp_linalg.dir/linalg/symmetric_eigen.cc.o"
+  "CMakeFiles/rp_linalg.dir/linalg/symmetric_eigen.cc.o.d"
+  "librp_linalg.a"
+  "librp_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

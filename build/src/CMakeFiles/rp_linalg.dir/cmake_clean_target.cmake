@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librp_linalg.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/modularity.cc" "src/CMakeFiles/rp_metrics.dir/metrics/modularity.cc.o" "gcc" "src/CMakeFiles/rp_metrics.dir/metrics/modularity.cc.o.d"
+  "/root/repo/src/metrics/pairwise.cc" "src/CMakeFiles/rp_metrics.dir/metrics/pairwise.cc.o" "gcc" "src/CMakeFiles/rp_metrics.dir/metrics/pairwise.cc.o.d"
+  "/root/repo/src/metrics/partition_metrics.cc" "src/CMakeFiles/rp_metrics.dir/metrics/partition_metrics.cc.o" "gcc" "src/CMakeFiles/rp_metrics.dir/metrics/partition_metrics.cc.o.d"
+  "/root/repo/src/metrics/partition_report.cc" "src/CMakeFiles/rp_metrics.dir/metrics/partition_report.cc.o" "gcc" "src/CMakeFiles/rp_metrics.dir/metrics/partition_report.cc.o.d"
+  "/root/repo/src/metrics/validity.cc" "src/CMakeFiles/rp_metrics.dir/metrics/validity.cc.o" "gcc" "src/CMakeFiles/rp_metrics.dir/metrics/validity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_metrics.dir/metrics/modularity.cc.o"
+  "CMakeFiles/rp_metrics.dir/metrics/modularity.cc.o.d"
+  "CMakeFiles/rp_metrics.dir/metrics/pairwise.cc.o"
+  "CMakeFiles/rp_metrics.dir/metrics/pairwise.cc.o.d"
+  "CMakeFiles/rp_metrics.dir/metrics/partition_metrics.cc.o"
+  "CMakeFiles/rp_metrics.dir/metrics/partition_metrics.cc.o.d"
+  "CMakeFiles/rp_metrics.dir/metrics/partition_report.cc.o"
+  "CMakeFiles/rp_metrics.dir/metrics/partition_report.cc.o.d"
+  "CMakeFiles/rp_metrics.dir/metrics/validity.cc.o"
+  "CMakeFiles/rp_metrics.dir/metrics/validity.cc.o.d"
+  "librp_metrics.a"
+  "librp_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netgen/city_generator.cc" "src/CMakeFiles/rp_netgen.dir/netgen/city_generator.cc.o" "gcc" "src/CMakeFiles/rp_netgen.dir/netgen/city_generator.cc.o.d"
+  "/root/repo/src/netgen/grid_generator.cc" "src/CMakeFiles/rp_netgen.dir/netgen/grid_generator.cc.o" "gcc" "src/CMakeFiles/rp_netgen.dir/netgen/grid_generator.cc.o.d"
+  "/root/repo/src/netgen/orientation.cc" "src/CMakeFiles/rp_netgen.dir/netgen/orientation.cc.o" "gcc" "src/CMakeFiles/rp_netgen.dir/netgen/orientation.cc.o.d"
+  "/root/repo/src/netgen/radial_generator.cc" "src/CMakeFiles/rp_netgen.dir/netgen/radial_generator.cc.o" "gcc" "src/CMakeFiles/rp_netgen.dir/netgen/radial_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rp_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_netgen.dir/netgen/city_generator.cc.o"
+  "CMakeFiles/rp_netgen.dir/netgen/city_generator.cc.o.d"
+  "CMakeFiles/rp_netgen.dir/netgen/grid_generator.cc.o"
+  "CMakeFiles/rp_netgen.dir/netgen/grid_generator.cc.o.d"
+  "CMakeFiles/rp_netgen.dir/netgen/orientation.cc.o"
+  "CMakeFiles/rp_netgen.dir/netgen/orientation.cc.o.d"
+  "CMakeFiles/rp_netgen.dir/netgen/radial_generator.cc.o"
+  "CMakeFiles/rp_netgen.dir/netgen/radial_generator.cc.o.d"
+  "librp_netgen.a"
+  "librp_netgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_netgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

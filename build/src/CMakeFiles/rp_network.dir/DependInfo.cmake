@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/network/edge_list_io.cc" "src/CMakeFiles/rp_network.dir/network/edge_list_io.cc.o" "gcc" "src/CMakeFiles/rp_network.dir/network/edge_list_io.cc.o.d"
+  "/root/repo/src/network/geojson_export.cc" "src/CMakeFiles/rp_network.dir/network/geojson_export.cc.o" "gcc" "src/CMakeFiles/rp_network.dir/network/geojson_export.cc.o.d"
+  "/root/repo/src/network/geometry.cc" "src/CMakeFiles/rp_network.dir/network/geometry.cc.o" "gcc" "src/CMakeFiles/rp_network.dir/network/geometry.cc.o.d"
+  "/root/repo/src/network/network_io.cc" "src/CMakeFiles/rp_network.dir/network/network_io.cc.o" "gcc" "src/CMakeFiles/rp_network.dir/network/network_io.cc.o.d"
+  "/root/repo/src/network/road_graph.cc" "src/CMakeFiles/rp_network.dir/network/road_graph.cc.o" "gcc" "src/CMakeFiles/rp_network.dir/network/road_graph.cc.o.d"
+  "/root/repo/src/network/road_network.cc" "src/CMakeFiles/rp_network.dir/network/road_network.cc.o" "gcc" "src/CMakeFiles/rp_network.dir/network/road_network.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

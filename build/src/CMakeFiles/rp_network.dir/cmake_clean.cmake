@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_network.dir/network/edge_list_io.cc.o"
+  "CMakeFiles/rp_network.dir/network/edge_list_io.cc.o.d"
+  "CMakeFiles/rp_network.dir/network/geojson_export.cc.o"
+  "CMakeFiles/rp_network.dir/network/geojson_export.cc.o.d"
+  "CMakeFiles/rp_network.dir/network/geometry.cc.o"
+  "CMakeFiles/rp_network.dir/network/geometry.cc.o.d"
+  "CMakeFiles/rp_network.dir/network/network_io.cc.o"
+  "CMakeFiles/rp_network.dir/network/network_io.cc.o.d"
+  "CMakeFiles/rp_network.dir/network/road_graph.cc.o"
+  "CMakeFiles/rp_network.dir/network/road_graph.cc.o.d"
+  "CMakeFiles/rp_network.dir/network/road_network.cc.o"
+  "CMakeFiles/rp_network.dir/network/road_network.cc.o.d"
+  "librp_network.a"
+  "librp_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

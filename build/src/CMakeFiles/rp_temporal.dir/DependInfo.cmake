@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/temporal/evolution_analyzer.cc" "src/CMakeFiles/rp_temporal.dir/temporal/evolution_analyzer.cc.o" "gcc" "src/CMakeFiles/rp_temporal.dir/temporal/evolution_analyzer.cc.o.d"
+  "/root/repo/src/temporal/series_io.cc" "src/CMakeFiles/rp_temporal.dir/temporal/series_io.cc.o" "gcc" "src/CMakeFiles/rp_temporal.dir/temporal/series_io.cc.o.d"
+  "/root/repo/src/temporal/snapshot_series.cc" "src/CMakeFiles/rp_temporal.dir/temporal/snapshot_series.cc.o" "gcc" "src/CMakeFiles/rp_temporal.dir/temporal/snapshot_series.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

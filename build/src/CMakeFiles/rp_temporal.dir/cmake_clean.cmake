@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_temporal.dir/temporal/evolution_analyzer.cc.o"
+  "CMakeFiles/rp_temporal.dir/temporal/evolution_analyzer.cc.o.d"
+  "CMakeFiles/rp_temporal.dir/temporal/series_io.cc.o"
+  "CMakeFiles/rp_temporal.dir/temporal/series_io.cc.o.d"
+  "CMakeFiles/rp_temporal.dir/temporal/snapshot_series.cc.o"
+  "CMakeFiles/rp_temporal.dir/temporal/snapshot_series.cc.o.d"
+  "librp_temporal.a"
+  "librp_temporal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/congestion_field.cc" "src/CMakeFiles/rp_traffic.dir/traffic/congestion_field.cc.o" "gcc" "src/CMakeFiles/rp_traffic.dir/traffic/congestion_field.cc.o.d"
+  "/root/repo/src/traffic/density_mapper.cc" "src/CMakeFiles/rp_traffic.dir/traffic/density_mapper.cc.o" "gcc" "src/CMakeFiles/rp_traffic.dir/traffic/density_mapper.cc.o.d"
+  "/root/repo/src/traffic/microsim.cc" "src/CMakeFiles/rp_traffic.dir/traffic/microsim.cc.o" "gcc" "src/CMakeFiles/rp_traffic.dir/traffic/microsim.cc.o.d"
+  "/root/repo/src/traffic/router.cc" "src/CMakeFiles/rp_traffic.dir/traffic/router.cc.o" "gcc" "src/CMakeFiles/rp_traffic.dir/traffic/router.cc.o.d"
+  "/root/repo/src/traffic/trip_generator.cc" "src/CMakeFiles/rp_traffic.dir/traffic/trip_generator.cc.o" "gcc" "src/CMakeFiles/rp_traffic.dir/traffic/trip_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rp_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

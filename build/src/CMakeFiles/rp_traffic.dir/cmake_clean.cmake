@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_traffic.dir/traffic/congestion_field.cc.o"
+  "CMakeFiles/rp_traffic.dir/traffic/congestion_field.cc.o.d"
+  "CMakeFiles/rp_traffic.dir/traffic/density_mapper.cc.o"
+  "CMakeFiles/rp_traffic.dir/traffic/density_mapper.cc.o.d"
+  "CMakeFiles/rp_traffic.dir/traffic/microsim.cc.o"
+  "CMakeFiles/rp_traffic.dir/traffic/microsim.cc.o.d"
+  "CMakeFiles/rp_traffic.dir/traffic/router.cc.o"
+  "CMakeFiles/rp_traffic.dir/traffic/router.cc.o.d"
+  "CMakeFiles/rp_traffic.dir/traffic/trip_generator.cc.o"
+  "CMakeFiles/rp_traffic.dir/traffic/trip_generator.cc.o.d"
+  "librp_traffic.a"
+  "librp_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_optimality_test.dir/cluster_optimality_test.cc.o"
+  "CMakeFiles/cluster_optimality_test.dir/cluster_optimality_test.cc.o.d"
+  "cluster_optimality_test"
+  "cluster_optimality_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_optimality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

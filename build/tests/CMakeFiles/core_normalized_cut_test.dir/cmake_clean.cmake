@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_normalized_cut_test.dir/core_normalized_cut_test.cc.o"
+  "CMakeFiles/core_normalized_cut_test.dir/core_normalized_cut_test.cc.o.d"
+  "core_normalized_cut_test"
+  "core_normalized_cut_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_normalized_cut_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_refinement_test.dir/core_refinement_test.cc.o"
+  "CMakeFiles/core_refinement_test.dir/core_refinement_test.cc.o.d"
+  "core_refinement_test"
+  "core_refinement_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_refinement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

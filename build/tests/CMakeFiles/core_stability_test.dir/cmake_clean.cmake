@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_stability_test.dir/core_stability_test.cc.o"
+  "CMakeFiles/core_stability_test.dir/core_stability_test.cc.o.d"
+  "core_stability_test"
+  "core_stability_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_stability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

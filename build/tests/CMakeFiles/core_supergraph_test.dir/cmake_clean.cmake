@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_supergraph_test.dir/core_supergraph_test.cc.o"
+  "CMakeFiles/core_supergraph_test.dir/core_supergraph_test.cc.o.d"
+  "core_supergraph_test"
+  "core_supergraph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_supergraph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_lanczos_test.dir/linalg_lanczos_test.cc.o"
+  "CMakeFiles/linalg_lanczos_test.dir/linalg_lanczos_test.cc.o.d"
+  "linalg_lanczos_test"
+  "linalg_lanczos_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_lanczos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

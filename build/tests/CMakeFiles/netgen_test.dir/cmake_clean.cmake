@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netgen_test.dir/netgen_test.cc.o"
+  "CMakeFiles/netgen_test.dir/netgen_test.cc.o.d"
+  "netgen_test"
+  "netgen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_geojson_test.dir/network_geojson_test.cc.o"
+  "CMakeFiles/network_geojson_test.dir/network_geojson_test.cc.o.d"
+  "network_geojson_test"
+  "network_geojson_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_geojson_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temporal_io_test.dir/temporal_io_test.cc.o"
+  "CMakeFiles/temporal_io_test.dir/temporal_io_test.cc.o.d"
+  "temporal_io_test"
+  "temporal_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temporal_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_dynamics_test.dir/traffic_dynamics_test.cc.o"
+  "CMakeFiles/traffic_dynamics_test.dir/traffic_dynamics_test.cc.o.d"
+  "traffic_dynamics_test"
+  "traffic_dynamics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_dynamics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roadpart_cli.dir/roadpart_cli.cc.o"
+  "CMakeFiles/roadpart_cli.dir/roadpart_cli.cc.o.d"
+  "roadpart_cli"
+  "roadpart_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roadpart_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
