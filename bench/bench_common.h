@@ -65,11 +65,17 @@ inline int NumRuns(int fallback = 13) {
   return fallback;
 }
 
+/// Worker-thread count the benches run with. Honors RP_THREADS (through
+/// DefaultParallelism); thread counts never change benchmark *results*, only
+/// wall-clock, because every kernel is deterministic by construction.
+inline int BenchThreads() { return DefaultParallelism(); }
+
 /// Runs one scheme at one k and returns the paper's four metrics as the
 /// median over `runs` randomized executions.
 inline PartitionEvaluation MedianEvaluation(const RoadGraph& rg,
                                             Scheme scheme, int k, int runs,
-                                            uint64_t seed_base = 1) {
+                                            uint64_t seed_base = 1,
+                                            int num_threads = 0) {
   std::vector<double> inter;
   std::vector<double> intra;
   std::vector<double> gdbi;
@@ -79,6 +85,7 @@ inline PartitionEvaluation MedianEvaluation(const RoadGraph& rg,
     options.scheme = scheme;
     options.k = k;
     options.seed = seed_base + r;
+    options.num_threads = num_threads;
     auto outcome = Partitioner(options).PartitionRoadGraph(rg);
     if (!outcome.ok()) continue;
     auto eval =

@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "linalg/lanczos.h"
 #include "linalg/linear_operator.h"
@@ -89,6 +90,65 @@ void BM_AlphaCutOperatorApply(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AlphaCutOperatorApply)->Arg(1024)->Arg(16384)->Arg(131072);
+
+// --- Thread-scaling variants (range(1) = worker threads). The kernels are
+// deterministic for any thread count, so these differ only in wall-clock.
+
+void BM_SparseMatVecThreads(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ScopedParallelism threads(static_cast<int>(state.range(1)));
+  SparseMatrix m = RingMatrix(n, 7);
+  std::vector<double> x(n, 1.0);
+  std::vector<double> y(n);
+  for (auto _ : state) {
+    m.Multiply(x.data(), y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m.NumNonZeros());
+}
+BENCHMARK(BM_SparseMatVecThreads)
+    ->Args({131072, 1})
+    ->Args({131072, 2})
+    ->Args({131072, 4})
+    ->Args({131072, 8});
+
+void BM_AlphaCutOperatorApplyThreads(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ScopedParallelism threads(static_cast<int>(state.range(1)));
+  SparseMatrix a = RingMatrix(n, 7);
+  SparseOperator a_op(a);
+  std::vector<double> d = a.RowSums();
+  double s = 0.0;
+  for (double v : d) s += v;
+  RankOneUpdatedOperator m_op(a_op, d, 1.0 / s, -1.0);
+  std::vector<double> x(n, 1.0);
+  std::vector<double> y(n);
+  for (auto _ : state) {
+    m_op.Apply(x.data(), y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_AlphaCutOperatorApplyThreads)
+    ->Args({131072, 1})
+    ->Args({131072, 2})
+    ->Args({131072, 4})
+    ->Args({131072, 8});
+
+void BM_LanczosSmallestKThreads(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ScopedParallelism threads(static_cast<int>(state.range(1)));
+  SparseMatrix m = RingMatrix(n, 7);
+  SparseOperator op(m);
+  for (auto _ : state) {
+    auto eig = LanczosEigen(op, 4, SpectrumEnd::kSmallest);
+    benchmark::DoNotOptimize(eig);
+  }
+}
+BENCHMARK(BM_LanczosSmallestKThreads)
+    ->Args({16384, 1})
+    ->Args({16384, 2})
+    ->Args({16384, 8})
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace roadpart

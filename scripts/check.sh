@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Full verification gate: two build trees, all tests in both.
+#
+#   1. build-check-release : -O2 Release, the complete ctest suite.
+#   2. build-check-tsan    : Debug + -fsanitize=thread,undefined; runs the
+#      parallel/determinism/lanczos differential suites (the ones that
+#      exercise the deterministic parallel runtime) under ThreadSanitizer.
+#      Set RP_CHECK_TSAN_ALL=1 to run the *entire* suite under TSan
+#      (slow: TSan costs ~5-15x).
+#
+# Usage: scripts/check.sh [jobs]        (default: nproc)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+RELEASE_DIR=build-check-release
+TSAN_DIR=build-check-tsan
+
+echo "==> [1/4] Configure + build Release tree (${RELEASE_DIR})"
+cmake -B "${RELEASE_DIR}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "${RELEASE_DIR}" -j "${JOBS}"
+
+echo "==> [2/4] ctest: full suite (Release)"
+ctest --test-dir "${RELEASE_DIR}" --output-on-failure -j "${JOBS}"
+
+echo "==> [3/4] Configure + build TSan+UBSan tree (${TSAN_DIR})"
+cmake -B "${TSAN_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread,undefined -fno-omit-frame-pointer -O1" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread,undefined" >/dev/null
+cmake --build "${TSAN_DIR}" -j "${JOBS}"
+
+echo "==> [4/4] ctest under ThreadSanitizer"
+# halt_on_error makes any race fail the test run instead of just logging.
+export TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:${TSAN_OPTIONS}}"
+export UBSAN_OPTIONS="halt_on_error=1${UBSAN_OPTIONS:+:${UBSAN_OPTIONS}}"
+if [[ "${RP_CHECK_TSAN_ALL:-0}" == "1" ]]; then
+  ctest --test-dir "${TSAN_DIR}" --output-on-failure -j "${JOBS}"
+else
+  ctest --test-dir "${TSAN_DIR}" --output-on-failure -j "${JOBS}" \
+    -R 'parallel|determinism|lanczos'
+fi
+
+echo "==> check.sh: all green"

@@ -3,23 +3,102 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <functional>
 #include <thread>
 #include <vector>
 
 namespace roadpart {
 
-/// Number of worker threads ParallelFor uses by default (hardware
-/// concurrency, at least 1).
+/// Number of worker threads ParallelFor uses by default: the value set with
+/// SetDefaultParallelism if any, else the RP_THREADS environment variable if
+/// positive, else hardware concurrency (at least 1).
 int DefaultParallelism();
+
+/// Overrides the process-wide default used when a parallel helper is called
+/// with num_threads = 0. Pass n >= 1 to pin, n <= 0 to restore the
+/// environment/hardware default. Thread counts never affect results — every
+/// helper in this header is deterministic by construction — so this is a pure
+/// performance knob.
+void SetDefaultParallelism(int n);
+
+/// RAII thread-count override: sets the default parallelism on construction
+/// (when n >= 1; n <= 0 is a no-op) and restores the previous setting on
+/// destruction. Used to plumb PartitionerOptions::num_threads and the CLI
+/// --threads flag down to the kernels without threading a parameter through
+/// every call site.
+class ScopedParallelism {
+ public:
+  explicit ScopedParallelism(int n);
+  ~ScopedParallelism();
+
+  ScopedParallelism(const ScopedParallelism&) = delete;
+  ScopedParallelism& operator=(const ScopedParallelism&) = delete;
+
+ private:
+  bool active_;
+  int saved_;
+};
 
 /// Runs fn(i) for i in [0, count) across up to `num_threads` threads with
 /// dynamic (work-stealing-ish) index assignment. Blocks until every index is
 /// done. `fn` must be safe to call concurrently for distinct indices;
 /// exceptions must not escape fn (the library is exception-free). With
-/// count <= 1 or num_threads <= 1 the loop runs inline.
+/// count <= 1 or num_threads <= 1 the loop runs inline. Never spawns more
+/// threads than there are indices.
 void ParallelFor(int count, const std::function<void(int)>& fn,
                  int num_threads = 0);
+
+/// Grain-size overload: indices are handed out in contiguous chunks of up to
+/// `grain` so per-index dispatch overhead amortizes, and no thread is spawned
+/// unless there is more than one chunk of work (tiny loops stay inline no
+/// matter what DefaultParallelism() says).
+void ParallelFor(int count, const std::function<void(int)>& fn,
+                 int num_threads, int grain);
+
+/// Runs fn(begin, end) over the fixed block decomposition of [0, count) into
+/// blocks of `grain` (the last block may be shorter). The decomposition
+/// depends only on (count, grain) — never on the thread count — which is what
+/// makes every consumer of this helper deterministic: a block's work is
+/// always the same, only *which thread* runs it varies. Blocks must write
+/// disjoint state. Runs inline (ascending block order) when only one block or
+/// one thread is available.
+void ParallelForBlocked(int64_t count, int64_t grain,
+                        const std::function<void(int64_t, int64_t)>& fn,
+                        int num_threads = 0);
+
+/// Deterministic parallel reduction: evaluates block(begin, end) for each
+/// fixed `grain`-sized block of [0, count), stores the per-block partials,
+/// and combines them *serially in ascending block order*. Because the block
+/// boundaries and the reduction order are functions of (count, grain) alone,
+/// the floating-point result is bit-identical for every thread count,
+/// including 1. `block` must be pure with respect to shared state.
+double ParallelBlockedSum(int64_t count, int64_t grain,
+                          const std::function<double(int64_t, int64_t)>& block,
+                          int num_threads = 0);
+
+/// Generic form of ParallelBlockedSum for non-double accumulators: partials
+/// of type T are produced per block and folded left-to-right with `combine`
+/// starting from `init`. Same determinism guarantee.
+template <typename T, typename BlockFn, typename CombineFn>
+T ParallelBlockedReduce(int64_t count, int64_t grain, T init,
+                        const BlockFn& block, const CombineFn& combine,
+                        int num_threads = 0) {
+  if (count <= 0) return init;
+  if (grain < 1) grain = 1;
+  const int64_t num_blocks = (count + grain - 1) / grain;
+  if (num_blocks == 1) return combine(std::move(init), block(0, count));
+  std::vector<T> partials(static_cast<size_t>(num_blocks));
+  ParallelForBlocked(
+      count, grain,
+      [&](int64_t begin, int64_t end) {
+        partials[static_cast<size_t>(begin / grain)] = block(begin, end);
+      },
+      num_threads);
+  T acc = std::move(init);
+  for (T& p : partials) acc = combine(std::move(acc), std::move(p));
+  return acc;
+}
 
 }  // namespace roadpart
 

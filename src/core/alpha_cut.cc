@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "linalg/linear_operator.h"
 #include "linalg/sparse_matrix.h"
 
@@ -53,11 +54,15 @@ DenseMatrix AlphaCutMatrix(const CsrGraph& graph) {
     s += d[i];
   }
   DenseMatrix m(n, n);
-  for (int i = 0; i < n; ++i) {
-    for (int j = 0; j < n; ++j) {
-      m(i, j) = (s > 0.0 ? d[i] * d[j] / s : 0.0) - a(i, j);
+  // Row-blocked fill; rows are written disjointly.
+  ParallelForBlocked(n, /*grain=*/64, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      int row = static_cast<int>(i);
+      for (int j = 0; j < n; ++j) {
+        m(row, j) = (s > 0.0 ? d[row] * d[j] / s : 0.0) - a(row, j);
+      }
     }
-  }
+  });
   return m;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "linalg/linear_operator.h"
 #include "linalg/sparse_matrix.h"
 
@@ -25,11 +26,16 @@ class NormalizedAdjacencyOperator : public LinearOperator {
   int Dim() const override { return a_.rows(); }
 
   void Apply(const double* x, double* y) const override {
-    for (int i = 0; i < a_.rows(); ++i) {
-      scratch_[i] = inv_sqrt_deg_[i] * x[i];
-    }
+    constexpr int64_t kGrain = 8192;
+    ParallelForBlocked(a_.rows(), kGrain, [&](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) {
+        scratch_[i] = inv_sqrt_deg_[i] * x[i];
+      }
+    });
     a_.Multiply(scratch_.data(), y);
-    for (int i = 0; i < a_.rows(); ++i) y[i] *= inv_sqrt_deg_[i];
+    ParallelForBlocked(a_.rows(), kGrain, [&](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) y[i] *= inv_sqrt_deg_[i];
+    });
   }
 
  private:

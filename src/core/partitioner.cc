@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/parallel.h"
 #include "common/timer.h"
 #include "core/spectral_common.h"
 
@@ -25,6 +26,7 @@ const char* SchemeName(Scheme scheme) {
 
 Result<PartitionOutcome> Partitioner::PartitionNetwork(
     const RoadNetwork& network) const {
+  ScopedParallelism threads(options_.num_threads);
   Timer timer;
   RoadGraph graph = RoadGraph::FromNetwork(network);
   double module1 = timer.Seconds();
@@ -35,6 +37,7 @@ Result<PartitionOutcome> Partitioner::PartitionNetwork(
 
 Result<PartitionOutcome> Partitioner::PartitionRoadGraph(
     const RoadGraph& graph) const {
+  ScopedParallelism threads(options_.num_threads);
   PartitionOutcome outcome;
   const int k = options_.k;
 

@@ -45,6 +45,13 @@ struct PartitionerOptions {
   bool refine_boundary = false;
   RefinementOptions refinement;
   uint64_t seed = 1;  ///< randomizes embedding k-means (paper: 100 reruns)
+  /// Worker threads for the spectral kernels (SpMV, operator applies,
+  /// reorthogonalization, row normalization, k-means restarts). 0 keeps the
+  /// process-wide default (SetDefaultParallelism / RP_THREADS / hardware).
+  /// Purely a performance knob: every kernel uses fixed block decompositions
+  /// with order-fixed reductions, so results are bit-identical for any value
+  /// (see tests/parallel_determinism_test.cc).
+  int num_threads = 0;
 };
 
 /// Framework output, including the Table-3 module timing breakdown.

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/string_util.h"
 #include "graph/connected_components.h"
 #include "graph/graph_algos.h"
@@ -40,14 +41,19 @@ Result<DenseMatrix> ExtremeEigenvectors(const LinearOperator& op, int k,
 
 DenseMatrix RowNormalize(const DenseMatrix& y) {
   DenseMatrix z = y;
-  for (int r = 0; r < z.rows(); ++r) {
-    double norm = 0.0;
-    for (int c = 0; c < z.cols(); ++c) norm += z(r, c) * z(r, c);
-    norm = std::sqrt(norm);
-    if (norm > 0.0) {
-      for (int c = 0; c < z.cols(); ++c) z(r, c) /= norm;
+  // Row-blocked: each row normalizes independently with a serial norm, so
+  // the output is bit-identical for any thread count.
+  ParallelForBlocked(z.rows(), /*grain=*/128, [&](int64_t begin, int64_t end) {
+    for (int64_t r = begin; r < end; ++r) {
+      int row = static_cast<int>(r);
+      double norm = 0.0;
+      for (int c = 0; c < z.cols(); ++c) norm += z(row, c) * z(row, c);
+      norm = std::sqrt(norm);
+      if (norm > 0.0) {
+        for (int c = 0; c < z.cols(); ++c) z(row, c) /= norm;
+      }
     }
-  }
+  });
   return z;
 }
 
@@ -62,18 +68,35 @@ CsrGraph GaussianWeightedGraph(const CsrGraph& adjacency,
   // local scale, a typical edge weighs e^{-1/2} and a cross-plateau edge is
   // exponentially suppressed — which is what "congestion similarity"
   // affinity (Definition 3) needs to steer the cut.
-  double acc = 0.0;
-  int64_t count = 0;
-  for (int u = 0; u < adjacency.num_nodes(); ++u) {
-    for (int v : adjacency.Neighbors(u)) {
-      if (u < v) {
-        double diff = features[u] - features[v];
-        acc += diff * diff;
-        ++count;
-      }
-    }
-  }
-  double sigma_sq = count > 0 ? acc / static_cast<double>(count) : 0.0;
+  // Deterministic blocked reduction over nodes: per-block (sum, count)
+  // partials are combined in ascending block order, so sigma^2 — and with it
+  // every downstream edge weight — is independent of the thread count.
+  struct PairAcc {
+    double sum = 0.0;
+    int64_t count = 0;
+  };
+  PairAcc tot = ParallelBlockedReduce<PairAcc>(
+      adjacency.num_nodes(), /*grain=*/1024, PairAcc{},
+      [&](int64_t begin, int64_t end) {
+        PairAcc local;
+        for (int64_t u = begin; u < end; ++u) {
+          for (int v : adjacency.Neighbors(static_cast<int>(u))) {
+            if (u < v) {
+              double diff = features[u] - features[v];
+              local.sum += diff * diff;
+              ++local.count;
+            }
+          }
+        }
+        return local;
+      },
+      [](PairAcc a, PairAcc b) {
+        a.sum += b.sum;
+        a.count += b.count;
+        return a;
+      });
+  double sigma_sq =
+      tot.count > 0 ? tot.sum / static_cast<double>(tot.count) : 0.0;
   CsrGraph weighted = ReweightGraph(adjacency, [&](int u, int v) {
     if (sigma_sq <= 0.0) return 1.0;
     double diff = features[u] - features[v];

@@ -3,8 +3,21 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 
 namespace roadpart {
+
+namespace {
+
+// Fixed block sizes for the parallel vector kernels. These are part of the
+// numerical contract: reductions are evaluated per block and combined in
+// ascending block order, so results depend on the block size but never on
+// the thread count (see ParallelBlockedSum). Do not derive them from
+// DefaultParallelism().
+constexpr int64_t kVectorGrain = 8192;   // elementwise + reduction kernels
+constexpr int64_t kMatVecRowGrain = 64;  // rows per task in dense matvec
+
+}  // namespace
 
 DenseMatrix::DenseMatrix(int rows, int cols, double fill)
     : rows_(rows), cols_(cols),
@@ -13,12 +26,16 @@ DenseMatrix::DenseMatrix(int rows, int cols, double fill)
 }
 
 void DenseMatrix::Multiply(const double* x, double* y) const {
-  for (int r = 0; r < rows_; ++r) {
-    const double* row = Row(r);
-    double acc = 0.0;
-    for (int c = 0; c < cols_; ++c) acc += row[c] * x[c];
-    y[r] = acc;
-  }
+  // Row-blocked: each y[r] is one serial inner product, so the result is
+  // bit-identical for any thread count.
+  ParallelForBlocked(rows_, kMatVecRowGrain, [&](int64_t begin, int64_t end) {
+    for (int64_t r = begin; r < end; ++r) {
+      const double* row = Row(static_cast<int>(r));
+      double acc = 0.0;
+      for (int c = 0; c < cols_; ++c) acc += row[c] * x[c];
+      y[r] = acc;
+    }
+  });
 }
 
 DenseMatrix DenseMatrix::Transposed() const {
@@ -48,26 +65,43 @@ DenseMatrix DenseMatrix::Identity(int n) {
 
 double Dot(const std::vector<double>& a, const std::vector<double>& b) {
   RP_CHECK(a.size() == b.size());
-  double acc = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
-  return acc;
+  return ParallelBlockedSum(
+      static_cast<int64_t>(a.size()), kVectorGrain,
+      [&](int64_t begin, int64_t end) {
+        double acc = 0.0;
+        for (int64_t i = begin; i < end; ++i) acc += a[i] * b[i];
+        return acc;
+      });
 }
 
 double Norm2(const std::vector<double>& a) { return std::sqrt(Dot(a, a)); }
 
 void Axpy(double alpha, const std::vector<double>& x, std::vector<double>& y) {
   RP_CHECK(x.size() == y.size());
-  for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  ParallelForBlocked(static_cast<int64_t>(x.size()), kVectorGrain,
+                     [&](int64_t begin, int64_t end) {
+                       for (int64_t i = begin; i < end; ++i) {
+                         y[i] += alpha * x[i];
+                       }
+                     });
 }
 
 void Scale(double alpha, std::vector<double>& x) {
-  for (double& v : x) v *= alpha;
+  ParallelForBlocked(static_cast<int64_t>(x.size()), kVectorGrain,
+                     [&](int64_t begin, int64_t end) {
+                       for (int64_t i = begin; i < end; ++i) x[i] *= alpha;
+                     });
 }
 
 double Sum(const std::vector<double>& a) {
-  double acc = 0.0;
-  for (double v : a) acc += v;
-  return acc;
+  return ParallelBlockedSum(static_cast<int64_t>(a.size()), kVectorGrain,
+                            [&](int64_t begin, int64_t end) {
+                              double acc = 0.0;
+                              for (int64_t i = begin; i < end; ++i) {
+                                acc += a[i];
+                              }
+                              return acc;
+                            });
 }
 
 double Mean(const std::vector<double>& a) {

@@ -5,12 +5,19 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/string_util.h"
 
 namespace roadpart {
 
 namespace {
+
+// Rows per task when assembling Ritz vectors x = V s. Each row is a serial
+// inner product over the Krylov basis, so results are thread-count
+// invariant. The reorthogonalization passes parallelize through the blocked
+// Dot/Axpy kernels of dense_matrix.cc with the same guarantee.
+constexpr int64_t kRitzRowGrain = 256;
 
 // One Lanczos run with full reorthogonalization and Krylov dimension up to
 // `m_max`. Returns the Krylov basis (rows of `basis`), and the tridiagonal
@@ -158,22 +165,36 @@ Result<EigenResult> LanczosEigen(const LinearOperator& op, int k,
       for (int c = 0; c < k; ++c) {
         int i = sel[c];
         out.eigenvalues[c] = tri.eigenvalues[i];
-        // Ritz vector x = V * s_i.
-        for (int r = 0; r < n; ++r) {
-          double acc = 0.0;
-          for (int j = 0; j < m; ++j) {
-            acc += kf.basis[j][r] * tri.eigenvectors(j, i);
+        // Ritz vector x = V * s_i, row-blocked (each row is an independent
+        // serial inner product over the basis).
+        ParallelForBlocked(n, kRitzRowGrain, [&](int64_t begin, int64_t end) {
+          for (int64_t r = begin; r < end; ++r) {
+            double acc = 0.0;
+            for (int j = 0; j < m; ++j) {
+              acc += kf.basis[j][r] * tri.eigenvectors(j, i);
+            }
+            out.eigenvectors(static_cast<int>(r), c) = acc;
           }
-          out.eigenvectors(r, c) = acc;
-        }
+        });
         // Normalize (full reorthogonalization keeps this near 1 already).
-        double norm = 0.0;
-        for (int r = 0; r < n; ++r) {
-          norm += out.eigenvectors(r, c) * out.eigenvectors(r, c);
-        }
-        norm = std::sqrt(norm);
+        // Deterministic blocked reduction: partials combined in block order.
+        double norm = std::sqrt(ParallelBlockedSum(
+            n, kRitzRowGrain, [&](int64_t begin, int64_t end) {
+              double acc = 0.0;
+              for (int64_t r = begin; r < end; ++r) {
+                double v = out.eigenvectors(static_cast<int>(r), c);
+                acc += v * v;
+              }
+              return acc;
+            }));
         if (norm > 0.0) {
-          for (int r = 0; r < n; ++r) out.eigenvectors(r, c) /= norm;
+          ParallelForBlocked(n, kRitzRowGrain,
+                             [&](int64_t begin, int64_t end) {
+                               for (int64_t r = begin; r < end; ++r) {
+                                 out.eigenvectors(static_cast<int>(r), c) /=
+                                     norm;
+                               }
+                             });
         }
       }
       out.converged = converged;

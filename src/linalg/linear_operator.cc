@@ -1,8 +1,17 @@
 #include "linalg/linear_operator.h"
 
 #include "common/logging.h"
+#include "common/parallel.h"
 
 namespace roadpart {
+
+namespace {
+
+// Elements per task in the elementwise operator kernels; fixed so blocked
+// reductions are thread-count invariant (see common/parallel.h).
+constexpr int64_t kApplyGrain = 8192;
+
+}  // namespace
 
 SparseOperator::SparseOperator(const SparseMatrix& matrix) : matrix_(matrix) {
   RP_CHECK(matrix.rows() == matrix.cols());
@@ -29,12 +38,19 @@ RankOneUpdatedOperator::RankOneUpdatedOperator(const LinearOperator& base,
 
 void RankOneUpdatedOperator::Apply(const double* x, double* y) const {
   base_.Apply(x, y);
-  double ux = 0.0;
-  for (size_t i = 0; i < u_.size(); ++i) ux += u_[i] * x[i];
+  const int64_t n = static_cast<int64_t>(u_.size());
+  const double ux =
+      ParallelBlockedSum(n, kApplyGrain, [&](int64_t begin, int64_t end) {
+        double acc = 0.0;
+        for (int64_t i = begin; i < end; ++i) acc += u_[i] * x[i];
+        return acc;
+      });
   const double coeff = scale_ * ux;
-  for (size_t i = 0; i < u_.size(); ++i) {
-    y[i] = base_sign_ * y[i] + coeff * u_[i];
-  }
+  ParallelForBlocked(n, kApplyGrain, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      y[i] = base_sign_ * y[i] + coeff * u_[i];
+    }
+  });
 }
 
 ShiftedOperator::ShiftedOperator(const LinearOperator& base, double shift)
@@ -42,7 +58,12 @@ ShiftedOperator::ShiftedOperator(const LinearOperator& base, double shift)
 
 void ShiftedOperator::Apply(const double* x, double* y) const {
   base_.Apply(x, y);
-  for (int i = 0; i < base_.Dim(); ++i) y[i] -= shift_ * x[i];
+  ParallelForBlocked(base_.Dim(), kApplyGrain,
+                     [&](int64_t begin, int64_t end) {
+                       for (int64_t i = begin; i < end; ++i) {
+                         y[i] -= shift_ * x[i];
+                       }
+                     });
 }
 
 DenseMatrix Materialize(const LinearOperator& op) {

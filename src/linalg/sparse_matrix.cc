@@ -5,9 +5,19 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/string_util.h"
 
 namespace roadpart {
+
+namespace {
+
+// Rows per task in the parallel CSR kernels. Each row's accumulation is a
+// serial loop over its own entries, so the block size (and the thread count)
+// cannot change any result bit — blocking only bounds dispatch overhead.
+constexpr int64_t kSpmvRowGrain = 256;
+
+}  // namespace
 
 Result<SparseMatrix> SparseMatrix::FromTriplets(
     int rows, int cols, const std::vector<Triplet>& entries) {
@@ -76,22 +86,26 @@ Result<SparseMatrix> SparseMatrix::SymmetricFromTriplets(
 }
 
 void SparseMatrix::Multiply(const double* x, double* y) const {
-  for (int r = 0; r < rows_; ++r) {
-    double acc = 0.0;
-    for (int64_t i = row_offsets_[r]; i < row_offsets_[r + 1]; ++i) {
-      acc += values_[i] * x[col_indices_[i]];
+  ParallelForBlocked(rows_, kSpmvRowGrain, [&](int64_t begin, int64_t end) {
+    for (int64_t r = begin; r < end; ++r) {
+      double acc = 0.0;
+      for (int64_t i = row_offsets_[r]; i < row_offsets_[r + 1]; ++i) {
+        acc += values_[i] * x[col_indices_[i]];
+      }
+      y[r] = acc;
     }
-    y[r] = acc;
-  }
+  });
 }
 
 std::vector<double> SparseMatrix::RowSums() const {
   std::vector<double> sums(rows_, 0.0);
-  for (int r = 0; r < rows_; ++r) {
-    for (int64_t i = row_offsets_[r]; i < row_offsets_[r + 1]; ++i) {
-      sums[r] += values_[i];
+  ParallelForBlocked(rows_, kSpmvRowGrain, [&](int64_t begin, int64_t end) {
+    for (int64_t r = begin; r < end; ++r) {
+      for (int64_t i = row_offsets_[r]; i < row_offsets_[r + 1]; ++i) {
+        sums[r] += values_[i];
+      }
     }
-  }
+  });
   return sums;
 }
 

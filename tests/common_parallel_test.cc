@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cmath>
 #include <numeric>
+#include <utility>
 #include <vector>
 
 #include "common/parallel.h"
@@ -52,6 +53,157 @@ TEST(ParallelForTest, MoreThreadsThanWork) {
 
 TEST(ParallelForTest, DefaultParallelismPositive) {
   EXPECT_GE(DefaultParallelism(), 1);
+}
+
+TEST(ParallelForTest, SetDefaultParallelismOverridesAndRestores) {
+  int original = DefaultParallelism();
+  SetDefaultParallelism(3);
+  EXPECT_EQ(DefaultParallelism(), 3);
+  SetDefaultParallelism(0);  // back to env/hardware default
+  EXPECT_EQ(DefaultParallelism(), original);
+}
+
+TEST(ParallelForTest, ScopedParallelismNestsAndRestores) {
+  SetDefaultParallelism(0);
+  int original = DefaultParallelism();
+  {
+    ScopedParallelism outer(5);
+    EXPECT_EQ(DefaultParallelism(), 5);
+    {
+      ScopedParallelism inner(2);
+      EXPECT_EQ(DefaultParallelism(), 2);
+      ScopedParallelism noop(0);  // n <= 0 leaves the setting alone
+      EXPECT_EQ(DefaultParallelism(), 2);
+    }
+    EXPECT_EQ(DefaultParallelism(), 5);
+  }
+  EXPECT_EQ(DefaultParallelism(), original);
+}
+
+TEST(ParallelForTest, GrainOverloadCoversEveryIndexOnce) {
+  const int n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  ParallelFor(n, [&](int i) { hits[i].fetch_add(1); }, /*num_threads=*/8,
+              /*grain=*/64);
+  for (int i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelForTest, GrainLargerThanCountRunsInline) {
+  std::vector<int> order;
+  // One block -> no thread spawn -> strictly ascending inline execution,
+  // even with a large requested thread count.
+  ParallelFor(6, [&](int i) { order.push_back(i); }, /*num_threads=*/16,
+              /*grain=*/100);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(ParallelForTest, NestedInvocation) {
+  const int outer = 8;
+  const int inner = 50;
+  std::vector<std::vector<std::atomic<int>>> hits(outer);
+  for (auto& row : hits) {
+    row = std::vector<std::atomic<int>>(inner);
+  }
+  ParallelFor(outer, [&](int i) {
+    ParallelFor(inner, [&](int j) { hits[i][j].fetch_add(1); },
+                /*num_threads=*/2);
+  });
+  for (int i = 0; i < outer; ++i) {
+    for (int j = 0; j < inner; ++j) {
+      EXPECT_EQ(hits[i][j].load(), 1) << i << "," << j;
+    }
+  }
+}
+
+TEST(ParallelForBlockedTest, EdgeCases) {
+  int calls = 0;
+  ParallelForBlocked(0, 16, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+
+  std::vector<std::pair<int64_t, int64_t>> blocks;
+  ParallelForBlocked(
+      10, 4, [&](int64_t b, int64_t e) { blocks.push_back({b, e}); },
+      /*num_threads=*/1);
+  EXPECT_EQ(blocks,
+            (std::vector<std::pair<int64_t, int64_t>>{{0, 4}, {4, 8}, {8, 10}}));
+
+  // grain < 1 is clamped to 1.
+  std::vector<std::atomic<int>> hits(5);
+  ParallelForBlocked(5, 0, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelBlockedSumTest, MatchesSerialBlockOrderForEveryThreadCount) {
+  // The invariant the whole spectral hot path rests on: the blocked sum is
+  // bit-identical for every thread count because the block decomposition
+  // and the reduction order depend only on (count, grain).
+  const int64_t n = 100000;
+  std::vector<double> values(n);
+  for (int64_t i = 0; i < n; ++i) {
+    values[i] = std::sin(static_cast<double>(i) * 0.1) * 1e-3 + 1.0 / (i + 1);
+  }
+  auto block = [&](int64_t b, int64_t e) {
+    double acc = 0.0;
+    for (int64_t i = b; i < e; ++i) acc += values[i];
+    return acc;
+  };
+  double baseline = ParallelBlockedSum(n, 4096, block, /*num_threads=*/1);
+  for (int t : {2, 3, 8, 16}) {
+    double sum = ParallelBlockedSum(n, 4096, block, t);
+    EXPECT_EQ(sum, baseline) << "threads=" << t;  // exact, not NEAR
+  }
+}
+
+TEST(ParallelBlockedReduceTest, NonDoubleAccumulator) {
+  struct Acc {
+    int64_t count = 0;
+    int64_t sum = 0;
+  };
+  const int64_t n = 12345;
+  Acc total = ParallelBlockedReduce<Acc>(
+      n, 128, Acc{},
+      [](int64_t b, int64_t e) {
+        Acc a;
+        for (int64_t i = b; i < e; ++i) {
+          a.count++;
+          a.sum += i;
+        }
+        return a;
+      },
+      [](Acc a, Acc b) {
+        a.count += b.count;
+        a.sum += b.sum;
+        return a;
+      },
+      /*num_threads=*/8);
+  EXPECT_EQ(total.count, n);
+  EXPECT_EQ(total.sum, n * (n - 1) / 2);
+}
+
+TEST(ParallelBlockedSumTest, DeterministicReduceStress) {
+  // Hammer the deterministic-reduce helpers from many oversubscribed
+  // invocations; meant to run under ThreadSanitizer (scripts/check.sh
+  // builds a -fsanitize=thread,undefined tree that includes this suite).
+  const int64_t n = 20000;
+  std::vector<double> values(n);
+  for (int64_t i = 0; i < n; ++i) values[i] = 1.0 / (1.0 + i);
+  auto block = [&](int64_t b, int64_t e) {
+    double acc = 0.0;
+    for (int64_t i = b; i < e; ++i) acc += values[i];
+    return acc;
+  };
+  double baseline = ParallelBlockedSum(n, 512, block, 1);
+  std::atomic<int> mismatches{0};
+  ParallelFor(32, [&](int) {
+    for (int t : {2, 4, 8}) {
+      if (ParallelBlockedSum(n, 512, block, t) != baseline) {
+        mismatches.fetch_add(1);
+      }
+    }
+  }, /*num_threads=*/4);
+  EXPECT_EQ(mismatches.load(), 0);
 }
 
 }  // namespace

@@ -1,0 +1,176 @@
+#include "differential/differential_harness.h"
+
+#include <cmath>
+
+#include "netgen/city_generator.h"
+#include "netgen/grid_generator.h"
+#include "netgen/radial_generator.h"
+#include "network/road_graph.h"
+#include "traffic/congestion_field.h"
+
+namespace roadpart::differential {
+
+namespace {
+
+RoadNetwork WithCongestion(RoadNetwork net, int hotspots, uint64_t seed) {
+  CongestionFieldOptions field;
+  field.num_hotspots = hotspots;
+  field.voronoi_tiling = true;  // distinct congestion plateaus tile the city
+  field.seed = seed;
+  CongestionField congestion(net, field);
+  EXPECT_TRUE(net.SetDensities(congestion.Densities()).ok());
+  return net;
+}
+
+}  // namespace
+
+std::vector<NetworkCase> SeededNetworks(uint64_t seed) {
+  std::vector<NetworkCase> cases;
+
+  {
+    GridOptions grid;
+    grid.rows = 16;
+    grid.cols = 16;
+    grid.seed = seed;
+    auto net = GenerateGridNetwork(grid);
+    EXPECT_TRUE(net.ok()) << net.status().ToString();
+    // ~860 segments: above dense_threshold, exercises the Lanczos path.
+    cases.push_back({"grid", WithCongestion(std::move(net).value(), 4,
+                                            seed + 100)});
+  }
+  {
+    RadialOptions radial;
+    radial.num_rings = 6;
+    radial.num_spokes = 10;
+    radial.seed = seed;
+    auto net = GenerateRadialNetwork(radial);
+    EXPECT_TRUE(net.ok()) << net.status().ToString();
+    // ~220 segments: below dense_threshold, exercises the dense fallback.
+    cases.push_back({"radial", WithCongestion(std::move(net).value(), 3,
+                                              seed + 200)});
+  }
+  {
+    CityOptions city;
+    city.num_intersections = 500;
+    city.target_segments = 900;
+    city.area_sq_miles = 3.0;
+    city.seed = seed;
+    auto net = GenerateCityNetwork(city);
+    EXPECT_TRUE(net.ok()) << net.status().ToString();
+    cases.push_back({"city", WithCongestion(std::move(net).value(), 5,
+                                            seed + 300)});
+  }
+  return cases;
+}
+
+PipelineFingerprint RunPipeline(const RoadNetwork& network,
+                                PartitionerOptions options, int num_threads) {
+  options.num_threads = num_threads;
+  auto outcome = Partitioner(options).PartitionNetwork(network);
+  PipelineFingerprint fp;
+  EXPECT_TRUE(outcome.ok()) << outcome.status().ToString();
+  if (!outcome.ok()) return fp;
+  fp.assignment = outcome->assignment;
+  fp.k_final = outcome->k_final;
+  fp.k_prime = outcome->k_prime;
+  fp.num_supernodes = outcome->num_supernodes;
+  fp.objective = outcome->objective;
+
+  RoadGraph rg = RoadGraph::FromNetwork(network);
+  auto report =
+      SummarizePartitions(rg.adjacency(), rg.features(), fp.assignment);
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  if (report.ok()) fp.report = std::move(report).value();
+  return fp;
+}
+
+void ExpectIdenticalFingerprint(const PipelineFingerprint& baseline,
+                                const PipelineFingerprint& other,
+                                const std::string& label) {
+  // Bit-identical partition labels (vector equality is exact).
+  EXPECT_EQ(baseline.assignment, other.assignment) << label << ": labels";
+  EXPECT_EQ(baseline.k_final, other.k_final) << label << ": k_final";
+  EXPECT_EQ(baseline.k_prime, other.k_prime) << label << ": k_prime";
+  EXPECT_EQ(baseline.num_supernodes, other.num_supernodes)
+      << label << ": num_supernodes";
+  // Bitwise-equal objective: EXPECT_EQ on doubles is exact comparison.
+  EXPECT_EQ(baseline.objective, other.objective) << label << ": objective";
+
+  ASSERT_EQ(baseline.report.size(), other.report.size())
+      << label << ": report rows";
+  for (size_t i = 0; i < baseline.report.size(); ++i) {
+    const PartitionSummary& a = baseline.report[i];
+    const PartitionSummary& b = other.report[i];
+    EXPECT_EQ(a.id, b.id) << label << ": report[" << i << "].id";
+    EXPECT_EQ(a.size, b.size) << label << ": report[" << i << "].size";
+    EXPECT_EQ(a.mean_density, b.mean_density)
+        << label << ": report[" << i << "].mean_density";
+    EXPECT_EQ(a.stddev_density, b.stddev_density)
+        << label << ": report[" << i << "].stddev_density";
+    EXPECT_EQ(a.min_density, b.min_density)
+        << label << ": report[" << i << "].min_density";
+    EXPECT_EQ(a.max_density, b.max_density)
+        << label << ": report[" << i << "].max_density";
+    EXPECT_EQ(a.num_neighbours, b.num_neighbours)
+        << label << ": report[" << i << "].num_neighbours";
+    EXPECT_EQ(a.boundary_weight, b.boundary_weight)
+        << label << ": report[" << i << "].boundary_weight";
+  }
+}
+
+void ExpectPipelineThreadInvariant(const NetworkCase& net,
+                                   PartitionerOptions options,
+                                   const std::string& label) {
+  const std::vector<int>& sweep = ThreadSweep();
+  PipelineFingerprint baseline = RunPipeline(net.network, options, sweep[0]);
+  ASSERT_FALSE(baseline.assignment.empty()) << label << ": baseline failed";
+  for (size_t i = 1; i < sweep.size(); ++i) {
+    PipelineFingerprint other = RunPipeline(net.network, options, sweep[i]);
+    ExpectIdenticalFingerprint(
+        baseline, other,
+        label + " [" + net.name + ", threads=" + std::to_string(sweep[i]) +
+            " vs 1]");
+  }
+}
+
+EigenResult ExpectLanczosThreadInvariant(const LinearOperator& op, int k,
+                                         SpectrumEnd end,
+                                         const LanczosOptions& options,
+                                         const std::string& label,
+                                         double tolerance) {
+  EigenResult baseline;
+  {
+    ScopedParallelism serial(1);
+    auto result = LanczosEigen(op, k, end, options);
+    EXPECT_TRUE(result.ok()) << label << ": " << result.status().ToString();
+    if (!result.ok()) return baseline;
+    baseline = std::move(result).value();
+  }
+  for (int t : ThreadSweep()) {
+    if (t == 1) continue;
+    ScopedParallelism threads(t);
+    auto result = LanczosEigen(op, k, end, options);
+    EXPECT_TRUE(result.ok()) << label << ": " << result.status().ToString();
+    if (!result.ok()) continue;
+    EXPECT_EQ(result->eigenvalues.size(), baseline.eigenvalues.size())
+        << label << ": eigenvalue count, threads=" << t;
+    if (result->eigenvalues.size() != baseline.eigenvalues.size()) continue;
+    for (size_t i = 0; i < baseline.eigenvalues.size(); ++i) {
+      EXPECT_NEAR(result->eigenvalues[i], baseline.eigenvalues[i], tolerance)
+          << label << ": eigenvalue " << i << ", threads=" << t;
+    }
+    // Eigenvectors: bit-identical to the serial run (same arithmetic, same
+    // order — only the executing thread differs).
+    EXPECT_EQ(result->eigenvectors.rows(), baseline.eigenvectors.rows());
+    EXPECT_EQ(result->eigenvectors.cols(), baseline.eigenvectors.cols());
+    EXPECT_EQ(result->eigenvectors.data(), baseline.eigenvectors.data())
+        << label << ": eigenvector payload, threads=" << t;
+    EXPECT_EQ(result->converged, baseline.converged)
+        << label << ": convergence flag, threads=" << t;
+    EXPECT_EQ(result->max_residual, baseline.max_residual)
+        << label << ": residual, threads=" << t;
+  }
+  return baseline;
+}
+
+}  // namespace roadpart::differential

@@ -1,0 +1,89 @@
+#ifndef ROADPART_TESTS_DIFFERENTIAL_DIFFERENTIAL_HARNESS_H_
+#define ROADPART_TESTS_DIFFERENTIAL_DIFFERENTIAL_HARNESS_H_
+
+// Differential test harness: runs the same computation at several worker
+// thread counts and asserts the results are *identical* — bit-identical
+// partition labels, bitwise-equal objectives and PartitionReport metrics,
+// and eigenvalues within 1e-12 (they too are bit-identical in practice; the
+// tolerance only forgives future platform-level FMA contraction changes).
+//
+// This turns "parallel == serial" from a hope into a regression-checked
+// invariant: every kernel in the spectral hot path uses fixed block
+// decompositions with order-fixed reductions (see common/parallel.h), so any
+// thread-count-dependent result is a bug this harness catches.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "core/partitioner.h"
+#include "linalg/lanczos.h"
+#include "metrics/partition_report.h"
+#include "network/road_network.h"
+
+namespace roadpart::differential {
+
+/// Thread counts every differential check sweeps. 1 is the serial baseline;
+/// 2 and 8 exercise under- and over-subscription (the CI box may have fewer
+/// cores than 8 — oversubscription still reorders scheduling, which is
+/// exactly what the determinism contract must survive).
+inline const std::vector<int>& ThreadSweep() {
+  static const std::vector<int> counts{1, 2, 8};
+  return counts;
+}
+
+/// A seeded generated network with a congestion overlay.
+struct NetworkCase {
+  std::string name;      ///< "grid", "radial", "city"
+  RoadNetwork network;   ///< densities already set
+};
+
+/// The three generator families (grid, radial, city), sized so that grid and
+/// city exceed SpectralOptions::dense_threshold (exercising the Lanczos
+/// path) while radial stays below it (exercising the dense fallback).
+std::vector<NetworkCase> SeededNetworks(uint64_t seed = 7);
+
+/// Everything a pipeline run produced that determinism must preserve.
+struct PipelineFingerprint {
+  std::vector<int> assignment;
+  int k_final = 0;
+  int k_prime = 0;
+  int num_supernodes = 0;
+  double objective = 0.0;
+  std::vector<PartitionSummary> report;  ///< per-partition metrics
+};
+
+/// Runs the full pipeline (miner for supergraph schemes -> cut ->
+/// optional refinement -> connectivity) at `num_threads` workers and
+/// fingerprints the outcome. Fails the current test on pipeline errors.
+PipelineFingerprint RunPipeline(const RoadNetwork& network,
+                                PartitionerOptions options, int num_threads);
+
+/// Asserts two fingerprints are identical (labels bit-identical, metrics
+/// bitwise equal). `label` names the comparison in failure messages.
+void ExpectIdenticalFingerprint(const PipelineFingerprint& baseline,
+                                const PipelineFingerprint& other,
+                                const std::string& label);
+
+/// Runs the pipeline at every ThreadSweep() count and asserts all outcomes
+/// match the single-threaded baseline.
+void ExpectPipelineThreadInvariant(const NetworkCase& net,
+                                   PartitionerOptions options,
+                                   const std::string& label);
+
+/// Runs LanczosEigen at every ThreadSweep() count; asserts eigenvalues agree
+/// within `tolerance` (default 1e-12) and eigenvectors are bit-identical to
+/// the serial run. Returns the serial result for further checks, so non-
+/// pipeline consumers (e.g. the pathological-spectrum tests) can chain
+/// accuracy assertions onto the same run.
+EigenResult ExpectLanczosThreadInvariant(const LinearOperator& op, int k,
+                                         SpectrumEnd end,
+                                         const LanczosOptions& options,
+                                         const std::string& label,
+                                         double tolerance = 1e-12);
+
+}  // namespace roadpart::differential
+
+#endif  // ROADPART_TESTS_DIFFERENTIAL_DIFFERENTIAL_HARNESS_H_

@@ -1,0 +1,101 @@
+// Differential determinism suite: the spectral hot path is parallel
+// (common/parallel.h kernels), and this suite proves the parallelism is
+// invisible — every pipeline stage (miner -> alpha-Cut / normalized-cut ->
+// refinement) produces bit-identical partitions at 1, 2 and 8 worker
+// threads on all three generator families. See tests/differential/.
+
+#include <gtest/gtest.h>
+
+#include "differential/differential_harness.h"
+#include "linalg/linear_operator.h"
+#include "linalg/sparse_matrix.h"
+#include "network/road_graph.h"
+
+namespace roadpart {
+namespace {
+
+using differential::ExpectLanczosThreadInvariant;
+using differential::ExpectPipelineThreadInvariant;
+using differential::NetworkCase;
+using differential::SeededNetworks;
+
+PartitionerOptions BaseOptions(Scheme scheme, int k = 4) {
+  PartitionerOptions options;
+  options.scheme = scheme;
+  options.k = k;
+  options.seed = 11;
+  return options;
+}
+
+TEST(ParallelDeterminismTest, AlphaCutRoadGraphAllFamilies) {
+  for (const NetworkCase& net : SeededNetworks()) {
+    ExpectPipelineThreadInvariant(net, BaseOptions(Scheme::kAG),
+                                  "alpha-cut/AG");
+  }
+}
+
+TEST(ParallelDeterminismTest, NormalizedCutRoadGraphAllFamilies) {
+  for (const NetworkCase& net : SeededNetworks()) {
+    ExpectPipelineThreadInvariant(net, BaseOptions(Scheme::kNG), "ncut/NG");
+  }
+}
+
+TEST(ParallelDeterminismTest, SupergraphPipelinesWithRefinement) {
+  // Full pipeline: miner -> cut -> boundary refinement -> connectivity.
+  for (const NetworkCase& net : SeededNetworks()) {
+    for (Scheme scheme : {Scheme::kASG, Scheme::kNSG}) {
+      PartitionerOptions options = BaseOptions(scheme);
+      options.refine_boundary = true;
+      ExpectPipelineThreadInvariant(
+          net, options,
+          std::string("supergraph+refine/") + SchemeName(scheme));
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, GreedyMergeReductionPath) {
+  // The alternative Section 5.4 reduction must be thread-invariant too.
+  for (const NetworkCase& net : SeededNetworks()) {
+    PartitionerOptions options = BaseOptions(Scheme::kAG, /*k=*/3);
+    options.exact_k_method = ExactKMethod::kGreedyMerge;
+    ExpectPipelineThreadInvariant(net, options, "alpha-cut/greedy-merge");
+  }
+}
+
+TEST(ParallelDeterminismTest, AlphaCutEigenvaluesWithin1e12) {
+  // Direct eigensolver differential on the real alpha-Cut operator
+  // M = (d d^T)/s - A of the grid network's weighted road graph.
+  std::vector<NetworkCase> nets = SeededNetworks();
+  ASSERT_FALSE(nets.empty());
+  RoadGraph rg = RoadGraph::FromNetwork(nets[0].network);
+  CsrGraph weighted = GaussianWeightedGraph(rg.adjacency(), rg.features());
+  SparseMatrix a = weighted.ToSparseMatrix();
+  SparseOperator a_op(a);
+  std::vector<double> d = a.RowSums();
+  double s = 0.0;
+  for (double v : d) s += v;
+  RankOneUpdatedOperator m_op(a_op, d, s > 0.0 ? 1.0 / s : 0.0, -1.0);
+
+  LanczosOptions options;
+  EigenResult serial = ExpectLanczosThreadInvariant(
+      m_op, /*k=*/4, SpectrumEnd::kSmallest, options, "alpha-cut operator");
+  ASSERT_EQ(serial.eigenvalues.size(), 4u);
+  // Ascending order is part of the solver contract.
+  for (size_t i = 1; i < serial.eigenvalues.size(); ++i) {
+    EXPECT_LE(serial.eigenvalues[i - 1], serial.eigenvalues[i]);
+  }
+}
+
+TEST(ParallelDeterminismTest, RepeatedRunsAreReproducible) {
+  // Same seed + same thread count twice -> identical outcome (guards
+  // against hidden global state in the parallel kernels).
+  std::vector<NetworkCase> nets = SeededNetworks();
+  ASSERT_FALSE(nets.empty());
+  PartitionerOptions options = BaseOptions(Scheme::kASG);
+  auto first = differential::RunPipeline(nets[0].network, options, 8);
+  auto second = differential::RunPipeline(nets[0].network, options, 8);
+  differential::ExpectIdenticalFingerprint(first, second, "rerun @8 threads");
+}
+
+}  // namespace
+}  // namespace roadpart

@@ -31,7 +31,7 @@ int Usage() {
       "  roadpart_cli generate  --preset=D1|M1|M2|M3 [--seed=N]"
       " [--hotspots=H] <out.net>\n"
       "  roadpart_cli partition --scheme=AG|ASG|NG|NSG|JIG [--k=K]"
-      " [--seed=N] [--stability=E] <in.net> <out.csv>\n"
+      " [--seed=N] [--stability=E] [--threads=T] <in.net> <out.csv>\n"
       "  roadpart_cli evaluate  <in.net> <partition.csv>\n"
       "  roadpart_cli simulate  [--vehicles=N] [--horizon=S] [--interval=S]"
       " [--snapshot=T] [--seed=N] <in.net> <out.densities>\n"
@@ -40,7 +40,10 @@ int Usage() {
       "  roadpart_cli analyze   [--scheme=S] [--k=K] [--seed=N] <in.net>"
       " <series.csv>\n"
       "  roadpart_cli sweep     [--scheme=S] [--kmin=A] [--kmax=B]"
-      " [--seed=N] <in.net>\n");
+      " [--seed=N] <in.net>\n"
+      "\n"
+      "  --threads=T sets worker threads for every command (0 = RP_THREADS\n"
+      "  env or hardware default); results are identical for any value.\n");
   return 2;
 }
 
@@ -143,6 +146,7 @@ int CmdPartition(const FlagParser& flags) {
   options.k = static_cast<int>(*k);
   options.seed = static_cast<uint64_t>(*seed);
   options.miner.stability.threshold = *stability;
+  options.num_threads = DefaultParallelism();  // --threads / RP_THREADS
   auto outcome = Partitioner(options).PartitionNetwork(*net);
   if (!outcome.ok()) return Fail(outcome.status());
 
@@ -345,8 +349,15 @@ int Main(int argc, char** argv) {
   auto flags = FlagParser::Parse(
       argc - 2, argv + 2,
       {"preset", "seed", "hotspots", "scheme", "k", "stability", "kmin",
-       "kmax", "vehicles", "horizon", "interval", "snapshot", "series"});
+       "kmax", "vehicles", "horizon", "interval", "snapshot", "series",
+       "threads"});
   if (!flags.ok()) return Fail(flags.status());
+
+  // Global thread knob: applies to every command; deterministic kernels make
+  // this a pure performance setting.
+  auto threads = flags->GetInt("threads", 0);
+  if (!threads.ok()) return Fail(threads.status());
+  if (*threads > 0) SetDefaultParallelism(static_cast<int>(*threads));
 
   if (command == "generate") return CmdGenerate(*flags);
   if (command == "partition") return CmdPartition(*flags);
