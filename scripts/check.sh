@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Full verification gate: two build trees, all tests in both.
+# Full verification gate: three build trees plus a static-analysis stage.
 #
 #   1. build-check-release : -O2 Release, the complete ctest suite.
 #   2. build-check-tsan    : Debug + -fsanitize=thread,undefined; runs the
@@ -7,6 +7,15 @@
 #      exercise the deterministic parallel runtime) under ThreadSanitizer.
 #      Set RP_CHECK_TSAN_ALL=1 to run the *entire* suite under TSan
 #      (slow: TSan costs ~5-15x).
+#   3. build-check-asan    : Debug + -fsanitize=address,undefined; runs the
+#      complete suite under AddressSanitizer (heap/stack overflows,
+#      use-after-free, leaks) — TSan and ASan cannot be combined, hence
+#      the separate tree.
+#   4. lint                : tools/rp_lint over src/, tools/, bench/
+#      (discarded Status values, banned nondeterminism, raw prints in
+#      library code, shared mutation in ParallelFor lambdas), plus
+#      clang-tidy driven by .clang-tidy when the binary is available;
+#      the clang-tidy half is skipped with a notice otherwise.
 #
 # Usage: scripts/check.sh [jobs]        (default: nproc)
 
@@ -17,22 +26,23 @@ JOBS="${1:-$(nproc)}"
 
 RELEASE_DIR=build-check-release
 TSAN_DIR=build-check-tsan
+ASAN_DIR=build-check-asan
 
-echo "==> [1/4] Configure + build Release tree (${RELEASE_DIR})"
+echo "==> [1/7] Configure + build Release tree (${RELEASE_DIR})"
 cmake -B "${RELEASE_DIR}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "${RELEASE_DIR}" -j "${JOBS}"
 
-echo "==> [2/4] ctest: full suite (Release)"
+echo "==> [2/7] ctest: full suite (Release)"
 ctest --test-dir "${RELEASE_DIR}" --output-on-failure -j "${JOBS}"
 
-echo "==> [3/4] Configure + build TSan+UBSan tree (${TSAN_DIR})"
+echo "==> [3/7] Configure + build TSan+UBSan tree (${TSAN_DIR})"
 cmake -B "${TSAN_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=Debug \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread,undefined -fno-omit-frame-pointer -O1" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread,undefined" >/dev/null
 cmake --build "${TSAN_DIR}" -j "${JOBS}"
 
-echo "==> [4/4] ctest under ThreadSanitizer"
+echo "==> [4/7] ctest under ThreadSanitizer"
 # halt_on_error makes any race fail the test run instead of just logging.
 export TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:${TSAN_OPTIONS}}"
 export UBSAN_OPTIONS="halt_on_error=1${UBSAN_OPTIONS:+:${UBSAN_OPTIONS}}"
@@ -41,6 +51,31 @@ if [[ "${RP_CHECK_TSAN_ALL:-0}" == "1" ]]; then
 else
   ctest --test-dir "${TSAN_DIR}" --output-on-failure -j "${JOBS}" \
     -R 'parallel|determinism|lanczos'
+fi
+
+echo "==> [5/7] Configure + build ASan+UBSan tree (${ASAN_DIR})"
+cmake -B "${ASAN_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer -O1" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" >/dev/null
+cmake --build "${ASAN_DIR}" -j "${JOBS}"
+
+echo "==> [6/7] ctest under AddressSanitizer"
+# Death tests fork and abort by design; keep ASan from treating the abort
+# exit path as a leak-check failure inside the forked child.
+export ASAN_OPTIONS="halt_on_error=1${ASAN_OPTIONS:+:${ASAN_OPTIONS}}"
+ctest --test-dir "${ASAN_DIR}" --output-on-failure -j "${JOBS}"
+
+echo "==> [7/7] Lint: rp_lint + clang-tidy"
+"${RELEASE_DIR}/tools/rp_lint" --root . src tools bench
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  # clang-tidy needs a compilation database; the Release tree exports one.
+  cmake -B "${RELEASE_DIR}" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  git ls-files 'src/*.cc' 'tools/*.cc' 'bench/*.cc' |
+    xargs -P "${JOBS}" -n 8 clang-tidy -p "${RELEASE_DIR}" --quiet
+else
+  echo "    clang-tidy not found on PATH; skipping (rp_lint still ran)."
 fi
 
 echo "==> check.sh: all green"

@@ -1,0 +1,22 @@
+#include "common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace roadpart {
+namespace internal {
+
+void CheckFailed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "RP_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+void CheckFailed(const char* expr, const char* file, int line,
+                 const std::string& detail) {
+  std::fprintf(stderr, "RP_CHECK failed: %s %s at %s:%d\n", expr,
+               detail.c_str(), file, line);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace roadpart

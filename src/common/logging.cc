@@ -48,10 +48,5 @@ LogMessage::~LogMessage() {
   std::fputs(stream_.str().c_str(), stderr);
 }
 
-void CheckFailed(const char* expr, const char* file, int line) {
-  std::fprintf(stderr, "RP_CHECK failed: %s at %s:%d\n", expr, file, line);
-  std::abort();
-}
-
 }  // namespace internal
 }  // namespace roadpart

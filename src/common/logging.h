@@ -4,6 +4,8 @@
 #include <sstream>
 #include <string>
 
+#include "common/check.h"  // RP_CHECK historically lived here; keep it visible.
+
 namespace roadpart {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
@@ -44,15 +46,6 @@ struct LogMessageVoidify {
             ::roadpart::internal::LogMessage(::roadpart::LogLevel::k##severity, \
                                              __FILE__, __LINE__)             \
                 .stream()
-
-/// Invariant check active in all build types; aborts with location on failure.
-#define RP_CHECK(cond)                                                   \
-  (cond) ? (void)0                                                       \
-         : ::roadpart::internal::CheckFailed(#cond, __FILE__, __LINE__)
-
-namespace internal {
-[[noreturn]] void CheckFailed(const char* expr, const char* file, int line);
-}  // namespace internal
 
 }  // namespace roadpart
 

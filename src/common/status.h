@@ -25,8 +25,10 @@ const char* StatusCodeName(StatusCode code);
 
 /// Value-semantic status object used instead of exceptions throughout the
 /// library (RocksDB/Arrow idiom). An OK status carries no message and no
-/// allocation.
-class Status {
+/// allocation. [[nodiscard]] on the class makes silently dropping any
+/// Status-returning call a compile error (cast to void to discard on
+/// purpose, or wrap in RP_CHECK_OK from common/check.h).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -76,8 +78,9 @@ class Status {
 
 /// Result<T> holds either a value or an error Status. Accessing the value of
 /// an errored result aborts (programming error), mirroring absl::StatusOr.
+/// [[nodiscard]] for the same reason as Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value and from error status, so functions can
   /// `return value;` or `return Status::InvalidArgument(...);`.

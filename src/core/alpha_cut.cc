@@ -1,8 +1,9 @@
 #include "core/alpha_cut.h"
 
 #include <algorithm>
+#include <cmath>
 
-#include "common/logging.h"
+#include "common/check.h"
 #include "common/parallel.h"
 #include "linalg/linear_operator.h"
 #include "linalg/sparse_matrix.h"
@@ -25,6 +26,10 @@ PartitionSums Accumulate(const CsrGraph& graph,
                          const std::vector<int>& assignment) {
   PartitionSums sums;
   for (int a : assignment) sums.k = std::max(sums.k, a + 1);
+  // A negative label would index out of bounds below; sparse (empty) labels
+  // are tolerated here because the objectives skip empty partitions.
+  RP_DCHECK_OK(ValidatePartitionLabels(assignment, graph.num_nodes(), sums.k,
+                                       /*require_all_labels_used=*/false));
   sums.volume.assign(sums.k, 0.0);
   sums.internal.assign(sums.k, 0.0);
   sums.size.assign(sums.k, 0);
@@ -72,6 +77,8 @@ Result<DenseMatrix> AlphaCutMethod::Embed(const CsrGraph& graph, int k) const {
   std::vector<double> d = a.RowSums();
   double s = 0.0;
   for (double x : d) s += x;
+  // Non-finite degree mass would spread NaN through every Lanczos iterate.
+  RP_DCHECK(std::isfinite(s));
   // M x = d (d.x)/s - A x.
   RankOneUpdatedOperator m_op(a_op, d, s > 0.0 ? 1.0 / s : 0.0, -1.0);
   RP_ASSIGN_OR_RETURN(DenseMatrix y,
@@ -94,7 +101,7 @@ double AlphaCutMethod::PartitionTerm(double volume, double internal, int size,
 
 double AlphaCutObjective(const CsrGraph& graph,
                          const std::vector<int>& assignment) {
-  RP_CHECK(static_cast<int>(assignment.size()) == graph.num_nodes());
+  RP_CHECK_EQ(static_cast<int>(assignment.size()), graph.num_nodes());
   PartitionSums sums = Accumulate(graph, assignment);
   double value = 0.0;
   for (int p = 0; p < sums.k; ++p) {
@@ -109,7 +116,7 @@ double AlphaCutObjective(const CsrGraph& graph,
 double AlphaCutObjectiveConstAlpha(const CsrGraph& graph,
                                    const std::vector<int>& assignment,
                                    double alpha) {
-  RP_CHECK(static_cast<int>(assignment.size()) == graph.num_nodes());
+  RP_CHECK_EQ(static_cast<int>(assignment.size()), graph.num_nodes());
   PartitionSums sums = Accumulate(graph, assignment);
   double value = 0.0;
   for (int p = 0; p < sums.k; ++p) {

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "common/logging.h"
+#include "common/check.h"
 #include "common/parallel.h"
 #include "linalg/linear_operator.h"
 #include "linalg/sparse_matrix.h"
@@ -19,6 +19,8 @@ class NormalizedAdjacencyOperator : public LinearOperator {
       : a_(a), inv_sqrt_deg_(a.rows(), 0.0), scratch_(a.rows(), 0.0) {
     std::vector<double> deg = a.RowSums();
     for (int i = 0; i < a.rows(); ++i) {
+      // A non-finite degree would propagate NaN through every Apply call.
+      RP_DCHECK(std::isfinite(deg[i]));
       if (deg[i] > 0.0) inv_sqrt_deg_[i] = 1.0 / std::sqrt(deg[i]);
     }
   }
@@ -73,9 +75,12 @@ double NormalizedCutMethod::PartitionTerm(double volume, double internal,
 
 double NormalizedCutObjective(const CsrGraph& graph,
                               const std::vector<int>& assignment) {
-  RP_CHECK(static_cast<int>(assignment.size()) == graph.num_nodes());
+  RP_CHECK_EQ(static_cast<int>(assignment.size()), graph.num_nodes());
   int k = 0;
   for (int a : assignment) k = std::max(k, a + 1);
+  // Negative labels would index out of bounds in the volume accumulators.
+  RP_DCHECK_OK(ValidatePartitionLabels(assignment, graph.num_nodes(), k,
+                                       /*require_all_labels_used=*/false));
   std::vector<double> volume(k, 0.0);
   std::vector<double> internal(k, 0.0);
   for (int u = 0; u < graph.num_nodes(); ++u) {

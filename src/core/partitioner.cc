@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/check.h"
 #include "common/parallel.h"
 #include "common/timer.h"
 #include "core/spectral_common.h"
@@ -182,6 +183,12 @@ Result<PartitionOutcome> Partitioner::PartitionRoadGraph(
       break;
     }
   }
+  // Every scheme must hand back a complete, dense, non-empty labelling of the
+  // road graph; ExpandAssignment and the k'->k reductions above are exactly
+  // the places where an off-by-one would otherwise surface as a plausible
+  // partition with a silently missing region.
+  RP_DCHECK_OK(ValidatePartitionLabels(outcome.assignment, graph.num_nodes(),
+                                       outcome.k_final));
   return outcome;
 }
 

@@ -6,7 +6,7 @@
 #include <map>
 #include <utility>
 
-#include "common/logging.h"
+#include "common/check.h"
 #include "common/parallel.h"
 #include "common/string_util.h"
 #include "graph/connected_components.h"
@@ -49,6 +49,8 @@ DenseMatrix RowNormalize(const DenseMatrix& y) {
       double norm = 0.0;
       for (int c = 0; c < z.cols(); ++c) norm += z(row, c) * z(row, c);
       norm = std::sqrt(norm);
+      // A NaN/Inf row would silently poison the k-means step downstream.
+      RP_DCHECK(std::isfinite(norm));
       if (norm > 0.0) {
         for (int c = 0; c < z.cols(); ++c) z(row, c) /= norm;
       }
@@ -172,6 +174,33 @@ Result<std::vector<int>> BipartitionGraph(const CsrGraph& graph,
 }
 
 }  // namespace
+
+Status ValidatePartitionLabels(const std::vector<int>& assignment,
+                               int num_nodes, int num_partitions,
+                               bool require_all_labels_used) {
+  if (static_cast<int>(assignment.size()) != num_nodes) {
+    return Status::Internal(
+        StrPrintf("assignment has %zu labels for %d nodes", assignment.size(),
+                  num_nodes));
+  }
+  std::vector<char> used(std::max(num_partitions, 0), 0);
+  for (int i = 0; i < num_nodes; ++i) {
+    int p = assignment[i];
+    if (p < 0 || p >= num_partitions) {
+      return Status::Internal(StrPrintf(
+          "node %d carries label %d outside [0,%d)", i, p, num_partitions));
+    }
+    used[p] = 1;
+  }
+  if (require_all_labels_used) {
+    for (int p = 0; p < num_partitions; ++p) {
+      if (!used[p]) {
+        return Status::Internal(StrPrintf("partition %d is empty", p));
+      }
+    }
+  }
+  return Status::OK();
+}
 
 int DensifyAssignment(std::vector<int>& assignment) {
   std::map<int, int> remap;
@@ -403,6 +432,7 @@ Result<GraphCutResult> SpectralKWayPartition(
 
   result.assignment = std::move(partition);
   result.k_final = DensifyAssignment(result.assignment);
+  RP_DCHECK_OK(ValidatePartitionLabels(result.assignment, n, result.k_final));
   result.objective = method.Objective(graph, result.assignment);
   return result;
 }

@@ -109,6 +109,15 @@ Result<GraphCutResult> SpectralKWayPartition(
 /// order; returns k.
 int DensifyAssignment(std::vector<int>& assignment);
 
+/// Structural audit of a partition labelling: `assignment` must have
+/// `num_nodes` entries, every label must lie in [0, num_partitions), and —
+/// when `require_all_labels_used` — every label must own at least one node
+/// (no empty partition after condensation). Returns the first violation.
+/// O(n); run behind RP_DCHECK on hot paths.
+Status ValidatePartitionLabels(const std::vector<int>& assignment,
+                               int num_nodes, int num_partitions,
+                               bool require_all_labels_used = true);
+
 /// Merges disconnected fragments of each partition into their strongest-
 /// connected neighbouring partition until every partition is connected
 /// (condition C.2). Ids come out dense.

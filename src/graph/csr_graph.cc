@@ -1,9 +1,10 @@
 #include "graph/csr_graph.h"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_map>
 
-#include "common/logging.h"
+#include "common/check.h"
 #include "common/string_util.h"
 
 namespace roadpart {
@@ -59,7 +60,81 @@ Result<CsrGraph> CsrGraph::FromEdges(int num_nodes,
     }
     g.offsets_[v + 1] = static_cast<int64_t>(g.neighbors_.size());
   }
+  RP_DCHECK_OK(g.Validate());
   return g;
+}
+
+CsrGraph CsrGraph::FromRawParts(int num_nodes, std::vector<int64_t> offsets,
+                                std::vector<int> neighbors,
+                                std::vector<double> weights) {
+  CsrGraph g;
+  g.num_nodes_ = num_nodes;
+  g.offsets_ = std::move(offsets);
+  g.neighbors_ = std::move(neighbors);
+  g.weights_ = std::move(weights);
+  RP_DCHECK_OK(g.Validate());
+  return g;
+}
+
+Status CsrGraph::Validate() const {
+  if (num_nodes_ < 0) return Status::Internal("negative node count");
+  // A default-constructed graph keeps all arrays empty; that is valid.
+  if (num_nodes_ == 0 && offsets_.empty() && neighbors_.empty() &&
+      weights_.empty()) {
+    return Status::OK();
+  }
+  if (offsets_.size() != static_cast<size_t>(num_nodes_) + 1) {
+    return Status::Internal(
+        StrPrintf("offset array has %zu entries for %d nodes",
+                  offsets_.size(), num_nodes_));
+  }
+  if (offsets_.front() != 0) return Status::Internal("offsets[0] != 0");
+  if (offsets_.back() != static_cast<int64_t>(neighbors_.size())) {
+    return Status::Internal("offsets back does not cover neighbor array");
+  }
+  if (weights_.size() != neighbors_.size()) {
+    return Status::Internal("weights/neighbors size mismatch");
+  }
+  // Monotonicity must be established for the whole array before any row is
+  // dereferenced — with front == 0 and back == size it bounds every row span,
+  // so the loops below cannot read outside the neighbor arrays.
+  for (int v = 0; v < num_nodes_; ++v) {
+    if (offsets_[v] > offsets_[v + 1]) {
+      return Status::Internal(StrPrintf("offsets not monotone at node %d", v));
+    }
+  }
+  for (int v = 0; v < num_nodes_; ++v) {
+    for (int64_t i = offsets_[v]; i < offsets_[v + 1]; ++i) {
+      int u = neighbors_[i];
+      if (u < 0 || u >= num_nodes_) {
+        return Status::Internal(
+            StrPrintf("neighbor %d of node %d out of range", u, v));
+      }
+      if (u == v) {
+        return Status::Internal(StrPrintf("self-loop at node %d", v));
+      }
+      if (i > offsets_[v] && neighbors_[i - 1] >= u) {
+        return Status::Internal(
+            StrPrintf("neighbors of node %d not strictly sorted", v));
+      }
+      if (!std::isfinite(weights_[i])) {
+        return Status::Internal(
+            StrPrintf("non-finite weight on edge (%d,%d)", v, u));
+      }
+    }
+  }
+  // Symmetry: the dual graph is undirected, so every stored arc must have its
+  // reverse with an identical weight.
+  for (int v = 0; v < num_nodes_; ++v) {
+    for (int64_t i = offsets_[v]; i < offsets_[v + 1]; ++i) {
+      int u = neighbors_[i];
+      if (EdgeWeight(u, v) != weights_[i]) {
+        return Status::Internal(
+            StrPrintf("asymmetric adjacency between %d and %d", v, u));
+      }
+    }
+  }
+  return Status::OK();
 }
 
 double CsrGraph::WeightedDegree(int v) const {

@@ -27,6 +27,21 @@ class CsrGraph {
   static Result<CsrGraph> FromEdges(int num_nodes,
                                     const std::vector<Edge>& edges);
 
+  /// Adopts pre-built CSR arrays without the sort-and-merge pass. The caller
+  /// promises the Validate() invariants (monotone offsets, sorted in-bounds
+  /// neighbor rows, symmetric adjacency, finite weights); the promise is
+  /// audited with RP_DCHECK in checked builds.
+  static CsrGraph FromRawParts(int num_nodes, std::vector<int64_t> offsets,
+                               std::vector<int> neighbors,
+                               std::vector<double> weights);
+
+  /// Full structural audit of the CSR representation: offset array shape and
+  /// monotonicity, strictly-sorted in-bounds neighbor rows, no self-loops,
+  /// finite weights, and adjacency symmetry (every (u,v,w) has a matching
+  /// (v,u,w) — required of the dual road graph). Returns the first violation.
+  /// O(E log deg); run behind RP_DCHECK on hot paths.
+  Status Validate() const;
+
   int num_nodes() const { return num_nodes_; }
 
   /// Number of undirected edges (each stored twice internally).

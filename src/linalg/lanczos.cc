@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "common/check.h"
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/rng.h"
@@ -50,6 +51,9 @@ KrylovFactorization BuildKrylov(const LinearOperator& op, int m_max,
     op.Apply(v.data(), w.data());
     if (j > 0) Axpy(-beta_prev, kf.basis[j - 1], w);
     double alpha = Dot(w, v);
+    // A NaN here (operator bug, non-finite matrix entry) would quietly turn
+    // the whole Krylov basis — and the final embedding — into garbage.
+    RP_DCHECK(std::isfinite(alpha));
     Axpy(-alpha, v, w);
     kf.alpha.push_back(alpha);
 
@@ -62,6 +66,7 @@ KrylovFactorization BuildKrylov(const LinearOperator& op, int m_max,
     }
 
     double beta = Norm2(w);
+    RP_DCHECK(std::isfinite(beta));
     kf.trailing_beta = beta;
     if (j + 1 == m_max) break;
 
@@ -187,6 +192,7 @@ Result<EigenResult> LanczosEigen(const LinearOperator& op, int k,
               }
               return acc;
             }));
+        RP_DCHECK(std::isfinite(norm));
         if (norm > 0.0) {
           ParallelForBlocked(n, kRitzRowGrain,
                              [&](int64_t begin, int64_t end) {

@@ -4,7 +4,7 @@
 #include <cmath>
 #include <unordered_map>
 
-#include "common/logging.h"
+#include "common/check.h"
 #include "common/parallel.h"
 #include "common/string_util.h"
 
@@ -71,7 +71,72 @@ Result<SparseMatrix> SparseMatrix::FromTriplets(
     }
     m.row_offsets_[r + 1] = static_cast<int64_t>(m.col_indices_.size());
   }
+  RP_DCHECK_OK(m.Validate());
   return m;
+}
+
+SparseMatrix SparseMatrix::FromRawCsr(int rows, int cols,
+                                      std::vector<int64_t> row_offsets,
+                                      std::vector<int> col_indices,
+                                      std::vector<double> values) {
+  SparseMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_offsets_ = std::move(row_offsets);
+  m.col_indices_ = std::move(col_indices);
+  m.values_ = std::move(values);
+  RP_DCHECK_OK(m.Validate());
+  return m;
+}
+
+Status SparseMatrix::Validate() const {
+  if (rows_ < 0 || cols_ < 0) {
+    return Status::Internal("negative matrix dimensions");
+  }
+  // A default-constructed matrix keeps all arrays empty; that is valid.
+  if (rows_ == 0 && row_offsets_.empty() && col_indices_.empty() &&
+      values_.empty()) {
+    return Status::OK();
+  }
+  if (row_offsets_.size() != static_cast<size_t>(rows_) + 1) {
+    return Status::Internal(
+        StrPrintf("row-pointer array has %zu entries for %d rows",
+                  row_offsets_.size(), rows_));
+  }
+  if (row_offsets_.front() != 0) return Status::Internal("row_offsets[0] != 0");
+  if (row_offsets_.back() != static_cast<int64_t>(col_indices_.size())) {
+    return Status::Internal("row pointers do not cover column array");
+  }
+  if (values_.size() != col_indices_.size()) {
+    return Status::Internal("values/col_indices size mismatch");
+  }
+  // Monotonicity must be established for the whole array before any row is
+  // dereferenced — with front == 0 and back == nnz it bounds every row span,
+  // so the loops below cannot read outside the value arrays.
+  for (int r = 0; r < rows_; ++r) {
+    if (row_offsets_[r] > row_offsets_[r + 1]) {
+      return Status::Internal(
+          StrPrintf("row pointers not monotone at row %d", r));
+    }
+  }
+  for (int r = 0; r < rows_; ++r) {
+    for (int64_t i = row_offsets_[r]; i < row_offsets_[r + 1]; ++i) {
+      int c = col_indices_[i];
+      if (c < 0 || c >= cols_) {
+        return Status::Internal(
+            StrPrintf("column %d of row %d out of range", c, r));
+      }
+      if (i > row_offsets_[r] && col_indices_[i - 1] >= c) {
+        return Status::Internal(
+            StrPrintf("columns of row %d not strictly sorted", r));
+      }
+      if (!std::isfinite(values_[i])) {
+        return Status::Internal(
+            StrPrintf("non-finite value at (%d,%d)", r, c));
+      }
+    }
+  }
+  return Status::OK();
 }
 
 Result<SparseMatrix> SparseMatrix::SymmetricFromTriplets(

@@ -33,6 +33,19 @@ class SparseMatrix {
   static Result<SparseMatrix> SymmetricFromTriplets(
       int n, const std::vector<Triplet>& upper_entries);
 
+  /// Adopts pre-built CSR arrays without the assembly pass. The caller
+  /// promises the Validate() invariants; audited with RP_DCHECK in checked
+  /// builds.
+  static SparseMatrix FromRawCsr(int rows, int cols,
+                                 std::vector<int64_t> row_offsets,
+                                 std::vector<int> col_indices,
+                                 std::vector<double> values);
+
+  /// Structural audit of the CSR arrays: row-pointer shape and monotonicity,
+  /// strictly-sorted in-bounds column indices per row, finite values.
+  /// Returns the first violation. O(nnz); run behind RP_DCHECK on hot paths.
+  Status Validate() const;
+
   int rows() const { return rows_; }
   int cols() const { return cols_; }
   int64_t NumNonZeros() const { return static_cast<int64_t>(values_.size()); }

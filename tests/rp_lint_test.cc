@@ -1,0 +1,255 @@
+// Fixture tests for the project linter: every rule is exercised both firing
+// on a minimal violation and passing on the closest clean counterexample.
+
+#include "tools/rp_lint_lib.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace roadpart {
+namespace lint {
+namespace {
+
+std::vector<std::string> Rules(const std::vector<LintFinding>& findings) {
+  std::vector<std::string> rules;
+  for (const LintFinding& f : findings) rules.push_back(f.rule);
+  return rules;
+}
+
+bool HasRule(const std::vector<LintFinding>& findings,
+             const std::string& rule) {
+  const std::vector<std::string> rules = Rules(findings);
+  return std::find(rules.begin(), rules.end(), rule) != rules.end();
+}
+
+std::vector<LintFinding> Lint(const std::string& path,
+                              const std::string& source,
+                              std::vector<std::string> status_fns = {}) {
+  return LintSource(path, source, status_fns);
+}
+
+// --- StripCommentsAndStrings -----------------------------------------------
+
+TEST(StripTest, RemovesCommentsAndLiteralsKeepsLines) {
+  std::string in =
+      "int a; // trailing rand()\n"
+      "/* block\n   spanning */ int b;\n"
+      "const char* s = \"rand(\";\n"
+      "char c = 'x';\n";
+  std::string out = StripCommentsAndStrings(in);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'),
+            std::count(in.begin(), in.end(), '\n'));
+  EXPECT_EQ(out.find("rand"), std::string::npos);
+  EXPECT_NE(out.find("int a;"), std::string::npos);
+  EXPECT_NE(out.find("int b;"), std::string::npos);
+}
+
+TEST(StripTest, HandlesEscapedQuotes) {
+  std::string out =
+      StripCommentsAndStrings("const char* s = \"a\\\"rand(\"; int x;");
+  EXPECT_EQ(out.find("rand"), std::string::npos);
+  EXPECT_NE(out.find("int x;"), std::string::npos);
+}
+
+// --- banned-nondeterminism ---------------------------------------------------
+
+TEST(NondeterminismRule, FlagsRandAndFriends) {
+  EXPECT_TRUE(HasRule(Lint("src/core/x.cc", "int v = rand();"),
+                      "banned-nondeterminism"));
+  EXPECT_TRUE(HasRule(Lint("bench/b.cc", "srand(42);"),
+                      "banned-nondeterminism"));
+  EXPECT_TRUE(HasRule(Lint("tools/t.cc", "std::random_device rd;"),
+                      "banned-nondeterminism"));
+  EXPECT_TRUE(HasRule(Lint("src/core/x.cc", "Rng r(time(nullptr));"),
+                      "banned-nondeterminism"));
+  EXPECT_TRUE(HasRule(Lint("src/core/x.cc", "srand(time(NULL));"),
+                      "banned-nondeterminism"));
+}
+
+TEST(NondeterminismRule, CleanCounterexamples) {
+  // The sanctioned Rng, similarly-named identifiers, strings and comments.
+  EXPECT_TRUE(Lint("src/core/x.cc", "Rng rng(seed); rng.NextDouble();").empty());
+  EXPECT_TRUE(Lint("src/core/x.cc", "int operand = grand(1);").empty());
+  EXPECT_TRUE(Lint("src/core/x.cc", "double t = time(now);").empty());
+  EXPECT_TRUE(Lint("src/core/x.cc", "// rand() in a comment\n").empty());
+  EXPECT_TRUE(
+      Lint("src/core/x.cc", "const char* s = \"rand(\";").empty());
+  // The one sanctioned randomness implementation file.
+  EXPECT_TRUE(
+      Lint("src/common/rng.cc", "uint64_t x = rand();").empty());
+}
+
+// --- print-in-library --------------------------------------------------------
+
+TEST(PrintRule, FlagsPrintsInLibraryCode) {
+  EXPECT_TRUE(HasRule(Lint("src/core/x.cc", "std::cout << 1;"),
+                      "print-in-library"));
+  EXPECT_TRUE(HasRule(Lint("src/core/x.cc", "std::cerr << 1;"),
+                      "print-in-library"));
+  EXPECT_TRUE(HasRule(Lint("src/graph/g.cc", "printf(\"%d\", 1);"),
+                      "print-in-library"));
+  EXPECT_TRUE(
+      HasRule(Lint("src/graph/g.cc", "std::fprintf(stderr, \"x\");"),
+              "print-in-library"));
+}
+
+TEST(PrintRule, CleanCounterexamples) {
+  // Logging macro is the sanctioned path.
+  EXPECT_TRUE(Lint("src/core/x.cc", "RP_LOG(Info) << \"x\";").empty());
+  // CLI / bench / test code may print.
+  EXPECT_TRUE(Lint("tools/cli.cc", "std::cout << 1;").empty());
+  EXPECT_TRUE(Lint("bench/b.cc", "printf(\"%d\", 1);").empty());
+  // The logging sink itself is exempt.
+  EXPECT_TRUE(
+      Lint("src/common/logging.cc", "std::fputs(\"x\", stderr);").empty());
+  // snprintf into a buffer is formatting, not printing.
+  EXPECT_TRUE(
+      Lint("src/common/s.cc", "std::vsnprintf(out, n, fmt, args);").empty());
+}
+
+// --- discarded-status --------------------------------------------------------
+
+TEST(DiscardedStatusRule, FlagsBareCalls) {
+  const std::vector<std::string> fns = {"Save", "Validate"};
+  EXPECT_TRUE(HasRule(Lint("src/x.cc", "void f() { Save(1); }", fns),
+                      "discarded-status"));
+  EXPECT_TRUE(HasRule(Lint("src/x.cc", "void f() { g.Validate(); }", fns),
+                      "discarded-status"));
+  EXPECT_TRUE(HasRule(Lint("src/x.cc", "void f() { io::Save(p, q); }", fns),
+                      "discarded-status"));
+}
+
+TEST(DiscardedStatusRule, CleanCounterexamples) {
+  const std::vector<std::string> fns = {"Save", "Validate"};
+  EXPECT_TRUE(Lint("src/x.cc", "Status s = Save(1);", fns).empty());
+  EXPECT_TRUE(Lint("src/x.cc", "return Save(1);", fns).empty());
+  EXPECT_TRUE(Lint("src/x.cc", "RP_CHECK_OK(Save(1));", fns).empty());
+  EXPECT_TRUE(Lint("src/x.cc", "(void)Save(1);", fns).empty());
+  EXPECT_TRUE(
+      Lint("src/x.cc", "if (!Save(1).ok()) return;", fns).empty());
+  // Unknown names are not guessed at.
+  EXPECT_TRUE(Lint("src/x.cc", "void f() { Other(1); }", fns).empty());
+}
+
+// --- parallelfor-shared-mutation --------------------------------------------
+
+TEST(ParallelForRule, FlagsSharedAccumulation) {
+  EXPECT_TRUE(HasRule(
+      Lint("src/x.cc",
+           "double sum = 0;\n"
+           "ParallelFor(n, [&](int i) { sum += w[i]; });"),
+      "parallelfor-shared-mutation"));
+  EXPECT_TRUE(HasRule(
+      Lint("src/x.cc",
+           "ParallelForBlocked(n, 64, [&](int64_t b, int64_t e) {\n"
+           "  total += Work(b, e);\n"
+           "});"),
+      "parallelfor-shared-mutation"));
+  EXPECT_TRUE(HasRule(
+      Lint("src/x.cc",
+           "std::vector<int> out;\n"
+           "ParallelFor(n, [&](int i) { out.push_back(i); });"),
+      "parallelfor-shared-mutation"));
+  EXPECT_TRUE(HasRule(
+      Lint("src/x.cc", "ParallelFor(n, [&](int i) { ++count; });"),
+      "parallelfor-shared-mutation"));
+  EXPECT_TRUE(HasRule(
+      Lint("src/x.cc",
+           "ParallelFor(n, [&](int i) { acc.total += w[i]; });"),
+      "parallelfor-shared-mutation"));
+}
+
+TEST(ParallelForRule, CleanCounterexamples) {
+  // Disjoint indexed writes — the library's idiom.
+  EXPECT_TRUE(
+      Lint("src/x.cc", "ParallelFor(n, [&](int i) { out[i] = f(i); });")
+          .empty());
+  EXPECT_TRUE(
+      Lint("src/x.cc",
+           "ParallelForBlocked(n, 64, [&](int64_t b, int64_t e) {\n"
+           "  for (int64_t i = b; i < e; ++i) sums[i] += x[i];\n"
+           "});")
+          .empty());
+  // Lambda-local accumulator flushed to an indexed slot.
+  EXPECT_TRUE(
+      Lint("src/x.cc",
+           "ParallelForBlocked(n, 64, [&](int64_t b, int64_t e) {\n"
+           "  double acc = 0.0;\n"
+           "  for (int64_t i = b; i < e; ++i) acc += x[i];\n"
+           "  partial[b / 64] = acc;\n"
+           "});")
+          .empty());
+  // Value capture cannot mutate shared state.
+  EXPECT_TRUE(
+      Lint("src/x.cc", "ParallelFor(n, [=](int i) { Use(i); });").empty());
+  // Locally declared containers may grow.
+  EXPECT_TRUE(
+      Lint("src/x.cc",
+           "ParallelFor(n, [&](int i) {\n"
+           "  std::vector<int> local;\n"
+           "  local.push_back(i);\n"
+           "  Consume(i, local);\n"
+           "});")
+          .empty());
+  // The blocked-reduction helpers are the sanctioned accumulation path.
+  EXPECT_TRUE(
+      Lint("src/x.cc",
+           "double s = ParallelBlockedSum(n, 64, [&](int64_t b, int64_t e) {\n"
+           "  double acc = 0.0;\n"
+           "  for (int64_t i = b; i < e; ++i) acc += x[i];\n"
+           "  return acc;\n"
+           "});")
+          .empty());
+}
+
+// --- CollectStatusFunctionNames ---------------------------------------------
+
+TEST(CollectStatusNames, FindsStatusAndResultReturners) {
+  std::string header =
+      "Status SaveThing(const Thing& t, const std::string& path);\n"
+      "Result<Thing> LoadThing(const std::string& path);\n"
+      "Result<std::vector<int>> LoadMany(int n);\n"
+      "void Helper(int x);\n"
+      "double Metric(const Thing& t);\n";
+  std::vector<std::string> names = CollectStatusFunctionNames(header);
+  EXPECT_EQ(names, (std::vector<std::string>{"LoadMany", "LoadThing",
+                                             "SaveThing"}));
+}
+
+TEST(CollectStatusNames, IgnoresConstructorsAndMentionsInComments) {
+  std::string header =
+      "// Returns Status Save(x) on failure.\n"
+      "class Result;\n"
+      "Result(Status s);\n";
+  EXPECT_TRUE(CollectStatusFunctionNames(header).empty());
+}
+
+// --- Finding formatting ------------------------------------------------------
+
+TEST(FindingTest, ToStringIsGrepFriendly) {
+  std::vector<LintFinding> findings =
+      Lint("src/core/x.cc", "int v = rand();");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_NE(findings[0].ToString().find("src/core/x.cc:1: "),
+            std::string::npos);
+  EXPECT_NE(findings[0].ToString().find("[banned-nondeterminism]"),
+            std::string::npos);
+}
+
+TEST(FindingTest, LineNumbersSurviveStripping) {
+  std::vector<LintFinding> findings = Lint("src/core/x.cc",
+                                           "// line 1 comment\n"
+                                           "/* line 2\n"
+                                           "   line 3 */\n"
+                                           "int v = rand();\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 4);
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace roadpart

@@ -1,0 +1,58 @@
+// rp_lint: repo-specific linter for the roadpart tree.
+//
+// Scans C++ sources for project-rule violations no general-purpose tool
+// knows about: discarded Status/Result calls, banned nondeterminism sources,
+// raw stdout/stderr printing in library code, and unsafe shared-state
+// mutation inside ParallelFor lambdas (see tools/rp_lint_lib.h for the rule
+// definitions).
+//
+// Usage: rp_lint [--root <repo_root>] <dir-or-file>...
+//
+// Exit codes: 0 clean, 1 findings reported, 2 usage or I/O error.
+// Registered as a ctest (`ctest -R rp_lint`) and run by scripts/check.sh.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "tools/rp_lint_lib.h"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::vector<std::string> targets;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "rp_lint: --root needs a value\n");
+        return 2;
+      }
+      root = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr,
+                   "usage: rp_lint [--root <repo_root>] <dir-or-file>...\n");
+      return 2;
+    } else {
+      targets.push_back(std::move(arg));
+    }
+  }
+  if (targets.empty()) {
+    std::fprintf(stderr,
+                 "usage: rp_lint [--root <repo_root>] <dir-or-file>...\n");
+    return 2;
+  }
+
+  auto result = roadpart::lint::LintTree(root, targets);
+  if (!result.ok()) {
+    std::fprintf(stderr, "rp_lint: %s\n", result.status().ToString().c_str());
+    return 2;
+  }
+  for (const roadpart::lint::LintFinding& f : *result) {
+    std::fprintf(stderr, "%s\n", f.ToString().c_str());
+  }
+  if (!result->empty()) {
+    std::fprintf(stderr, "rp_lint: %zu finding(s)\n", result->size());
+    return 1;
+  }
+  return 0;
+}

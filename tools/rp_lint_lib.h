@@ -1,0 +1,63 @@
+#ifndef ROADPART_TOOLS_RP_LINT_LIB_H_
+#define ROADPART_TOOLS_RP_LINT_LIB_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace roadpart {
+namespace lint {
+
+/// One repo-specific rule violation at a source location.
+struct LintFinding {
+  std::string file;     ///< path as reported (relative to the lint root)
+  int line = 0;         ///< 1-based
+  std::string rule;     ///< stable rule id (e.g. "banned-nondeterminism")
+  std::string message;  ///< human-readable explanation
+
+  std::string ToString() const;
+};
+
+/// Replaces the contents of //, /* */ comments and string/character literals
+/// with spaces (newlines preserved), so every rule sees code only. This is
+/// also what makes the linter safe to run on its own sources: the banned
+/// patterns it knows about live inside string literals.
+std::string StripCommentsAndStrings(const std::string& source);
+
+/// Scans (stripped or raw) header text for declarations returning Status or
+/// Result<T> and returns the function names found. Feeding every header of
+/// the tree builds the name set used by the discarded-status rule.
+std::vector<std::string> CollectStatusFunctionNames(const std::string& header);
+
+/// Lints one translation unit.
+///
+/// `path` determines which rules apply (all paths are interpreted relative to
+/// the repo root, using '/' separators):
+///   - banned-nondeterminism: everywhere except src/common/rng.{h,cc} — the
+///     one sanctioned randomness entry point.
+///   - print-in-library: under src/ only; src/common/{logging,status,check}.cc
+///     are the sanctioned stderr sinks and exempt.
+///   - discarded-status: calls to `status_function_names` as bare expression
+///     statements (not handled by [[nodiscard]], e.g. code compiled with
+///     warnings suppressed).
+///   - parallelfor-shared-mutation: reference-captured lambdas passed to
+///     ParallelFor/ParallelForBlocked that compound-assign/push_back into
+///     state neither lambda-local nor element-indexed; the blocked-reduction
+///     helpers (ParallelBlockedSum/ParallelBlockedReduce) are the sanctioned
+///     way to accumulate and are not flagged.
+std::vector<LintFinding> LintSource(
+    const std::string& path, const std::string& source,
+    const std::vector<std::string>& status_function_names);
+
+/// Walks `roots` (files or directories, recursively; .h/.cc only), collects
+/// the Status-returning name set from every header found, then lints every
+/// file. Paths in findings come out relative to `repo_root` when they lie
+/// under it. Fails only on I/O errors — findings are data, not errors.
+Result<std::vector<LintFinding>> LintTree(const std::string& repo_root,
+                                          const std::vector<std::string>& roots);
+
+}  // namespace lint
+}  // namespace roadpart
+
+#endif  // ROADPART_TOOLS_RP_LINT_LIB_H_
