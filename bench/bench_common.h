@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/string_util.h"
 #include "roadpart/roadpart.h"
 
 namespace roadpart::bench {
@@ -70,12 +71,43 @@ inline int NumRuns(int fallback = 13) {
 /// wall-clock, because every kernel is deterministic by construction.
 inline int BenchThreads() { return DefaultParallelism(); }
 
+/// Aggregates RunDiagnostics over the repeated executions of a bench sweep,
+/// so a scheme that silently leaned on the eigensolver fallback ladder (or
+/// on input repairs) is visible next to its quality numbers.
+struct ResilienceTally {
+  int runs = 0;             ///< outcomes absorbed
+  int escalated = 0;        ///< runs past kLanczosFirstTry / kDense
+  int best_effort = 0;      ///< runs with a non-converged embedding
+  int densities_repaired = 0;  ///< total repaired entries across runs
+  double worst_ritz_residual = 0.0;
+
+  void Absorb(const RunDiagnostics& diag) {
+    ++runs;
+    if (diag.eigen.solver_path > SolverPath::kLanczosFirstTry) ++escalated;
+    if (!diag.eigen.all_converged) ++best_effort;
+    densities_repaired += diag.density_repairs.total_repaired();
+    worst_ritz_residual =
+        std::max(worst_ritz_residual, diag.eigen.worst_ritz_residual);
+  }
+
+  /// One line, e.g. "resilience: 2/13 escalated, 0 best-effort, ...".
+  std::string ToString() const {
+    return StrPrintf(
+        "resilience: %d/%d escalated, %d best-effort, %d densities repaired, "
+        "worst Ritz residual %.3e",
+        escalated, runs, best_effort, densities_repaired,
+        worst_ritz_residual);
+  }
+};
+
 /// Runs one scheme at one k and returns the paper's four metrics as the
-/// median over `runs` randomized executions.
+/// median over `runs` randomized executions. `tally`, when given, absorbs
+/// every successful run's RunDiagnostics.
 inline PartitionEvaluation MedianEvaluation(const RoadGraph& rg,
                                             Scheme scheme, int k, int runs,
                                             uint64_t seed_base = 1,
-                                            int num_threads = 0) {
+                                            int num_threads = 0,
+                                            ResilienceTally* tally = nullptr) {
   std::vector<double> inter;
   std::vector<double> intra;
   std::vector<double> gdbi;
@@ -88,6 +120,7 @@ inline PartitionEvaluation MedianEvaluation(const RoadGraph& rg,
     options.num_threads = num_threads;
     auto outcome = Partitioner(options).PartitionRoadGraph(rg);
     if (!outcome.ok()) continue;
+    if (tally != nullptr) tally->Absorb(outcome->diagnostics);
     auto eval =
         EvaluatePartitions(rg.adjacency(), rg.features(), outcome->assignment);
     if (!eval.ok()) continue;

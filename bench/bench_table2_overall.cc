@@ -32,12 +32,14 @@ int main() {
   };
 
   double ans_by_scheme[4];
+  ResilienceTally tally;
   for (int s = 0; s < 4; ++s) {
     double best_ans = 1e300;
     int best_k = 0;
     for (int k = 2; k <= 20; ++k) {
-      PartitionEvaluation eval =
-          MedianEvaluation(rg, rows[s].scheme, k, runs, 700 + 31 * s);
+      PartitionEvaluation eval = MedianEvaluation(
+          rg, rows[s].scheme, k, runs, 700 + 31 * s, /*num_threads=*/0,
+          &tally);
       if (eval.num_partitions > 0 && eval.ans < best_ans) {
         best_ans = eval.ans;
         best_k = k;
@@ -47,6 +49,7 @@ int main() {
     std::printf("%-15s %10.4f %4d   (%s)\n", SchemeName(rows[s].scheme),
                 best_ans, best_k, rows[s].paper);
   }
+  std::printf("\n%s\n", tally.ToString().c_str());
 
   double best_alpha = std::min(ans_by_scheme[0], ans_by_scheme[1]);
   double best_baseline = std::min(ans_by_scheme[2], ans_by_scheme[3]);

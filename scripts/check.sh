@@ -10,12 +10,16 @@
 #   3. build-check-asan    : Debug + -fsanitize=address,undefined; runs the
 #      complete suite under AddressSanitizer (heap/stack overflows,
 #      use-after-free, leaks) — TSan and ASan cannot be combined, hence
-#      the separate tree.
+#      the separate tree. The fault-injection suite then runs again,
+#      explicitly and verbosely: every injected fault path (corrupted
+#      densities, forced non-convergence, degenerate embeddings) must be
+#      memory-clean, not just Status-clean.
 #   4. lint                : tools/rp_lint over src/, tools/, bench/
 #      (discarded Status values, banned nondeterminism, raw prints in
-#      library code, shared mutation in ParallelFor lambdas), plus
-#      clang-tidy driven by .clang-tidy when the binary is available;
-#      the clang-tidy half is skipped with a notice otherwise.
+#      library code, shared mutation in ParallelFor lambdas, eigenvector
+#      use without a convergence check), plus clang-tidy driven by
+#      .clang-tidy when the binary is available; the clang-tidy half is
+#      skipped with a notice otherwise.
 #
 # Usage: scripts/check.sh [jobs]        (default: nproc)
 
@@ -65,6 +69,11 @@ echo "==> [6/7] ctest under AddressSanitizer"
 # exit path as a leak-check failure inside the forked child.
 export ASAN_OPTIONS="halt_on_error=1${ASAN_OPTIONS:+:${ASAN_OPTIONS}}"
 ctest --test-dir "${ASAN_DIR}" --output-on-failure -j "${JOBS}"
+
+echo "==> [6b/7] fault-injection suite under AddressSanitizer (verbose)"
+# Part of the full ASan run above, but re-run on its own so a fault-path
+# memory bug is attributed unambiguously and its output is always shown.
+"${ASAN_DIR}/tests/fault_injection_test"
 
 echo "==> [7/7] Lint: rp_lint + clang-tidy"
 "${RELEASE_DIR}/tools/rp_lint" --root . src tools bench

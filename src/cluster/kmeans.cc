@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/rng.h"
@@ -142,6 +143,17 @@ Result<KMeansResult> KMeansRows(const DenseMatrix& points, int k,
     return Status::InvalidArgument("restarts must be positive");
   }
 
+  // Fault hook (test-only; queried here in the serial prefix, before the
+  // parallel restarts, so the injection stays deterministic across thread
+  // counts): a degenerate embedding collapses every point to the origin.
+  DenseMatrix degenerate;
+  const DenseMatrix* active_points = &points;
+  if (RP_FAULT_FIRES(FaultSite::kKMeansDegenerateEmbedding)) {
+    degenerate = DenseMatrix(points.rows(), points.cols());
+    active_points = &degenerate;
+  }
+  const DenseMatrix& rows = *active_points;
+
   // Pre-fork one deterministic seed per restart so the restarts can run in
   // parallel while keeping results identical to the sequential order.
   Rng rng(options.seed);
@@ -151,7 +163,7 @@ Result<KMeansResult> KMeansRows(const DenseMatrix& points, int k,
   std::vector<KMeansResult> runs(options.restarts);
   ParallelFor(options.restarts, [&](int r) {
     Rng local(seeds[r]);
-    runs[r] = RunOnce(points, k, options, local);
+    runs[r] = RunOnce(rows, k, options, local);
   });
 
   int best = 0;

@@ -1,0 +1,110 @@
+#include "common/fault_injection.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/check.h"
+
+namespace roadpart {
+
+namespace {
+
+std::atomic<FaultInjector*> g_injector{nullptr};
+
+// SplitMix64 step: the injector needs only a tiny stand-alone stream, and
+// keeping it self-contained avoids dragging Rng's Box-Muller state into a
+// mutex-guarded context.
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kDensityLoadNaN:
+      return "density-load-nan";
+    case FaultSite::kDensityLoadShortRead:
+      return "density-load-short-read";
+    case FaultSite::kLanczosNonConvergence:
+      return "lanczos-nonconvergence";
+    case FaultSite::kKMeansDegenerateEmbedding:
+      return "kmeans-degenerate-embedding";
+    case FaultSite::kFaultSiteCount:
+      break;
+  }
+  return "?";
+}
+
+FaultInjector::FaultInjector(uint64_t seed) : rng_state_(seed) {}
+
+void FaultInjector::Arm(FaultSite site, int count) {
+  RP_CHECK_GE(count, 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_[static_cast<int>(site)] = count;
+}
+
+void FaultInjector::Disarm(FaultSite site) { Arm(site, 0); }
+
+bool FaultInjector::ShouldFire(FaultSite site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int& budget = armed_[static_cast<int>(site)];
+  if (budget <= 0) return false;
+  if (budget != kUnlimited) --budget;
+  ++fired_[static_cast<int>(site)];
+  return true;
+}
+
+int FaultInjector::fire_count(FaultSite site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_[static_cast<int>(site)];
+}
+
+std::vector<int> FaultInjector::PickIndices(int n, int how_many) {
+  RP_CHECK_GE(n, 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  how_many = std::min(how_many, n);
+  // Partial Fisher-Yates over an index array: exact sample without rejection,
+  // deterministic from the injector stream.
+  std::vector<int> ids(n);
+  for (int i = 0; i < n; ++i) ids[i] = i;
+  for (int i = 0; i < how_many; ++i) {
+    int j = i + static_cast<int>(SplitMix64(rng_state_) %
+                                 static_cast<uint64_t>(n - i));
+    std::swap(ids[i], ids[j]);
+  }
+  ids.resize(how_many);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+FaultInjector* GlobalFaultInjector() {
+  return g_injector.load(std::memory_order_acquire);
+}
+
+void SetGlobalFaultInjector(FaultInjector* injector) {
+  g_injector.store(injector, std::memory_order_release);
+}
+
+ScopedFaultInjector::ScopedFaultInjector(FaultInjector* injector)
+    : previous_(GlobalFaultInjector()) {
+  SetGlobalFaultInjector(injector);
+}
+
+ScopedFaultInjector::~ScopedFaultInjector() {
+  SetGlobalFaultInjector(previous_);
+}
+
+namespace internal {
+
+bool FaultPointFires(FaultSite site) {
+  FaultInjector* injector = g_injector.load(std::memory_order_acquire);
+  if (injector == nullptr) return false;
+  return injector->ShouldFire(site);
+}
+
+}  // namespace internal
+}  // namespace roadpart

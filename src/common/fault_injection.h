@@ -1,0 +1,111 @@
+#ifndef ROADPART_COMMON_FAULT_INJECTION_H_
+#define ROADPART_COMMON_FAULT_INJECTION_H_
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <vector>
+
+namespace roadpart {
+
+/// Named fault points compiled into the library. Each site sits on a path
+/// where real deployments see bad data or numerical trouble; tests arm them
+/// to prove the pipeline degrades cleanly instead of crashing or silently
+/// emitting garbage (see tests/fault_injection_test.cc).
+enum class FaultSite {
+  /// LoadDensities: a deterministic subset of loaded values becomes NaN
+  /// (sensor dropouts in a live density feed).
+  kDensityLoadNaN = 0,
+  /// LoadDensities: the trailing quarter of the vector is dropped (stale or
+  /// truncated read from a feed that died mid-write).
+  kDensityLoadShortRead,
+  /// LanczosEigen: the whole call refuses to declare convergence, forcing
+  /// the caller onto its fallback ladder. One query per LanczosEigen call,
+  /// so Arm(site, 1) sabotages exactly the first solve.
+  kLanczosNonConvergence,
+  /// KMeansRows: the input rows are replaced by an all-zero matrix (a
+  /// degenerate spectral embedding where every node collapses to one point).
+  kKMeansDegenerateEmbedding,
+  kFaultSiteCount,  ///< sentinel; keep last
+};
+
+constexpr int kNumFaultSites = static_cast<int>(FaultSite::kFaultSiteCount);
+
+const char* FaultSiteName(FaultSite site);
+
+/// Deterministic, seeded fault injector. Sites fire while armed and count
+/// every fire, so a test can assert both that a fault was actually exercised
+/// and that two runs with the same seed + same arming produce bit-identical
+/// behavior. Thread-safe; determinism across thread counts holds as long as
+/// armed sites are queried from serial code or armed with an unlimited
+/// budget (a finite budget raced by parallel queries would be claimed in
+/// nondeterministic order).
+class FaultInjector {
+ public:
+  static constexpr int kUnlimited = std::numeric_limits<int>::max();
+
+  explicit FaultInjector(uint64_t seed);
+
+  /// Arms `site` to fire on its next `count` queries.
+  void Arm(FaultSite site, int count = kUnlimited);
+
+  /// Clears any remaining budget on `site`.
+  void Disarm(FaultSite site);
+
+  /// True when `site` is armed; decrements the budget and bumps the fire
+  /// counter.
+  bool ShouldFire(FaultSite site);
+
+  /// Times `site` has fired since construction.
+  int fire_count(FaultSite site) const;
+
+  /// `how_many` distinct indices in [0, n), sorted ascending, drawn from the
+  /// injector's seeded stream — the deterministic choice of which entries a
+  /// corruption site mangles.
+  std::vector<int> PickIndices(int n, int how_many);
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t rng_state_;  // SplitMix64 state; advanced by PickIndices
+  std::array<int, kNumFaultSites> armed_{};
+  std::array<int, kNumFaultSites> fired_{};
+};
+
+/// Process-global injector consulted by the RP_FAULT_FIRES hooks; null (the
+/// default) means every site is cold.
+FaultInjector* GlobalFaultInjector();
+void SetGlobalFaultInjector(FaultInjector* injector);
+
+/// RAII installer for tests: installs `injector` on construction, restores
+/// the previous global on destruction.
+class ScopedFaultInjector {
+ public:
+  explicit ScopedFaultInjector(FaultInjector* injector);
+  ~ScopedFaultInjector();
+
+  ScopedFaultInjector(const ScopedFaultInjector&) = delete;
+  ScopedFaultInjector& operator=(const ScopedFaultInjector&) = delete;
+
+ private:
+  FaultInjector* previous_;
+};
+
+namespace internal {
+/// Out-of-line slow path behind RP_FAULT_FIRES.
+bool FaultPointFires(FaultSite site);
+}  // namespace internal
+
+/// Hook macro placed at each fault site. Defining RP_DISABLE_FAULT_INJECTION
+/// collapses every hook to the constant `false` at compile time (zero cost,
+/// dead-code-eliminated guards); otherwise the cost is one atomic pointer
+/// load and a branch, paid only at the handful of cold sites above.
+#if defined(RP_DISABLE_FAULT_INJECTION)
+#define RP_FAULT_FIRES(site) (false)
+#else
+#define RP_FAULT_FIRES(site) (::roadpart::internal::FaultPointFires(site))
+#endif
+
+}  // namespace roadpart
+
+#endif  // ROADPART_COMMON_FAULT_INJECTION_H_

@@ -23,6 +23,8 @@ const char* StatusCodeName(StatusCode code) {
       return "IOError";
     case StatusCode::kNotConverged:
       return "NotConverged";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -18,6 +18,7 @@ enum class StatusCode {
   kInternal,
   kIOError,
   kNotConverged,
+  kDeadlineExceeded,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -59,6 +60,9 @@ class [[nodiscard]] Status {
   }
   static Status NotConverged(std::string msg) {
     return Status(StatusCode::kNotConverged, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

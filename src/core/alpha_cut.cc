@@ -81,9 +81,11 @@ Result<DenseMatrix> AlphaCutMethod::Embed(const CsrGraph& graph, int k) const {
   RP_DCHECK(std::isfinite(s));
   // M x = d (d.x)/s - A x.
   RankOneUpdatedOperator m_op(a_op, d, s > 0.0 ? 1.0 / s : 0.0, -1.0);
+  EigenSolveDiagnostics solve;
   RP_ASSIGN_OR_RETURN(DenseMatrix y,
                       ExtremeEigenvectors(m_op, k, SpectrumEnd::kSmallest,
-                                          spectral_));
+                                          spectral_, &solve));
+  RecordEigenSolve(solve);
   return RowNormalize(y);
 }
 

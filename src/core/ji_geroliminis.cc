@@ -165,6 +165,7 @@ Result<GraphCutResult> JiGeroliminisPartition(
   result.k_final = DensifyAssignment(result.assignment);
   result.objective =
       NormalizedCutObjective(weighted_graph, result.assignment);
+  result.eigen = initial.eigen;  // phase-1 spectral solves
   return result;
 }
 

@@ -54,9 +54,11 @@ Result<DenseMatrix> NormalizedCutMethod::Embed(const CsrGraph& graph,
   NormalizedAdjacencyOperator n_op(a);
   // Largest eigenvectors of D^{-1/2} A D^{-1/2} == smallest of L_sym; the
   // extreme end converges faster under Lanczos.
+  EigenSolveDiagnostics solve;
   RP_ASSIGN_OR_RETURN(
       DenseMatrix y,
-      ExtremeEigenvectors(n_op, k, SpectrumEnd::kLargest, spectral_));
+      ExtremeEigenvectors(n_op, k, SpectrumEnd::kLargest, spectral_, &solve));
+  RecordEigenSolve(solve);
   return RowNormalize(y);
 }
 

@@ -4,10 +4,40 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "common/string_util.h"
 #include "common/timer.h"
 #include "core/spectral_common.h"
 
 namespace roadpart {
+
+std::string RunDiagnostics::ToString() const {
+  std::string out = StrPrintf(
+      "solver path: %s (%d solves, %d restarts, worst Ritz residual %.3e, "
+      "%s)\n",
+      SolverPathName(eigen.solver_path), eigen.solves, eigen.lanczos_restarts,
+      eigen.worst_ritz_residual,
+      eigen.all_converged ? "converged" : "best-effort");
+  out += StrPrintf(
+      "densities repaired: %d (nan %d, inf %d, negative %d, padded %d, "
+      "truncated %d)\n",
+      density_repairs.total_repaired(), density_repairs.nan_replaced,
+      density_repairs.inf_clamped, density_repairs.negative_clamped,
+      density_repairs.padded, density_repairs.truncated);
+  if (deadline_seconds > 0.0) {
+    out += StrPrintf("deadline: %.3fs (slack after modules:", deadline_seconds);
+    const double slack[3] = {slack_module1_seconds, slack_module2_seconds,
+                             slack_module3_seconds};
+    for (int m = 0; m < 3; ++m) {
+      out += slack[m] < 0.0 ? StrPrintf(" m%d=-", m + 1)
+                            : StrPrintf(" m%d=%.3fs", m + 1, slack[m]);
+    }
+    out += ")\n";
+  }
+  for (const std::string& w : warnings) {
+    out += "warning: " + w + "\n";
+  }
+  return out;
+}
 
 const char* SchemeName(Scheme scheme) {
   switch (scheme) {
@@ -31,16 +61,63 @@ Result<PartitionOutcome> Partitioner::PartitionNetwork(
   Timer timer;
   RoadGraph graph = RoadGraph::FromNetwork(network);
   double module1 = timer.Seconds();
-  RP_ASSIGN_OR_RETURN(PartitionOutcome outcome, PartitionRoadGraph(graph));
+  RP_ASSIGN_OR_RETURN(PartitionOutcome outcome,
+                      PartitionWithBudget(graph, module1));
   outcome.module1_seconds = module1;
   return outcome;
 }
 
 Result<PartitionOutcome> Partitioner::PartitionRoadGraph(
     const RoadGraph& graph) const {
+  return PartitionWithBudget(graph, /*consumed_seconds=*/0.0);
+}
+
+Result<PartitionOutcome> Partitioner::PartitionWithBudget(
+    const RoadGraph& input_graph, double consumed_seconds) const {
   ScopedParallelism threads(options_.num_threads);
   PartitionOutcome outcome;
   const int k = options_.k;
+  const double deadline = options_.deadline_seconds;
+  outcome.diagnostics.deadline_seconds = deadline;
+
+  // The deadline is enforced at module boundaries, never inside a kernel:
+  // kernels stay deterministic and an overrun is detected at the next
+  // boundary (so the budget can be exceeded by at most one module).
+  Timer budget_timer;
+  auto remaining = [&]() {
+    return deadline - consumed_seconds - budget_timer.Seconds();
+  };
+  auto check_deadline = [&](const char* boundary) -> Status {
+    if (deadline <= 0.0) return Status::OK();
+    double left = remaining();
+    if (left < 0.0) {
+      return Status::DeadlineExceeded(
+          StrPrintf("deadline of %.3fs expired %s (%.3fs over budget)",
+                    deadline, boundary, -left));
+    }
+    return Status::OK();
+  };
+  if (deadline > 0.0 && consumed_seconds > 0.0) {
+    outcome.diagnostics.slack_module1_seconds = deadline - consumed_seconds;
+  }
+  RP_RETURN_IF_ERROR(check_deadline("after road-graph construction"));
+
+  // Input sanitization: densities enter the pipeline validated or repaired,
+  // never raw. A rebuilt graph is only materialized when repairs occurred.
+  DensityRepairReport& repairs = outcome.diagnostics.density_repairs;
+  RP_ASSIGN_OR_RETURN(
+      std::vector<double> densities,
+      SanitizeDensities(input_graph.features(), options_.density_policy,
+                        input_graph.num_nodes(), &repairs));
+  RoadGraph repaired_graph;
+  const RoadGraph* active = &input_graph;
+  if (repairs.total_repaired() > 0) {
+    RP_ASSIGN_OR_RETURN(repaired_graph,
+                        RoadGraph::FromParts(input_graph.adjacency(),
+                                             std::move(densities)));
+    active = &repaired_graph;
+  }
+  const RoadGraph& graph = *active;
 
   SpectralPipelineOptions pipeline;
   pipeline.kmeans = options_.kmeans;
@@ -81,6 +158,7 @@ Result<PartitionOutcome> Partitioner::PartitionRoadGraph(
         cut.k_final = DensifyAssignment(cut.assignment);
       }
       outcome.module3_seconds = timer.Seconds();
+      outcome.diagnostics.eigen = cut.eigen;
       outcome.assignment = std::move(cut.assignment);
       outcome.k_final = cut.k_final;
       outcome.k_prime = cut.k_prime;
@@ -110,6 +188,10 @@ Result<PartitionOutcome> Partitioner::PartitionRoadGraph(
         // distinguish: fall back to cutting the road graph directly (a
         // purely topological split, the only meaningful answer here).
         outcome.module2_seconds = timer.Seconds();
+        if (deadline > 0.0) {
+          outcome.diagnostics.slack_module2_seconds = remaining();
+        }
+        RP_RETURN_IF_ERROR(check_deadline("after supergraph mining"));
         CsrGraph weighted =
             GaussianWeightedGraph(graph.adjacency(), graph.features());
         timer.Restart();
@@ -123,6 +205,7 @@ Result<PartitionOutcome> Partitioner::PartitionRoadGraph(
         }
         outcome.module3_seconds = timer.Seconds();
         outcome.num_supernodes = sg.num_supernodes();
+        outcome.diagnostics.eigen = cut.eigen;
         outcome.assignment = std::move(cut.assignment);
         outcome.k_final = cut.k_final;
         outcome.k_prime = cut.k_prime;
@@ -131,6 +214,10 @@ Result<PartitionOutcome> Partitioner::PartitionRoadGraph(
       }
       outcome.module2_seconds = timer.Seconds();
       outcome.num_supernodes = sg.num_supernodes();
+      if (deadline > 0.0) {
+        outcome.diagnostics.slack_module2_seconds = remaining();
+      }
+      RP_RETURN_IF_ERROR(check_deadline("after supergraph mining"));
 
       timer.Restart();
       GraphCutResult cut;
@@ -160,6 +247,7 @@ Result<PartitionOutcome> Partitioner::PartitionRoadGraph(
       RP_ASSIGN_OR_RETURN(outcome.assignment,
                           sg.ExpandAssignment(cut.assignment));
       outcome.module3_seconds = timer.Seconds();
+      outcome.diagnostics.eigen = cut.eigen;
       outcome.k_final = cut.k_final;
       outcome.k_prime = cut.k_prime;
       outcome.objective = cut.objective;
@@ -176,6 +264,7 @@ Result<PartitionOutcome> Partitioner::PartitionRoadGraph(
           GraphCutResult cut,
           JiGeroliminisPartition(weighted, graph.features(), k, ji));
       outcome.module3_seconds = timer.Seconds();
+      outcome.diagnostics.eigen = cut.eigen;
       outcome.assignment = std::move(cut.assignment);
       outcome.k_final = cut.k_final;
       outcome.k_prime = cut.k_prime;
@@ -183,6 +272,25 @@ Result<PartitionOutcome> Partitioner::PartitionRoadGraph(
       break;
     }
   }
+  if (deadline > 0.0) {
+    outcome.diagnostics.slack_module3_seconds = remaining();
+  }
+  RP_RETURN_IF_ERROR(check_deadline("after partitioning"));
+
+  RunDiagnostics& diag = outcome.diagnostics;
+  diag.warnings.insert(diag.warnings.end(), repairs.warnings.begin(),
+                       repairs.warnings.end());
+  if (!diag.eigen.all_converged) {
+    diag.warnings.push_back(StrPrintf(
+        "eigensolver accepted a best-effort embedding (worst Ritz residual "
+        "%.3e); partition quality may be degraded",
+        diag.eigen.worst_ritz_residual));
+  } else if (diag.eigen.solver_path >= SolverPath::kLanczosRetry) {
+    diag.warnings.push_back(StrPrintf(
+        "eigensolver escalated to %s before converging",
+        SolverPathName(diag.eigen.solver_path)));
+  }
+
   // Every scheme must hand back a complete, dense, non-empty labelling of the
   // road graph; ExpandAssignment and the k'->k reductions above are exactly
   // the places where an off-by-one would otherwise surface as a plausible

@@ -10,6 +10,7 @@
 #include "core/normalized_cut.h"
 #include "core/refinement.h"
 #include "core/supergraph_miner.h"
+#include "network/density_sanitizer.h"
 #include "network/road_graph.h"
 #include "network/road_network.h"
 
@@ -45,6 +46,14 @@ struct PartitionerOptions {
   bool refine_boundary = false;
   RefinementOptions refinement;
   uint64_t seed = 1;  ///< randomizes embedding k-means (paper: 100 reruns)
+  /// Wall-clock budget for the whole run, checked between modules (never
+  /// inside a kernel): an expired budget returns Status::DeadlineExceeded
+  /// and no partition. 0 disables the deadline.
+  double deadline_seconds = 0.0;
+  /// What to do with invalid segment densities (NaN/Inf/negative) before
+  /// they enter the pipeline: reject the run, or repair them and record the
+  /// repairs in RunDiagnostics.
+  DensityPolicy density_policy = DensityPolicy::kReject;
   /// Worker threads for the spectral kernels (SpMV, operator applies,
   /// reorthogonalization, row normalization, k-means restarts). 0 keeps the
   /// process-wide default (SetDefaultParallelism / RP_THREADS / hardware).
@@ -52,6 +61,32 @@ struct PartitionerOptions {
   /// with order-fixed reductions, so results are bit-identical for any value
   /// (see tests/parallel_determinism_test.cc).
   int num_threads = 0;
+};
+
+/// Everything a caller needs to judge *how* a run succeeded: which rung of
+/// the eigensolver ladder produced the embedding, what the sanitizer had to
+/// repair, and how much deadline slack each module left. Surfaced by
+/// roadpart_cli and the benchmark harness.
+struct RunDiagnostics {
+  EigenSolveDiagnostics eigen;          ///< solver path, restarts, residual
+  DensityRepairReport density_repairs;  ///< input sanitization repairs
+  double deadline_seconds = 0.0;        ///< configured budget (0 = none)
+  /// Budget remaining after each module finished; -1 when the module did not
+  /// run or no deadline was configured.
+  double slack_module1_seconds = -1.0;
+  double slack_module2_seconds = -1.0;
+  double slack_module3_seconds = -1.0;
+  /// Human-readable degradation notes (best-effort solves, repairs, ...).
+  std::vector<std::string> warnings;
+
+  /// True when nothing degraded: converged solver, clean input, no warnings.
+  bool clean() const {
+    return eigen.all_converged && density_repairs.total_repaired() == 0 &&
+           warnings.empty();
+  }
+
+  /// Multi-line summary for logs / CLI output.
+  std::string ToString() const;
 };
 
 /// Framework output, including the Table-3 module timing breakdown.
@@ -65,6 +100,7 @@ struct PartitionOutcome {
   double module2_seconds = 0.0;  ///< supergraph mining
   double module3_seconds = 0.0;  ///< (super)graph partitioning
   SupergraphMiningReport mining_report;  ///< filled for ASG / NSG
+  RunDiagnostics diagnostics;            ///< resilience-layer telemetry
 };
 
 /// Facade over the full framework of Figure 2. One instance is reusable
@@ -84,6 +120,11 @@ class Partitioner {
   Result<PartitionOutcome> PartitionRoadGraph(const RoadGraph& graph) const;
 
  private:
+  /// Modules 2-3 with `consumed_seconds` already charged against the
+  /// deadline (module-1 time when called from PartitionNetwork).
+  Result<PartitionOutcome> PartitionWithBudget(const RoadGraph& graph,
+                                               double consumed_seconds) const;
+
   PartitionerOptions options_;
 };
 

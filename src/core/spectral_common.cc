@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <limits>
 #include <map>
 #include <utility>
 
 #include "common/check.h"
+#include "common/logging.h"
 #include "common/parallel.h"
 #include "common/string_util.h"
 #include "graph/connected_components.h"
@@ -16,30 +18,188 @@
 
 namespace roadpart {
 
+const char* NonConvergencePolicyName(NonConvergencePolicy policy) {
+  switch (policy) {
+    case NonConvergencePolicy::kFail:
+      return "fail";
+    case NonConvergencePolicy::kRetry:
+      return "retry";
+    case NonConvergencePolicy::kFallbackDense:
+      return "dense";
+    case NonConvergencePolicy::kBestEffort:
+      return "best-effort";
+  }
+  return "?";
+}
+
+const char* SolverPathName(SolverPath path) {
+  switch (path) {
+    case SolverPath::kNone:
+      return "none";
+    case SolverPath::kDense:
+      return "dense";
+    case SolverPath::kLanczosFirstTry:
+      return "lanczos";
+    case SolverPath::kLanczosRetry:
+      return "lanczos-retry";
+    case SolverPath::kDenseFallback:
+      return "dense-fallback";
+    case SolverPath::kBestEffort:
+      return "best-effort";
+  }
+  return "?";
+}
+
+void EigenSolveDiagnostics::Merge(const EigenSolveDiagnostics& other) {
+  solver_path = std::max(solver_path, other.solver_path);
+  solves += other.solves;
+  lanczos_restarts += other.lanczos_restarts;
+  worst_ritz_residual = std::max(worst_ritz_residual,
+                                 other.worst_ritz_residual);
+  all_converged = all_converged && other.all_converged;
+}
+
+namespace {
+
+// Copies the k columns at the requested spectrum end out of a full dense
+// decomposition.
+DenseMatrix SelectExtremeColumns(const EigenResult& eig, int n, int k,
+                                 SpectrumEnd end) {
+  DenseMatrix out(n, k);
+  for (int c = 0; c < k; ++c) {
+    int col = (end == SpectrumEnd::kSmallest) ? c : n - k + c;
+    for (int r = 0; r < n; ++r) out(r, c) = eig.eigenvectors(r, col);
+  }
+  return out;
+}
+
+// One-solve diagnostics record.
+EigenSolveDiagnostics SolveRecord(SolverPath path, int restarts,
+                                  double residual, bool converged) {
+  EigenSolveDiagnostics d;
+  d.solver_path = path;
+  d.solves = 1;
+  d.lanczos_restarts = restarts;
+  d.worst_ritz_residual = residual;
+  d.all_converged = converged;
+  return d;
+}
+
+}  // namespace
+
 Result<DenseMatrix> ExtremeEigenvectors(const LinearOperator& op, int k,
                                         SpectrumEnd end,
-                                        const SpectralOptions& options) {
+                                        const SpectralOptions& options,
+                                        EigenSolveDiagnostics* diagnostics) {
   const int n = op.Dim();
   if (k <= 0 || k > n) {
     return Status::InvalidArgument(
         StrPrintf("need 1 <= k <= %d, got %d", n, k));
   }
+  auto record = [&](const EigenSolveDiagnostics& d) {
+    if (diagnostics != nullptr) *diagnostics = d;
+  };
   if (n <= options.dense_threshold) {
     DenseMatrix dense = Materialize(op);
     RP_ASSIGN_OR_RETURN(EigenResult eig, SymmetricEigenDecompose(dense));
-    DenseMatrix out(n, k);
-    for (int c = 0; c < k; ++c) {
-      int col = (end == SpectrumEnd::kSmallest) ? c : n - k + c;
-      for (int r = 0; r < n; ++r) out(r, c) = eig.eigenvectors(r, col);
-    }
-    return out;
+    record(SolveRecord(SolverPath::kDense, 0, eig.max_residual, true));
+    return SelectExtremeColumns(eig, n, k, end);
   }
+
+  // Rung 1: Lanczos as configured.
   RP_ASSIGN_OR_RETURN(EigenResult eig,
                       LanczosEigen(op, k, end, options.lanczos));
-  return eig.eigenvectors;
+  int restarts = eig.restarts_used;
+  if (eig.converged) {
+    record(SolveRecord(SolverPath::kLanczosFirstTry, restarts,
+                       eig.max_residual, true));
+    return std::move(eig.eigenvectors);
+  }
+  const NonConvergencePolicy policy = options.on_nonconvergence;
+  if (policy == NonConvergencePolicy::kFail) {
+    record(SolveRecord(SolverPath::kLanczosFirstTry, restarts,
+                       eig.max_residual, false));
+    return Status::NotConverged(StrPrintf(
+        "Lanczos did not converge (n=%d, k=%d, max Ritz residual %.3e, "
+        "%d restarts); policy=fail",
+        n, k, eig.max_residual, restarts));
+  }
+
+  // Rung 2: tightened retry — doubled subspace budget, one extra restart,
+  // and a fresh (still deterministic) start vector so a start direction that
+  // was accidentally deficient in the target eigenspace cannot fail twice.
+  LanczosOptions retry = options.lanczos;
+  retry.max_subspace = std::min(n, std::max(2 * retry.max_subspace,
+                                            retry.max_subspace + 100));
+  retry.max_restarts = retry.max_restarts + 1;
+  retry.seed = retry.seed ^ 0x5DEECE66DULL;
+  RP_ASSIGN_OR_RETURN(EigenResult eig2, LanczosEigen(op, k, end, retry));
+  restarts += 1 + eig2.restarts_used;  // the retry itself counts as a restart
+  if (eig2.converged) {
+    record(SolveRecord(SolverPath::kLanczosRetry, restarts, eig2.max_residual,
+                       true));
+    return std::move(eig2.eigenvectors);
+  }
+  // Keep the better of the two non-converged estimates for best-effort.
+  EigenResult& best = eig2.max_residual < eig.max_residual ? eig2 : eig;
+  if (policy == NonConvergencePolicy::kRetry) {
+    record(SolveRecord(SolverPath::kLanczosRetry, restarts, best.max_residual,
+                       false));
+    return Status::NotConverged(StrPrintf(
+        "Lanczos did not converge after tightened retry (n=%d, k=%d, best "
+        "max Ritz residual %.3e, %d restarts); policy=retry",
+        n, k, best.max_residual, restarts));
+  }
+
+  // Rung 3: exact dense decomposition, when the order permits materializing
+  // the operator.
+  if (n <= options.dense_fallback_max) {
+    RP_LOG(Warning) << "Lanczos failed to converge (residual "
+                    << best.max_residual << "); falling back to dense solve"
+                    << " of order " << n;
+    DenseMatrix dense = Materialize(op);
+    RP_ASSIGN_OR_RETURN(EigenResult full, SymmetricEigenDecompose(dense));
+    record(SolveRecord(SolverPath::kDenseFallback, restarts,
+                       full.max_residual, true));
+    return SelectExtremeColumns(full, n, k, end);
+  }
+  if (policy == NonConvergencePolicy::kBestEffort) {
+    RP_LOG(Warning) << "Lanczos failed to converge (residual "
+                    << best.max_residual << ", n=" << n
+                    << " too large for dense fallback); accepting "
+                    << "best-effort estimate";
+    record(SolveRecord(SolverPath::kBestEffort, restarts, best.max_residual,
+                       false));
+    return std::move(best.eigenvectors);
+  }
+  record(SolveRecord(SolverPath::kLanczosRetry, restarts, best.max_residual,
+                     false));
+  return Status::NotConverged(StrPrintf(
+      "Lanczos did not converge and n=%d exceeds dense_fallback_max=%d "
+      "(best max Ritz residual %.3e, %d restarts); policy=dense",
+      n, options.dense_fallback_max, best.max_residual, restarts));
 }
 
-DenseMatrix RowNormalize(const DenseMatrix& y) {
+Result<DenseMatrix> RowNormalize(const DenseMatrix& y) {
+  // Pre-scan: a NaN/Inf row must surface as a structured error in every
+  // build type, not poison k-means (Release) or abort (Debug). Deterministic
+  // blocked min-reduction finds the first offending row.
+  const int64_t bad_row = ParallelBlockedReduce<int64_t>(
+      y.rows(), /*grain=*/256, std::numeric_limits<int64_t>::max(),
+      [&](int64_t begin, int64_t end) {
+        for (int64_t r = begin; r < end; ++r) {
+          for (int c = 0; c < y.cols(); ++c) {
+            if (!std::isfinite(y(static_cast<int>(r), c))) return r;
+          }
+        }
+        return std::numeric_limits<int64_t>::max();
+      },
+      [](int64_t a, int64_t b) { return std::min(a, b); });
+  if (bad_row != std::numeric_limits<int64_t>::max()) {
+    return Status::Internal(StrPrintf(
+        "embedding row %lld contains a non-finite value",
+        static_cast<long long>(bad_row)));
+  }
   DenseMatrix z = y;
   // Row-blocked: each row normalizes independently with a serial norm, so
   // the output is bit-identical for any thread count.
@@ -49,8 +209,6 @@ DenseMatrix RowNormalize(const DenseMatrix& y) {
       double norm = 0.0;
       for (int c = 0; c < z.cols(); ++c) norm += z(row, c) * z(row, c);
       norm = std::sqrt(norm);
-      // A NaN/Inf row would silently poison the k-means step downstream.
-      RP_DCHECK(std::isfinite(norm));
       if (norm > 0.0) {
         for (int c = 0; c < z.cols(); ++c) z(row, c) /= norm;
       }
@@ -266,6 +424,10 @@ Result<GraphCutResult> SpectralKWayPartition(
         StrPrintf("k=%d exceeds graph order %d", k, n));
   }
 
+  // Solver-ladder diagnostics accumulate on the method across the top-level
+  // embedding and every bipartition sub-solve of this pipeline run.
+  method.ResetEigenDiagnostics();
+
   GraphCutResult result;
   if (k == 1) {
     result.assignment.assign(n, 0);
@@ -434,6 +596,7 @@ Result<GraphCutResult> SpectralKWayPartition(
   result.k_final = DensifyAssignment(result.assignment);
   RP_DCHECK_OK(ValidatePartitionLabels(result.assignment, n, result.k_final));
   result.objective = method.Objective(graph, result.assignment);
+  result.eigen = method.eigen_diagnostics();
   return result;
 }
 

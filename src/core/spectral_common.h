@@ -11,23 +11,77 @@
 
 namespace roadpart {
 
+/// What ExtremeEigenvectors does when Lanczos exhausts its subspace budget
+/// without converging (the fallback ladder of the numerical resilience
+/// layer). Every policy except kFail first climbs the ladder's retry rung.
+enum class NonConvergencePolicy {
+  kFail,           ///< no ladder: NotConverged immediately
+  kRetry,          ///< tightened Lanczos retry, then NotConverged
+  kFallbackDense,  ///< retry, then dense solve when n permits, else NotConverged
+  kBestEffort,     ///< full ladder, then accept the best estimate with a warning
+};
+
+const char* NonConvergencePolicyName(NonConvergencePolicy policy);
+
+/// Which rung of the eigensolver ladder produced the returned vectors,
+/// ordered by escalation so diagnostics can merge with max().
+enum class SolverPath {
+  kNone = 0,         ///< no solve recorded yet
+  kDense,            ///< primary dense solve (n <= dense_threshold)
+  kLanczosFirstTry,  ///< Lanczos converged as configured
+  kLanczosRetry,     ///< tightened-parameter Lanczos retry converged
+  kDenseFallback,    ///< dense solve after both Lanczos rungs failed
+  kBestEffort,       ///< non-converged estimate accepted under kBestEffort
+};
+
+const char* SolverPathName(SolverPath path);
+
+/// Eigensolver diagnostics accumulated across one or more solves.
+struct EigenSolveDiagnostics {
+  SolverPath solver_path = SolverPath::kNone;  ///< highest rung used
+  int solves = 0;             ///< ExtremeEigenvectors calls recorded
+  int lanczos_restarts = 0;   ///< internal Lanczos restarts, summed
+  double worst_ritz_residual = 0.0;
+  bool all_converged = true;  ///< false iff any solve ended best-effort
+
+  /// Folds `other` in: max path, summed counters, worst residual.
+  void Merge(const EigenSolveDiagnostics& other);
+};
+
 /// Controls how eigenvectors are extracted.
 struct SpectralOptions {
   /// At or below this operator order the dense Householder+QL solver runs
   /// (exact); above it the Lanczos solver (the paper's scalability path).
   int dense_threshold = 600;
   LanczosOptions lanczos;
+  /// Fallback ladder policy when Lanczos does not converge. The library
+  /// default favors availability: climb the whole ladder and only then
+  /// accept a best-effort estimate (with a warning) rather than erroring —
+  /// strictly better than the historical silent accept. Batch/CI callers
+  /// wanting hard failures select kFail or kRetry.
+  NonConvergencePolicy on_nonconvergence = NonConvergencePolicy::kBestEffort;
+  /// Largest operator order the kFallbackDense / kBestEffort rungs will
+  /// materialize for a dense solve (O(n^2) memory, O(n^3) time).
+  int dense_fallback_max = 4096;
 };
 
-/// k eigenvectors at the chosen end of a symmetric operator's spectrum,
-/// as the columns of an n x k matrix (ascending eigenvalue order).
+/// k eigenvectors at the chosen end of a symmetric operator's spectrum, as
+/// the columns of an n x k matrix (ascending eigenvalue order). Runs the
+/// non-convergence fallback ladder of `options.on_nonconvergence`:
+/// Lanczos -> tightened Lanczos retry (doubled subspace, fresh seeded start)
+/// -> dense solve when the order permits -> NotConverged with residual
+/// diagnostics (or a best-effort accept). `diagnostics`, when given,
+/// receives the path taken, restart count and worst Ritz residual.
 Result<DenseMatrix> ExtremeEigenvectors(const LinearOperator& op, int k,
                                         SpectrumEnd end,
-                                        const SpectralOptions& options);
+                                        const SpectralOptions& options,
+                                        EigenSolveDiagnostics* diagnostics =
+                                            nullptr);
 
 /// Row-normalizes Y to unit-length rows (Equation 8). All-zero rows are left
-/// as zero.
-DenseMatrix RowNormalize(const DenseMatrix& y);
+/// as zero. A non-finite entry (NaN/Inf row) returns Status::Internal in
+/// every build type — a poisoned embedding must not reach k-means.
+Result<DenseMatrix> RowNormalize(const DenseMatrix& y);
 
 /// Reweights a binary road-graph adjacency with the Gaussian congestion
 /// similarity exp(-(f_u - f_v)^2 / (2 sigma^2)) — the affinity used when
@@ -51,12 +105,21 @@ struct GraphCutResult {
   int k_final = 0;              ///< number of partitions returned
   int k_prime = 0;              ///< partitions before the exact-k reduction
   double objective = 0.0;       ///< method-specific objective of `assignment`
+  EigenSolveDiagnostics eigen;  ///< solver-ladder diagnostics, all embeds
 };
 
 /// A spectral k-way cut method is defined by its embedding.
 class SpectralCutMethod {
  public:
   virtual ~SpectralCutMethod() = default;
+
+  /// Eigensolver diagnostics accumulated across every Embed call since the
+  /// last reset (top-level embedding plus bipartition sub-solves). The
+  /// accumulator is mutable state on a const method: one pipeline at a time
+  /// per instance — not safe for concurrent SpectralKWayPartition calls
+  /// sharing a method object.
+  const EigenSolveDiagnostics& eigen_diagnostics() const { return eigen_diag_; }
+  void ResetEigenDiagnostics() const { eigen_diag_ = EigenSolveDiagnostics(); }
 
   /// Spectral embedding of the weighted graph into `k` dimensions
   /// (row-normalized; one row per node).
@@ -76,6 +139,15 @@ class SpectralCutMethod {
                                double total) const = 0;
 
   virtual const char* name() const = 0;
+
+ protected:
+  /// Called by Embed implementations after each eigensolve.
+  void RecordEigenSolve(const EigenSolveDiagnostics& solve) const {
+    eigen_diag_.Merge(solve);
+  }
+
+ private:
+  mutable EigenSolveDiagnostics eigen_diag_;
 };
 
 /// How k' > k partitions are reduced to exactly k (Section 5.4 discusses

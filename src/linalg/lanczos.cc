@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/rng.h"
@@ -128,11 +129,20 @@ Result<EigenResult> LanczosEigen(const LinearOperator& op, int k,
   Rng rng(options.seed);
   int m_target = std::min(n, std::max({3 * k + 20, 60}));
 
+  // Armed by tests to simulate an operator whose spectrum defeats the
+  // iteration: the best Ritz estimates are still assembled, but the call
+  // refuses to declare convergence, exercising the caller's fallback ladder.
+  // One query per LanczosEigen call keeps arming counts predictable.
+  const bool forced_nonconvergence =
+      RP_FAULT_FIRES(FaultSite::kLanczosNonConvergence);
+
   EigenResult best;
   best.converged = false;
   best.max_residual = HUGE_VAL;
+  int restarts_used = 0;
 
   for (int restart = 0; restart <= options.max_restarts; ++restart) {
+    restarts_used = restart;
     const int m_max = std::min({m_target, options.max_subspace, n});
     KrylovFactorization kf = BuildKrylov(op, m_max, rng);
     const int m = static_cast<int>(kf.alpha.size());
@@ -160,8 +170,9 @@ Result<EigenResult> LanczosEigen(const LinearOperator& op, int k,
       worst = std::max(worst, res);
     }
     bool converged =
-        kf.exhausted_space || m == n ||
-        worst <= options.tolerance * spectral_scale;
+        !forced_nonconvergence &&
+        (kf.exhausted_space || m == n ||
+         worst <= options.tolerance * spectral_scale);
 
     if (worst < best.max_residual || converged) {
       EigenResult out;
@@ -213,6 +224,7 @@ Result<EigenResult> LanczosEigen(const LinearOperator& op, int k,
     m_target = std::min({2 * m_target, options.max_subspace, n});
   }
 
+  best.restarts_used = restarts_used;
   if (!best.converged) {
     RP_LOG(Warning) << "Lanczos did not fully converge; max residual "
                     << best.max_residual;

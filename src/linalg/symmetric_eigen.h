@@ -15,6 +15,9 @@ struct EigenResult {
   DenseMatrix eigenvectors;
   bool converged = true;
   double max_residual = 0.0;
+  /// Lanczos restarts consumed beyond the first factorization (0 for dense
+  /// and tridiagonal solves); surfaced in RunDiagnostics.
+  int restarts_used = 0;
 };
 
 /// Full eigen-decomposition of a real symmetric matrix via Householder

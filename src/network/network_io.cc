@@ -2,8 +2,10 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
+#include "common/fault_injection.h"
 #include "common/string_util.h"
 
 namespace roadpart {
@@ -95,6 +97,24 @@ Result<std::vector<double>> LoadDensities(const std::string& path) {
     if (t.empty() || t[0] == '#') continue;
     RP_ASSIGN_OR_RETURN(double d, ParseDouble(t));
     densities.push_back(d);
+  }
+  // Fault hooks (test-only; compiled to nothing under
+  // RP_DISABLE_FAULT_INJECTION): simulate sensor corruption and a short read
+  // after a successful parse, so downstream sanitization is what gets tested.
+  if (!densities.empty() &&
+      RP_FAULT_FIRES(FaultSite::kDensityLoadNaN)) {
+    if (FaultInjector* inj = GlobalFaultInjector()) {
+      const int n = static_cast<int>(densities.size());
+      for (int i : inj->PickIndices(n, std::max(1, n / 8))) {
+        densities[i] = std::numeric_limits<double>::quiet_NaN();
+      }
+    }
+  }
+  if (!densities.empty() &&
+      RP_FAULT_FIRES(FaultSite::kDensityLoadShortRead)) {
+    const size_t keep = densities.size() - std::max<size_t>(
+        1, densities.size() / 4);
+    densities.resize(keep);
   }
   return densities;
 }

@@ -23,6 +23,7 @@
 #include "cluster/kmeans.h"
 #include "cluster/kmeans1d.h"
 #include "cluster/optimality.h"
+#include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/rng.h"
@@ -50,6 +51,7 @@
 #include "netgen/city_generator.h"
 #include "netgen/grid_generator.h"
 #include "netgen/radial_generator.h"
+#include "network/density_sanitizer.h"
 #include "network/edge_list_io.h"
 #include "network/geojson_export.h"
 #include "network/network_io.h"

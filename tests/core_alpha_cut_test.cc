@@ -240,7 +240,9 @@ TEST(RowNormalizeTest, UnitRows) {
   y(1, 1) = 0.0;  // zero row stays zero
   y(2, 0) = -2.0;
   y(2, 1) = 0.0;
-  DenseMatrix z = RowNormalize(y);
+  Result<DenseMatrix> normalized = RowNormalize(y);
+  ASSERT_TRUE(normalized.ok());
+  const DenseMatrix& z = *normalized;
   EXPECT_NEAR(z(0, 0), 0.6, 1e-12);
   EXPECT_NEAR(z(0, 1), 0.8, 1e-12);
   EXPECT_DOUBLE_EQ(z(1, 0), 0.0);

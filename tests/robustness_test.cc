@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <fstream>
+#include <limits>
 
 #include "roadpart/roadpart.h"
 
@@ -163,6 +165,111 @@ TEST(RobustnessTest, GeneratorsAtMinimumSizes) {
   city.target_segments = 2;
   city.area_sq_miles = 0.1;
   EXPECT_TRUE(GenerateCityNetwork(city).ok());
+}
+
+// --- Density sanitization (numerical resilience layer) ---
+
+// Builds a 12-node chain graph with one poisoned density value and runs the
+// NG scheme under `policy`.
+Result<PartitionOutcome> PartitionWithPoisonedDensity(double bad_value,
+                                                      DensityPolicy policy) {
+  RoadGraph chain = TinyGraph(12);
+  std::vector<double> f = chain.features();
+  f[5] = bad_value;
+  RoadGraph rg = RoadGraph::FromParts(chain.adjacency(), f).value();
+  PartitionerOptions options;
+  options.scheme = Scheme::kNG;
+  options.k = 2;
+  options.seed = 3;
+  options.density_policy = policy;
+  return Partitioner(options).PartitionRoadGraph(rg);
+}
+
+TEST(RobustnessTest, NaNDensityRejectedByDefaultPolicy) {
+  auto outcome = PartitionWithPoisonedDensity(std::nan(""),
+                                              DensityPolicy::kReject);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RobustnessTest, InfDensityRejectedByDefaultPolicy) {
+  auto outcome = PartitionWithPoisonedDensity(
+      std::numeric_limits<double>::infinity(), DensityPolicy::kReject);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RobustnessTest, NegativeDensityRejectedByDefaultPolicy) {
+  auto outcome = PartitionWithPoisonedDensity(-1.0, DensityPolicy::kReject);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RobustnessTest, ClampPolicyRepairsAndReportsEveryClass) {
+  for (double bad : {std::nan(""), std::numeric_limits<double>::infinity(),
+                     -std::numeric_limits<double>::infinity(), -3.0}) {
+    auto outcome =
+        PartitionWithPoisonedDensity(bad, DensityPolicy::kClampAndWarn);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    EXPECT_EQ(outcome->diagnostics.density_repairs.total_repaired(), 1);
+    EXPECT_FALSE(outcome->diagnostics.warnings.empty());
+    EXPECT_TRUE(ValidatePartitionLabels(outcome->assignment, 12,
+                                        outcome->k_final)
+                    .ok());
+  }
+}
+
+TEST(RobustnessTest, DensityCountMismatch) {
+  // Short by three against the expected segment count.
+  std::vector<double> short_vec(9, 0.5);
+  auto rejected = SanitizeDensities(short_vec, DensityPolicy::kReject, 12);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+
+  DensityRepairReport report;
+  auto padded = SanitizeDensities(short_vec, DensityPolicy::kClampAndWarn, 12,
+                                  &report);
+  ASSERT_TRUE(padded.ok());
+  EXPECT_EQ(padded->size(), 12u);
+  EXPECT_EQ(report.padded, 3);
+
+  std::vector<double> long_vec(15, 0.5);
+  auto truncated = SanitizeDensities(long_vec, DensityPolicy::kClampAndWarn,
+                                     12, &report);
+  ASSERT_TRUE(truncated.ok());
+  EXPECT_EQ(truncated->size(), 12u);
+}
+
+// --- Deadlines ---
+
+TEST(RobustnessTest, ExpiredDeadlineReturnsDeadlineExceeded) {
+  CityOptions city;
+  city.num_intersections = 400;
+  city.target_segments = 700;
+  city.seed = 9;
+  RoadNetwork net = GenerateCityNetwork(city).value();
+  PartitionerOptions options;
+  options.scheme = Scheme::kASG;
+  options.k = 4;
+  // Any real module-1 run exceeds a nanosecond budget, so the check after
+  // road-graph construction must fire — and hand back no partition at all.
+  options.deadline_seconds = 1e-9;
+  auto outcome = Partitioner(options).PartitionNetwork(net);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(RobustnessTest, GenerousDeadlineSucceedsAndReportsSlack) {
+  RoadGraph rg = TinyGraph(20);
+  PartitionerOptions options;
+  options.scheme = Scheme::kASG;
+  options.k = 2;
+  options.deadline_seconds = 3600.0;
+  auto outcome = Partitioner(options).PartitionRoadGraph(rg);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_GT(outcome->diagnostics.slack_module2_seconds, 0.0);
+  EXPECT_GT(outcome->diagnostics.slack_module3_seconds, 0.0);
+  EXPECT_FALSE(outcome->diagnostics.ToString().empty());
 }
 
 TEST(RobustnessTest, MicrosimWithNoTrips) {

@@ -205,6 +205,59 @@ TEST(ParallelForRule, CleanCounterexamples) {
           .empty());
 }
 
+// --- unchecked-eigen-convergence --------------------------------------------
+
+TEST(UncheckedEigenRule, FlagsEigenvectorUseWithoutConvergenceCheck) {
+  std::vector<LintFinding> findings =
+      Lint("src/core/x.cc",
+           "DenseMatrix Use(const EigenResult& eig) {\n"
+           "  return eig.eigenvectors;\n"
+           "}\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "unchecked-eigen-convergence");
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(UncheckedEigenRule, PointerAccessAlsoFlagged) {
+  EXPECT_TRUE(HasRule(Lint("bench/b.cc", "auto y = eig->eigenvectors;"),
+                      "unchecked-eigen-convergence"));
+}
+
+TEST(UncheckedEigenRule, ConsultingConvergedIsClean) {
+  EXPECT_TRUE(
+      Lint("src/core/x.cc",
+           "DenseMatrix Use(const EigenResult& eig) {\n"
+           "  RP_CHECK(eig.converged);\n"
+           "  return eig.eigenvectors;\n"
+           "}\n")
+          .empty());
+}
+
+TEST(UncheckedEigenRule, ConsultingResidualIsClean) {
+  EXPECT_TRUE(
+      Lint("src/core/x.cc",
+           "DenseMatrix Use(const EigenResult& eig) {\n"
+           "  if (eig.max_residual > 1e-6) Abort();\n"
+           "  return eig.eigenvectors;\n"
+           "}\n")
+          .empty());
+}
+
+TEST(UncheckedEigenRule, SolverInternalsExempt) {
+  EXPECT_TRUE(
+      Lint("src/linalg/lanczos.cc", "best.eigenvectors = Assemble(q, s);")
+          .empty());
+}
+
+TEST(UncheckedEigenRule, UnrelatedIdentifiersNotFlagged) {
+  // Only member access to the exact field name counts.
+  EXPECT_TRUE(
+      Lint("src/core/x.cc",
+           "auto y = ExtremeEigenvectors(op, k, end, options);\n"
+           "int eigenvectors = 3;\n")
+          .empty());
+}
+
 // --- CollectStatusFunctionNames ---------------------------------------------
 
 TEST(CollectStatusNames, FindsStatusAndResultReturners) {

@@ -31,7 +31,10 @@ int Usage() {
       "  roadpart_cli generate  --preset=D1|M1|M2|M3 [--seed=N]"
       " [--hotspots=H] <out.net>\n"
       "  roadpart_cli partition --scheme=AG|ASG|NG|NSG|JIG [--k=K]"
-      " [--seed=N] [--stability=E] [--threads=T] <in.net> <out.csv>\n"
+      " [--seed=N] [--stability=E] [--threads=T]\n"
+      "                 [--deadline-seconds=S] "
+      "[--on-nonconvergence=fail|retry|dense|best-effort]\n"
+      "                 [--density-policy=reject|clamp] <in.net> <out.csv>\n"
       "  roadpart_cli evaluate  <in.net> <partition.csv>\n"
       "  roadpart_cli simulate  [--vehicles=N] [--horizon=S] [--interval=S]"
       " [--snapshot=T] [--seed=N] <in.net> <out.densities>\n"
@@ -56,6 +59,23 @@ Result<Scheme> ParseScheme(const std::string& name) {
     return Scheme::kJiGeroliminis;
   }
   return Status::InvalidArgument("unknown scheme '" + name + "'");
+}
+
+Result<NonConvergencePolicy> ParseNonConvergencePolicy(
+    const std::string& name) {
+  if (name == "fail") return NonConvergencePolicy::kFail;
+  if (name == "retry") return NonConvergencePolicy::kRetry;
+  if (name == "dense") return NonConvergencePolicy::kFallbackDense;
+  if (name == "best-effort") return NonConvergencePolicy::kBestEffort;
+  return Status::InvalidArgument("unknown non-convergence policy '" + name +
+                                 "' (want fail|retry|dense|best-effort)");
+}
+
+Result<DensityPolicy> ParseDensityPolicy(const std::string& name) {
+  if (name == "reject") return DensityPolicy::kReject;
+  if (name == "clamp") return DensityPolicy::kClampAndWarn;
+  return Status::InvalidArgument("unknown density policy '" + name +
+                                 "' (want reject|clamp)");
 }
 
 Result<DatasetPreset> ParsePreset(const std::string& name) {
@@ -137,6 +157,15 @@ int CmdPartition(const FlagParser& flags) {
   if (!seed.ok()) return Fail(seed.status());
   auto stability = flags.GetDouble("stability", 0.0);
   if (!stability.ok()) return Fail(stability.status());
+  auto deadline = flags.GetDouble("deadline-seconds", 0.0);
+  if (!deadline.ok()) return Fail(deadline.status());
+  auto nonconv =
+      ParseNonConvergencePolicy(flags.GetString("on-nonconvergence",
+                                                "best-effort"));
+  if (!nonconv.ok()) return Fail(nonconv.status());
+  auto density = ParseDensityPolicy(flags.GetString("density-policy",
+                                                    "reject"));
+  if (!density.ok()) return Fail(density.status());
 
   auto net = LoadRoadNetwork(flags.positional()[0]);
   if (!net.ok()) return Fail(net.status());
@@ -146,8 +175,14 @@ int CmdPartition(const FlagParser& flags) {
   options.k = static_cast<int>(*k);
   options.seed = static_cast<uint64_t>(*seed);
   options.miner.stability.threshold = *stability;
+  options.deadline_seconds = *deadline;
+  options.spectral.on_nonconvergence = *nonconv;
+  options.density_policy = *density;
   options.num_threads = DefaultParallelism();  // --threads / RP_THREADS
   auto outcome = Partitioner(options).PartitionNetwork(*net);
+  // A failed run (deadline, rejected input, non-convergence under a strict
+  // policy) writes nothing: the output CSV either holds a complete partition
+  // or does not exist.
   if (!outcome.ok()) return Fail(outcome.status());
 
   Status st = SavePartitionCsv(outcome->assignment, flags.positional()[1]);
@@ -157,6 +192,7 @@ int CmdPartition(const FlagParser& flags) {
               SchemeName(*scheme), outcome->k_final, outcome->k_prime,
               outcome->num_supernodes, outcome->module1_seconds,
               outcome->module2_seconds, outcome->module3_seconds);
+  std::printf("%s", outcome->diagnostics.ToString().c_str());
   return 0;
 }
 
@@ -350,7 +386,7 @@ int Main(int argc, char** argv) {
       argc - 2, argv + 2,
       {"preset", "seed", "hotspots", "scheme", "k", "stability", "kmin",
        "kmax", "vehicles", "horizon", "interval", "snapshot", "series",
-       "threads"});
+       "threads", "deadline-seconds", "on-nonconvergence", "density-policy"});
   if (!flags.ok()) return Fail(flags.status());
 
   // Global thread knob: applies to every command; deterministic kernels make

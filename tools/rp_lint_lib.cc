@@ -23,6 +23,7 @@ const char kRuleNondeterminism[] = "banned-nondeterminism";
 const char kRulePrint[] = "print-in-library";
 const char kRuleDiscardedStatus[] = "discarded-status";
 const char kRuleParallelMutation[] = "parallelfor-shared-mutation";
+const char kRuleUncheckedEigen[] = "unchecked-eigen-convergence";
 
 struct Token {
   std::string text;
@@ -350,6 +351,33 @@ void CheckParallelForMutation(const std::string& path,
   }
 }
 
+// --- Rule: eigenvector use without a convergence check ----------------------
+
+// A Lanczos basis that did not converge is not an eigenbasis; consuming
+// EigenResult.eigenvectors while never looking at `converged` (or at
+// `max_residual`) anywhere in the file is how the historical silent-accept
+// bug slipped in. The solver internals under src/linalg/ legitimately
+// assemble those fields and are exempt.
+void CheckUncheckedEigenConvergence(const std::string& path,
+                                    const std::vector<Token>& tokens,
+                                    std::vector<LintFinding>* findings) {
+  if (PathHasPrefix(path, "src/linalg/")) return;
+  for (const Token& t : tokens) {
+    if (t.is_ident && (t.text == "converged" || t.text == "max_residual")) {
+      return;  // the file consults convergence somewhere
+    }
+  }
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    if (!tokens[i].is_ident || tokens[i].text != "eigenvectors") continue;
+    if (tokens[i - 1].text != "." && tokens[i - 1].text != "->") continue;
+    findings->push_back(
+        {path, tokens[i].line, kRuleUncheckedEigen,
+         "EigenResult eigenvectors consumed without consulting 'converged' "
+         "anywhere in this file; check it (or route through "
+         "ExtremeEigenvectors, which runs the fallback ladder)"});
+  }
+}
+
 std::string NormalizeSlashes(std::string path) {
   std::replace(path.begin(), path.end(), '\\', '/');
   return path;
@@ -472,6 +500,7 @@ std::vector<LintFinding> LintSource(
   CheckLibraryPrints(norm, tokens, &findings);
   CheckDiscardedStatus(norm, tokens, status_fns, &findings);
   CheckParallelForMutation(norm, tokens, &findings);
+  CheckUncheckedEigenConvergence(norm, tokens, &findings);
   std::sort(findings.begin(), findings.end(),
             [](const LintFinding& a, const LintFinding& b) {
               return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);

@@ -46,6 +46,10 @@ std::vector<std::string> CollectStatusFunctionNames(const std::string& header);
 ///     state neither lambda-local nor element-indexed; the blocked-reduction
 ///     helpers (ParallelBlockedSum/ParallelBlockedReduce) are the sanctioned
 ///     way to accumulate and are not flagged.
+///   - unchecked-eigen-convergence: member access to `eigenvectors` in a
+///     file that never mentions `converged` (or `max_residual`) — a
+///     non-converged Lanczos basis silently consumed as an eigenbasis.
+///     src/linalg/ (the solver internals) is exempt.
 std::vector<LintFinding> LintSource(
     const std::string& path, const std::string& source,
     const std::vector<std::string>& status_function_names);
