@@ -1,0 +1,180 @@
+// Micro-bench of the supergraph-mining fast path (Algorithm 1 end to end)
+// on a generated >=50k-segment city network:
+//
+//   - baseline kappa sweep: KMeans1D(vector) per kappa — re-sorts the sample
+//     for every kappa (the pre-fast-path Phase A cost),
+//   - workspace kappa sweep: one Sorted1DWorkspace, serial and parallel,
+//   - MineSupergraph end to end at 1 and DefaultParallelism() threads, with
+//     an output fingerprint proving the runs are identical.
+//
+// Prints one JSON object per line; results/BENCH_mining_fastpath.json
+// records a captured run (see EXPERIMENTS.md).
+
+#include <cstdio>
+#include <cstring>
+
+#include "bench/bench_common.h"
+#include "cluster/kmeans1d.h"
+#include "cluster/optimality.h"
+#include "common/timer.h"
+
+using namespace roadpart;
+using namespace roadpart::bench;
+
+namespace {
+
+// FNV-1a over raw bytes; doubles are hashed bit-exactly, so two runs fingerprint
+// equal only if every member id, feature, weight and report entry matches.
+struct Fnv {
+  uint64_t h = 1469598103934665603ULL;
+  void Bytes(const void* p, size_t n) {
+    const unsigned char* b = static_cast<const unsigned char*>(p);
+    for (size_t i = 0; i < n; ++i) {
+      h ^= b[i];
+      h *= 1099511628211ULL;
+    }
+  }
+  void Int(int v) { Bytes(&v, sizeof(v)); }
+  void Double(double v) { Bytes(&v, sizeof(v)); }
+};
+
+uint64_t FingerprintMining(const Supergraph& sg,
+                           const SupergraphMiningReport& rep) {
+  Fnv f;
+  f.Int(sg.num_supernodes());
+  for (const Supernode& sn : sg.supernodes()) {
+    f.Int(static_cast<int>(sn.members.size()));
+    for (int v : sn.members) f.Int(v);
+    f.Double(sn.feature);
+  }
+  const CsrGraph& links = sg.links();
+  for (int s = 0; s < links.num_nodes(); ++s) {
+    for (size_t i = 0; i < links.Neighbors(s).size(); ++i) {
+      f.Int(s);
+      f.Int(links.Neighbors(s)[i]);
+      f.Double(links.NeighborWeights(s)[i]);
+    }
+  }
+  for (int k : rep.kappas) f.Int(k);
+  for (double m : rep.mcg) f.Double(m);
+  for (int k : rep.shortlisted_kappas) f.Int(k);
+  for (int c : rep.component_counts) f.Int(c);
+  f.Double(rep.threshold);
+  f.Int(rep.chosen_kappa);
+  f.Int(rep.supernodes_before_stability);
+  f.Int(rep.supernodes_after_stability);
+  for (double s : rep.stability_values) f.Double(s);
+  return f.h;
+}
+
+double BestOf(int runs, const std::function<double()>& fn) {
+  double best = -1.0;
+  for (int r = 0; r < runs; ++r) {
+    double s = fn();
+    if (best < 0.0 || s < best) best = s;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool fingerprint_only =
+      argc > 1 && std::strcmp(argv[1], "--fingerprint") == 0;
+
+  // >=50k segments: the M1/M2 scale where the serial sweep dominates.
+  CityOptions city;
+  city.num_intersections = 30000;
+  city.target_segments = 52000;
+  city.area_sq_miles = 40.0;
+  city.seed = 17;
+  RoadNetwork net = GenerateCityNetwork(city).value();
+  CongestionFieldOptions field;
+  field.num_hotspots = 8;
+  field.voronoi_tiling = true;
+  field.seed = 1017;
+  CongestionField congestion(net, field);
+  RP_CHECK(net.SetDensities(congestion.Densities()).ok());
+  RoadGraph rg = RoadGraph::FromNetwork(net);
+  const int n = rg.num_nodes();
+
+  SupergraphMinerOptions options;  // defaults: max_kappa 30, sample 5000
+
+  // The sampled sweep values, exactly as MineSupergraph draws them.
+  std::vector<double> sample = rg.features();
+  if (options.sample_size > 0 && n > options.sample_size) {
+    Rng rng(options.seed);
+    rng.Shuffle(sample);
+    sample.resize(options.sample_size);
+  }
+  const int max_kappa = std::min<int>(options.max_kappa,
+                                      static_cast<int>(sample.size()));
+
+  const int runs = NumRuns(5);
+  const int threads = BenchThreads();
+
+  if (!fingerprint_only) {
+    std::printf("{\"bench\": \"mining_fastpath\", \"segments\": %d, "
+                "\"sample\": %zu, \"max_kappa\": %d, \"runs\": %d, "
+                "\"threads\": %d}\n",
+                n, sample.size(), max_kappa, runs, threads);
+
+    // Baseline Phase A: sort-per-kappa (the pre-fast-path cost model).
+    double baseline_sweep = BestOf(runs, [&] {
+      Timer t;
+      for (int kappa = 2; kappa <= max_kappa; ++kappa) {
+        auto km = KMeans1D(sample, kappa).value();
+        auto mcg = ModeratedClusteringGain(sample, km.assignment, kappa);
+        RP_CHECK(mcg.ok());
+      }
+      return t.Seconds();
+    });
+    std::printf("{\"phase\": \"sweep_baseline_sort_per_kappa\", "
+                "\"seconds\": %.6f}\n", baseline_sweep);
+
+    // Workspace Phase A, serial and parallel.
+    for (int t_count : {1, threads}) {
+      double ws_sweep = BestOf(runs, [&] {
+        ScopedParallelism scoped(t_count);
+        Timer t;
+        Sorted1DWorkspace ws(sample);
+        std::vector<double> mcg(max_kappa - 1, 0.0);
+        ParallelFor(
+            max_kappa - 1,
+            [&](int i) {
+              auto km = KMeans1D(ws, i + 2).value();
+              mcg[i] =
+                  ModeratedClusteringGain(sample, km.assignment, i + 2).value();
+            },
+            t_count, /*grain=*/1);
+        return t.Seconds();
+      });
+      std::printf("{\"phase\": \"sweep_workspace\", \"threads\": %d, "
+                  "\"seconds\": %.6f}\n", t_count, ws_sweep);
+      if (t_count == threads) break;  // threads may be 1
+    }
+  }
+
+  // End to end, with fingerprints.
+  uint64_t fp_serial = 0;
+  for (int t_count : {1, threads}) {
+    ScopedParallelism scoped(t_count);
+    uint64_t fp = 0;
+    double total = BestOf(fingerprint_only ? 1 : runs, [&] {
+      SupergraphMiningReport rep;
+      Timer t;
+      auto sg = MineSupergraph(rg, options, &rep);
+      double s = t.Seconds();
+      RP_CHECK(sg.ok());
+      fp = FingerprintMining(*sg, rep);
+      return s;
+    });
+    if (t_count == 1) fp_serial = fp;
+    RP_CHECK_EQ(fp, fp_serial);  // thread count must not change the output
+    std::printf("{\"phase\": \"mine_supergraph_end_to_end\", \"threads\": %d, "
+                "\"seconds\": %.6f, \"fingerprint\": \"%016llx\"}\n",
+                t_count, total, static_cast<unsigned long long>(fp));
+    if (t_count == threads) break;
+  }
+  return 0;
+}

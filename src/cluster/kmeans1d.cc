@@ -4,53 +4,81 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/fault_injection.h"
 #include "common/string_util.h"
 
 namespace roadpart {
 
+Sorted1DWorkspace::Sorted1DWorkspace(const std::vector<double>& values) {
+  const int n = static_cast<int>(values.size());
+  order_.resize(n);
+  std::iota(order_.begin(), order_.end(), 0);
+  std::sort(order_.begin(), order_.end(),
+            [&](int a, int b) { return values[a] < values[b]; });
+  sorted_.resize(n);
+  for (int i = 0; i < n; ++i) sorted_[i] = values[order_[i]];
+
+  // Prefix sums for O(1) range means.
+  prefix_.assign(n + 1, 0.0);
+  prefix_sq_.assign(n + 1, 0.0);
+  for (int i = 0; i < n; ++i) {
+    prefix_[i + 1] = prefix_[i] + sorted_[i];
+    prefix_sq_[i + 1] = prefix_sq_[i] + sorted_[i] * sorted_[i];
+  }
+
+  for (int i = 0; i < n; ++i) {
+    if (i == 0 || sorted_[i] != sorted_[i - 1]) ++num_distinct_;
+  }
+}
+
 Result<KMeans1DResult> KMeans1D(const std::vector<double>& values, int k,
                                 int max_iterations) {
-  const int n = static_cast<int>(values.size());
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  if (k > static_cast<int>(values.size())) {
+    return Status::InvalidArgument(StrPrintf(
+        "k=%d exceeds data size %d", k, static_cast<int>(values.size())));
+  }
+  return KMeans1D(Sorted1DWorkspace(values), k, max_iterations);
+}
+
+Result<KMeans1DResult> KMeans1D(const Sorted1DWorkspace& workspace, int k,
+                                int max_iterations) {
+  const int n = workspace.size();
   if (k <= 0) return Status::InvalidArgument("k must be positive");
   if (k > n) {
     return Status::InvalidArgument(
         StrPrintf("k=%d exceeds data size %d", k, n));
   }
-
-  // Sort once; iterate on the sorted sequence and map back at the end.
-  std::vector<int> order(n);
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(),
-            [&](int a, int b) { return values[a] < values[b]; });
-  std::vector<double> sorted(n);
-  for (int i = 0; i < n; ++i) sorted[i] = values[order[i]];
-
-  // Prefix sums for O(1) range means.
-  std::vector<double> prefix(n + 1, 0.0);
-  std::vector<double> prefix_sq(n + 1, 0.0);
-  for (int i = 0; i < n; ++i) {
-    prefix[i + 1] = prefix[i] + sorted[i];
-    prefix_sq[i + 1] = prefix_sq[i] + sorted[i] * sorted[i];
+  if (RP_FAULT_FIRES(FaultSite::kKMeans1DWorkspaceCorruption)) {
+    return Status::Internal("injected: shared 1-D k-means workspace corrupt");
   }
+
+  const std::vector<double>& sorted = workspace.sorted();
+  const std::vector<double>& prefix = workspace.prefix();
+  const std::vector<double>& prefix_sq = workspace.prefix_sq();
+
+  // Duplicate-heavy inputs: more clusters than distinct values can never all
+  // be non-empty, so cap the effective k (see the contract in kmeans1d.h).
+  const int eff_k = std::min(k, workspace.num_distinct());
 
   // Paper initialization: mean_j seeded with the sorted value at (1-based)
   // index (n/k)*j for j = 1..k, i.e. 0-based index (n*j)/k - 1.
-  std::vector<double> means(k);
-  for (int j = 1; j <= k; ++j) {
-    int idx = std::clamp((n * j) / k - 1, 0, n - 1);
+  std::vector<double> means(eff_k);
+  for (int j = 1; j <= eff_k; ++j) {
+    int idx = std::clamp((n * j) / eff_k - 1, 0, n - 1);
     means[j - 1] = sorted[idx];
   }
   std::sort(means.begin(), means.end());
 
   // In 1-D with sorted means, clusters are contiguous runs split at the
   // midpoints between consecutive means.
-  std::vector<int> boundary(k + 1, 0);  // cluster c covers [boundary[c], boundary[c+1])
-  boundary[k] = n;
+  std::vector<int> boundary(eff_k + 1, 0);  // cluster c covers [boundary[c], boundary[c+1])
+  boundary[eff_k] = n;
   std::vector<int> prev_boundary;
 
   int iterations = 0;
   for (; iterations < max_iterations; ++iterations) {
-    for (int c = 1; c < k; ++c) {
+    for (int c = 1; c < eff_k; ++c) {
       double mid = 0.5 * (means[c - 1] + means[c]);
       boundary[c] = static_cast<int>(
           std::upper_bound(sorted.begin(), sorted.end(), mid) -
@@ -60,7 +88,7 @@ Result<KMeans1DResult> KMeans1D(const std::vector<double>& values, int k,
     if (boundary == prev_boundary) break;
     prev_boundary = boundary;
 
-    for (int c = 0; c < k; ++c) {
+    for (int c = 0; c < eff_k; ++c) {
       int lo = boundary[c];
       int hi = boundary[c + 1];
       if (hi > lo) {
@@ -72,28 +100,33 @@ Result<KMeans1DResult> KMeans1D(const std::vector<double>& values, int k,
     std::sort(means.begin(), means.end());
   }
 
-  // Re-seed clusters that converged empty by splitting the widest cluster at
-  // its extreme value; repeat until all non-empty (bounded by k passes).
-  for (int guard = 0; guard < k; ++guard) {
+  // Re-seed clusters that converged empty by splitting the largest cluster
+  // that still spans >= 2 distinct values at its extreme value (a cluster of
+  // pure duplicates cannot be split: both halves would share one mean and
+  // the empty cluster would come straight back). eff_k <= num_distinct
+  // guarantees such a cluster exists whenever any cluster is empty.
+  for (int guard = 0; guard < eff_k; ++guard) {
     bool any_empty = false;
-    for (int c = 0; c < k; ++c) {
+    for (int c = 0; c < eff_k; ++c) {
       if (boundary[c + 1] == boundary[c]) {
         any_empty = true;
-        // Find the largest cluster and move its farthest point out.
-        int big = 0;
-        for (int c2 = 1; c2 < k; ++c2) {
-          if (boundary[c2 + 1] - boundary[c2] >
-              boundary[big + 1] - boundary[big]) {
+        int big = -1;
+        for (int c2 = 0; c2 < eff_k; ++c2) {
+          if (boundary[c2 + 1] - boundary[c2] < 2) continue;
+          if (sorted[boundary[c2 + 1] - 1] <= sorted[boundary[c2]]) continue;
+          if (big < 0 ||
+              boundary[c2 + 1] - boundary[c2] >
+                  boundary[big + 1] - boundary[big]) {
             big = c2;
           }
         }
-        if (boundary[big + 1] - boundary[big] <= 1) break;
+        if (big < 0) break;
         means[c] = sorted[boundary[big + 1] - 1];
         double mu_big = (prefix[boundary[big + 1]] - prefix[boundary[big]]) /
                         (boundary[big + 1] - boundary[big]);
         means[big] = mu_big;
         std::sort(means.begin(), means.end());
-        for (int c2 = 1; c2 < k; ++c2) {
+        for (int c2 = 1; c2 < eff_k; ++c2) {
           double mid = 0.5 * (means[c2 - 1] + means[c2]);
           boundary[c2] = static_cast<int>(
               std::upper_bound(sorted.begin(), sorted.end(), mid) -
@@ -106,12 +139,32 @@ Result<KMeans1DResult> KMeans1D(const std::vector<double>& values, int k,
     if (!any_empty) break;
   }
 
+  // Deterministic last-resort repair: should re-seeding ever converge with a
+  // residual empty cluster, distribute the distinct-value runs evenly. Each
+  // cluster then owns >= 1 run (eff_k <= num_distinct), so none is empty.
+  bool still_empty = false;
+  for (int c = 0; c < eff_k; ++c) {
+    still_empty = still_empty || boundary[c + 1] == boundary[c];
+  }
+  if (still_empty) {
+    std::vector<int> run_starts;
+    run_starts.reserve(workspace.num_distinct());
+    for (int i = 0; i < n; ++i) {
+      if (i == 0 || sorted[i] != sorted[i - 1]) run_starts.push_back(i);
+    }
+    for (int c = 0; c < eff_k; ++c) {
+      boundary[c] = run_starts[static_cast<size_t>(c) * run_starts.size() /
+                               static_cast<size_t>(eff_k)];
+    }
+    boundary[eff_k] = n;
+  }
+
   KMeans1DResult result;
   result.iterations = iterations;
   result.assignment.assign(n, 0);
-  result.means.assign(k, 0.0);
+  result.means.assign(eff_k, 0.0);
   result.wcss = 0.0;
-  for (int c = 0; c < k; ++c) {
+  for (int c = 0; c < eff_k; ++c) {
     int lo = boundary[c];
     int hi = boundary[c + 1];
     if (hi > lo) {
@@ -121,7 +174,7 @@ Result<KMeans1DResult> KMeans1D(const std::vector<double>& values, int k,
     } else {
       result.means[c] = means[c];
     }
-    for (int i = lo; i < hi; ++i) result.assignment[order[i]] = c;
+    for (int i = lo; i < hi; ++i) result.assignment[workspace.order()[i]] = c;
   }
   // Numerical noise can push wcss epsilon-negative.
   result.wcss = std::max(0.0, result.wcss);

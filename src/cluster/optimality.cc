@@ -49,12 +49,7 @@ Result<ClusterErrorSums> ComputeClusterErrorSums(
     int num_clusters) {
   RP_ASSIGN_OR_RETURN(std::vector<PerCluster> stats,
                       Summarize(values, assignment, num_clusters));
-  double global_mean = 0.0;
-  if (!values.empty()) {
-    double total = 0.0;
-    for (double v : values) total += v;
-    global_mean = total / static_cast<double>(values.size());
-  }
+  const double global_mean = GlobalMean(values);
 
   ClusterErrorSums sums;
   for (const PerCluster& s : stats) {
@@ -68,18 +63,25 @@ Result<ClusterErrorSums> ComputeClusterErrorSums(
   return sums;
 }
 
+double GlobalMean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double total = 0.0;
+  for (double v : values) total += v;
+  return total / static_cast<double>(values.size());
+}
+
 Result<double> ModeratedClusteringGain(const std::vector<double>& values,
                                        const std::vector<int>& assignment,
                                        int num_clusters) {
+  return ModeratedClusteringGain(values, assignment, num_clusters,
+                                 GlobalMean(values));
+}
+
+Result<double> ModeratedClusteringGain(const std::vector<double>& values,
+                                       const std::vector<int>& assignment,
+                                       int num_clusters, double global_mean) {
   RP_ASSIGN_OR_RETURN(std::vector<PerCluster> stats,
                       Summarize(values, assignment, num_clusters));
-  double global_mean = 0.0;
-  if (!values.empty()) {
-    double total = 0.0;
-    for (double v : values) total += v;
-    global_mean = total / static_cast<double>(values.size());
-  }
-
   double theta = 0.0;
   for (const PerCluster& s : stats) {
     if (s.count == 0) continue;

@@ -26,6 +26,12 @@ Result<ClusterErrorSums> ComputeClusterErrorSums(
     const std::vector<double>& values, const std::vector<int>& assignment,
     int num_clusters);
 
+/// Mean of `values` (0 for empty input), summed serially in input order —
+/// bit-identical to the mean every optimality measure derives internally.
+/// Sweeps that score many clusterings of the same data hoist this one O(n)
+/// sum and pass it to the overload below.
+double GlobalMean(const std::vector<double>& values);
+
 /// Moderated clustering gain (Equation 1):
 ///   Theta(C)   = sum_q Theta1(C_q) * Theta2(C_q)
 ///   Theta1     = (|C_q|-1) * (mu_q - mu_0)^2
@@ -36,6 +42,13 @@ Result<ClusterErrorSums> ComputeClusterErrorSums(
 Result<double> ModeratedClusteringGain(const std::vector<double>& values,
                                        const std::vector<int>& assignment,
                                        int num_clusters);
+
+/// Sweep form: `global_mean` must equal GlobalMean(values); skips the
+/// per-call re-summation of the whole data vector (the kappa sweep calls
+/// this once per kappa on the same values).
+Result<double> ModeratedClusteringGain(const std::vector<double>& values,
+                                       const std::vector<int>& assignment,
+                                       int num_clusters, double global_mean);
 
 /// Clustering gain Delta(C) of Jung et al. [6] — maximum indicates the
 /// optimal k.

@@ -33,6 +33,8 @@ const char* FaultSiteName(FaultSite site) {
       return "lanczos-nonconvergence";
     case FaultSite::kKMeansDegenerateEmbedding:
       return "kmeans-degenerate-embedding";
+    case FaultSite::kKMeans1DWorkspaceCorruption:
+      return "kmeans1d-workspace-corruption";
     case FaultSite::kFaultSiteCount:
       break;
   }

@@ -27,6 +27,12 @@ enum class FaultSite {
   /// KMeansRows: the input rows are replaced by an all-zero matrix (a
   /// degenerate spectral embedding where every node collapses to one point).
   kKMeansDegenerateEmbedding,
+  /// KMeans1D (workspace form): the shared Sorted1DWorkspace behind the
+  /// miner's kappa sweep reports itself corrupt. Queried from inside the
+  /// sweep's ParallelFor, so arming it proves the per-slot Status plumbing
+  /// of the parallel sweep surfaces a clean error instead of crashing; arm
+  /// with an unlimited budget for determinism across thread counts.
+  kKMeans1DWorkspaceCorruption,
   kFaultSiteCount,  ///< sentinel; keep last
 };
 

@@ -80,6 +80,11 @@ void ParallelFor(int count, const std::function<void(int)>& fn,
       num_threads);
 }
 
+void ParallelForTasks(int count, const std::function<void(int)>& fn,
+                      int num_threads) {
+  ParallelFor(count, fn, num_threads, /*grain=*/1);
+}
+
 void ParallelForBlocked(int64_t count, int64_t grain,
                         const std::function<void(int64_t, int64_t)>& fn,
                         int num_threads) {

@@ -56,6 +56,16 @@ void ParallelFor(int count, const std::function<void(int)>& fn,
 void ParallelFor(int count, const std::function<void(int)>& fn,
                  int num_threads, int grain);
 
+/// Coarse-task loop: each index is one heavy unit of work (a whole clustering
+/// run, a whole solve), so the grain is pinned to 1 — the block decomposition
+/// is one index per block regardless of thread count, single-index loops run
+/// inline, and `fn` keeps the same determinism obligations as ParallelFor
+/// (disjoint writes only; results may not depend on execution order). The
+/// shared entry point for task-level parallelism such as the supergraph
+/// miner's per-kappa sweep, as opposed to the data-level grain-tuned kernels.
+void ParallelForTasks(int count, const std::function<void(int)>& fn,
+                      int num_threads = 0);
+
 /// Runs fn(begin, end) over the fixed block decomposition of [0, count) into
 /// blocks of `grain` (the last block may be shorter). The decomposition
 /// depends only on (count, grain) — never on the thread count — which is what

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
+#include <cstdint>
 #include <utility>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/string_util.h"
+#include "common/timer.h"
 #include "cluster/kmeans1d.h"
 #include "cluster/optimality.h"
 #include "graph/connected_components.h"
@@ -41,11 +43,24 @@ Result<Supergraph> MineSupergraph(const RoadGraph& road_graph,
   const std::vector<double>& features = road_graph.features();
   const int n = graph.num_nodes();
   if (n == 0) return Status::InvalidArgument("empty road graph");
+  if (options.sample_size > 0 && options.sample_size < 3) {
+    return Status::InvalidArgument(StrPrintf(
+        "sample_size=%d: need >= 3 (or <= 0 to disable sampling)",
+        options.sample_size));
+  }
 
   SupergraphMiningReport local_report;
   SupergraphMiningReport& rep = report != nullptr ? *report : local_report;
 
   // --- Phase A: MCG sweep over kappa on (sampled) feature values. ---
+  // Every kappa is an independent clustering of the same data, so the sweep
+  // shares one Sorted1DWorkspace (one sort + prefix-sum pass instead of one
+  // per kappa) and fans the kappas out through ParallelForTasks. Each task
+  // writes only its own slot of the kappa-indexed result arrays, and the
+  // post-join consumption loops run in ascending kappa order — thread counts
+  // can never reorder a rounding sequence, so the sweep stays bit-identical
+  // to a serial run (the contract of common/parallel.h).
+  Timer sweep_timer;
   std::vector<double> sweep_values = features;
   if (options.sample_size > 0 &&
       n > options.sample_size) {
@@ -55,20 +70,45 @@ Result<Supergraph> MineSupergraph(const RoadGraph& road_graph,
   }
   const int max_kappa =
       std::min<int>(options.max_kappa,
-                    static_cast<int>(sweep_values.size()) - 1);
+                    static_cast<int>(sweep_values.size()));
   if (max_kappa < 2) {
     return Status::InvalidArgument("too few feature values for a kappa sweep");
   }
+  rep.effective_max_kappa = max_kappa;
+
+  const int num_sweep = max_kappa - 1;  // kappa = 2 .. max_kappa inclusive
+  rep.kappas.resize(num_sweep);
+  rep.mcg.assign(num_sweep, 0.0);
+  {
+    const Sorted1DWorkspace sweep_workspace(sweep_values);
+    const double sweep_mean = GlobalMean(sweep_values);
+    std::vector<Status> sweep_status(num_sweep);
+    ParallelForTasks(num_sweep, [&](int i) {
+      const int kappa = i + 2;
+      rep.kappas[i] = kappa;
+      auto km = KMeans1D(sweep_workspace, kappa);
+      if (!km.ok()) {
+        sweep_status[i] = km.status();
+        return;
+      }
+      auto mcg = ModeratedClusteringGain(sweep_values, km->assignment, kappa,
+                                         sweep_mean);
+      if (!mcg.ok()) {
+        sweep_status[i] = mcg.status();
+        return;
+      }
+      rep.mcg[i] = *mcg;
+    });
+    for (const Status& status : sweep_status) {
+      if (!status.ok()) return status;
+    }
+  }
 
   double best_mcg = 0.0;
-  for (int kappa = 2; kappa <= max_kappa; ++kappa) {
-    RP_ASSIGN_OR_RETURN(KMeans1DResult km, KMeans1D(sweep_values, kappa));
-    RP_ASSIGN_OR_RETURN(
-        double mcg,
-        ModeratedClusteringGain(sweep_values, km.assignment, kappa));
-    rep.kappas.push_back(kappa);
-    rep.mcg.push_back(mcg);
-    best_mcg = std::max(best_mcg, mcg);
+  size_t best_idx = 0;
+  for (size_t i = 0; i < rep.mcg.size(); ++i) {
+    best_mcg = std::max(best_mcg, rep.mcg[i]);
+    if (rep.mcg[i] > rep.mcg[best_idx]) best_idx = i;
   }
 
   double threshold = options.mcg_threshold_absolute >= 0.0
@@ -76,33 +116,68 @@ Result<Supergraph> MineSupergraph(const RoadGraph& road_graph,
                          : options.mcg_threshold_fraction * best_mcg;
   rep.threshold = threshold;
 
-  for (size_t i = 0; i < rep.kappas.size(); ++i) {
-    if (rep.mcg[i] >= threshold) {
-      rep.shortlisted_kappas.push_back(rep.kappas[i]);
-    }
-  }
-  if (rep.shortlisted_kappas.empty()) {
-    // Threshold above every observed MCG: fall back to the arg-max kappa.
-    size_t best_idx = 0;
-    for (size_t i = 1; i < rep.mcg.size(); ++i) {
-      if (rep.mcg[i] > rep.mcg[best_idx]) best_idx = i;
-    }
+  if (best_mcg <= 0.0) {
+    // Degenerate sweep (e.g. constant densities): every MCG is 0, so any
+    // threshold derived from the curve shortlists either everything (the
+    // historical bug: fraction * 0 == 0 passed all kappas to Phase B) or
+    // nothing. Either way the curve carries no signal — shortlist only the
+    // arg-max kappa (ties resolve to the smallest).
     rep.shortlisted_kappas.push_back(rep.kappas[best_idx]);
+  } else {
+    for (size_t i = 0; i < rep.kappas.size(); ++i) {
+      if (rep.mcg[i] >= threshold) {
+        rep.shortlisted_kappas.push_back(rep.kappas[i]);
+      }
+    }
+    if (rep.shortlisted_kappas.empty()) {
+      // Threshold above every observed MCG: fall back to the arg-max kappa.
+      rep.shortlisted_kappas.push_back(rep.kappas[best_idx]);
+    }
   }
+  rep.sweep_seconds = sweep_timer.Seconds();
 
   // --- Phase B: full-data clustering per shortlisted kappa; pick the
   // configuration with the fewest label-constrained connected components
   // (Algorithm 1 lines 10-16). ---
+  // Same recipe as Phase A: one shared workspace over the full feature
+  // vector, one task per shortlisted kappa writing its own slot, and the
+  // winner selected afterwards in shortlist order — identical to the serial
+  // scan at any thread count.
+  Timer cluster_timer;
+  const int num_shortlisted = static_cast<int>(rep.shortlisted_kappas.size());
+  std::vector<KMeans1DResult> clusterings(num_shortlisted);
+  std::vector<ComponentLabels> components(num_shortlisted);
+  std::vector<Status> cluster_status(num_shortlisted);
+  std::vector<char> evaluated(num_shortlisted, 0);
+  {
+    const Sorted1DWorkspace full_workspace(features);
+    ParallelForTasks(num_shortlisted, [&](int i) {
+      const int kappa = rep.shortlisted_kappas[i];
+      if (kappa > n) return;  // leave evaluated[i] == 0: skipped, not failed
+      auto km = KMeans1D(full_workspace, kappa);
+      if (!km.ok()) {
+        cluster_status[i] = km.status();
+        return;
+      }
+      components[i] = LabelConstrainedComponents(graph, km->assignment);
+      clusterings[i] = std::move(km).value();
+      evaluated[i] = 1;
+    });
+  }
+  for (const Status& status : cluster_status) {
+    if (!status.ok()) return status;
+  }
+
   int best_components = n + 1;
   std::vector<int> best_component_of;
   std::vector<int> best_cluster_of;
   std::vector<double> best_means;
   int chosen_kappa = 0;
   bool best_qualifies = false;
-  for (int kappa : rep.shortlisted_kappas) {
-    if (kappa > n) continue;
-    RP_ASSIGN_OR_RETURN(KMeans1DResult km, KMeans1D(features, kappa));
-    ComponentLabels comps = LabelConstrainedComponents(graph, km.assignment);
+  for (int i = 0; i < num_shortlisted; ++i) {
+    if (!evaluated[i]) continue;
+    const int kappa = rep.shortlisted_kappas[i];
+    ComponentLabels& comps = components[i];
     rep.component_counts.push_back(comps.num_components);
     bool qualifies = comps.num_components >= options.min_supernodes;
     // Fewest components wins among qualifying configurations; if none
@@ -118,8 +193,8 @@ Result<Supergraph> MineSupergraph(const RoadGraph& road_graph,
     if (better) {
       best_components = comps.num_components;
       best_component_of = std::move(comps.component);
-      best_cluster_of = std::move(km.assignment);
-      best_means = std::move(km.means);
+      best_cluster_of = std::move(clusterings[i].assignment);
+      best_means = std::move(clusterings[i].means);
       chosen_kappa = kappa;
       best_qualifies = qualifies;
     }
@@ -129,6 +204,7 @@ Result<Supergraph> MineSupergraph(const RoadGraph& road_graph,
   }
   rep.chosen_kappa = chosen_kappa;
   rep.supernodes_before_stability = best_components;
+  rep.cluster_seconds = cluster_timer.Seconds();
 
   // Supernode member lists; feature = mean of the k-means cluster the
   // component's nodes belong to (lines 17-20).
@@ -167,11 +243,16 @@ Result<Supergraph> MineSupergraph(const RoadGraph& road_graph,
   }
 
   // --- Phase D: superlink establishment and weighting (lines 21-25). ---
+  Timer superlink_timer;
   std::vector<int> owner(n, -1);
   for (size_t s = 0; s < supernodes.size(); ++s) {
     for (int v : supernodes[s].members) owner[v] = static_cast<int>(s);
   }
-  std::map<std::pair<int, int>, int> cross_links;  // (p<q) -> |L_pq|
+  // Flat accumulation: gather one packed (p, q) key per cross edge, sort,
+  // and count runs. The sorted key order equals the old ordered-map
+  // iteration order, at a fraction of the allocation and cache cost.
+  std::vector<uint64_t> cross_keys;
+  cross_keys.reserve(static_cast<size_t>(graph.num_edges()));
   for (int u = 0; u < n; ++u) {
     for (int v : graph.Neighbors(u)) {
       if (u >= v) continue;
@@ -179,9 +260,11 @@ Result<Supergraph> MineSupergraph(const RoadGraph& road_graph,
       int q = owner[v];
       if (p == q) continue;
       if (p > q) std::swap(p, q);
-      cross_links[{p, q}]++;
+      cross_keys.push_back((static_cast<uint64_t>(p) << 32) |
+                           static_cast<uint32_t>(q));
     }
   }
+  std::sort(cross_keys.begin(), cross_keys.end());
 
   std::vector<double> sfeatures(supernodes.size());
   for (size_t s = 0; s < supernodes.size(); ++s) {
@@ -190,15 +273,21 @@ Result<Supergraph> MineSupergraph(const RoadGraph& road_graph,
   const double sigma_sq = Variance(sfeatures);
 
   std::vector<Edge> superlinks;
-  superlinks.reserve(cross_links.size());
-  for (const auto& [pq, count] : cross_links) {
-    double w = SuperlinkWeight(sfeatures[pq.first], sfeatures[pq.second],
-                               count, sigma_sq, options.weight_scheme);
-    superlinks.push_back({pq.first, pq.second, w});
+  for (size_t i = 0; i < cross_keys.size();) {
+    size_t j = i;
+    while (j < cross_keys.size() && cross_keys[j] == cross_keys[i]) ++j;
+    const int p = static_cast<int>(cross_keys[i] >> 32);
+    const int q = static_cast<int>(cross_keys[i] & 0xffffffffu);
+    double w = SuperlinkWeight(sfeatures[p], sfeatures[q],
+                               static_cast<int>(j - i), sigma_sq,
+                               options.weight_scheme);
+    superlinks.push_back({p, q, w});
+    i = j;
   }
   RP_ASSIGN_OR_RETURN(
       CsrGraph links,
       CsrGraph::FromEdges(static_cast<int>(supernodes.size()), superlinks));
+  rep.superlink_seconds = superlink_timer.Seconds();
 
   return Supergraph::Create(std::move(supernodes), std::move(links), n);
 }

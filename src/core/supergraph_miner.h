@@ -39,7 +39,8 @@ struct SupergraphMinerOptions {
   /// MCG sweep runs on a random sample of at most this many feature values
   /// (Section 4.1 does exactly this to keep repeated k-means affordable);
   /// the final clustering always runs on the full data. <=0 disables
-  /// sampling.
+  /// sampling; positive values below 3 are rejected (a sweep needs at least
+  /// kappa = 2 over 3 values to say anything).
   int sample_size = 5000;
   /// Lower bound on the supernode count: among the shortlisted clustering
   /// configurations, ones producing fewer connected components than this are
@@ -61,10 +62,19 @@ struct SupergraphMiningReport {
   std::vector<int> shortlisted_kappas; ///< kappas with MCG >= threshold
   std::vector<int> component_counts;   ///< supernode count per shortlisted kappa
   double threshold = 0.0;              ///< resolved epsilon_theta
+  /// Inclusive ceiling of the sweep actually run: min(options.max_kappa,
+  /// number of (sampled) sweep values).
+  int effective_max_kappa = 0;
   int chosen_kappa = 0;
   int supernodes_before_stability = 0;
   int supernodes_after_stability = 0;
   std::vector<double> stability_values;  ///< eta per final supernode
+  /// Wall-clock breakdown of the mining fast path (bench_micro_mining /
+  /// bench_table3_runtime): Phase A sampled kappa sweep, Phase B full-data
+  /// clustering + components, Phase D superlink accumulation.
+  double sweep_seconds = 0.0;
+  double cluster_seconds = 0.0;
+  double superlink_seconds = 0.0;
 };
 
 /// Mines the condensed road supergraph from a road graph (Algorithm 1):

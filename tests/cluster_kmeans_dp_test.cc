@@ -94,6 +94,62 @@ TEST(KMeans1DOptimalTest, LloydWithPaperInitIsNearOptimal) {
   EXPECT_NEAR(lloyd.wcss, optimal.wcss, 1e-9);
 }
 
+TEST(KMeans1DOptimalTest, PropertyCrossCheckLloydVsDp) {
+  // Property test over seeded random inputs, including duplicate-heavy
+  // ones: for every (values, k)
+  //   - DP WCSS <= Lloyd WCSS (DP is the exact optimum),
+  //   - Lloyd clusters are contiguous in sorted order,
+  //   - Lloyd means are strictly related to cluster ids (sorted ascending),
+  //   - every Lloyd cluster id in [0, means.size()) is non-empty.
+  Rng rng(29);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = 10 + static_cast<int>(rng.NextBounded(120));
+    const bool duplicate_heavy = trial % 3 == 0;
+    std::vector<double> values;
+    for (int i = 0; i < n; ++i) {
+      double v = rng.NextDouble(0, 8);
+      if (duplicate_heavy) v = std::floor(v);  // collapse onto 8 values
+      values.push_back(v);
+    }
+    for (int k : {2, 3, 5, 7}) {
+      if (k > n) continue;
+      auto lloyd = KMeans1D(values, k);
+      ASSERT_TRUE(lloyd.ok()) << "trial=" << trial << " k=" << k;
+      const int eff_k = static_cast<int>(lloyd->means.size());
+      ASSERT_LE(eff_k, k);
+
+      auto optimal = KMeans1DOptimal(values, eff_k);
+      ASSERT_TRUE(optimal.ok()) << "trial=" << trial << " k=" << k;
+      EXPECT_LE(optimal->wcss, lloyd->wcss + 1e-9)
+          << "trial=" << trial << " k=" << k;
+
+      EXPECT_TRUE(std::is_sorted(lloyd->means.begin(), lloyd->means.end()))
+          << "trial=" << trial << " k=" << k;
+
+      std::vector<int> counts(eff_k, 0);
+      for (int a : lloyd->assignment) {
+        ASSERT_GE(a, 0);
+        ASSERT_LT(a, eff_k);
+        counts[a]++;
+      }
+      for (int c : counts) {
+        EXPECT_GT(c, 0) << "empty cluster, trial=" << trial << " k=" << k;
+      }
+
+      // Contiguity: sort (value, cluster) pairs; ids must be non-decreasing.
+      std::vector<std::pair<double, int>> pairs;
+      for (size_t i = 0; i < values.size(); ++i) {
+        pairs.emplace_back(values[i], lloyd->assignment[i]);
+      }
+      std::sort(pairs.begin(), pairs.end());
+      for (size_t i = 1; i < pairs.size(); ++i) {
+        EXPECT_LE(pairs[i - 1].second, pairs[i].second)
+            << "non-contiguous cluster, trial=" << trial << " k=" << k;
+      }
+    }
+  }
+}
+
 TEST(KMeans1DOptimalTest, InvalidArgs) {
   EXPECT_FALSE(KMeans1DOptimal({1.0}, 0).ok());
   EXPECT_FALSE(KMeans1DOptimal({1.0}, 2).ok());

@@ -62,6 +62,86 @@ TEST(KMeans1DTest, DuplicateValues) {
   EXPECT_NE(r->assignment[20], r->assignment[0]);
 }
 
+TEST(KMeans1DTest, AllEqualValuesCapEffectiveK) {
+  // Historical bug: with fewer distinct values than k, the re-seed loop gave
+  // up and returned silently empty clusters with stale means. The contract
+  // now caps the effective k at the distinct-value count.
+  std::vector<double> values(12, 4.0);
+  auto r = KMeans1D(values, 5);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->means.size(), 1u);
+  EXPECT_EQ(r->means[0], 4.0);
+  for (int a : r->assignment) EXPECT_EQ(a, 0);
+  EXPECT_NEAR(r->wcss, 0.0, 1e-12);
+}
+
+TEST(KMeans1DTest, TwoDistinctValuesWithKFive) {
+  std::vector<double> values = {1.0, 7.0, 1.0, 1.0, 7.0, 1.0, 7.0, 1.0};
+  auto r = KMeans1D(values, 5);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->means.size(), 2u);
+  EXPECT_EQ(r->means[0], 1.0);
+  EXPECT_EQ(r->means[1], 7.0);
+  // Every cluster id is used: no silently empty clusters.
+  std::vector<int> counts(r->means.size(), 0);
+  for (int a : r->assignment) {
+    ASSERT_GE(a, 0);
+    ASSERT_LT(a, static_cast<int>(r->means.size()));
+    counts[a]++;
+  }
+  for (int c : counts) EXPECT_GT(c, 0);
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(r->assignment[i], values[i] == 1.0 ? 0 : 1);
+  }
+  EXPECT_NEAR(r->wcss, 0.0, 1e-12);
+}
+
+TEST(KMeans1DTest, NoEmptyClustersUnderHeavyDuplication) {
+  // 48 copies of 1.0 plus a handful of spread-out values; every requested
+  // cluster must end up non-empty (the re-seed loop only splits clusters
+  // that span >= 2 distinct values).
+  std::vector<double> values(48, 1.0);
+  for (double v : {5.0, 9.0, 9.5, 14.0}) values.push_back(v);
+  auto r = KMeans1D(values, 4);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->means.size(), 4u);
+  std::vector<int> counts(4, 0);
+  for (int a : r->assignment) counts[a]++;
+  for (int c : counts) EXPECT_GT(c, 0);
+}
+
+TEST(KMeans1DTest, WorkspaceOverloadMatchesVectorOverload) {
+  Rng rng(23);
+  std::vector<double> values;
+  for (int i = 0; i < 300; ++i) values.push_back(rng.NextDouble(0, 4));
+  // Duplicate-heavy tail.
+  for (int i = 0; i < 100; ++i) values.push_back(2.5);
+  Sorted1DWorkspace workspace(values);
+  EXPECT_EQ(workspace.size(), static_cast<int>(values.size()));
+  for (int k : {2, 3, 5, 9}) {
+    auto direct = KMeans1D(values, k);
+    auto shared = KMeans1D(workspace, k);
+    ASSERT_TRUE(direct.ok() && shared.ok());
+    EXPECT_EQ(direct->assignment, shared->assignment) << "k=" << k;
+    EXPECT_EQ(direct->means, shared->means) << "k=" << k;
+    EXPECT_EQ(direct->wcss, shared->wcss) << "k=" << k;
+  }
+}
+
+TEST(KMeans1DTest, WorkspaceReportsDistinctCount) {
+  Sorted1DWorkspace workspace({3.0, 1.0, 3.0, 2.0, 1.0});
+  EXPECT_EQ(workspace.size(), 5);
+  EXPECT_EQ(workspace.num_distinct(), 3);
+  EXPECT_TRUE(std::is_sorted(workspace.sorted().begin(),
+                             workspace.sorted().end()));
+  // order() maps sorted positions back to input positions.
+  for (int i = 0; i < workspace.size(); ++i) {
+    EXPECT_EQ(workspace.sorted()[i],
+              std::vector<double>({3.0, 1.0, 3.0, 2.0, 1.0})
+                  [workspace.order()[i]]);
+  }
+}
+
 TEST(KMeans1DTest, MeansSortedAscending) {
   Rng rng(8);
   std::vector<double> values;

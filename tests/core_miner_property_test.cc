@@ -131,5 +131,105 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values<uint64_t>(1, 2, 3, 5, 8),
                        ::testing::Values(0.0, 0.9, 0.99)));
 
+RoadGraph GridWithDensities(std::vector<double> (*make)(int)) {
+  GridOptions grid;
+  grid.rows = 8;
+  grid.cols = 8;
+  grid.seed = 3;
+  RoadNetwork net = GenerateGridNetwork(grid).value();
+  EXPECT_TRUE(net.SetDensities(make(net.num_segments())).ok());
+  return RoadGraph::FromNetwork(net);
+}
+
+TEST(MinerDegenerateSweep, ConstantDensitiesShortlistOneKappa) {
+  // All-zero MCG curve (constant densities). Historical bug: the fractional
+  // threshold became 0.85 * 0 == 0 and *every* kappa was shortlisted,
+  // sending the whole sweep range into full-data Phase B. The fix
+  // shortlists only the arg-max kappa.
+  RoadGraph rg = GridWithDensities(
+      +[](int n) { return std::vector<double>(n, 2.0); });
+  SupergraphMinerOptions options;
+  SupergraphMiningReport report;
+  auto sg = MineSupergraph(rg, options, &report);
+  ASSERT_TRUE(sg.ok()) << sg.status().ToString();
+  for (double m : report.mcg) EXPECT_EQ(m, 0.0);
+  ASSERT_EQ(report.shortlisted_kappas.size(), 1u);
+  EXPECT_EQ(report.shortlisted_kappas[0], 2);  // arg-max ties -> smallest
+  EXPECT_EQ(report.chosen_kappa, 2);
+  // One flat cluster over a connected grid: a single supernode.
+  EXPECT_EQ(sg->num_supernodes(), 1);
+}
+
+TEST(MinerDegenerateSweep, NearConstantDensitiesKeepNormalPath) {
+  // A whisper of signal: MCG is positive somewhere, so the normal
+  // fraction-of-max shortlist logic must still apply (not the degenerate
+  // single-kappa path).
+  RoadGraph rg = GridWithDensities(+[](int n) {
+    std::vector<double> d(n, 2.0);
+    for (int i = 0; i < n / 4; ++i) d[i] = 2.0 + 1e-6;
+    return d;
+  });
+  SupergraphMinerOptions options;
+  SupergraphMiningReport report;
+  auto sg = MineSupergraph(rg, options, &report);
+  ASSERT_TRUE(sg.ok()) << sg.status().ToString();
+  double best = *std::max_element(report.mcg.begin(), report.mcg.end());
+  EXPECT_GT(best, 0.0);
+  ASSERT_FALSE(report.shortlisted_kappas.empty());
+  for (int kappa : report.shortlisted_kappas) {
+    size_t idx = static_cast<size_t>(kappa - 2);
+    EXPECT_GE(report.mcg[idx], report.threshold);
+  }
+}
+
+TEST(MinerSweepCeiling, InclusiveOfSampleSize) {
+  // n feature values must admit kappa == n (the old bound stopped at n-1).
+  RoadGraph rg = GridWithDensities(+[](int n) {
+    std::vector<double> out;
+    for (int i = 0; i < n; ++i) out.push_back(1.0 + 0.25 * (i % 11));
+    return out;
+  });
+  SupergraphMinerOptions options;
+  options.sample_size = 0;  // sweep the full feature vector
+  options.max_kappa = 1 << 20;  // far above n: ceiling must clamp to n
+  SupergraphMiningReport report;
+  auto sg = MineSupergraph(rg, options, &report);
+  ASSERT_TRUE(sg.ok()) << sg.status().ToString();
+  EXPECT_EQ(report.effective_max_kappa, rg.num_nodes());
+  ASSERT_FALSE(report.kappas.empty());
+  EXPECT_EQ(report.kappas.back(), rg.num_nodes());
+}
+
+TEST(MinerSweepCeiling, SampleSizeBelowThreeRejected) {
+  RoadGraph rg = GridWithDensities(
+      +[](int n) { return std::vector<double>(n, 1.0); });
+  for (int bad : {1, 2}) {
+    SupergraphMinerOptions options;
+    options.sample_size = bad;
+    auto sg = MineSupergraph(rg, options);
+    EXPECT_FALSE(sg.ok()) << "sample_size=" << bad;
+    EXPECT_EQ(sg.status().code(), StatusCode::kInvalidArgument);
+  }
+  // Non-positive disables sampling and is accepted.
+  SupergraphMinerOptions options;
+  options.sample_size = 0;
+  EXPECT_TRUE(MineSupergraph(rg, options).ok());
+}
+
+TEST(MinerSweepCeiling, ReportSurfacesEffectiveCeiling) {
+  RoadGraph rg = GridWithDensities(+[](int n) {
+    std::vector<double> out;
+    for (int i = 0; i < n; ++i) out.push_back(static_cast<double>(i % 7));
+    return out;
+  });
+  SupergraphMinerOptions options;  // max_kappa 30 < sample floor here
+  SupergraphMiningReport report;
+  ASSERT_TRUE(MineSupergraph(rg, options, &report).ok());
+  EXPECT_EQ(report.effective_max_kappa,
+            std::min(options.max_kappa, rg.num_nodes()));
+  EXPECT_EQ(static_cast<int>(report.kappas.size()),
+            report.effective_max_kappa - 1);
+}
+
 }  // namespace
 }  // namespace roadpart

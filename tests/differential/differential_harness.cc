@@ -133,6 +133,80 @@ void ExpectPipelineThreadInvariant(const NetworkCase& net,
   }
 }
 
+MiningFingerprint RunMining(const RoadNetwork& network,
+                            const SupergraphMinerOptions& options,
+                            int num_threads) {
+  MiningFingerprint fp;
+  ScopedParallelism threads(num_threads);
+  RoadGraph rg = RoadGraph::FromNetwork(network);
+  auto sg = MineSupergraph(rg, options, &fp.report);
+  EXPECT_TRUE(sg.ok()) << sg.status().ToString();
+  if (!sg.ok()) return fp;
+  for (const Supernode& sn : sg->supernodes()) {
+    fp.members.push_back(sn.members);
+    fp.features.push_back(sn.feature);
+  }
+  const CsrGraph& links = sg->links();
+  for (int s = 0; s < links.num_nodes(); ++s) {
+    const auto& nbrs = links.Neighbors(s);
+    const auto& weights = links.NeighborWeights(s);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      fp.link_src.push_back(s);
+      fp.link_dst.push_back(nbrs[i]);
+      fp.link_weight.push_back(weights[i]);
+    }
+  }
+  fp.ok = true;
+  return fp;
+}
+
+void ExpectIdenticalMining(const MiningFingerprint& baseline,
+                           const MiningFingerprint& other,
+                           const std::string& label) {
+  EXPECT_EQ(baseline.members, other.members) << label << ": members";
+  // Bitwise double equality throughout: EXPECT_EQ on vector<double> is exact.
+  EXPECT_EQ(baseline.features, other.features) << label << ": features";
+  EXPECT_EQ(baseline.link_src, other.link_src) << label << ": link sources";
+  EXPECT_EQ(baseline.link_dst, other.link_dst) << label << ": link targets";
+  EXPECT_EQ(baseline.link_weight, other.link_weight)
+      << label << ": link weights";
+
+  const SupergraphMiningReport& a = baseline.report;
+  const SupergraphMiningReport& b = other.report;
+  EXPECT_EQ(a.kappas, b.kappas) << label << ": sweep kappas";
+  EXPECT_EQ(a.mcg, b.mcg) << label << ": MCG curve";
+  EXPECT_EQ(a.shortlisted_kappas, b.shortlisted_kappas)
+      << label << ": shortlist";
+  EXPECT_EQ(a.component_counts, b.component_counts)
+      << label << ": component counts";
+  EXPECT_EQ(a.threshold, b.threshold) << label << ": threshold";
+  EXPECT_EQ(a.effective_max_kappa, b.effective_max_kappa)
+      << label << ": effective_max_kappa";
+  EXPECT_EQ(a.chosen_kappa, b.chosen_kappa) << label << ": chosen kappa";
+  EXPECT_EQ(a.supernodes_before_stability, b.supernodes_before_stability)
+      << label << ": supernodes before stability";
+  EXPECT_EQ(a.supernodes_after_stability, b.supernodes_after_stability)
+      << label << ": supernodes after stability";
+  EXPECT_EQ(a.stability_values, b.stability_values)
+      << label << ": stability values";
+}
+
+void ExpectMiningThreadInvariant(const NetworkCase& net,
+                                 const SupergraphMinerOptions& options,
+                                 const std::string& label) {
+  const std::vector<int>& sweep = ThreadSweep();
+  MiningFingerprint baseline = RunMining(net.network, options, sweep[0]);
+  ASSERT_TRUE(baseline.ok) << label << ": baseline failed";
+  for (size_t i = 1; i < sweep.size(); ++i) {
+    MiningFingerprint other = RunMining(net.network, options, sweep[i]);
+    ASSERT_TRUE(other.ok) << label << ": threads=" << sweep[i] << " failed";
+    ExpectIdenticalMining(
+        baseline, other,
+        label + " [" + net.name + ", threads=" + std::to_string(sweep[i]) +
+            " vs 1]");
+  }
+}
+
 EigenResult ExpectLanczosThreadInvariant(const LinearOperator& op, int k,
                                          SpectrumEnd end,
                                          const LanczosOptions& options,

@@ -19,6 +19,7 @@
 
 #include "common/parallel.h"
 #include "core/partitioner.h"
+#include "core/supergraph_miner.h"
 #include "linalg/lanczos.h"
 #include "metrics/partition_report.h"
 #include "network/road_network.h"
@@ -72,6 +73,38 @@ void ExpectIdenticalFingerprint(const PipelineFingerprint& baseline,
 void ExpectPipelineThreadInvariant(const NetworkCase& net,
                                    PartitionerOptions options,
                                    const std::string& label);
+
+/// Everything MineSupergraph produced that determinism must preserve:
+/// supernode membership and features, the superlink topology and weights,
+/// and the full mining report (sweep curve, shortlist, component counts,
+/// chosen kappa, stability values). Timing fields are excluded.
+struct MiningFingerprint {
+  bool ok = false;  ///< false if mining failed (already reported via gtest)
+  std::vector<std::vector<int>> members;
+  std::vector<double> features;
+  std::vector<int> link_src;
+  std::vector<int> link_dst;
+  std::vector<double> link_weight;
+  SupergraphMiningReport report;
+};
+
+/// Runs MineSupergraph at `num_threads` workers and fingerprints the output.
+/// Fails the current test on mining errors (and returns ok = false).
+MiningFingerprint RunMining(const RoadNetwork& network,
+                            const SupergraphMinerOptions& options,
+                            int num_threads);
+
+/// Asserts two mining fingerprints are identical — member lists and link
+/// topology exactly equal, features/weights/MCG values bitwise equal.
+void ExpectIdenticalMining(const MiningFingerprint& baseline,
+                           const MiningFingerprint& other,
+                           const std::string& label);
+
+/// Runs MineSupergraph at every ThreadSweep() count and asserts all outcomes
+/// match the single-threaded baseline.
+void ExpectMiningThreadInvariant(const NetworkCase& net,
+                                 const SupergraphMinerOptions& options,
+                                 const std::string& label);
 
 /// Runs LanczosEigen at every ThreadSweep() count; asserts eigenvalues agree
 /// within `tolerance` (default 1e-12) and eigenvectors are bit-identical to

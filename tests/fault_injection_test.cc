@@ -285,6 +285,47 @@ TEST(FaultInjectionTest, DegenerateEmbeddingEndToEnd) {
                   .ok());
 }
 
+// --- Shared 1-D k-means workspace corruption ---
+
+RoadGraph MiningFixtureGraph() {
+  RoadGraph chain = ChainGraph(80);
+  // Plateau densities so mining finds several supernodes.
+  std::vector<double> f(80);
+  for (int i = 0; i < 80; ++i) f[i] = static_cast<double>(i / 20);
+  return RoadGraph::FromParts(chain.adjacency(), f).value();
+}
+
+TEST(FaultInjectionTest, KMeansWorkspaceCorruptionSurfacesAsStatus) {
+  RoadGraph rg = MiningFixtureGraph();
+  FaultInjector inj(13);
+  // Unlimited budget: the site is queried from inside the sweep's
+  // ParallelForTasks, so a finite budget would make which kappa trips it
+  // depend on scheduling. Unlimited keeps the degraded run deterministic.
+  inj.Arm(FaultSite::kKMeans1DWorkspaceCorruption);
+  ScopedFaultInjector scoped(&inj);
+  auto sg = MineSupergraph(rg);
+  ASSERT_FALSE(sg.ok());
+  EXPECT_EQ(sg.status().code(), StatusCode::kInternal);
+  EXPECT_GT(inj.fire_count(FaultSite::kKMeans1DWorkspaceCorruption), 0);
+}
+
+TEST(FaultInjectionTest, KMeansWorkspaceCorruptionDeterministicAcrossThreads) {
+  RoadGraph rg = MiningFixtureGraph();
+  auto run = [&](int num_threads) {
+    FaultInjector inj(13);
+    inj.Arm(FaultSite::kKMeans1DWorkspaceCorruption);
+    ScopedFaultInjector scoped(&inj);
+    ScopedParallelism threads(num_threads);
+    auto sg = MineSupergraph(rg);
+    RP_CHECK(!sg.ok());
+    return sg.status().ToString();
+  };
+  std::string serial = run(1);
+  EXPECT_EQ(run(1), serial);
+  EXPECT_EQ(run(4), serial);  // same first-failing kappa at any thread count
+  EXPECT_EQ(run(8), serial);
+}
+
 // --- Determinism under faults ---
 
 std::vector<int> RunWithFaults(const RoadGraph& rg, int num_threads) {

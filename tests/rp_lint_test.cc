@@ -160,6 +160,33 @@ TEST(ParallelForRule, FlagsSharedAccumulation) {
       Lint("src/x.cc",
            "ParallelFor(n, [&](int i) { acc.total += w[i]; });"),
       "parallelfor-shared-mutation"));
+  // The mining kappa sweep must not accumulate its arg-max inside the
+  // parallel region (that is done serially after the join).
+  EXPECT_TRUE(HasRule(
+      Lint("src/core/supergraph_miner.cc",
+           "ParallelForTasks(num_sweep, [&](int i) {\n"
+           "  best_mcg += Score(i);\n"
+           "});"),
+      "parallelfor-shared-mutation"));
+}
+
+TEST(ParallelForRule, MiningSweepIdiomIsClean) {
+  // The supergraph-mining fast path: per-kappa slots written by index from
+  // ParallelForTasks, consumed serially after the join.
+  EXPECT_TRUE(
+      Lint("src/core/supergraph_miner.cc",
+           "ParallelForTasks(num_sweep, [&](int i) {\n"
+           "  rep.kappas[i] = i + 2;\n"
+           "  mcg[i] = Score(values, i + 2);\n"
+           "});")
+          .empty());
+  EXPECT_TRUE(
+      Lint("src/core/supergraph_miner.cc",
+           "ParallelForTasks(num_shortlisted, [&](int i) {\n"
+           "  sweep_status[i] = Cluster(workspace, kappas[i]);\n"
+           "  evaluated[i] = 1;\n"
+           "});")
+          .empty());
 }
 
 TEST(ParallelForRule, CleanCounterexamples) {

@@ -317,6 +317,7 @@ void CheckParallelForMutation(const std::string& path,
   for (size_t i = 0; i < tokens.size(); ++i) {
     if (!tokens[i].is_ident ||
         (tokens[i].text != "ParallelFor" &&
+         tokens[i].text != "ParallelForTasks" &&
          tokens[i].text != "ParallelForBlocked")) {
       continue;
     }
