@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Full verification gate: three build trees plus a static-analysis stage.
 #
-#   1. build-check-release : -O2 Release, the complete ctest suite.
+#   1. build-check-release : -O2 Release, the complete ctest suite, then a
+#      standalone crash-injection rerun (kill the pipeline at every
+#      checkpoint stage boundary; --resume must be byte-identical).
 #   2. build-check-tsan    : Debug + -fsanitize=thread,undefined; runs the
 #      parallel/determinism/lanczos differential suites (the ones that
 #      exercise the deterministic parallel runtime) under ThreadSanitizer.
@@ -17,7 +19,8 @@
 #   4. lint                : tools/rp_lint over src/, tools/, bench/
 #      (discarded Status values, banned nondeterminism, raw prints in
 #      library code, shared mutation in ParallelFor lambdas, eigenvector
-#      use without a convergence check), plus clang-tidy driven by
+#      use without a convergence check, raw std::ofstream/fopen writes
+#      outside common/durable_io), plus clang-tidy driven by
 #      .clang-tidy when the binary is available; the clang-tidy half is
 #      skipped with a notice otherwise.
 #
@@ -38,6 +41,13 @@ cmake --build "${RELEASE_DIR}" -j "${JOBS}"
 
 echo "==> [2/7] ctest: full suite (Release)"
 ctest --test-dir "${RELEASE_DIR}" --output-on-failure -j "${JOBS}"
+
+echo "==> [2b/7] crash-injection suite (Release, verbose)"
+# Part of the full Release run above, but re-run on its own so a durability
+# regression (torn output, stale checkpoint served, resume divergence) is
+# attributed unambiguously: this binary kills the CLI at every checkpoint
+# stage boundary and demands --resume reproduce the run byte for byte.
+"${RELEASE_DIR}/tests/checkpoint_crash_test"
 
 echo "==> [3/7] Configure + build TSan+UBSan tree (${TSAN_DIR})"
 cmake -B "${TSAN_DIR}" -S . \

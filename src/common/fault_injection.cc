@@ -35,6 +35,14 @@ const char* FaultSiteName(FaultSite site) {
       return "kmeans-degenerate-embedding";
     case FaultSite::kKMeans1DWorkspaceCorruption:
       return "kmeans1d-workspace-corruption";
+    case FaultSite::kDurableShortWrite:
+      return "durable-short-write";
+    case FaultSite::kDurableRenameFailure:
+      return "durable-rename-failure";
+    case FaultSite::kDurableFsyncFailure:
+      return "durable-fsync-failure";
+    case FaultSite::kDurableChecksumCorruption:
+      return "durable-checksum-corruption";
     case FaultSite::kFaultSiteCount:
       break;
   }

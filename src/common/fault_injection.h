@@ -33,6 +33,18 @@ enum class FaultSite {
   /// of the parallel sweep surfaces a clean error instead of crashing; arm
   /// with an unlimited budget for determinism across thread counts.
   kKMeans1DWorkspaceCorruption,
+  /// AtomicFileWriter::Append: only part of the buffer reaches the file and
+  /// the write reports failure (a full disk / interrupted write mid-stream).
+  kDurableShortWrite,
+  /// AtomicFileWriter::Commit: the final temp -> target rename fails (target
+  /// directory vanished, EXDEV, permission flip under the writer).
+  kDurableRenameFailure,
+  /// AtomicFileWriter::Commit: fsync of the written temp file fails — the
+  /// classic silent-ENOSPC-on-close case the durability layer exists for.
+  kDurableFsyncFailure,
+  /// WriteArtifact: one payload byte is flipped after the checksum is
+  /// computed, producing exactly the torn artifact ReadArtifact must catch.
+  kDurableChecksumCorruption,
   kFaultSiteCount,  ///< sentinel; keep last
 };
 

@@ -8,7 +8,8 @@ namespace roadpart {
 
 Result<FlagParser> FlagParser::Parse(
     int argc, const char* const* argv,
-    const std::vector<std::string>& known_flags) {
+    const std::vector<std::string>& known_flags,
+    const std::vector<std::string>& bool_flags) {
   FlagParser parser;
   for (int i = 0; i < argc; ++i) {
     std::string arg = argv[i];
@@ -26,9 +27,11 @@ Result<FlagParser> FlagParser::Parse(
     } else {
       name = body;
       // `--flag value` form: consume the next token if it is not a flag and
-      // the flag is known to take a value... we cannot know arity, so treat
-      // a following non-flag token as the value only when present.
-      if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+      // the flag is known to take a value. Declared boolean flags never
+      // consume the next token (it would swallow a positional argument).
+      bool is_bool = std::find(bool_flags.begin(), bool_flags.end(), name) !=
+                     bool_flags.end();
+      if (!is_bool && i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
         value = argv[++i];
       } else {
         value = "true";

@@ -14,9 +14,13 @@ namespace roadpart {
 class FlagParser {
  public:
   /// Parses argv (excluding argv[0]). Unknown flags are kept and reported by
-  /// UnknownFlags() so tools can reject typos.
-  static Result<FlagParser> Parse(int argc, const char* const* argv,
-                                  const std::vector<std::string>& known_flags);
+  /// UnknownFlags() so tools can reject typos. Flags listed in `bool_flags`
+  /// are value-less: a bare `--flag` never consumes the following token
+  /// (`--flag=true` stays accepted).
+  static Result<FlagParser> Parse(
+      int argc, const char* const* argv,
+      const std::vector<std::string>& known_flags,
+      const std::vector<std::string>& bool_flags = {});
 
   const std::vector<std::string>& positional() const { return positional_; }
 

@@ -25,6 +25,8 @@ const char* StatusCodeName(StatusCode code) {
       return "NotConverged";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kCorruption:
+      return "Corruption";
   }
   return "Unknown";
 }

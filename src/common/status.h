@@ -19,6 +19,10 @@ enum class StatusCode {
   kIOError,
   kNotConverged,
   kDeadlineExceeded,
+  /// A persisted artifact failed its integrity checks (torn write, truncated
+  /// file, checksum mismatch). Distinct from kIOError — the bytes were read
+  /// fine, they are just not the bytes that were written.
+  kCorruption,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -63,6 +67,9 @@ class [[nodiscard]] Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

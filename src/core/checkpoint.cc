@@ -1,0 +1,526 @@
+#include "core/checkpoint.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+#include <utility>
+
+#include "common/string_util.h"
+#include "graph/csr_graph.h"
+
+namespace roadpart {
+
+namespace {
+
+constexpr char kManifestFormat[] = "checkpoint-manifest";
+constexpr int kCheckpointVersion = 1;
+
+constexpr CheckpointStage kAllStages[] = {
+    CheckpointStage::kMining, CheckpointStage::kCut, CheckpointStage::kFinal};
+
+std::string StageFormat(CheckpointStage stage) {
+  return std::string("checkpoint-") + CheckpointStageName(stage);
+}
+
+// --- Codec building blocks --------------------------------------------------
+//
+// Every payload is a sequence of lines "tag field...". Integers are decimal;
+// doubles are IEEE-754 bit patterns in hex (exact round trip). Vectors carry
+// an explicit count so truncation inside a line is detectable.
+
+void AppendIntVec(std::ostringstream& out, const char* tag,
+                  const std::vector<int>& values) {
+  out << tag << " " << values.size();
+  for (int v : values) out << " " << v;
+  out << "\n";
+}
+
+void AppendDoubleVec(std::ostringstream& out, const char* tag,
+                     const std::vector<double>& values) {
+  out << tag << " " << values.size();
+  for (double v : values) out << " " << DoubleToBitsHex(v);
+  out << "\n";
+}
+
+void AppendInt64Vec(std::ostringstream& out, const char* tag,
+                    const std::vector<int64_t>& values) {
+  out << tag << " " << values.size();
+  for (int64_t v : values) out << " " << v;
+  out << "\n";
+}
+
+/// Sequential reader over the payload lines of one stage artifact.
+class LineCursor {
+ public:
+  explicit LineCursor(std::string_view payload) : in_(std::string(payload)) {}
+
+  /// Reads the next line and checks its leading tag.
+  Result<std::istringstream> Line(const char* tag) {
+    std::string line;
+    if (!std::getline(in_, line)) {
+      return Status::Corruption(
+          StrPrintf("checkpoint payload truncated before '%s' line", tag));
+    }
+    std::istringstream fields(line);
+    std::string found;
+    if (!(fields >> found) || found != tag) {
+      return Status::Corruption(
+          StrPrintf("checkpoint payload: expected '%s' line, found '%s'", tag,
+                    found.c_str()));
+    }
+    return fields;
+  }
+
+ private:
+  std::istringstream in_;
+};
+
+Result<int> ReadInt(LineCursor& cursor, const char* tag) {
+  RP_ASSIGN_OR_RETURN(std::istringstream fields, cursor.Line(tag));
+  int value = 0;
+  if (!(fields >> value)) {
+    return Status::Corruption(StrPrintf("checkpoint '%s' field unreadable",
+                                        tag));
+  }
+  return value;
+}
+
+Result<double> ReadDouble(LineCursor& cursor, const char* tag) {
+  RP_ASSIGN_OR_RETURN(std::istringstream fields, cursor.Line(tag));
+  std::string hex;
+  if (!(fields >> hex)) {
+    return Status::Corruption(StrPrintf("checkpoint '%s' field unreadable",
+                                        tag));
+  }
+  auto value = DoubleFromBitsHex(hex);
+  if (!value.ok()) {
+    return Status::Corruption(StrPrintf("checkpoint '%s' has bad bits-hex",
+                                        tag));
+  }
+  return *value;
+}
+
+Result<std::vector<int>> ReadIntVec(LineCursor& cursor, const char* tag) {
+  RP_ASSIGN_OR_RETURN(std::istringstream fields, cursor.Line(tag));
+  size_t count = 0;
+  if (!(fields >> count)) {
+    return Status::Corruption(StrPrintf("checkpoint '%s' missing count", tag));
+  }
+  std::vector<int> values(count);
+  for (size_t i = 0; i < count; ++i) {
+    if (!(fields >> values[i])) {
+      return Status::Corruption(
+          StrPrintf("checkpoint '%s' truncated at entry %zu/%zu", tag, i,
+                    count));
+    }
+  }
+  return values;
+}
+
+Result<std::vector<int64_t>> ReadInt64Vec(LineCursor& cursor,
+                                          const char* tag) {
+  RP_ASSIGN_OR_RETURN(std::istringstream fields, cursor.Line(tag));
+  size_t count = 0;
+  if (!(fields >> count)) {
+    return Status::Corruption(StrPrintf("checkpoint '%s' missing count", tag));
+  }
+  std::vector<int64_t> values(count);
+  for (size_t i = 0; i < count; ++i) {
+    if (!(fields >> values[i])) {
+      return Status::Corruption(
+          StrPrintf("checkpoint '%s' truncated at entry %zu/%zu", tag, i,
+                    count));
+    }
+  }
+  return values;
+}
+
+Result<std::vector<double>> ReadDoubleVec(LineCursor& cursor,
+                                          const char* tag) {
+  RP_ASSIGN_OR_RETURN(std::istringstream fields, cursor.Line(tag));
+  size_t count = 0;
+  if (!(fields >> count)) {
+    return Status::Corruption(StrPrintf("checkpoint '%s' missing count", tag));
+  }
+  std::vector<double> values(count);
+  std::string hex;
+  for (size_t i = 0; i < count; ++i) {
+    if (!(fields >> hex)) {
+      return Status::Corruption(
+          StrPrintf("checkpoint '%s' truncated at entry %zu/%zu", tag, i,
+                    count));
+    }
+    auto value = DoubleFromBitsHex(hex);
+    if (!value.ok()) {
+      return Status::Corruption(
+          StrPrintf("checkpoint '%s' entry %zu has bad bits-hex", tag, i));
+    }
+    values[i] = *value;
+  }
+  return values;
+}
+
+void AppendEigen(std::ostringstream& out, const EigenSolveDiagnostics& eigen) {
+  out << "eigen " << static_cast<int>(eigen.solver_path) << " " << eigen.solves
+      << " " << eigen.lanczos_restarts << " "
+      << DoubleToBitsHex(eigen.worst_ritz_residual) << " "
+      << (eigen.all_converged ? 1 : 0) << "\n";
+}
+
+Result<EigenSolveDiagnostics> ReadEigen(LineCursor& cursor) {
+  RP_ASSIGN_OR_RETURN(std::istringstream fields, cursor.Line("eigen"));
+  int path = 0;
+  int converged = 0;
+  std::string residual_hex;
+  EigenSolveDiagnostics eigen;
+  if (!(fields >> path >> eigen.solves >> eigen.lanczos_restarts >>
+        residual_hex >> converged) ||
+      path < 0 || path > static_cast<int>(SolverPath::kBestEffort)) {
+    return Status::Corruption("checkpoint 'eigen' line unreadable");
+  }
+  auto residual = DoubleFromBitsHex(residual_hex);
+  if (!residual.ok()) {
+    return Status::Corruption("checkpoint 'eigen' residual has bad bits-hex");
+  }
+  eigen.solver_path = static_cast<SolverPath>(path);
+  eigen.worst_ritz_residual = *residual;
+  eigen.all_converged = converged != 0;
+  return eigen;
+}
+
+}  // namespace
+
+const char* CheckpointStageName(CheckpointStage stage) {
+  switch (stage) {
+    case CheckpointStage::kMining:
+      return "mining";
+    case CheckpointStage::kCut:
+      return "cut";
+    case CheckpointStage::kFinal:
+      return "final";
+  }
+  return "?";
+}
+
+Result<CheckpointStage> ParseCheckpointStage(std::string_view name) {
+  for (CheckpointStage stage : kAllStages) {
+    if (name == CheckpointStageName(stage)) return stage;
+  }
+  return Status::InvalidArgument(
+      StrPrintf("unknown checkpoint stage '%.*s' (want mining|cut|final)",
+                static_cast<int>(name.size()), name.data()));
+}
+
+uint64_t FingerprintRoadGraph(const RoadGraph& graph) {
+  const CsrGraph& adjacency = graph.adjacency();
+  uint64_t hash = kFnv1a64Basis;
+  auto mix_bytes = [&hash](const void* data, size_t size) {
+    hash = Fnv1a64(data, size, hash);
+  };
+  const int64_t shape[2] = {graph.num_nodes(), adjacency.num_edges()};
+  mix_bytes(shape, sizeof(shape));
+  mix_bytes(adjacency.offsets().data(),
+            adjacency.offsets().size() * sizeof(int64_t));
+  mix_bytes(adjacency.neighbors().data(),
+            adjacency.neighbors().size() * sizeof(int));
+  mix_bytes(adjacency.weights().data(),
+            adjacency.weights().size() * sizeof(double));
+  mix_bytes(graph.features().data(),
+            graph.features().size() * sizeof(double));
+  return hash;
+}
+
+// --- CheckpointStore --------------------------------------------------------
+
+CheckpointStore::CheckpointStore(CheckpointOptions options,
+                                 RunManifest manifest)
+    : options_(std::move(options)), manifest_(manifest) {}
+
+std::string CheckpointStore::StagePath(CheckpointStage stage) const {
+  return options_.dir + "/stage-" + CheckpointStageName(stage) + ".rpcp";
+}
+
+std::string CheckpointStore::ManifestPath() const {
+  return options_.dir + "/MANIFEST";
+}
+
+Status CheckpointStore::Initialize() {
+  if (!enabled()) return Status::OK();
+  std::error_code ec;
+  std::filesystem::create_directories(options_.dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create checkpoint directory " +
+                           options_.dir + ": " + ec.message());
+  }
+  const std::string manifest_payload =
+      StrPrintf("input %s\noptions %s\n",
+                Uint64ToHex(manifest_.input_fingerprint).c_str(),
+                Uint64ToHex(manifest_.options_hash).c_str());
+  bool fresh = true;
+  if (options_.resume) {
+    ArtifactReadOptions read_options;
+    read_options.expected_format = kManifestFormat;
+    read_options.require_envelope = true;
+    read_options.retry = options_.retry;
+    auto existing = ReadArtifact(ManifestPath(), read_options);
+    if (existing.ok()) {
+      if (*existing == manifest_payload) {
+        resuming_ = true;
+        fresh = false;
+      } else {
+        warnings_.push_back(
+            "checkpoint manifest belongs to a different run (input or "
+            "options changed); recomputing all stages");
+      }
+    } else if (existing.status().code() != StatusCode::kIOError) {
+      // Torn / corrupt / foreign manifest. A missing one (kIOError) is just
+      // a first run and not worth a warning.
+      warnings_.push_back("checkpoint manifest failed verification (" +
+                          existing.status().ToString() +
+                          "); recomputing all stages");
+    }
+  }
+  if (fresh) {
+    // Stale stage files under an old manifest must not survive: a crash
+    // between the manifest write and the first stage save would otherwise
+    // let a later resume pair the new manifest with old stages.
+    for (CheckpointStage stage : kAllStages) {
+      (void)std::remove(StagePath(stage).c_str());
+    }
+    RP_RETURN_IF_ERROR(WriteArtifact(ManifestPath(), kManifestFormat,
+                                     kCheckpointVersion, manifest_payload,
+                                     options_.retry));
+  }
+  return Status::OK();
+}
+
+std::optional<std::string> CheckpointStore::LoadStage(CheckpointStage stage) {
+  if (!enabled() || !resuming_) return std::nullopt;
+  ArtifactReadOptions read_options;
+  read_options.expected_format = StageFormat(stage);
+  read_options.require_envelope = true;
+  read_options.retry = options_.retry;
+  auto payload = ReadArtifact(StagePath(stage), read_options);
+  if (payload.ok()) return std::move(*payload);
+  if (payload.status().code() != StatusCode::kIOError) {
+    warnings_.push_back(StrPrintf(
+        "checkpoint stage '%s' failed verification (%s); recomputing",
+        CheckpointStageName(stage), payload.status().ToString().c_str()));
+  }
+  return std::nullopt;
+}
+
+Status CheckpointStore::SaveStage(CheckpointStage stage,
+                                  std::string_view payload) {
+  if (!enabled()) return Status::OK();
+  RP_RETURN_IF_ERROR(WriteArtifact(StagePath(stage), StageFormat(stage),
+                                   kCheckpointVersion, payload,
+                                   options_.retry));
+  if (options_.crash_after_stage == CheckpointStageName(stage)) {
+    // Crash-injection hook: die the hard way — no unwinding, no buffers
+    // flushed — right after this stage became durable.
+    std::_Exit(42);
+  }
+  return Status::OK();
+}
+
+// --- Mining checkpoint ------------------------------------------------------
+
+std::string EncodeMiningCheckpoint(const MiningCheckpoint& checkpoint) {
+  std::ostringstream out;
+  out << "fallback " << (checkpoint.roadgraph_fallback ? 1 : 0) << "\n";
+  out << "supernodes " << checkpoint.num_supernodes << "\n";
+  out << "module2 " << DoubleToBitsHex(checkpoint.module2_seconds) << "\n";
+  const SupergraphMiningReport& report = checkpoint.report;
+  out << "threshold " << DoubleToBitsHex(report.threshold) << "\n";
+  out << "sweep-shape " << report.effective_max_kappa << " "
+      << report.chosen_kappa << " " << report.supernodes_before_stability
+      << " " << report.supernodes_after_stability << "\n";
+  out << "phase-seconds " << DoubleToBitsHex(report.sweep_seconds) << " "
+      << DoubleToBitsHex(report.cluster_seconds) << " "
+      << DoubleToBitsHex(report.superlink_seconds) << "\n";
+  AppendIntVec(out, "kappas", report.kappas);
+  AppendDoubleVec(out, "mcg", report.mcg);
+  AppendIntVec(out, "shortlisted", report.shortlisted_kappas);
+  AppendIntVec(out, "components", report.component_counts);
+  AppendDoubleVec(out, "stability-values", report.stability_values);
+  if (!checkpoint.roadgraph_fallback && checkpoint.supergraph.has_value()) {
+    const Supergraph& sg = *checkpoint.supergraph;
+    out << "supergraph " << sg.num_road_nodes() << " " << sg.num_supernodes()
+        << "\n";
+    for (const Supernode& sn : sg.supernodes()) {
+      out << "sn " << DoubleToBitsHex(sn.feature) << " " << sn.members.size();
+      for (int v : sn.members) out << " " << v;
+      out << "\n";
+    }
+    const CsrGraph& links = sg.links();
+    out << "links " << links.num_nodes() << "\n";
+    AppendInt64Vec(out, "offsets", links.offsets());
+    AppendIntVec(out, "neighbors", links.neighbors());
+    AppendDoubleVec(out, "weights", links.weights());
+  }
+  return out.str();
+}
+
+Result<MiningCheckpoint> DecodeMiningCheckpoint(std::string_view payload) {
+  LineCursor cursor(payload);
+  MiningCheckpoint checkpoint;
+  RP_ASSIGN_OR_RETURN(int fallback, ReadInt(cursor, "fallback"));
+  checkpoint.roadgraph_fallback = fallback != 0;
+  RP_ASSIGN_OR_RETURN(checkpoint.num_supernodes,
+                      ReadInt(cursor, "supernodes"));
+  RP_ASSIGN_OR_RETURN(checkpoint.module2_seconds,
+                      ReadDouble(cursor, "module2"));
+  SupergraphMiningReport& report = checkpoint.report;
+  RP_ASSIGN_OR_RETURN(report.threshold, ReadDouble(cursor, "threshold"));
+  {
+    RP_ASSIGN_OR_RETURN(std::istringstream fields,
+                        cursor.Line("sweep-shape"));
+    if (!(fields >> report.effective_max_kappa >> report.chosen_kappa >>
+          report.supernodes_before_stability >>
+          report.supernodes_after_stability)) {
+      return Status::Corruption("checkpoint 'sweep-shape' line unreadable");
+    }
+  }
+  {
+    RP_ASSIGN_OR_RETURN(std::istringstream fields,
+                        cursor.Line("phase-seconds"));
+    std::string sweep_hex, cluster_hex, superlink_hex;
+    if (!(fields >> sweep_hex >> cluster_hex >> superlink_hex)) {
+      return Status::Corruption("checkpoint 'phase-seconds' line unreadable");
+    }
+    RP_ASSIGN_OR_RETURN(report.sweep_seconds, DoubleFromBitsHex(sweep_hex));
+    RP_ASSIGN_OR_RETURN(report.cluster_seconds,
+                        DoubleFromBitsHex(cluster_hex));
+    RP_ASSIGN_OR_RETURN(report.superlink_seconds,
+                        DoubleFromBitsHex(superlink_hex));
+  }
+  RP_ASSIGN_OR_RETURN(report.kappas, ReadIntVec(cursor, "kappas"));
+  RP_ASSIGN_OR_RETURN(report.mcg, ReadDoubleVec(cursor, "mcg"));
+  RP_ASSIGN_OR_RETURN(report.shortlisted_kappas,
+                      ReadIntVec(cursor, "shortlisted"));
+  RP_ASSIGN_OR_RETURN(report.component_counts,
+                      ReadIntVec(cursor, "components"));
+  RP_ASSIGN_OR_RETURN(report.stability_values,
+                      ReadDoubleVec(cursor, "stability-values"));
+  if (checkpoint.roadgraph_fallback) return checkpoint;
+
+  int num_road_nodes = 0;
+  int num_supernodes = 0;
+  {
+    RP_ASSIGN_OR_RETURN(std::istringstream fields, cursor.Line("supergraph"));
+    if (!(fields >> num_road_nodes >> num_supernodes) || num_road_nodes < 0 ||
+        num_supernodes < 0) {
+      return Status::Corruption("checkpoint 'supergraph' line unreadable");
+    }
+  }
+  std::vector<Supernode> supernodes(num_supernodes);
+  for (int s = 0; s < num_supernodes; ++s) {
+    RP_ASSIGN_OR_RETURN(std::istringstream fields, cursor.Line("sn"));
+    std::string feature_hex;
+    size_t count = 0;
+    if (!(fields >> feature_hex >> count)) {
+      return Status::Corruption(
+          StrPrintf("checkpoint supernode line %d unreadable", s));
+    }
+    auto feature = DoubleFromBitsHex(feature_hex);
+    if (!feature.ok()) {
+      return Status::Corruption(
+          StrPrintf("checkpoint supernode %d has bad feature bits", s));
+    }
+    supernodes[s].feature = *feature;
+    supernodes[s].members.resize(count);
+    for (size_t i = 0; i < count; ++i) {
+      if (!(fields >> supernodes[s].members[i])) {
+        return Status::Corruption(
+            StrPrintf("checkpoint supernode %d member list truncated", s));
+      }
+    }
+  }
+  RP_ASSIGN_OR_RETURN(int link_nodes, ReadInt(cursor, "links"));
+  RP_ASSIGN_OR_RETURN(std::vector<int64_t> offsets,
+                      ReadInt64Vec(cursor, "offsets"));
+  RP_ASSIGN_OR_RETURN(std::vector<int> neighbors,
+                      ReadIntVec(cursor, "neighbors"));
+  RP_ASSIGN_OR_RETURN(std::vector<double> weights,
+                      ReadDoubleVec(cursor, "weights"));
+  if (link_nodes != num_supernodes ||
+      offsets.size() != static_cast<size_t>(link_nodes) + 1 ||
+      neighbors.size() != weights.size()) {
+    return Status::Corruption("checkpoint supergraph arrays are inconsistent");
+  }
+  // Adopting the raw arrays skips the sort-and-merge pass; the checksum has
+  // already vouched for the bytes, and Supergraph::Create re-validates the
+  // member partition.
+  CsrGraph links = CsrGraph::FromRawParts(link_nodes, std::move(offsets),
+                                          std::move(neighbors),
+                                          std::move(weights));
+  auto supergraph = Supergraph::Create(std::move(supernodes),
+                                       std::move(links), num_road_nodes);
+  if (!supergraph.ok()) {
+    return Status::Corruption("checkpoint supergraph fails validation: " +
+                              supergraph.status().ToString());
+  }
+  checkpoint.supergraph = std::move(*supergraph);
+  return checkpoint;
+}
+
+// --- Cut checkpoint ---------------------------------------------------------
+
+std::string EncodeCutCheckpoint(const CutCheckpoint& checkpoint) {
+  std::ostringstream out;
+  out << "k-final " << checkpoint.k_final << "\n";
+  out << "k-prime " << checkpoint.k_prime << "\n";
+  out << "objective " << DoubleToBitsHex(checkpoint.objective) << "\n";
+  AppendEigen(out, checkpoint.eigen);
+  AppendIntVec(out, "assignment", checkpoint.assignment);
+  return out.str();
+}
+
+Result<CutCheckpoint> DecodeCutCheckpoint(std::string_view payload) {
+  LineCursor cursor(payload);
+  CutCheckpoint checkpoint;
+  RP_ASSIGN_OR_RETURN(checkpoint.k_final, ReadInt(cursor, "k-final"));
+  RP_ASSIGN_OR_RETURN(checkpoint.k_prime, ReadInt(cursor, "k-prime"));
+  RP_ASSIGN_OR_RETURN(checkpoint.objective, ReadDouble(cursor, "objective"));
+  RP_ASSIGN_OR_RETURN(checkpoint.eigen, ReadEigen(cursor));
+  RP_ASSIGN_OR_RETURN(checkpoint.assignment,
+                      ReadIntVec(cursor, "assignment"));
+  return checkpoint;
+}
+
+// --- Final checkpoint -------------------------------------------------------
+
+std::string EncodeFinalCheckpoint(const FinalCheckpoint& checkpoint) {
+  std::ostringstream out;
+  out << "k-final " << checkpoint.k_final << "\n";
+  out << "k-prime " << checkpoint.k_prime << "\n";
+  out << "supernodes " << checkpoint.num_supernodes << "\n";
+  out << "objective " << DoubleToBitsHex(checkpoint.objective) << "\n";
+  out << "module2 " << DoubleToBitsHex(checkpoint.module2_seconds) << "\n";
+  out << "module3 " << DoubleToBitsHex(checkpoint.module3_seconds) << "\n";
+  AppendEigen(out, checkpoint.eigen);
+  AppendIntVec(out, "assignment", checkpoint.assignment);
+  return out.str();
+}
+
+Result<FinalCheckpoint> DecodeFinalCheckpoint(std::string_view payload) {
+  LineCursor cursor(payload);
+  FinalCheckpoint checkpoint;
+  RP_ASSIGN_OR_RETURN(checkpoint.k_final, ReadInt(cursor, "k-final"));
+  RP_ASSIGN_OR_RETURN(checkpoint.k_prime, ReadInt(cursor, "k-prime"));
+  RP_ASSIGN_OR_RETURN(checkpoint.num_supernodes,
+                      ReadInt(cursor, "supernodes"));
+  RP_ASSIGN_OR_RETURN(checkpoint.objective, ReadDouble(cursor, "objective"));
+  RP_ASSIGN_OR_RETURN(checkpoint.module2_seconds,
+                      ReadDouble(cursor, "module2"));
+  RP_ASSIGN_OR_RETURN(checkpoint.module3_seconds,
+                      ReadDouble(cursor, "module3"));
+  RP_ASSIGN_OR_RETURN(checkpoint.eigen, ReadEigen(cursor));
+  RP_ASSIGN_OR_RETURN(checkpoint.assignment,
+                      ReadIntVec(cursor, "assignment"));
+  return checkpoint;
+}
+
+}  // namespace roadpart

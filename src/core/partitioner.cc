@@ -1,5 +1,7 @@
 #include "core/partitioner.h"
 
+#include <optional>
+#include <sstream>
 #include <utility>
 
 #include "common/check.h"
@@ -53,6 +55,48 @@ const char* SchemeName(Scheme scheme) {
       return "JiGeroliminis";
   }
   return "?";
+}
+
+std::string CanonicalOptionsString(const PartitionerOptions& o) {
+  std::ostringstream s;
+  auto bits = [](double v) { return DoubleToBitsHex(v); };
+  s << "scheme=" << SchemeName(o.scheme) << ";k=" << o.k;
+  s << ";miner.max_kappa=" << o.miner.max_kappa
+    << ";miner.mcg_abs=" << bits(o.miner.mcg_threshold_absolute)
+    << ";miner.mcg_frac=" << bits(o.miner.mcg_threshold_fraction)
+    << ";miner.sample_size=" << o.miner.sample_size
+    << ";miner.min_supernodes=" << o.miner.min_supernodes
+    << ";miner.stability.threshold=" << bits(o.miner.stability.threshold)
+    << ";miner.stability.split=" << o.miner.stability.split_into_components
+    << ";miner.weight_scheme=" << static_cast<int>(o.miner.weight_scheme)
+    << ";miner.seed=" << o.miner.seed;
+  s << ";spectral.dense_threshold=" << o.spectral.dense_threshold
+    << ";spectral.lanczos.max_subspace=" << o.spectral.lanczos.max_subspace
+    << ";spectral.lanczos.tolerance=" << bits(o.spectral.lanczos.tolerance)
+    << ";spectral.lanczos.seed=" << o.spectral.lanczos.seed
+    << ";spectral.lanczos.max_restarts=" << o.spectral.lanczos.max_restarts
+    << ";spectral.on_nonconvergence="
+    << static_cast<int>(o.spectral.on_nonconvergence)
+    << ";spectral.dense_fallback_max=" << o.spectral.dense_fallback_max;
+  s << ";kmeans.max_iterations=" << o.kmeans.max_iterations
+    << ";kmeans.restarts=" << o.kmeans.restarts
+    << ";kmeans.kmeanspp=" << o.kmeans.use_kmeanspp
+    << ";kmeans.seed=" << o.kmeans.seed;
+  s << ";ji.over_partition=" << bits(o.ji.over_partition_factor)
+    << ";ji.boundary_rounds=" << o.ji.boundary_rounds
+    << ";ji.ncut.exact_k=" << o.ji.ncut.pipeline.enforce_exact_k
+    << ";ji.ncut.exact_k_method="
+    << static_cast<int>(o.ji.ncut.pipeline.exact_k_method)
+    << ";ji.ncut.connectivity=" << o.ji.ncut.pipeline.enforce_connectivity;
+  s << ";exact_k=" << o.enforce_exact_k
+    << ";exact_k_method=" << static_cast<int>(o.exact_k_method)
+    << ";connectivity=" << o.enforce_connectivity
+    << ";refine=" << o.refine_boundary
+    << ";refinement.max_rounds=" << o.refinement.max_rounds
+    << ";refinement.connectivity=" << o.refinement.enforce_connectivity
+    << ";seed=" << o.seed
+    << ";density_policy=" << static_cast<int>(o.density_policy);
+  return s.str();
 }
 
 Result<PartitionOutcome> Partitioner::PartitionNetwork(
@@ -119,6 +163,33 @@ Result<PartitionOutcome> Partitioner::PartitionWithBudget(
   }
   const RoadGraph& graph = *active;
 
+  // Checkpoint store, keyed to the *input* graph (pre-sanitization) so the
+  // manifest identifies what the caller handed us; a resumed run reruns the
+  // (cheap, deterministic) sanitization itself and re-derives its warnings.
+  // A store that cannot initialize degrades to a plain uncheckpointed run.
+  CheckpointStore store;
+  if (!options_.checkpoint.dir.empty()) {
+    RunManifest manifest;
+    manifest.input_fingerprint = FingerprintRoadGraph(input_graph);
+    manifest.options_hash = Fnv1a64(CanonicalOptionsString(options_));
+    store = CheckpointStore(options_.checkpoint, manifest);
+    Status init = store.Initialize();
+    if (!init.ok()) {
+      outcome.diagnostics.warnings.push_back("checkpointing disabled: " +
+                                             init.ToString());
+      store = CheckpointStore();
+    }
+  }
+  auto save_stage = [&](CheckpointStage stage, const std::string& payload) {
+    if (!store.enabled()) return;
+    Status saved = store.SaveStage(stage, payload);
+    if (!saved.ok()) {
+      outcome.diagnostics.warnings.push_back(
+          StrPrintf("checkpoint stage '%s' not saved (%s)",
+                    CheckpointStageName(stage), saved.ToString().c_str()));
+    }
+  };
+
   SpectralPipelineOptions pipeline;
   pipeline.kmeans = options_.kmeans;
   pipeline.kmeans.seed = options_.seed;
@@ -126,85 +197,111 @@ Result<PartitionOutcome> Partitioner::PartitionWithBudget(
   pipeline.exact_k_method = options_.exact_k_method;
   pipeline.enforce_connectivity = options_.enforce_connectivity;
 
-  Timer timer;
-  switch (options_.scheme) {
-    case Scheme::kAG:
-    case Scheme::kNG: {
-      CsrGraph weighted =
-          GaussianWeightedGraph(graph.adjacency(), graph.features());
-      timer.Restart();
-      GraphCutResult cut;
-      if (options_.scheme == Scheme::kAG) {
-        AlphaCutOptions alpha{options_.spectral, pipeline};
-        RP_ASSIGN_OR_RETURN(cut, AlphaCutPartition(weighted, k, alpha));
-      } else {
-        NormalizedCutOptions ncut{options_.spectral, pipeline};
-        RP_ASSIGN_OR_RETURN(cut, NormalizedCutPartition(weighted, k, ncut));
+  // Runs the module-3 spectral cut on `target`, consuming a valid 'cut'
+  // checkpoint when one exists and saving one when it does not. Which graph
+  // `target` is (road graph, weighted road graph, or supergraph links) is
+  // fully determined by the manifest-keyed options plus the mining stage, so
+  // a stored cut whose label count matches belongs to this exact target.
+  auto run_cut = [&](const CsrGraph& target,
+                     bool use_alpha) -> Result<GraphCutResult> {
+    if (auto payload = store.LoadStage(CheckpointStage::kCut)) {
+      auto decoded = DecodeCutCheckpoint(*payload);
+      if (decoded.ok() && static_cast<int>(decoded->assignment.size()) ==
+                              target.num_nodes()) {
+        GraphCutResult cut;
+        cut.assignment = std::move(decoded->assignment);
+        cut.k_final = decoded->k_final;
+        cut.k_prime = decoded->k_prime;
+        cut.objective = decoded->objective;
+        cut.eigen = decoded->eigen;
+        return cut;
       }
-      if (options_.refine_boundary) {
-        if (options_.scheme == Scheme::kAG) {
-          AlphaCutMethod method(options_.spectral);
-          RP_ASSIGN_OR_RETURN(cut.assignment,
-                              RefineBoundary(weighted, cut.assignment, method,
-                                             options_.refinement));
-          cut.objective = method.Objective(weighted, cut.assignment);
-        } else {
-          NormalizedCutMethod method(options_.spectral);
-          RP_ASSIGN_OR_RETURN(cut.assignment,
-                              RefineBoundary(weighted, cut.assignment, method,
-                                             options_.refinement));
-          cut.objective = method.Objective(weighted, cut.assignment);
-        }
-        cut.k_final = DensifyAssignment(cut.assignment);
-      }
-      outcome.module3_seconds = timer.Seconds();
-      outcome.diagnostics.eigen = cut.eigen;
-      outcome.assignment = std::move(cut.assignment);
-      outcome.k_final = cut.k_final;
-      outcome.k_prime = cut.k_prime;
-      outcome.objective = cut.objective;
-      break;
+      outcome.diagnostics.warnings.push_back(
+          decoded.ok() ? std::string("checkpoint stage 'cut' does not match "
+                                     "this graph; recomputing")
+                       : "checkpoint stage 'cut' undecodable (" +
+                             decoded.status().ToString() + "); recomputing");
     }
-    case Scheme::kASG:
-    case Scheme::kNSG: {
-      timer.Restart();
-      // The second level needs at least k supernodes to produce k
-      // partitions.
-      SupergraphMinerOptions miner = options_.miner;
-      miner.min_supernodes = std::max(miner.min_supernodes, k);
-      RP_ASSIGN_OR_RETURN(
-          Supergraph sg,
-          MineSupergraph(graph, miner, &outcome.mining_report));
-      if (sg.num_supernodes() < k) {
-        // Every clustering configuration condensed below k regions (tiny or
-        // near-uniform networks): force the stability pass to its strictest
-        // setting, which splits supernodes down to uniform-feature groups.
-        miner.stability.threshold = 1.0;
-        RP_ASSIGN_OR_RETURN(
-            sg, MineSupergraph(graph, miner, &outcome.mining_report));
-      }
-      if (sg.num_supernodes() < k) {
-        // Fully uniform densities leave nothing for the supergraph to
-        // distinguish: fall back to cutting the road graph directly (a
-        // purely topological split, the only meaningful answer here).
-        outcome.module2_seconds = timer.Seconds();
-        if (deadline > 0.0) {
-          outcome.diagnostics.slack_module2_seconds = remaining();
+    GraphCutResult cut;
+    if (use_alpha) {
+      AlphaCutOptions alpha{options_.spectral, pipeline};
+      RP_ASSIGN_OR_RETURN(cut, AlphaCutPartition(target, k, alpha));
+    } else {
+      NormalizedCutOptions ncut{options_.spectral, pipeline};
+      RP_ASSIGN_OR_RETURN(cut, NormalizedCutPartition(target, k, ncut));
+    }
+    CutCheckpoint completed;
+    completed.assignment = cut.assignment;
+    completed.k_final = cut.k_final;
+    completed.k_prime = cut.k_prime;
+    completed.objective = cut.objective;
+    completed.eigen = cut.eigen;
+    save_stage(CheckpointStage::kCut, EncodeCutCheckpoint(completed));
+    return cut;
+  };
+
+  // A stored 'final' checkpoint short-circuits modules 2-3 entirely; the run
+  // still flows through the deadline accounting, warning derivation, and
+  // label validation below, exactly like an uninterrupted run.
+  bool resumed_final = false;
+  if (auto payload = store.LoadStage(CheckpointStage::kFinal)) {
+    auto decoded = DecodeFinalCheckpoint(*payload);
+    if (decoded.ok() &&
+        static_cast<int>(decoded->assignment.size()) == graph.num_nodes()) {
+      outcome.assignment = std::move(decoded->assignment);
+      outcome.k_final = decoded->k_final;
+      outcome.k_prime = decoded->k_prime;
+      outcome.num_supernodes = decoded->num_supernodes;
+      outcome.objective = decoded->objective;
+      outcome.module2_seconds = decoded->module2_seconds;
+      outcome.module3_seconds = decoded->module3_seconds;
+      outcome.diagnostics.eigen = decoded->eigen;
+      // The mining report rides in its own stage for the supergraph schemes.
+      if (options_.scheme == Scheme::kASG ||
+          options_.scheme == Scheme::kNSG) {
+        if (auto mining_payload = store.LoadStage(CheckpointStage::kMining)) {
+          auto mining = DecodeMiningCheckpoint(*mining_payload);
+          if (mining.ok()) outcome.mining_report = std::move(mining->report);
         }
-        RP_RETURN_IF_ERROR(check_deadline("after supergraph mining"));
+      }
+      resumed_final = true;
+    } else {
+      outcome.diagnostics.warnings.push_back(
+          decoded.ok() ? std::string("checkpoint stage 'final' does not "
+                                     "match this graph; recomputing")
+                       : "checkpoint stage 'final' undecodable (" +
+                             decoded.status().ToString() + "); recomputing");
+    }
+  }
+
+  Timer timer;
+  if (!resumed_final) {
+    switch (options_.scheme) {
+      case Scheme::kAG:
+      case Scheme::kNG: {
         CsrGraph weighted =
             GaussianWeightedGraph(graph.adjacency(), graph.features());
         timer.Restart();
-        GraphCutResult cut;
-        if (options_.scheme == Scheme::kASG) {
-          AlphaCutOptions alpha{options_.spectral, pipeline};
-          RP_ASSIGN_OR_RETURN(cut, AlphaCutPartition(weighted, k, alpha));
-        } else {
-          NormalizedCutOptions ncut{options_.spectral, pipeline};
-          RP_ASSIGN_OR_RETURN(cut, NormalizedCutPartition(weighted, k, ncut));
+        RP_ASSIGN_OR_RETURN(
+            GraphCutResult cut,
+            run_cut(weighted, options_.scheme == Scheme::kAG));
+        if (options_.refine_boundary) {
+          if (options_.scheme == Scheme::kAG) {
+            AlphaCutMethod method(options_.spectral);
+            RP_ASSIGN_OR_RETURN(cut.assignment,
+                                RefineBoundary(weighted, cut.assignment,
+                                               method, options_.refinement));
+            cut.objective = method.Objective(weighted, cut.assignment);
+          } else {
+            NormalizedCutMethod method(options_.spectral);
+            RP_ASSIGN_OR_RETURN(cut.assignment,
+                                RefineBoundary(weighted, cut.assignment,
+                                               method, options_.refinement));
+            cut.objective = method.Objective(weighted, cut.assignment);
+          }
+          cut.k_final = DensifyAssignment(cut.assignment);
         }
         outcome.module3_seconds = timer.Seconds();
-        outcome.num_supernodes = sg.num_supernodes();
         outcome.diagnostics.eigen = cut.eigen;
         outcome.assignment = std::move(cut.assignment);
         outcome.k_final = cut.k_final;
@@ -212,64 +309,129 @@ Result<PartitionOutcome> Partitioner::PartitionWithBudget(
         outcome.objective = cut.objective;
         break;
       }
-      outcome.module2_seconds = timer.Seconds();
-      outcome.num_supernodes = sg.num_supernodes();
-      if (deadline > 0.0) {
-        outcome.diagnostics.slack_module2_seconds = remaining();
-      }
-      RP_RETURN_IF_ERROR(check_deadline("after supergraph mining"));
-
-      timer.Restart();
-      GraphCutResult cut;
-      if (options_.scheme == Scheme::kASG) {
-        AlphaCutOptions alpha{options_.spectral, pipeline};
-        RP_ASSIGN_OR_RETURN(cut, AlphaCutPartition(sg.links(), k, alpha));
-      } else {
-        NormalizedCutOptions ncut{options_.spectral, pipeline};
-        RP_ASSIGN_OR_RETURN(cut, NormalizedCutPartition(sg.links(), k, ncut));
-      }
-      if (options_.refine_boundary) {
-        // Refinement at the supernode level keeps supernodes atomic, as the
-        // supergraph semantics require.
-        if (options_.scheme == Scheme::kASG) {
-          AlphaCutMethod method(options_.spectral);
-          RP_ASSIGN_OR_RETURN(cut.assignment,
-                              RefineBoundary(sg.links(), cut.assignment,
-                                             method, options_.refinement));
-        } else {
-          NormalizedCutMethod method(options_.spectral);
-          RP_ASSIGN_OR_RETURN(cut.assignment,
-                              RefineBoundary(sg.links(), cut.assignment,
-                                             method, options_.refinement));
+      case Scheme::kASG:
+      case Scheme::kNSG: {
+        timer.Restart();
+        std::optional<MiningCheckpoint> mined;
+        if (auto payload = store.LoadStage(CheckpointStage::kMining)) {
+          auto decoded = DecodeMiningCheckpoint(*payload);
+          if (decoded.ok() &&
+              (decoded->roadgraph_fallback ||
+               (decoded->supergraph.has_value() &&
+                decoded->supergraph->num_road_nodes() == graph.num_nodes()))) {
+            mined = std::move(*decoded);
+            outcome.mining_report = mined->report;
+          } else {
+            outcome.diagnostics.warnings.push_back(
+                decoded.ok()
+                    ? std::string("checkpoint stage 'mining' does not match "
+                                  "this graph; recomputing")
+                    : "checkpoint stage 'mining' undecodable (" +
+                          decoded.status().ToString() + "); recomputing");
+          }
         }
-        cut.k_final = DensifyAssignment(cut.assignment);
+        if (!mined.has_value()) {
+          // The second level needs at least k supernodes to produce k
+          // partitions.
+          SupergraphMinerOptions miner = options_.miner;
+          miner.min_supernodes = std::max(miner.min_supernodes, k);
+          RP_ASSIGN_OR_RETURN(
+              Supergraph sg,
+              MineSupergraph(graph, miner, &outcome.mining_report));
+          if (sg.num_supernodes() < k) {
+            // Every clustering configuration condensed below k regions (tiny
+            // or near-uniform networks): force the stability pass to its
+            // strictest setting, which splits supernodes down to
+            // uniform-feature groups.
+            miner.stability.threshold = 1.0;
+            RP_ASSIGN_OR_RETURN(
+                sg, MineSupergraph(graph, miner, &outcome.mining_report));
+          }
+          MiningCheckpoint fresh;
+          fresh.roadgraph_fallback = sg.num_supernodes() < k;
+          fresh.num_supernodes = sg.num_supernodes();
+          fresh.module2_seconds = timer.Seconds();
+          fresh.report = outcome.mining_report;
+          if (!fresh.roadgraph_fallback) fresh.supergraph = std::move(sg);
+          save_stage(CheckpointStage::kMining,
+                     EncodeMiningCheckpoint(fresh));
+          mined = std::move(fresh);
+        }
+        outcome.module2_seconds = mined->module2_seconds;
+        outcome.num_supernodes = mined->num_supernodes;
+        if (deadline > 0.0) {
+          outcome.diagnostics.slack_module2_seconds = remaining();
+        }
+        RP_RETURN_IF_ERROR(check_deadline("after supergraph mining"));
+
+        if (mined->roadgraph_fallback) {
+          // Fully uniform densities leave nothing for the supergraph to
+          // distinguish: fall back to cutting the road graph directly (a
+          // purely topological split, the only meaningful answer here).
+          CsrGraph weighted =
+              GaussianWeightedGraph(graph.adjacency(), graph.features());
+          timer.Restart();
+          RP_ASSIGN_OR_RETURN(
+              GraphCutResult cut,
+              run_cut(weighted, options_.scheme == Scheme::kASG));
+          outcome.module3_seconds = timer.Seconds();
+          outcome.diagnostics.eigen = cut.eigen;
+          outcome.assignment = std::move(cut.assignment);
+          outcome.k_final = cut.k_final;
+          outcome.k_prime = cut.k_prime;
+          outcome.objective = cut.objective;
+          break;
+        }
+        const Supergraph& sg = *mined->supergraph;
+        timer.Restart();
+        RP_ASSIGN_OR_RETURN(
+            GraphCutResult cut,
+            run_cut(sg.links(), options_.scheme == Scheme::kASG));
+        if (options_.refine_boundary) {
+          // Refinement at the supernode level keeps supernodes atomic, as
+          // the supergraph semantics require.
+          if (options_.scheme == Scheme::kASG) {
+            AlphaCutMethod method(options_.spectral);
+            RP_ASSIGN_OR_RETURN(cut.assignment,
+                                RefineBoundary(sg.links(), cut.assignment,
+                                               method, options_.refinement));
+          } else {
+            NormalizedCutMethod method(options_.spectral);
+            RP_ASSIGN_OR_RETURN(cut.assignment,
+                                RefineBoundary(sg.links(), cut.assignment,
+                                               method, options_.refinement));
+          }
+          cut.k_final = DensifyAssignment(cut.assignment);
+        }
+        RP_ASSIGN_OR_RETURN(outcome.assignment,
+                            sg.ExpandAssignment(cut.assignment));
+        outcome.module3_seconds = timer.Seconds();
+        outcome.diagnostics.eigen = cut.eigen;
+        outcome.k_final = cut.k_final;
+        outcome.k_prime = cut.k_prime;
+        outcome.objective = cut.objective;
+        break;
       }
-      RP_ASSIGN_OR_RETURN(outcome.assignment,
-                          sg.ExpandAssignment(cut.assignment));
-      outcome.module3_seconds = timer.Seconds();
-      outcome.diagnostics.eigen = cut.eigen;
-      outcome.k_final = cut.k_final;
-      outcome.k_prime = cut.k_prime;
-      outcome.objective = cut.objective;
-      break;
-    }
-    case Scheme::kJiGeroliminis: {
-      CsrGraph weighted =
-          GaussianWeightedGraph(graph.adjacency(), graph.features());
-      timer.Restart();
-      JiGeroliminisOptions ji = options_.ji;
-      ji.ncut.spectral = options_.spectral;
-      ji.ncut.pipeline.kmeans = pipeline.kmeans;
-      RP_ASSIGN_OR_RETURN(
-          GraphCutResult cut,
-          JiGeroliminisPartition(weighted, graph.features(), k, ji));
-      outcome.module3_seconds = timer.Seconds();
-      outcome.diagnostics.eigen = cut.eigen;
-      outcome.assignment = std::move(cut.assignment);
-      outcome.k_final = cut.k_final;
-      outcome.k_prime = cut.k_prime;
-      outcome.objective = cut.objective;
-      break;
+      case Scheme::kJiGeroliminis: {
+        // The baseline is an indivisible three-phase loop with no stable
+        // intermediate to persist: only the 'final' stage applies.
+        CsrGraph weighted =
+            GaussianWeightedGraph(graph.adjacency(), graph.features());
+        timer.Restart();
+        JiGeroliminisOptions ji = options_.ji;
+        ji.ncut.spectral = options_.spectral;
+        ji.ncut.pipeline.kmeans = pipeline.kmeans;
+        RP_ASSIGN_OR_RETURN(
+            GraphCutResult cut,
+            JiGeroliminisPartition(weighted, graph.features(), k, ji));
+        outcome.module3_seconds = timer.Seconds();
+        outcome.diagnostics.eigen = cut.eigen;
+        outcome.assignment = std::move(cut.assignment);
+        outcome.k_final = cut.k_final;
+        outcome.k_prime = cut.k_prime;
+        outcome.objective = cut.objective;
+        break;
+      }
     }
   }
   if (deadline > 0.0) {
@@ -290,6 +452,8 @@ Result<PartitionOutcome> Partitioner::PartitionWithBudget(
         "eigensolver escalated to %s before converging",
         SolverPathName(diag.eigen.solver_path)));
   }
+  diag.warnings.insert(diag.warnings.end(), store.warnings().begin(),
+                       store.warnings().end());
 
   // Every scheme must hand back a complete, dense, non-empty labelling of the
   // road graph; ExpandAssignment and the k'->k reductions above are exactly
@@ -297,6 +461,23 @@ Result<PartitionOutcome> Partitioner::PartitionWithBudget(
   // partition with a silently missing region.
   RP_DCHECK_OK(ValidatePartitionLabels(outcome.assignment, graph.num_nodes(),
                                        outcome.k_final));
+
+  // Persist the completed run last, after validation — a 'final' checkpoint
+  // is a promise that the stored labels are the ones an uninterrupted run
+  // returns. Skipped when this run *was* the stored final, so a crash hook
+  // armed on 'final' does not re-fire on the resumed run.
+  if (!resumed_final && store.enabled()) {
+    FinalCheckpoint completed;
+    completed.assignment = outcome.assignment;
+    completed.k_final = outcome.k_final;
+    completed.k_prime = outcome.k_prime;
+    completed.num_supernodes = outcome.num_supernodes;
+    completed.objective = outcome.objective;
+    completed.module2_seconds = outcome.module2_seconds;
+    completed.module3_seconds = outcome.module3_seconds;
+    completed.eigen = outcome.diagnostics.eigen;
+    save_stage(CheckpointStage::kFinal, EncodeFinalCheckpoint(completed));
+  }
   return outcome;
 }
 

@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "core/alpha_cut.h"
+#include "core/checkpoint.h"
 #include "core/ji_geroliminis.h"
 #include "core/normalized_cut.h"
 #include "core/refinement.h"
@@ -61,7 +62,22 @@ struct PartitionerOptions {
   /// with order-fixed reductions, so results are bit-identical for any value
   /// (see tests/parallel_determinism_test.cc).
   int num_threads = 0;
+  /// Stage-level checkpoint/resume (core/checkpoint.h). With a non-empty
+  /// `checkpoint.dir` the run persists each completed pipeline stage as a
+  /// durable artifact; with `checkpoint.resume` it consumes valid completed
+  /// stages, producing output bit-identical to an uninterrupted run. A
+  /// missing/corrupt/mismatched checkpoint recomputes with a warning; it
+  /// never fails the run.
+  CheckpointOptions checkpoint;
 };
+
+/// Canonical text of every output-affecting field of PartitionerOptions.
+/// Excludes the knobs that cannot change the result: num_threads (kernels
+/// are thread-count-invariant), deadline_seconds (an expired deadline fails
+/// the run rather than altering it), and the checkpoint policy itself.
+/// Doubles are rendered as IEEE bit patterns, so equal strings mean exactly
+/// equal configurations. Hashed into the checkpoint RunManifest.
+std::string CanonicalOptionsString(const PartitionerOptions& options);
 
 /// Everything a caller needs to judge *how* a run succeeded: which rung of
 /// the eigensolver ladder produced the embedding, what the sanitizer had to

@@ -1,15 +1,20 @@
 #include "core/supergraph_io.h"
 
-#include <fstream>
 #include <sstream>
 
+#include "common/durable_io.h"
 #include "common/string_util.h"
 
 namespace roadpart {
 
-Status SaveSupergraph(const Supergraph& supergraph, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open " + path + " for writing");
+namespace {
+constexpr char kSupergraphFormat[] = "supergraph";
+constexpr int kSupergraphVersion = 1;
+}  // namespace
+
+Status SaveSupergraph(const Supergraph& supergraph, const std::string& path,
+                      const RetryOptions& retry) {
+  std::ostringstream out;
   out << "# supergraph v1\n";
   out << "G " << supergraph.num_road_nodes() << " "
       << supergraph.num_supernodes() << "\n";
@@ -29,13 +34,17 @@ Status SaveSupergraph(const Supergraph& supergraph, const std::string& path) {
       }
     }
   }
-  if (!out) return Status::IOError("write failed for " + path);
-  return Status::OK();
+  return WriteArtifact(path, kSupergraphFormat, kSupergraphVersion, out.str(),
+                       retry);
 }
 
-Result<Supergraph> LoadSupergraph(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open " + path);
+Result<Supergraph> LoadSupergraph(const std::string& path,
+                                  const RetryOptions& retry) {
+  ArtifactReadOptions read_options;
+  read_options.expected_format = kSupergraphFormat;
+  read_options.retry = retry;
+  RP_ASSIGN_OR_RETURN(std::string payload, ReadArtifact(path, read_options));
+  std::istringstream in(payload);
   std::string line;
 
   auto next_line = [&](std::string& out_line) -> bool {

@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "common/durable_io.h"
 #include "common/status.h"
 #include "core/supergraph.h"
 
@@ -11,17 +12,23 @@ namespace roadpart {
 /// Serializes a mined supergraph so the expensive module-2 result can be
 /// cached across repeated partitioning runs (the paper re-partitions the
 /// same network at every time interval; the supergraph topology only needs
-/// re-mining when densities shift regime). Text format:
+/// re-mining when densities shift regime). Written atomically inside the
+/// checksummed "supergraph" artifact envelope (common/durable_io.h); payload
+/// format:
 ///
 ///   # supergraph v1
 ///   G <num_road_nodes> <num_supernodes>
 ///   <feature> <member_count> <member...>        (one line per supernode)
 ///   L <num_links>
 ///   <p> <q> <weight>                            (one line per superlink)
-Status SaveSupergraph(const Supergraph& supergraph, const std::string& path);
+Status SaveSupergraph(const Supergraph& supergraph, const std::string& path,
+                      const RetryOptions& retry = {});
 
 /// Loads a supergraph saved by SaveSupergraph (validating all invariants).
-Result<Supergraph> LoadSupergraph(const std::string& path);
+/// Enveloped files are checksum-verified (torn/corrupt -> kCorruption);
+/// envelope-less files are accepted for hand-authored inputs.
+Result<Supergraph> LoadSupergraph(const std::string& path,
+                                  const RetryOptions& retry = {});
 
 }  // namespace roadpart
 

@@ -1,10 +1,11 @@
 #include "network/edge_list_io.h"
 
-#include <fstream>
 #include <map>
 #include <set>
+#include <sstream>
 #include <utility>
 
+#include "common/durable_io.h"
 #include "common/string_util.h"
 #include "network/geometry.h"
 
@@ -12,11 +13,21 @@ namespace roadpart {
 
 namespace {
 
+constexpr char kNodesFormat[] = "edge-list-nodes";
+constexpr char kEdgesFormat[] = "edge-list-edges";
+constexpr int kEdgeListVersion = 1;
+
 // Reads non-empty, non-comment lines; skips an optional non-numeric header.
+// Files we wrote carry the artifact envelope and are checksum-verified;
+// foreign CSVs (real datasets) pass through unverified.
 Result<std::vector<std::vector<std::string>>> ReadCsv(
-    const std::string& path, size_t min_fields) {
-  std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open " + path);
+    const std::string& path, std::string_view expected_format,
+    size_t min_fields, const RetryOptions& retry) {
+  ArtifactReadOptions read_options;
+  read_options.expected_format = std::string(expected_format);
+  read_options.retry = retry;
+  RP_ASSIGN_OR_RETURN(std::string payload, ReadArtifact(path, read_options));
+  std::istringstream in(payload);
   std::vector<std::vector<std::string>> rows;
   std::string line;
   bool first = true;
@@ -42,9 +53,12 @@ Result<std::vector<std::vector<std::string>>> ReadCsv(
 }  // namespace
 
 Result<RoadNetwork> LoadEdgeListNetwork(const std::string& nodes_csv_path,
-                                        const std::string& edges_csv_path) {
-  RP_ASSIGN_OR_RETURN(auto node_rows, ReadCsv(nodes_csv_path, 3));
-  RP_ASSIGN_OR_RETURN(auto edge_rows, ReadCsv(edges_csv_path, 2));
+                                        const std::string& edges_csv_path,
+                                        const RetryOptions& retry) {
+  RP_ASSIGN_OR_RETURN(auto node_rows,
+                      ReadCsv(nodes_csv_path, kNodesFormat, 3, retry));
+  RP_ASSIGN_OR_RETURN(auto edge_rows,
+                      ReadCsv(edges_csv_path, kEdgesFormat, 2, retry));
 
   std::map<int64_t, int> id_map;
   std::vector<Intersection> intersections;
@@ -97,16 +111,17 @@ Result<RoadNetwork> LoadEdgeListNetwork(const std::string& nodes_csv_path,
 
 Status SaveEdgeListNetwork(const RoadNetwork& network,
                            const std::string& nodes_csv_path,
-                           const std::string& edges_csv_path) {
+                           const std::string& edges_csv_path,
+                           const RetryOptions& retry) {
   {
-    std::ofstream out(nodes_csv_path);
-    if (!out) return Status::IOError("cannot open " + nodes_csv_path);
+    std::ostringstream out;
     out << "node_id,x,y\n";
     for (int i = 0; i < network.num_intersections(); ++i) {
       const Point& p = network.intersection(i).position;
       out << StrPrintf("%d,%.6f,%.6f\n", i, p.x, p.y);
     }
-    if (!out) return Status::IOError("write failed for " + nodes_csv_path);
+    RP_RETURN_IF_ERROR(WriteArtifact(nodes_csv_path, kNodesFormat,
+                                     kEdgeListVersion, out.str(), retry));
   }
 
   // Fold two-way pairs: a reverse twin (same endpoints, opposite direction)
@@ -116,8 +131,7 @@ Status SaveEdgeListNetwork(const RoadNetwork& network,
     const RoadSegment& s = network.segment(i);
     remaining.insert({s.from, s.to});
   }
-  std::ofstream out(edges_csv_path);
-  if (!out) return Status::IOError("cannot open " + edges_csv_path);
+  std::ostringstream out;
   out << "from_id,to_id,length,oneway,density\n";
   for (int i = 0; i < network.num_segments(); ++i) {
     const RoadSegment& s = network.segment(i);
@@ -128,8 +142,8 @@ Status SaveEdgeListNetwork(const RoadNetwork& network,
     out << StrPrintf("%d,%d,%.6f,%d,%.9f\n", s.from, s.to, s.length,
                      two_way ? 0 : 1, s.density);
   }
-  if (!out) return Status::IOError("write failed for " + edges_csv_path);
-  return Status::OK();
+  return WriteArtifact(edges_csv_path, kEdgesFormat, kEdgeListVersion,
+                       out.str(), retry);
 }
 
 }  // namespace roadpart

@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "common/durable_io.h"
 #include "common/status.h"
 #include "network/road_network.h"
 
@@ -20,14 +21,18 @@ namespace roadpart {
 /// - `density` (vehicles/metre) defaults to 0 and applies to both
 ///   directions of a two-way road.
 Result<RoadNetwork> LoadEdgeListNetwork(const std::string& nodes_csv_path,
-                                        const std::string& edges_csv_path);
+                                        const std::string& edges_csv_path,
+                                        const RetryOptions& retry = {});
 
 /// Writes the matching nodes/edges CSV pair. Two-way roads (segment pairs
 /// sharing both endpoints) are folded into a single `oneway=0` row with the
-/// forward direction's density.
+/// forward direction's density. Both files are written atomically inside
+/// checksummed artifact envelopes (the '#'-prefixed envelope lines read as
+/// CSV comments to foreign tools).
 Status SaveEdgeListNetwork(const RoadNetwork& network,
                            const std::string& nodes_csv_path,
-                           const std::string& edges_csv_path);
+                           const std::string& edges_csv_path,
+                           const RetryOptions& retry = {});
 
 }  // namespace roadpart
 

@@ -1,8 +1,8 @@
 #include "network/geojson_export.h"
 
-#include <fstream>
 #include <sstream>
 
+#include "common/durable_io.h"
 #include "common/string_util.h"
 
 namespace roadpart {
@@ -42,13 +42,13 @@ Result<std::string> GeoJsonString(const RoadNetwork& network,
 }
 
 Status ExportGeoJson(const RoadNetwork& network, const GeoJsonOptions& options,
-                     const std::string& path) {
+                     const std::string& path, const RetryOptions& retry) {
   RP_ASSIGN_OR_RETURN(std::string json, GeoJsonString(network, options));
-  std::ofstream file(path);
-  if (!file) return Status::IOError("cannot open " + path + " for writing");
-  file << json << "\n";
-  if (!file) return Status::IOError("write failed for " + path);
-  return Status::OK();
+  json.push_back('\n');
+  // Atomic write only — no artifact envelope. The output must stay plain
+  // valid JSON so map viewers accept it; atomicity alone already guarantees
+  // a crash leaves either the old file or none.
+  return AtomicWriteFile(path, json, retry);
 }
 
 }  // namespace roadpart

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/durable_io.h"
 #include "common/status.h"
 #include "network/road_network.h"
 
@@ -24,9 +25,10 @@ struct GeoJsonOptions {
 /// FeatureCollection of LineString features — one per road segment, with
 /// `id`, `density` and `partition` properties — so results drop straight
 /// into common map viewers for visual inspection of the partition maps the
-/// paper shows.
+/// paper shows. Written atomically (crash leaves the old file or none); no
+/// artifact envelope so the output stays plain valid JSON for viewers.
 Status ExportGeoJson(const RoadNetwork& network, const GeoJsonOptions& options,
-                     const std::string& path);
+                     const std::string& path, const RetryOptions& retry = {});
 
 /// In-memory variant (exposed for tests).
 Result<std::string> GeoJsonString(const RoadNetwork& network,

@@ -1,7 +1,5 @@
 #include "network/network_io.h"
 
-#include <cstdio>
-#include <fstream>
 #include <limits>
 #include <sstream>
 
@@ -10,9 +8,16 @@
 
 namespace roadpart {
 
-Status SaveRoadNetwork(const RoadNetwork& network, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open " + path + " for writing");
+namespace {
+constexpr char kRoadnetFormat[] = "roadnet";
+constexpr char kDensitiesFormat[] = "densities";
+constexpr char kPartitionFormat[] = "partition-csv";
+constexpr int kNetworkIoVersion = 1;
+}  // namespace
+
+Status SaveRoadNetwork(const RoadNetwork& network, const std::string& path,
+                       const RetryOptions& retry) {
+  std::ostringstream out;
   out << "# roadnet v1\n";
   out << "I " << network.num_intersections() << "\n";
   for (const Intersection& it : network.intersections()) {
@@ -22,13 +27,17 @@ Status SaveRoadNetwork(const RoadNetwork& network, const std::string& path) {
   for (const RoadSegment& s : network.segments()) {
     out << StrPrintf("%d %d %.6f %.9f\n", s.from, s.to, s.length, s.density);
   }
-  if (!out) return Status::IOError("write failed for " + path);
-  return Status::OK();
+  return WriteArtifact(path, kRoadnetFormat, kNetworkIoVersion, out.str(),
+                       retry);
 }
 
-Result<RoadNetwork> LoadRoadNetwork(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open " + path);
+Result<RoadNetwork> LoadRoadNetwork(const std::string& path,
+                                    const RetryOptions& retry) {
+  ArtifactReadOptions read_options;
+  read_options.expected_format = kRoadnetFormat;
+  read_options.retry = retry;
+  RP_ASSIGN_OR_RETURN(std::string payload, ReadArtifact(path, read_options));
+  std::istringstream in(payload);
   std::string line;
 
   auto next_line = [&](std::string& out_line) -> bool {
@@ -79,17 +88,20 @@ Result<RoadNetwork> LoadRoadNetwork(const std::string& path) {
 }
 
 Status SaveDensities(const std::vector<double>& densities,
-                     const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open " + path + " for writing");
+                     const std::string& path, const RetryOptions& retry) {
+  std::ostringstream out;
   for (double d : densities) out << StrPrintf("%.9f\n", d);
-  if (!out) return Status::IOError("write failed for " + path);
-  return Status::OK();
+  return WriteArtifact(path, kDensitiesFormat, kNetworkIoVersion, out.str(),
+                       retry);
 }
 
-Result<std::vector<double>> LoadDensities(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open " + path);
+Result<std::vector<double>> LoadDensities(const std::string& path,
+                                          const RetryOptions& retry) {
+  ArtifactReadOptions read_options;
+  read_options.expected_format = kDensitiesFormat;
+  read_options.retry = retry;
+  RP_ASSIGN_OR_RETURN(std::string payload, ReadArtifact(path, read_options));
+  std::istringstream in(payload);
   std::vector<double> densities;
   std::string line;
   while (std::getline(in, line)) {
@@ -120,15 +132,55 @@ Result<std::vector<double>> LoadDensities(const std::string& path) {
 }
 
 Status SavePartitionCsv(const std::vector<int>& assignment,
-                        const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open " + path + " for writing");
+                        const std::string& path, const RetryOptions& retry) {
+  std::ostringstream out;
   out << "segment_id,partition_id\n";
   for (size_t i = 0; i < assignment.size(); ++i) {
     out << i << "," << assignment[i] << "\n";
   }
-  if (!out) return Status::IOError("write failed for " + path);
-  return Status::OK();
+  return WriteArtifact(path, kPartitionFormat, kNetworkIoVersion, out.str(),
+                       retry);
+}
+
+Result<std::vector<int>> LoadPartitionCsv(const std::string& path,
+                                          int num_segments,
+                                          const RetryOptions& retry) {
+  ArtifactReadOptions read_options;
+  read_options.expected_format = kPartitionFormat;
+  read_options.retry = retry;
+  RP_ASSIGN_OR_RETURN(std::string payload, ReadArtifact(path, read_options));
+  std::istringstream in(payload);
+  std::vector<int> assignment(num_segments, -1);
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    std::string_view t = Trim(line);
+    if (t.empty() || t[0] == '#') continue;
+    if (first && StartsWith(t, "segment_id")) {
+      first = false;
+      continue;
+    }
+    first = false;
+    auto parts = Split(t, ',');
+    if (parts.size() != 2) {
+      return Status::IOError("malformed partition line: " + line);
+    }
+    RP_ASSIGN_OR_RETURN(int64_t id, ParseInt(parts[0]));
+    RP_ASSIGN_OR_RETURN(int64_t label, ParseInt(parts[1]));
+    if (id < 0 || id >= num_segments) {
+      return Status::OutOfRange(
+          StrPrintf("segment id %lld outside [0,%d)",
+                    static_cast<long long>(id), num_segments));
+    }
+    assignment[id] = static_cast<int>(label);
+  }
+  for (int i = 0; i < num_segments; ++i) {
+    if (assignment[i] < 0) {
+      return Status::InvalidArgument(
+          StrPrintf("segment %d has no partition assignment", i));
+    }
+  }
+  return assignment;
 }
 
 }  // namespace roadpart

@@ -23,6 +23,7 @@
 #include "cluster/kmeans.h"
 #include "cluster/kmeans1d.h"
 #include "cluster/optimality.h"
+#include "common/durable_io.h"
 #include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/parallel.h"
@@ -30,6 +31,7 @@
 #include "common/status.h"
 #include "common/timer.h"
 #include "core/alpha_cut.h"
+#include "core/checkpoint.h"
 #include "core/distributed_repartition.h"
 #include "core/ji_geroliminis.h"
 #include "core/normalized_cut.h"

@@ -1,15 +1,21 @@
 #include "temporal/series_io.h"
 
-#include <fstream>
+#include <sstream>
 
+#include "common/durable_io.h"
 #include "common/string_util.h"
 
 namespace roadpart {
 
+namespace {
+constexpr char kSeriesFormat[] = "snapshot-series";
+constexpr int kSeriesVersion = 1;
+}  // namespace
+
 Status SaveSnapshotSeries(const SnapshotSeries& series,
-                          const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open " + path + " for writing");
+                          const std::string& path,
+                          const RetryOptions& retry) {
+  std::ostringstream out;
   out << "# segments: " << series.num_segments() << "\n";
   for (int t = 0; t < series.num_snapshots(); ++t) {
     out << StrPrintf("%.3f", series.timestamp(t));
@@ -18,18 +24,40 @@ Status SaveSnapshotSeries(const SnapshotSeries& series,
     }
     out << "\n";
   }
-  if (!out) return Status::IOError("write failed for " + path);
-  return Status::OK();
+  return WriteArtifact(path, kSeriesFormat, kSeriesVersion, out.str(), retry);
 }
 
-Result<SnapshotSeries> LoadSnapshotSeries(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open " + path);
+Result<SnapshotSeries> LoadSnapshotSeries(const std::string& path,
+                                          const RetryOptions& retry) {
+  ArtifactReadOptions read_options;
+  read_options.expected_format = kSeriesFormat;
+  read_options.retry = retry;
+  RP_ASSIGN_OR_RETURN(std::string payload, ReadArtifact(path, read_options));
 
+  // A file that does not end in '\n' lost its tail mid-write: the last row
+  // would otherwise parse as a silently shortened (but numerically valid)
+  // snapshot — e.g. "120,0.1,0." reads as density 0.0. Refuse it outright.
+  if (!payload.empty() && payload.back() != '\n') {
+    return Status::Corruption(
+        path + ": no trailing newline — last snapshot row is truncated");
+  }
+
+  std::istringstream in(payload);
   std::string line;
   int num_segments = -1;
+  int row_number = 0;
   std::vector<std::pair<double, std::vector<double>>> rows;
   while (std::getline(in, line)) {
+    ++row_number;
+    // Reject CRLF before Trim (Trim would silently eat the '\r'): a series
+    // round-tripped through Windows tooling must be converted, not guessed
+    // at, because '\r' inside a field corrupts the final density of the row.
+    if (line.find('\r') != std::string::npos) {
+      return Status::InvalidArgument(
+          StrPrintf("%s line %d: CRLF line ending — convert the file to "
+                    "LF-only before loading",
+                    path.c_str(), row_number));
+    }
     std::string_view t = Trim(line);
     if (t.empty() || t[0] == '#') continue;
     auto fields = Split(t, ',');

@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "common/durable_io.h"
 #include "common/status.h"
 #include "temporal/snapshot_series.h"
 
@@ -10,12 +11,19 @@ namespace roadpart {
 
 /// Saves a snapshot series as time-major CSV:
 ///   timestamp,d0,d1,...,d{n-1}
-/// One row per snapshot; a `# segments: n` comment precedes the data.
+/// One row per snapshot; a `# segments: n` comment precedes the data. The
+/// file is written atomically inside the checksummed "snapshot-series"
+/// artifact envelope (common/durable_io.h).
 Status SaveSnapshotSeries(const SnapshotSeries& series,
-                          const std::string& path);
+                          const std::string& path,
+                          const RetryOptions& retry = {});
 
 /// Loads a series saved by SaveSnapshotSeries (or any CSV in that layout).
-Result<SnapshotSeries> LoadSnapshotSeries(const std::string& path);
+/// Enveloped files are checksum-verified; any file is rejected with a typed
+/// Status when the trailing row is truncated (kCorruption) or the line
+/// endings are CRLF (kInvalidArgument).
+Result<SnapshotSeries> LoadSnapshotSeries(const std::string& path,
+                                          const RetryOptions& retry = {});
 
 }  // namespace roadpart
 

@@ -1,0 +1,161 @@
+// Round-trip property suite for every artifact format the library persists:
+// save -> flip one byte at a seeded offset -> load must return
+// Status::Corruption — never OK, and never silently different data. Each
+// format also proves a clean save/load round trip first, so a failure here
+// isolates the envelope, not the codec.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "roadpart/roadpart.h"
+
+namespace roadpart {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+// Flips one byte of `path` at each of ~25 seeded offsets (restoring the
+// original in between) and asserts the loader reports Corruption each time.
+void ExpectOneByteFlipsDetected(
+    const std::string& path,
+    const std::function<Status(const std::string&)>& load,
+    uint64_t seed) {
+  auto original = ReadFileBytes(path);
+  ASSERT_TRUE(original.ok()) << original.status().ToString();
+  ASSERT_GT(original->size(), 2u);
+  Rng rng(seed);
+  for (int trial = 0; trial < 25; ++trial) {
+    size_t offset = static_cast<size_t>(
+        rng.NextBounded(static_cast<uint64_t>(original->size())));
+    unsigned char mask = static_cast<unsigned char>(1 + rng.NextBounded(255));
+    std::string mutated = *original;
+    mutated[offset] = static_cast<char>(mutated[offset] ^ mask);
+    ASSERT_TRUE(AtomicWriteFile(path, mutated).ok());
+    Status st = load(path);
+    ASSERT_FALSE(st.ok()) << "flip at offset " << offset << " mask "
+                          << int(mask) << " loaded successfully";
+    EXPECT_EQ(st.code(), StatusCode::kCorruption)
+        << "flip at offset " << offset << " mask " << int(mask) << ": "
+        << st.ToString();
+  }
+  ASSERT_TRUE(AtomicWriteFile(path, *original).ok());  // restore
+}
+
+class ArtifactCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto net = GenerateDataset(DatasetPreset::kD1, 5);
+    ASSERT_TRUE(net.ok());
+    net_ = *net;
+  }
+
+  RoadNetwork net_;
+};
+
+TEST_F(ArtifactCorruptionTest, RoadNetworkFormat) {
+  std::string path = TempPath("corrupt_roadnet.net");
+  ASSERT_TRUE(SaveRoadNetwork(net_, path).ok());
+  auto loaded = LoadRoadNetwork(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_segments(), net_.num_segments());
+  EXPECT_EQ(loaded->num_intersections(), net_.num_intersections());
+  ExpectOneByteFlipsDetected(
+      path, [](const std::string& p) { return LoadRoadNetwork(p).status(); },
+      101);
+  std::remove(path.c_str());
+}
+
+TEST_F(ArtifactCorruptionTest, DensitiesFormat) {
+  std::string path = TempPath("corrupt_densities.txt");
+  std::vector<double> densities = {0.0, 0.125, 3.5, 1.0 / 3.0, 7.75};
+  ASSERT_TRUE(SaveDensities(densities, path).ok());
+  auto loaded = LoadDensities(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), densities.size());
+  ExpectOneByteFlipsDetected(
+      path, [](const std::string& p) { return LoadDensities(p).status(); },
+      102);
+  std::remove(path.c_str());
+}
+
+TEST_F(ArtifactCorruptionTest, PartitionCsvFormat) {
+  std::string path = TempPath("corrupt_partition.csv");
+  std::vector<int> assignment = {0, 1, 1, 2, 0, 2, 1};
+  ASSERT_TRUE(SavePartitionCsv(assignment, path).ok());
+  auto loaded = LoadPartitionCsv(path, static_cast<int>(assignment.size()));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, assignment);
+  ExpectOneByteFlipsDetected(
+      path,
+      [&](const std::string& p) {
+        return LoadPartitionCsv(p, static_cast<int>(assignment.size()))
+            .status();
+      },
+      103);
+  std::remove(path.c_str());
+}
+
+TEST_F(ArtifactCorruptionTest, SnapshotSeriesFormat) {
+  std::string path = TempPath("corrupt_series.csv");
+  SnapshotSeries series(3);
+  ASSERT_TRUE(series.Append(120.0, {0.1, 0.2, 0.3}).ok());
+  ASSERT_TRUE(series.Append(240.0, {0.4, 0.5, 0.6}).ok());
+  ASSERT_TRUE(SaveSnapshotSeries(series, path).ok());
+  auto loaded = LoadSnapshotSeries(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_snapshots(), 2);
+  ExpectOneByteFlipsDetected(
+      path,
+      [](const std::string& p) { return LoadSnapshotSeries(p).status(); },
+      104);
+  std::remove(path.c_str());
+}
+
+TEST_F(ArtifactCorruptionTest, SupergraphFormat) {
+  std::string path = TempPath("corrupt_supergraph.sg");
+  RoadGraph rg = RoadGraph::FromNetwork(net_);
+  SupergraphMinerOptions options;
+  SupergraphMiningReport report;
+  auto sg = MineSupergraph(rg, options, &report);
+  ASSERT_TRUE(sg.ok()) << sg.status().ToString();
+  ASSERT_TRUE(SaveSupergraph(*sg, path).ok());
+  auto loaded = LoadSupergraph(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_supernodes(), sg->num_supernodes());
+  ExpectOneByteFlipsDetected(
+      path, [](const std::string& p) { return LoadSupergraph(p).status(); },
+      105);
+  std::remove(path.c_str());
+}
+
+TEST_F(ArtifactCorruptionTest, EdgeListFormat) {
+  std::string nodes = TempPath("corrupt_nodes.csv");
+  std::string edges = TempPath("corrupt_edges.csv");
+  ASSERT_TRUE(SaveEdgeListNetwork(net_, nodes, edges).ok());
+  auto loaded = LoadEdgeListNetwork(nodes, edges);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_segments(), net_.num_segments());
+  ExpectOneByteFlipsDetected(
+      nodes,
+      [&](const std::string& p) {
+        return LoadEdgeListNetwork(p, edges).status();
+      },
+      106);
+  ExpectOneByteFlipsDetected(
+      edges,
+      [&](const std::string& p) {
+        return LoadEdgeListNetwork(nodes, p).status();
+      },
+      107);
+  std::remove(nodes.c_str());
+  std::remove(edges.c_str());
+}
+
+}  // namespace
+}  // namespace roadpart

@@ -185,9 +185,16 @@ TEST(NetworkIoTest, PartitionCsvWritten) {
   FILE* f = std::fopen(path.c_str(), "r");
   ASSERT_NE(f, nullptr);
   char buf[64];
+  // Line 1 is the durable-artifact envelope header, line 2 the CSV header.
+  ASSERT_NE(std::fgets(buf, sizeof buf, f), nullptr);
+  EXPECT_STREQ(buf, "#! rpaf partition-csv v1\n");
   ASSERT_NE(std::fgets(buf, sizeof buf, f), nullptr);
   EXPECT_STREQ(buf, "segment_id,partition_id\n");
   std::fclose(f);
+  // The envelope round-trips through the matching loader.
+  auto loaded = LoadPartitionCsv(path, 3);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, (std::vector<int>{0, 1, 1}));
   std::remove(path.c_str());
 }
 

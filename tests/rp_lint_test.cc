@@ -285,6 +285,39 @@ TEST(UncheckedEigenRule, UnrelatedIdentifiersNotFlagged) {
           .empty());
 }
 
+// --- raw-ofstream-write ------------------------------------------------------
+
+TEST(RawOfstreamRule, FlagsOfstreamInLibraryCode) {
+  EXPECT_TRUE(HasRule(
+      Lint("src/network/io.cc", "std::ofstream out(path); out << data;"),
+      "raw-ofstream-write"));
+  EXPECT_TRUE(HasRule(Lint("src/temporal/s.cc", "ofstream out(p);"),
+                      "raw-ofstream-write"));
+  EXPECT_TRUE(HasRule(
+      Lint("src/core/c.cc", "std::FILE* f = fopen(p.c_str(), \"w\");"),
+      "raw-ofstream-write"));
+}
+
+TEST(RawOfstreamRule, CleanCounterexamples) {
+  // The durable-io layer itself is the one sanctioned writer.
+  EXPECT_TRUE(
+      Lint("src/common/durable_io.cc", "std::ofstream out(tmp);").empty());
+  EXPECT_TRUE(
+      Lint("src/common/durable_io.cc",
+           "std::FILE* f = fopen(path.c_str(), \"rb\");")
+          .empty());
+  // Tests, tools and benches may write files directly.
+  EXPECT_TRUE(Lint("tools/cli.cc", "std::ofstream out(path);").empty());
+  EXPECT_TRUE(Lint("bench/b.cc", "std::ofstream out(path);").empty());
+  // The sanctioned write path and similarly named identifiers are clean.
+  EXPECT_TRUE(
+      Lint("src/network/io.cc",
+           "AtomicFileWriter out(path); RP_RETURN_IF_ERROR(out.Commit());")
+          .empty());
+  EXPECT_TRUE(
+      Lint("src/network/io.cc", "int my_ofstream_count = 0;").empty());
+}
+
 // --- CollectStatusFunctionNames ---------------------------------------------
 
 TEST(CollectStatusNames, FindsStatusAndResultReturners) {

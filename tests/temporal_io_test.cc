@@ -52,6 +52,36 @@ TEST(SeriesIoTest, EmptyFileRejected) {
   std::remove(path.c_str());
 }
 
+TEST(SeriesIoTest, RejectsCrlfLineEndings) {
+  std::string path = testing::TempDir() + "/series_crlf.csv";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "0,0.1,0.2\r\n10,0.3,0.4\r\n";
+  }
+  auto loaded = LoadSnapshotSeries(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().ToString().find("CRLF"), std::string::npos)
+      << loaded.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(SeriesIoTest, RejectsTruncatedTrailingRow) {
+  // "0." parses as the valid density 0.0, so without the trailing-newline
+  // check a torn tail would load as silently wrong data.
+  std::string path = testing::TempDir() + "/series_truncated.csv";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "0,0.1,0.2\n10,0.3,0.";
+  }
+  auto loaded = LoadSnapshotSeries(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(loaded.status().ToString().find("truncated"), std::string::npos)
+      << loaded.status().ToString();
+  std::remove(path.c_str());
+}
+
 TEST(SeriesIoTest, CommentsSkipped) {
   std::string path = testing::TempDir() + "/series_comments.csv";
   {

@@ -9,8 +9,10 @@
 // "segment_id,partition_id" CSV.
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <string>
+#include <system_error>
 
 #include "common/flags.h"
 #include "common/string_util.h"
@@ -34,7 +36,9 @@ int Usage() {
       " [--seed=N] [--stability=E] [--threads=T]\n"
       "                 [--deadline-seconds=S] "
       "[--on-nonconvergence=fail|retry|dense|best-effort]\n"
-      "                 [--density-policy=reject|clamp] <in.net> <out.csv>\n"
+      "                 [--density-policy=reject|clamp]"
+      " [--checkpoint-dir=DIR] [--resume]\n"
+      "                 [--geojson=NAME.geojson] <in.net> <out.csv>\n"
       "  roadpart_cli evaluate  <in.net> <partition.csv>\n"
       "  roadpart_cli simulate  [--vehicles=N] [--horizon=S] [--interval=S]"
       " [--snapshot=T] [--seed=N] <in.net> <out.densities>\n"
@@ -46,7 +50,13 @@ int Usage() {
       " [--seed=N] <in.net>\n"
       "\n"
       "  --threads=T sets worker threads for every command (0 = RP_THREADS\n"
-      "  env or hardware default); results are identical for any value.\n");
+      "  env or hardware default); results are identical for any value.\n"
+      "  --output-dir=DIR places relative output files under DIR (created\n"
+      "  on demand). --checkpoint-dir=DIR persists each completed pipeline\n"
+      "  stage; --resume consumes valid stages and is bit-identical to an\n"
+      "  uninterrupted run. --io-retry-attempts=N and\n"
+      "  --io-retry-base-delay=S retry transient I/O failures with\n"
+      "  deterministic backoff.\n");
   return 2;
 }
 
@@ -78,48 +88,46 @@ Result<DensityPolicy> ParseDensityPolicy(const std::string& name) {
                                  "' (want reject|clamp)");
 }
 
+/// Places a relative output path under --output-dir (created on demand).
+/// Absolute paths and runs without the flag pass through unchanged.
+Result<std::string> ResolveOutput(const FlagParser& flags,
+                                  const std::string& path) {
+  std::string dir = flags.GetString("output-dir", "");
+  if (dir.empty() || (!path.empty() && path[0] == '/')) return path;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create --output-dir '" + dir +
+                           "': " + ec.message());
+  }
+  return dir + "/" + path;
+}
+
+/// Transient-I/O retry policy from --io-retry-attempts / --io-retry-base-delay
+/// (deterministic backoff; see common/durable_io.h).
+Result<RetryOptions> RetryFromFlags(const FlagParser& flags) {
+  RetryOptions retry;
+  auto attempts = flags.GetInt("io-retry-attempts", retry.max_attempts);
+  if (!attempts.ok()) return attempts.status();
+  if (*attempts < 1) {
+    return Status::InvalidArgument("--io-retry-attempts must be >= 1");
+  }
+  auto base = flags.GetDouble("io-retry-base-delay", retry.base_delay_seconds);
+  if (!base.ok()) return base.status();
+  if (*base < 0.0) {
+    return Status::InvalidArgument("--io-retry-base-delay must be >= 0");
+  }
+  retry.max_attempts = static_cast<int>(*attempts);
+  retry.base_delay_seconds = *base;
+  return retry;
+}
+
 Result<DatasetPreset> ParsePreset(const std::string& name) {
   if (name == "D1") return DatasetPreset::kD1;
   if (name == "M1") return DatasetPreset::kM1;
   if (name == "M2") return DatasetPreset::kM2;
   if (name == "M3") return DatasetPreset::kM3;
   return Status::InvalidArgument("unknown preset '" + name + "'");
-}
-
-Result<std::vector<int>> LoadPartitionCsv(const std::string& path,
-                                          int num_segments) {
-  std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open " + path);
-  std::vector<int> assignment(num_segments, -1);
-  std::string line;
-  bool first = true;
-  while (std::getline(in, line)) {
-    std::string_view t = Trim(line);
-    if (t.empty()) continue;
-    if (first && StartsWith(t, "segment_id")) {
-      first = false;
-      continue;
-    }
-    first = false;
-    auto parts = Split(t, ',');
-    if (parts.size() != 2) {
-      return Status::IOError("malformed partition line: " + line);
-    }
-    RP_ASSIGN_OR_RETURN(int64_t seg, ParseInt(parts[0]));
-    RP_ASSIGN_OR_RETURN(int64_t part, ParseInt(parts[1]));
-    if (seg < 0 || seg >= num_segments) {
-      return Status::OutOfRange(StrPrintf("segment id %lld out of range",
-                                          static_cast<long long>(seg)));
-    }
-    assignment[seg] = static_cast<int>(part);
-  }
-  for (int i = 0; i < num_segments; ++i) {
-    if (assignment[i] < 0) {
-      return Status::InvalidArgument(
-          StrPrintf("segment %d missing from partition file", i));
-    }
-  }
-  return assignment;
 }
 
 int CmdGenerate(const FlagParser& flags) {
@@ -131,6 +139,9 @@ int CmdGenerate(const FlagParser& flags) {
   auto hotspots = flags.GetInt("hotspots", 3);
   if (!hotspots.ok()) return Fail(hotspots.status());
 
+  auto out = ResolveOutput(flags, flags.positional()[0]);
+  if (!out.ok()) return Fail(out.status());
+
   auto net = GenerateDataset(*preset, static_cast<uint64_t>(*seed));
   if (!net.ok()) return Fail(net.status());
   CongestionFieldOptions field;
@@ -139,11 +150,10 @@ int CmdGenerate(const FlagParser& flags) {
   CongestionField congestion(*net, field);
   Status st = net->SetDensities(congestion.Densities());
   if (!st.ok()) return Fail(st);
-  st = SaveRoadNetwork(*net, flags.positional()[0]);
+  st = SaveRoadNetwork(*net, *out);
   if (!st.ok()) return Fail(st);
-  std::printf("wrote %s: %d intersections, %d segments\n",
-              flags.positional()[0].c_str(), net->num_intersections(),
-              net->num_segments());
+  std::printf("wrote %s: %d intersections, %d segments\n", out->c_str(),
+              net->num_intersections(), net->num_segments());
   return 0;
 }
 
@@ -166,8 +176,17 @@ int CmdPartition(const FlagParser& flags) {
   auto density = ParseDensityPolicy(flags.GetString("density-policy",
                                                     "reject"));
   if (!density.ok()) return Fail(density.status());
+  auto retry = RetryFromFlags(flags);
+  if (!retry.ok()) return Fail(retry.status());
+  std::string crash_stage = flags.GetString("crash-after-stage", "");
+  if (!crash_stage.empty()) {
+    auto parsed = ParseCheckpointStage(crash_stage);
+    if (!parsed.ok()) return Fail(parsed.status());
+  }
+  auto csv_path = ResolveOutput(flags, flags.positional()[1]);
+  if (!csv_path.ok()) return Fail(csv_path.status());
 
-  auto net = LoadRoadNetwork(flags.positional()[0]);
+  auto net = LoadRoadNetwork(flags.positional()[0], *retry);
   if (!net.ok()) return Fail(net.status());
 
   PartitionerOptions options;
@@ -179,14 +198,29 @@ int CmdPartition(const FlagParser& flags) {
   options.spectral.on_nonconvergence = *nonconv;
   options.density_policy = *density;
   options.num_threads = DefaultParallelism();  // --threads / RP_THREADS
+  options.checkpoint.dir = flags.GetString("checkpoint-dir", "");
+  options.checkpoint.resume = flags.GetBool("resume", false);
+  options.checkpoint.retry = *retry;
+  options.checkpoint.crash_after_stage = crash_stage;
   auto outcome = Partitioner(options).PartitionNetwork(*net);
   // A failed run (deadline, rejected input, non-convergence under a strict
   // policy) writes nothing: the output CSV either holds a complete partition
-  // or does not exist.
+  // or does not exist. With --checkpoint-dir, completed stages survive for
+  // a later --resume.
   if (!outcome.ok()) return Fail(outcome.status());
 
-  Status st = SavePartitionCsv(outcome->assignment, flags.positional()[1]);
+  Status st = SavePartitionCsv(outcome->assignment, *csv_path, *retry);
   if (!st.ok()) return Fail(st);
+  std::string geojson_name = flags.GetString("geojson", "");
+  if (!geojson_name.empty()) {
+    auto geojson_path = ResolveOutput(flags, geojson_name);
+    if (!geojson_path.ok()) return Fail(geojson_path.status());
+    GeoJsonOptions geo;
+    geo.partition = outcome->assignment;
+    st = ExportGeoJson(*net, geo, *geojson_path, *retry);
+    if (!st.ok()) return Fail(st);
+    std::printf("wrote %s\n", geojson_path->c_str());
+  }
   std::printf("scheme=%s k=%d k'=%d supernodes=%d  "
               "timings: %.3fs / %.3fs / %.3fs\n",
               SchemeName(*scheme), outcome->k_final, outcome->k_prime,
@@ -238,11 +272,13 @@ int CmdMine(const FlagParser& flags) {
   SupergraphMiningReport report;
   auto sg = MineSupergraph(rg, options, &report);
   if (!sg.ok()) return Fail(sg.status());
-  Status st = SaveSupergraph(*sg, flags.positional()[1]);
+  auto out = ResolveOutput(flags, flags.positional()[1]);
+  if (!out.ok()) return Fail(out.status());
+  Status st = SaveSupergraph(*sg, *out);
   if (!st.ok()) return Fail(st);
   std::printf("mined %s: kappa*=%d, %d supernodes (%d before stability), "
               "%lld superlinks; matrix order %d -> %d\n",
-              flags.positional()[1].c_str(), report.chosen_kappa,
+              out->c_str(), report.chosen_kappa,
               sg->num_supernodes(), report.supernodes_before_stability,
               static_cast<long long>(sg->links().num_edges()),
               rg.num_nodes(), sg->num_supernodes());
@@ -287,22 +323,26 @@ int CmdSimulate(const FlagParser& flags) {
   }
   std::string series_path = flags.GetString("series", "");
   if (!series_path.empty()) {
-    Status st = SaveSnapshotSeries(series, series_path);
+    auto series_out = ResolveOutput(flags, series_path);
+    if (!series_out.ok()) return Fail(series_out.status());
+    Status st = SaveSnapshotSeries(series, *series_out);
     if (!st.ok()) return Fail(st);
     std::printf("wrote full series (%d snapshots) to %s\n",
-                series.num_snapshots(), series_path.c_str());
+                series.num_snapshots(), series_out->c_str());
   }
   int t = static_cast<int>(*snapshot);
   if (t < 0 || t >= static_cast<int>(result->densities.size())) {
     // Default: the peak snapshot (highest mean density).
     t = series.PeakSnapshot();
   }
-  Status st = SaveDensities(result->densities[t], flags.positional()[1]);
+  auto out = ResolveOutput(flags, flags.positional()[1]);
+  if (!out.ok()) return Fail(out.status());
+  Status st = SaveDensities(result->densities[t], *out);
   if (!st.ok()) return Fail(st);
   std::printf("simulated %zu snapshots (%d trips completed); wrote snapshot "
               "%d to %s\n",
               result->densities.size(), result->completed_trips, t,
-              flags.positional()[1].c_str());
+              out->c_str());
   return 0;
 }
 
@@ -386,7 +426,10 @@ int Main(int argc, char** argv) {
       argc - 2, argv + 2,
       {"preset", "seed", "hotspots", "scheme", "k", "stability", "kmin",
        "kmax", "vehicles", "horizon", "interval", "snapshot", "series",
-       "threads", "deadline-seconds", "on-nonconvergence", "density-policy"});
+       "threads", "deadline-seconds", "on-nonconvergence", "density-policy",
+       "checkpoint-dir", "resume", "crash-after-stage", "geojson",
+       "output-dir", "io-retry-attempts", "io-retry-base-delay"},
+      /*bool_flags=*/{"resume"});
   if (!flags.ok()) return Fail(flags.status());
 
   // Global thread knob: applies to every command; deterministic kernels make

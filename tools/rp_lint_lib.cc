@@ -24,6 +24,7 @@ const char kRulePrint[] = "print-in-library";
 const char kRuleDiscardedStatus[] = "discarded-status";
 const char kRuleParallelMutation[] = "parallelfor-shared-mutation";
 const char kRuleUncheckedEigen[] = "unchecked-eigen-convergence";
+const char kRuleRawOfstream[] = "raw-ofstream-write";
 
 struct Token {
   std::string text;
@@ -379,6 +380,45 @@ void CheckUncheckedEigenConvergence(const std::string& path,
   }
 }
 
+// --- Rule: raw file writes in library code ----------------------------------
+
+// Every artifact the library persists must go through AtomicFileWriter /
+// WriteArtifact (temp file + fsync + rename + checksum envelope). A raw
+// std::ofstream — or fopen in a writable mode — can leave a torn,
+// unverifiable file behind on crash or ENOSPC. Only the durable-io layer
+// itself may open files for writing.
+void CheckRawOfstream(const std::string& path,
+                      const std::vector<Token>& tokens,
+                      std::vector<LintFinding>* findings) {
+  if (!PathHasPrefix(path, "src/")) return;
+  if (PathIsOneOf(path,
+                  {"src/common/durable_io.cc", "src/common/durable_io.h"})) {
+    return;
+  }
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (!tokens[i].is_ident) continue;
+    const std::string& t = tokens[i].text;
+    if (t == "ofstream" || t == "FileOutputStream") {
+      findings->push_back(
+          {path, tokens[i].line, kRuleRawOfstream,
+           "raw " + t +
+               " in library code bypasses the crash-safe write path; use "
+               "AtomicFileWriter or WriteArtifact from common/durable_io.h"});
+    } else if (t == "fopen" && i + 1 < tokens.size() &&
+               tokens[i + 1].text == "(") {
+      // fopen for reading is fine (the durable reader wraps it); flag only
+      // writable modes. The mode literal is blanked by
+      // StripCommentsAndStrings, so inspect call-adjacent source instead:
+      // conservatively flag every fopen outside durable_io and let the read
+      // path live there.
+      findings->push_back(
+          {path, tokens[i].line, kRuleRawOfstream,
+           "fopen() in library code; route writes through AtomicFileWriter "
+           "and reads through ReadFileBytes (common/durable_io.h)"});
+    }
+  }
+}
+
 std::string NormalizeSlashes(std::string path) {
   std::replace(path.begin(), path.end(), '\\', '/');
   return path;
@@ -502,6 +542,7 @@ std::vector<LintFinding> LintSource(
   CheckDiscardedStatus(norm, tokens, status_fns, &findings);
   CheckParallelForMutation(norm, tokens, &findings);
   CheckUncheckedEigenConvergence(norm, tokens, &findings);
+  CheckRawOfstream(norm, tokens, &findings);
   std::sort(findings.begin(), findings.end(),
             [](const LintFinding& a, const LintFinding& b) {
               return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
