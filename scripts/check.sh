@@ -5,17 +5,19 @@
 #      standalone crash-injection rerun (kill the pipeline at every
 #      checkpoint stage boundary; --resume must be byte-identical).
 #   2. build-check-tsan    : Debug + -fsanitize=thread,undefined; runs the
-#      parallel/determinism/lanczos differential suites (the ones that
-#      exercise the deterministic parallel runtime) under ThreadSanitizer.
+#      parallel/determinism/lanczos/serve differential suites (the ones
+#      that exercise the deterministic parallel runtime) under
+#      ThreadSanitizer.
 #      Set RP_CHECK_TSAN_ALL=1 to run the *entire* suite under TSan
 #      (slow: TSan costs ~5-15x).
 #   3. build-check-asan    : Debug + -fsanitize=address,undefined; runs the
 #      complete suite under AddressSanitizer (heap/stack overflows,
 #      use-after-free, leaks) — TSan and ASan cannot be combined, hence
-#      the separate tree. The fault-injection suite then runs again,
-#      explicitly and verbosely: every injected fault path (corrupted
-#      densities, forced non-convergence, degenerate embeddings) must be
-#      memory-clean, not just Status-clean.
+#      the separate tree. The fault-injection and serving suites then run
+#      again, explicitly and verbosely: every injected fault path
+#      (corrupted densities, forced non-convergence, degenerate
+#      embeddings, torn snapshots) must be memory-clean, not just
+#      Status-clean.
 #   4. lint                : tools/rp_lint over src/, tools/, bench/
 #      (discarded Status values, banned nondeterminism, raw prints in
 #      library code, shared mutation in ParallelFor lambdas, eigenvector
@@ -64,9 +66,11 @@ if [[ "${RP_CHECK_TSAN_ALL:-0}" == "1" ]]; then
   ctest --test-dir "${TSAN_DIR}" --output-on-failure -j "${JOBS}"
 else
   # 'mining' keeps the supergraph-mining differential suite in the TSan net
-  # even if its binary is ever renamed away from the determinism pattern.
+  # even if its binary is ever renamed away from the determinism pattern;
+  # 'serve' covers the serving read path (threaded batch fan-out with
+  # order-fixed output must be race-free at any thread count).
   ctest --test-dir "${TSAN_DIR}" --output-on-failure -j "${JOBS}" \
-    -R 'parallel|determinism|lanczos|mining'
+    -R 'parallel|determinism|lanczos|mining|serve'
 fi
 
 echo "==> [5/7] Configure + build ASan+UBSan tree (${ASAN_DIR})"
@@ -86,6 +90,13 @@ echo "==> [6b/7] fault-injection suite under AddressSanitizer (verbose)"
 # Part of the full ASan run above, but re-run on its own so a fault-path
 # memory bug is attributed unambiguously and its output is always shown.
 "${ASAN_DIR}/tests/fault_injection_test"
+
+echo "==> [6c/7] serving read path under AddressSanitizer (verbose)"
+# The serving layer hands out reinterpret_cast views into one relocatable
+# buffer, so its property and corruption suites are the tests most likely
+# to hide an out-of-bounds read; rerun them standalone under ASan.
+"${ASAN_DIR}/tests/serve_property_test"
+"${ASAN_DIR}/tests/serve_snapshot_test"
 
 echo "==> [7/7] Lint: rp_lint + clang-tidy"
 "${RELEASE_DIR}/tools/rp_lint" --root . src tools bench

@@ -43,6 +43,10 @@ const char* FaultSiteName(FaultSite site) {
       return "durable-fsync-failure";
     case FaultSite::kDurableChecksumCorruption:
       return "durable-checksum-corruption";
+    case FaultSite::kSnapshotShortRead:
+      return "snapshot-short-read";
+    case FaultSite::kSnapshotStaleFingerprint:
+      return "snapshot-stale-fingerprint";
     case FaultSite::kFaultSiteCount:
       break;
   }

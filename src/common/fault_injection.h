@@ -45,6 +45,14 @@ enum class FaultSite {
   /// WriteArtifact: one payload byte is flipped after the checksum is
   /// computed, producing exactly the torn artifact ReadArtifact must catch.
   kDurableChecksumCorruption,
+  /// Snapshot::Load: the verified rpsnap payload loses its trailing quarter
+  /// before structural validation (a reader racing a non-atomic copy of the
+  /// file). Must surface as typed Corruption, never as UB in the views.
+  kSnapshotShortRead,
+  /// Snapshot::Load: the loaded snapshot's source fingerprint is declared
+  /// stale, modelling a serving tier that refreshed its network but not its
+  /// snapshot. Queried once per Load, after validation succeeds.
+  kSnapshotStaleFingerprint,
   kFaultSiteCount,  ///< sentinel; keep last
 };
 

@@ -59,6 +59,9 @@
 #include "network/network_io.h"
 #include "network/road_graph.h"
 #include "network/road_network.h"
+#include "serve/serve_loop.h"
+#include "serve/snapshot.h"
+#include "serve/spatial_index.h"
 #include "temporal/evolution_analyzer.h"
 #include "temporal/series_io.h"
 #include "temporal/snapshot_series.h"

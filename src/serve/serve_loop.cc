@@ -1,0 +1,139 @@
+#include "serve/serve_loop.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/durable_io.h"
+#include "common/parallel.h"
+#include "common/string_util.h"
+
+namespace roadpart {
+namespace {
+
+enum class QueryKind : uint8_t { kPoint, kRange };
+
+struct ParsedQuery {
+  QueryKind kind;
+  double a = 0.0, b = 0.0, c = 0.0, d = 0.0;  // x,y or minx,miny,maxx,maxy
+};
+
+Status ParseQueryLine(std::string_view line, size_t line_number,
+                      std::vector<ParsedQuery>* out) {
+  auto bad = [line_number](const char* why) {
+    return Status::InvalidArgument(
+        StrPrintf("query line %zu: %s", line_number, why));
+  };
+  std::vector<std::string> raw = Split(line, ' ');
+  std::vector<std::string_view> tokens;
+  for (const std::string& t : raw) {
+    std::string_view v = Trim(t);
+    if (!v.empty()) tokens.push_back(v);
+  }
+  if (tokens.empty()) return Status::OK();
+  const size_t want = tokens[0] == "point" ? 2 : 4;
+  if (tokens[0] != "point" && tokens[0] != "range") {
+    return bad("expected 'point' or 'range'");
+  }
+  if (tokens.size() != want + 1) {
+    return bad(tokens[0] == "point" ? "'point' takes exactly x y"
+                                    : "'range' takes exactly minx miny "
+                                      "maxx maxy");
+  }
+  double values[4] = {0, 0, 0, 0};
+  for (size_t i = 0; i < want; ++i) {
+    Result<double> parsed = ParseDouble(tokens[i + 1]);
+    if (!parsed.ok()) return bad("unparsable coordinate");
+    if (!std::isfinite(*parsed)) return bad("non-finite coordinate");
+    values[i] = *parsed;
+  }
+  ParsedQuery q;
+  q.kind = tokens[0] == "point" ? QueryKind::kPoint : QueryKind::kRange;
+  q.a = values[0];
+  q.b = values[1];
+  q.c = values[2];
+  q.d = values[3];
+  out->push_back(q);
+  return Status::OK();
+}
+
+void AppendAnswer(const Snapshot& snapshot, const ParsedQuery& q,
+                  std::string* out) {
+  if (q.kind == QueryKind::kPoint) {
+    const PointAnswer a = snapshot.NearestSegment({q.a, q.b});
+    if (a.segment_id < 0) {
+      out->append("point -1 -1 -1\n");
+    } else {
+      out->append(StrPrintf("point %d %d %.17g\n", a.segment_id,
+                            a.partition_id, a.distance));
+    }
+    return;
+  }
+  BoundingBox box;
+  box.min = {q.a, q.b};
+  box.max = {q.c, q.d};
+  const std::vector<int64_t> counts = snapshot.CountByPartition(box);
+  int64_t total = 0;
+  for (int64_t c : counts) total += c;
+  out->append(StrPrintf("range %lld", static_cast<long long>(total)));
+  for (int64_t c : counts) {
+    out->append(StrPrintf(" %lld", static_cast<long long>(c)));
+  }
+  out->push_back('\n');
+}
+
+}  // namespace
+
+Status ServeQueries(const Snapshot& snapshot, std::string_view queries,
+                    const ServeOptions& options, std::string* output) {
+  // Parse serially: errors stay deterministic and name their line.
+  std::vector<ParsedQuery> parsed;
+  size_t line_number = 0;
+  size_t pos = 0;
+  while (pos <= queries.size()) {
+    const size_t eol = queries.find('\n', pos);
+    const size_t end = eol == std::string_view::npos ? queries.size() : eol;
+    if (pos == queries.size() && eol == std::string_view::npos) break;
+    ++line_number;
+    std::string_view line = Trim(queries.substr(pos, end - pos));
+    if (!line.empty() && line[0] != '#') {
+      RP_RETURN_IF_ERROR(ParseQueryLine(line, line_number, &parsed));
+    }
+    pos = end + 1;
+  }
+  if (parsed.empty()) return Status::OK();
+
+  const int batch = options.batch_size < 1 ? 1 : options.batch_size;
+  const int num_batches =
+      static_cast<int>((parsed.size() + batch - 1) / static_cast<size_t>(batch));
+  std::vector<std::string> answers(static_cast<size_t>(num_batches));
+  // Each batch formats into a lambda-local buffer, then moves it into its
+  // own slot; the serial join below fixes the output order for every
+  // thread count.
+  ParallelForTasks(
+      num_batches,
+      [&](int b) {
+        const size_t begin = static_cast<size_t>(b) * batch;
+        const size_t end = std::min(parsed.size(), begin + batch);
+        std::string local;
+        for (size_t i = begin; i < end; ++i) {
+          AppendAnswer(snapshot, parsed[i], &local);
+        }
+        answers[static_cast<size_t>(b)] = std::move(local);
+      },
+      options.num_threads);
+  for (const std::string& a : answers) output->append(a);
+  return Status::OK();
+}
+
+Result<std::string> ServeQueryFile(const Snapshot& snapshot,
+                                   const std::string& query_path,
+                                   const ServeOptions& options) {
+  RP_ASSIGN_OR_RETURN(std::string queries, ReadFileBytes(query_path));
+  std::string output;
+  RP_RETURN_IF_ERROR(ServeQueries(snapshot, queries, options, &output));
+  return output;
+}
+
+}  // namespace roadpart

@@ -1,0 +1,54 @@
+#ifndef ROADPART_SERVE_SERVE_LOOP_H_
+#define ROADPART_SERVE_SERVE_LOOP_H_
+
+/// Batched query loop shared by the rp_serve binary and the benches.
+///
+/// Query text format, one query per line ('#' starts a comment; blank lines
+/// are skipped):
+///
+///   point <x> <y>                      nearest segment + its partition
+///   range <minx> <miny> <maxx> <maxy>  per-partition segment counts in box
+///
+/// Answer text, one line per query, in INPUT ORDER regardless of thread
+/// count:
+///
+///   point <segment_id> <partition_id> <distance>    (-1 -1 -1 on a
+///                                                    segmentless network)
+///   range <total> <count_p0> <count_p1> ...
+///
+/// Distances print with %.17g so answers round-trip doubles exactly and two
+/// runs are byte-comparable. Parallelism: queries are cut into fixed-size
+/// batches, each batch formats into its own buffer under ParallelForTasks
+/// (disjoint slot writes), and buffers are joined serially — output is
+/// byte-identical for every --threads value.
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "serve/snapshot.h"
+
+namespace roadpart {
+
+struct ServeOptions {
+  /// Worker threads for the batched answer loop; 0 = process default.
+  int num_threads = 0;
+  /// Queries per batch (one ParallelForTasks unit). The default amortizes
+  /// dispatch overhead while still fanning out for large query files.
+  int batch_size = 4096;
+};
+
+/// Parses `queries` and appends one answer line per query to `*output`.
+/// Malformed input is a typed InvalidArgument naming the 1-based line.
+Status ServeQueries(const Snapshot& snapshot, std::string_view queries,
+                    const ServeOptions& options, std::string* output);
+
+/// ServeQueries over the contents of `query_path` ("-" reads stdin is the
+/// CLI's job — this helper only reads real files).
+Result<std::string> ServeQueryFile(const Snapshot& snapshot,
+                                   const std::string& query_path,
+                                   const ServeOptions& options);
+
+}  // namespace roadpart
+
+#endif  // ROADPART_SERVE_SERVE_LOOP_H_

@@ -326,6 +326,87 @@ TEST(FaultInjectionTest, KMeansWorkspaceCorruptionDeterministicAcrossThreads) {
   EXPECT_EQ(run(8), serial);
 }
 
+// --- Serving-snapshot faults ---
+
+// A saved snapshot of a small two-way grid; returns the path.
+std::string SavedSnapshotFixture(const std::string& name) {
+  GridOptions grid;
+  grid.rows = 3;
+  grid.cols = 4;
+  grid.two_way_fraction = 1.0;
+  grid.seed = 4;
+  auto net = GenerateGridNetwork(grid);
+  RP_CHECK(net.ok());
+  std::vector<int> labels(static_cast<size_t>(net->num_segments()));
+  for (size_t s = 0; s < labels.size(); ++s) {
+    labels[s] = static_cast<int>(s % 3);
+  }
+  auto snap = Snapshot::Build(*net, labels);
+  RP_CHECK(snap.ok());
+  std::string path = testing::TempDir() + "/" + name;
+  RP_CHECK_OK(snap->Save(path));
+  return path;
+}
+
+TEST(FaultInjectionTest, SnapshotShortReadSurfacesAsTypedCorruption) {
+  std::string path = SavedSnapshotFixture("fi_snapshot_short.rpsnap");
+  FaultInjector inj(21);
+  inj.Arm(FaultSite::kSnapshotShortRead, 1);
+  ScopedFaultInjector scoped(&inj);
+  auto snap = Snapshot::Load(path);
+  std::remove(path.c_str());
+  ASSERT_FALSE(snap.ok());
+  EXPECT_EQ(snap.status().code(), StatusCode::kCorruption)
+      << snap.status().ToString();
+  EXPECT_EQ(inj.fire_count(FaultSite::kSnapshotShortRead), 1);
+}
+
+TEST(FaultInjectionTest, SnapshotStaleFingerprintSurfacesAsTypedCorruption) {
+  std::string path = SavedSnapshotFixture("fi_snapshot_stale.rpsnap");
+  FaultInjector inj(22);
+  inj.Arm(FaultSite::kSnapshotStaleFingerprint, 1);
+  ScopedFaultInjector scoped(&inj);
+  auto snap = Snapshot::Load(path);
+  std::remove(path.c_str());
+  ASSERT_FALSE(snap.ok());
+  EXPECT_EQ(snap.status().code(), StatusCode::kCorruption)
+      << snap.status().ToString();
+  EXPECT_NE(snap.status().message().find("stale"), std::string::npos)
+      << snap.status().ToString();
+  EXPECT_EQ(inj.fire_count(FaultSite::kSnapshotStaleFingerprint), 1);
+}
+
+TEST(FaultInjectionTest, SnapshotFaultsDeterministicAcrossThreads) {
+  // The sites are queried from the (serial) Load path, but the surrounding
+  // serving stack is threaded; the degraded behavior must not depend on the
+  // thread count. Unlimited budgets, as with every parallel-adjacent site.
+  std::string path = SavedSnapshotFixture("fi_snapshot_threads.rpsnap");
+  auto run = [&](int num_threads, FaultSite site) {
+    FaultInjector inj(23);
+    inj.Arm(site);
+    ScopedFaultInjector scoped(&inj);
+    ScopedParallelism threads(num_threads);
+    auto snap = Snapshot::Load(path);
+    RP_CHECK(!snap.ok());
+    return snap.status().ToString();
+  };
+  for (FaultSite site :
+       {FaultSite::kSnapshotShortRead, FaultSite::kSnapshotStaleFingerprint}) {
+    std::string serial = run(1, site);
+    EXPECT_EQ(run(1, site), serial);
+    EXPECT_EQ(run(4, site), serial);
+    EXPECT_EQ(run(8, site), serial);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectionTest, SnapshotSiteNamesAreRegistered) {
+  EXPECT_STREQ(FaultSiteName(FaultSite::kSnapshotShortRead),
+               "snapshot-short-read");
+  EXPECT_STREQ(FaultSiteName(FaultSite::kSnapshotStaleFingerprint),
+               "snapshot-stale-fingerprint");
+}
+
 // --- Determinism under faults ---
 
 std::vector<int> RunWithFaults(const RoadGraph& rg, int num_threads) {

@@ -232,6 +232,39 @@ TEST(ParallelForRule, CleanCounterexamples) {
           .empty());
 }
 
+TEST(ParallelForRule, ServeBatchIdioms) {
+  // The serving loop's order-fixed fan-out: each task renders into a
+  // lambda-local buffer, then moves it into its own answer slot. Clean.
+  EXPECT_TRUE(
+      Lint("src/serve/serve_loop.cc",
+           "ParallelForTasks(num_batches, [&](int b) {\n"
+           "  std::string local;\n"
+           "  AppendAnswer(snapshot, batch[b], &local);\n"
+           "  answers[b] = std::move(local);\n"
+           "});")
+          .empty());
+  // Appending straight to the shared output inside the region would make
+  // the answer order depend on thread scheduling. Flagged.
+  EXPECT_TRUE(HasRule(
+      Lint("src/serve/serve_loop.cc",
+           "ParallelForTasks(num_batches, [&](int b) {\n"
+           "  output += RenderBatch(snapshot, b);\n"
+           "});"),
+      "parallelfor-shared-mutation"));
+}
+
+TEST(PrintRule, ServeLibraryMustNotPrint) {
+  // src/serve/ is library code: diagnostics flow through Status, and only
+  // the tools/rp_serve.cc frontend talks to stderr/stdout.
+  EXPECT_TRUE(HasRule(
+      Lint("src/serve/snapshot.cc",
+           "std::fprintf(stderr, \"bad snapshot\\n\");"),
+      "print-in-library"));
+  EXPECT_TRUE(
+      Lint("tools/rp_serve.cc", "std::fprintf(stderr, \"loaded\\n\");")
+          .empty());
+}
+
 // --- unchecked-eigen-convergence --------------------------------------------
 
 TEST(UncheckedEigenRule, FlagsEigenvectorUseWithoutConvergenceCheck) {

@@ -38,7 +38,8 @@ int Usage() {
       "[--on-nonconvergence=fail|retry|dense|best-effort]\n"
       "                 [--density-policy=reject|clamp]"
       " [--checkpoint-dir=DIR] [--resume]\n"
-      "                 [--geojson=NAME.geojson] <in.net> <out.csv>\n"
+      "                 [--geojson=NAME.geojson] [--snapshot-out=NAME.rpsnap]"
+      " <in.net> <out.csv>\n"
       "  roadpart_cli evaluate  <in.net> <partition.csv>\n"
       "  roadpart_cli simulate  [--vehicles=N] [--horizon=S] [--interval=S]"
       " [--snapshot=T] [--seed=N] <in.net> <out.densities>\n"
@@ -56,7 +57,8 @@ int Usage() {
       "  stage; --resume consumes valid stages and is bit-identical to an\n"
       "  uninterrupted run. --io-retry-attempts=N and\n"
       "  --io-retry-base-delay=S retry transient I/O failures with\n"
-      "  deterministic backoff.\n");
+      "  deterministic backoff. --snapshot-out=PATH additionally exports the\n"
+      "  partition as an immutable rp_serve snapshot (rpsnap format).\n");
   return 2;
 }
 
@@ -202,6 +204,12 @@ int CmdPartition(const FlagParser& flags) {
   options.checkpoint.resume = flags.GetBool("resume", false);
   options.checkpoint.retry = *retry;
   options.checkpoint.crash_after_stage = crash_stage;
+  std::string snapshot_name = flags.GetString("snapshot-out", "");
+  if (!snapshot_name.empty()) {
+    auto snapshot_path = ResolveOutput(flags, snapshot_name);
+    if (!snapshot_path.ok()) return Fail(snapshot_path.status());
+    options.snapshot_path = *snapshot_path;
+  }
   auto outcome = Partitioner(options).PartitionNetwork(*net);
   // A failed run (deadline, rejected input, non-convergence under a strict
   // policy) writes nothing: the output CSV either holds a complete partition
@@ -211,6 +219,9 @@ int CmdPartition(const FlagParser& flags) {
 
   Status st = SavePartitionCsv(outcome->assignment, *csv_path, *retry);
   if (!st.ok()) return Fail(st);
+  if (!options.snapshot_path.empty()) {
+    std::printf("wrote serving snapshot %s\n", options.snapshot_path.c_str());
+  }
   std::string geojson_name = flags.GetString("geojson", "");
   if (!geojson_name.empty()) {
     auto geojson_path = ResolveOutput(flags, geojson_name);
@@ -428,7 +439,8 @@ int Main(int argc, char** argv) {
        "kmax", "vehicles", "horizon", "interval", "snapshot", "series",
        "threads", "deadline-seconds", "on-nonconvergence", "density-policy",
        "checkpoint-dir", "resume", "crash-after-stage", "geojson",
-       "output-dir", "io-retry-attempts", "io-retry-base-delay"},
+       "snapshot-out", "output-dir", "io-retry-attempts",
+       "io-retry-base-delay"},
       /*bool_flags=*/{"resume"});
   if (!flags.ok()) return Fail(flags.status());
 

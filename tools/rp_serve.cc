@@ -1,0 +1,103 @@
+// rp_serve — batched partition-lookup server over an rpsnap snapshot.
+//
+//   rp_serve [--threads=T] [--batch-size=N] [--out=FILE] \
+//            <snapshot.rpsnap> [queries.txt]
+//
+// Reads one query per line from queries.txt (or stdin when the operand is
+// omitted or "-"):
+//
+//   point <x> <y>
+//   range <minx> <miny> <maxx> <maxy>
+//
+// and writes one answer line per query, in input order, to stdout (or
+// atomically to --out). See src/serve/serve_loop.h for the exact formats.
+// --threads only changes speed: output is byte-identical for every value.
+
+#include <cstdio>
+#include <string>
+
+#include "common/flags.h"
+#include "roadpart/roadpart.h"
+
+namespace roadpart {
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: rp_serve [--threads=T] [--batch-size=N] [--out=FILE]"
+               " <snapshot.rpsnap> [queries.txt|-]\n");
+  return 2;
+}
+
+std::string ReadAllStdin() {
+  std::string data;
+  char buf[1 << 16];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), stdin)) > 0) {
+    data.append(buf, got);
+  }
+  return data;
+}
+
+int Main(int argc, char** argv) {
+  auto flags = FlagParser::Parse(argc - 1, argv + 1,
+                                 {"threads", "batch-size", "out"},
+                                 /*bool_flags=*/{});
+  if (!flags.ok()) return Fail(flags.status());
+  if (flags->positional().empty() || flags->positional().size() > 2) {
+    return Usage();
+  }
+  auto threads = flags->GetInt("threads", 0);
+  if (!threads.ok()) return Fail(threads.status());
+  auto batch = flags->GetInt("batch-size", 4096);
+  if (!batch.ok()) return Fail(batch.status());
+  if (*batch < 1) {
+    return Fail(Status::InvalidArgument("--batch-size must be >= 1"));
+  }
+
+  auto snapshot = Snapshot::Load(flags->positional()[0]);
+  if (!snapshot.ok()) return Fail(snapshot.status());
+  std::fprintf(stderr,
+               "loaded %s: %d segments, %d partitions, fingerprint %s\n",
+               flags->positional()[0].c_str(), snapshot->num_segments(),
+               snapshot->num_partitions(),
+               Uint64ToHex(snapshot->source_fingerprint()).c_str());
+
+  std::string queries;
+  const std::string source =
+      flags->positional().size() == 2 ? flags->positional()[1] : "-";
+  if (source == "-") {
+    queries = ReadAllStdin();
+  } else {
+    auto bytes = ReadFileBytes(source);
+    if (!bytes.ok()) return Fail(bytes.status());
+    queries = std::move(bytes).value();
+  }
+
+  ServeOptions options;
+  options.num_threads = static_cast<int>(*threads);
+  options.batch_size = static_cast<int>(*batch);
+  std::string answers;
+  Status st = ServeQueries(*snapshot, queries, options, &answers);
+  if (!st.ok()) return Fail(st);
+
+  const std::string out_path = flags->GetString("out", "");
+  if (out_path.empty()) {
+    std::fwrite(answers.data(), 1, answers.size(), stdout);
+  } else {
+    st = AtomicWriteFile(out_path, answers);
+    if (!st.ok()) return Fail(st);
+    std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace roadpart
+
+int main(int argc, char** argv) { return roadpart::Main(argc, argv); }
