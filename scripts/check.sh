@@ -18,13 +18,14 @@
 #      (corrupted densities, forced non-convergence, degenerate
 #      embeddings, torn snapshots) must be memory-clean, not just
 #      Status-clean.
-#   4. lint                : tools/rp_lint over src/, tools/, bench/
-#      (discarded Status values, banned nondeterminism, raw prints in
-#      library code, shared mutation in ParallelFor lambdas, eigenvector
-#      use without a convergence check, raw std::ofstream/fopen writes
-#      outside common/durable_io), plus clang-tidy driven by
-#      .clang-tidy when the binary is available; the clang-tidy half is
-#      skipped with a notice otherwise.
+#   4. analyze             : tools/rp_analyze over src/, tools/, bench/,
+#      tests/ — the token-level analyzer (all legacy rp_lint rules,
+#      include-graph layering against tools/analyze/layers.txt, header
+#      guards/self-containment, capture-aware ParallelFor audit). The
+#      machine-readable report is archived at
+#      ${RELEASE_DIR}/analyze_findings.json; any non-baselined finding
+#      fails the gate. clang-tidy (driven by .clang-tidy) runs when the
+#      binary is available and is skipped with a notice otherwise.
 #
 # Usage: scripts/check.sh [jobs]        (default: nproc)
 
@@ -98,8 +99,18 @@ echo "==> [6c/7] serving read path under AddressSanitizer (verbose)"
 "${ASAN_DIR}/tests/serve_property_test"
 "${ASAN_DIR}/tests/serve_snapshot_test"
 
-echo "==> [7/7] Lint: rp_lint + clang-tidy"
-"${RELEASE_DIR}/tools/rp_lint" --root . src tools bench
+echo "==> [7/7] Static analysis: rp_analyze + clang-tidy"
+# JSON report is archived next to the build so CI and humans can diff runs;
+# rp_analyze exits 1 on any non-baselined finding, which (set -e) fails the
+# gate. On failure, rerun in text mode so the findings land in the log.
+if ! "${RELEASE_DIR}/tools/rp_analyze" --root . --format=json \
+    src tools bench tests > "${RELEASE_DIR}/analyze_findings.json"; then
+  echo "    rp_analyze found non-baselined findings:"
+  "${RELEASE_DIR}/tools/rp_analyze" --root . src tools bench tests || true
+  echo "    full JSON report: ${RELEASE_DIR}/analyze_findings.json"
+  exit 1
+fi
+echo "    clean; JSON report at ${RELEASE_DIR}/analyze_findings.json"
 
 if command -v clang-tidy >/dev/null 2>&1; then
   # clang-tidy needs a compilation database; the Release tree exports one.

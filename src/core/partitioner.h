@@ -2,6 +2,7 @@
 #define ROADPART_CORE_PARTITIONER_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"

@@ -1,6 +1,7 @@
 #ifndef ROADPART_GRAPH_GRAPH_BUILDER_H_
 #define ROADPART_GRAPH_GRAPH_BUILDER_H_
 
+#include <utility>
 #include <vector>
 
 #include "common/status.h"

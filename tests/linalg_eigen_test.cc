@@ -64,6 +64,7 @@ TEST(SymmetricEigenTest, Diagonal) {
   a(2, 2) = 2.0;
   auto eig = SymmetricEigenDecompose(a);
   ASSERT_TRUE(eig.ok());
+  EXPECT_TRUE(eig->converged);
   ASSERT_EQ(eig->eigenvalues.size(), 3u);
   EXPECT_NEAR(eig->eigenvalues[0], -1.0, 1e-12);
   EXPECT_NEAR(eig->eigenvalues[1], 2.0, 1e-12);
@@ -157,6 +158,7 @@ TEST_P(SymmetricEigenSweep, ResidualAndOrthogonality) {
   DenseMatrix a = RandomSymmetric(n, 1000 + n);
   auto eig = SymmetricEigenDecompose(a);
   ASSERT_TRUE(eig.ok());
+  EXPECT_TRUE(eig->converged);
   ASSERT_EQ(static_cast<int>(eig->eigenvalues.size()), n);
   // Eigenvalues ascending.
   for (size_t i = 1; i < eig->eigenvalues.size(); ++i) {

@@ -1,0 +1,304 @@
+#include "tools/analyze/analyzer.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace roadpart {
+namespace analyze {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IOError("read failed for " + path);
+  return std::move(buffer).str();
+}
+
+std::string NormalizeSlashes(std::string path) {
+  std::replace(path.begin(), path.end(), '\\', '/');
+  return path;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// Baseline entries: (rule, file) pairs plus their original source line for
+// stale reporting.
+struct Baseline {
+  std::set<std::pair<std::string, std::string>> entries;
+};
+
+Result<Baseline> LoadBaseline(const std::string& path) {
+  Baseline baseline;
+  if (path.empty()) return baseline;
+  RP_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  int line_no = 0;
+  for (const std::string& raw : Split(text, '\n')) {
+    ++line_no;
+    std::string_view line = Trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> fields;
+    for (const std::string& f : Split(std::string(line), ' ')) {
+      std::string t(Trim(f));
+      if (!t.empty()) fields.push_back(std::move(t));
+      if (fields.size() == 2) break;
+    }
+    if (fields.size() < 2) {
+      return Status::InvalidArgument(
+          StrPrintf("baseline %s line %d: expected 'rule file [reason]'",
+                    path.c_str(), line_no));
+    }
+    baseline.entries.insert({fields[0], NormalizeSlashes(fields[1])});
+  }
+  return baseline;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrPrintf("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Finding> AnalyzeSource(
+    const std::string& path, const std::string& source,
+    const std::vector<std::string>& status_function_names) {
+  FileCheckOptions options;
+  options.status_function_names = status_function_names;
+  return CheckFile(path, Lex(source), options);
+}
+
+Result<AnalyzeReport> AnalyzeTree(const std::string& repo_root,
+                                  const std::vector<std::string>& roots,
+                                  const AnalyzeOptions& options) {
+  std::error_code ec;
+  fs::path root_abs = fs::absolute(fs::path(repo_root), ec);
+  if (ec) return Status::IOError("cannot resolve root " + repo_root);
+
+  std::vector<fs::path> files;
+  for (const std::string& r : roots) {
+    fs::path p(r);
+    if (fs::is_directory(p, ec)) {
+      for (fs::recursive_directory_iterator it(p, ec), end_it;
+           !ec && it != end_it; it.increment(ec)) {
+        if (!it->is_regular_file()) continue;
+        fs::path f = it->path();
+        if (f.extension() == ".cc" || f.extension() == ".h") {
+          files.push_back(f);
+        }
+      }
+      if (ec) return Status::IOError("cannot walk " + r);
+    } else if (fs::is_regular_file(p, ec)) {
+      files.push_back(p);
+    } else {
+      return Status::IOError("no such file or directory: " + r);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  auto relative_name = [&](const fs::path& f) {
+    std::error_code rel_ec;
+    fs::path rel = fs::relative(fs::absolute(f, rel_ec), root_abs, rel_ec);
+    std::string name = rel_ec || rel.empty() || *rel.begin() == ".."
+                           ? f.generic_string()
+                           : rel.generic_string();
+    return NormalizeSlashes(name);
+  };
+
+  // Pass 1: lex everything once; the Status/Result name set comes from
+  // every header in scope.
+  std::map<std::string, LexedSource> lexed;  // repo-relative path -> lexed
+  std::vector<std::string> rel_paths;
+  std::vector<std::string> status_fns;
+  for (const fs::path& f : files) {
+    RP_ASSIGN_OR_RETURN(std::string text, ReadFileToString(f.string()));
+    std::string rel = relative_name(f);
+    rel_paths.push_back(rel);
+    auto [it, inserted] = lexed.emplace(rel, Lex(text));
+    if (inserted && f.extension() == ".h") {
+      std::vector<std::string> names = CollectStatusFunctionNames(it->second);
+      status_fns.insert(status_fns.end(), names.begin(), names.end());
+    }
+  }
+  std::sort(status_fns.begin(), status_fns.end());
+  status_fns.erase(std::unique(status_fns.begin(), status_fns.end()),
+                   status_fns.end());
+
+  // Pass 2: per-file token rules.
+  FileCheckOptions file_options;
+  file_options.status_function_names = status_fns;
+  AnalyzeReport report;
+  for (const std::string& rel : rel_paths) {
+    std::vector<Finding> file_findings =
+        CheckFile(rel, lexed.at(rel), file_options);
+    report.findings.insert(report.findings.end(), file_findings.begin(),
+                           file_findings.end());
+  }
+
+  // Pass 3: include graph. Quoted includes are resolved against the
+  // including file's directory, then src/, the repo root, and tests/ (the
+  // include dirs the build system exports).
+  if (options.include_graph) {
+    LayerSpec layers;
+    bool have_layers = false;
+    if (!options.layers_file.empty()) {
+      RP_ASSIGN_OR_RETURN(std::string text,
+                          ReadFileToString(options.layers_file));
+      RP_ASSIGN_OR_RETURN(layers, ParseLayerSpec(text));
+      have_layers = true;
+    }
+    std::vector<IncludeGraphFile> graph_files;
+    for (const std::string& rel : rel_paths) {
+      IncludeGraphFile gf;
+      gf.path = rel;
+      std::string dir = fs::path(rel).parent_path().generic_string();
+      for (const IncludeDirective& inc : lexed.at(rel).includes) {
+        if (inc.angled) continue;  // system/external headers
+        if (EndsWith(inc.target, ".cc")) {
+          gf.cc_includes.push_back({inc.target, inc.line});
+          continue;
+        }
+        const std::string candidates[] = {
+            dir.empty() ? inc.target : dir + "/" + inc.target,
+            "src/" + inc.target,
+            inc.target,
+            "tests/" + inc.target,
+        };
+        for (const std::string& cand : candidates) {
+          fs::path norm = fs::path(cand).lexically_normal();
+          std::string norm_str = norm.generic_string();
+          if (norm_str.empty() || norm_str.compare(0, 2, "..") == 0) continue;
+          if (!fs::is_regular_file(root_abs / norm, ec)) continue;
+          gf.edges.push_back({NormalizeSlashes(norm_str), inc.line});
+          break;
+        }
+      }
+      graph_files.push_back(std::move(gf));
+    }
+    std::vector<Finding> graph_findings =
+        CheckIncludeGraph(graph_files, have_layers ? &layers : nullptr);
+    // Inline suppressions apply to include-graph findings too.
+    graph_findings.erase(
+        std::remove_if(graph_findings.begin(), graph_findings.end(),
+                       [&](const Finding& f) {
+                         auto it = lexed.find(f.file);
+                         return it != lexed.end() &&
+                                it->second.LineAllowed(f.rule, f.line);
+                       }),
+        graph_findings.end());
+    report.findings.insert(report.findings.end(), graph_findings.begin(),
+                           graph_findings.end());
+  }
+
+  std::sort(report.findings.begin(), report.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+
+  // Baseline pass: known findings are annotated, not silenced.
+  RP_ASSIGN_OR_RETURN(Baseline baseline,
+                      LoadBaseline(options.baseline_file));
+  std::set<std::pair<std::string, std::string>> used;
+  for (Finding& f : report.findings) {
+    auto key = std::make_pair(f.rule, f.file);
+    if (baseline.entries.count(key) != 0) {
+      f.baselined = true;
+      used.insert(key);
+      ++report.baselined_count;
+    } else {
+      ++report.new_count;
+    }
+  }
+  for (const auto& [rule, file] : baseline.entries) {
+    if (used.count({rule, file}) == 0) {
+      report.stale_baseline.push_back(rule + " " + file);
+    }
+  }
+  std::sort(report.stale_baseline.begin(), report.stale_baseline.end());
+  return report;
+}
+
+std::string FormatText(const AnalyzeReport& report) {
+  std::string out;
+  for (const Finding& f : report.findings) {
+    out += f.ToString();
+    if (f.baselined) out += " (baselined)";
+    out += "\n";
+  }
+  for (const std::string& stale : report.stale_baseline) {
+    out += "stale baseline entry (no longer fires): " + stale + "\n";
+  }
+  out += StrPrintf(
+      "rp_analyze: %zu finding(s): %d new, %d baselined, %zu stale baseline "
+      "entr%s\n",
+      report.findings.size(), report.new_count, report.baselined_count,
+      report.stale_baseline.size(),
+      report.stale_baseline.size() == 1 ? "y" : "ies");
+  return out;
+}
+
+std::string FormatJson(const AnalyzeReport& report) {
+  std::string out = "{\n  \"findings\": [";
+  bool first = true;
+  for (const Finding& f : report.findings) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += StrPrintf(
+        "    {\"file\": \"%s\", \"line\": %d, \"rule\": \"%s\", "
+        "\"severity\": \"%s\", \"message\": \"%s\", \"baselined\": %s}",
+        JsonEscape(f.file).c_str(), f.line, JsonEscape(f.rule).c_str(),
+        SeverityName(f.severity), JsonEscape(f.message).c_str(),
+        f.baselined ? "true" : "false");
+  }
+  out += first ? "],\n" : "\n  ],\n";
+  out += "  \"stale_baseline\": [";
+  first = true;
+  for (const std::string& stale : report.stale_baseline) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + JsonEscape(stale) + "\"";
+  }
+  out += first ? "],\n" : "\n  ],\n";
+  out += StrPrintf(
+      "  \"summary\": {\"total\": %zu, \"new\": %d, \"baselined\": %d, "
+      "\"stale_baseline\": %zu}\n}\n",
+      report.findings.size(), report.new_count, report.baselined_count,
+      report.stale_baseline.size());
+  return out;
+}
+
+}  // namespace analyze
+}  // namespace roadpart

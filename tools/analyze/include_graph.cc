@@ -1,0 +1,225 @@
+#include "tools/analyze/include_graph.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/string_util.h"
+
+namespace roadpart {
+namespace analyze {
+
+namespace {
+
+// Finds every elementary cycle reachable along the sorted adjacency and
+// returns one canonical representative per distinct cycle: the rotation
+// starting at the lexicographically smallest member. DFS with an explicit
+// stack path; deterministic because files and edges are iterated sorted.
+std::vector<std::vector<std::string>> FindCycles(
+    const std::map<std::string, std::vector<std::string>>& adj) {
+  std::vector<std::vector<std::string>> cycles;
+  std::set<std::string> canonical_seen;
+  std::set<std::string> done;  // fully explored roots
+
+  for (const auto& [start, unused] : adj) {
+    (void)unused;
+    // Iterative DFS from `start`; `path` is the current chain.
+    std::vector<std::string> path;
+    std::set<std::string> on_path;
+    std::vector<std::pair<std::string, size_t>> stack;  // node, next edge idx
+    stack.push_back({start, 0});
+    path.push_back(start);
+    on_path.insert(start);
+    while (!stack.empty()) {
+      auto& [node, edge_idx] = stack.back();
+      auto it = adj.find(node);
+      if (it == adj.end() || edge_idx >= it->second.size()) {
+        done.insert(node);
+        on_path.erase(node);
+        path.pop_back();
+        stack.pop_back();
+        continue;
+      }
+      const std::string& next = it->second[edge_idx++];
+      if (on_path.count(next) != 0) {
+        // Extract the cycle next -> ... -> node -> next.
+        auto from = std::find(path.begin(), path.end(), next);
+        std::vector<std::string> cycle(from, path.end());
+        // Canonicalize: rotate so the smallest element leads.
+        auto min_it = std::min_element(cycle.begin(), cycle.end());
+        std::rotate(cycle.begin(), min_it, cycle.end());
+        std::string key;
+        for (const std::string& p : cycle) key += p + "\n";
+        if (canonical_seen.insert(key).second) cycles.push_back(cycle);
+        continue;
+      }
+      if (done.count(next) != 0) continue;
+      stack.push_back({next, 0});
+      path.push_back(next);
+      on_path.insert(next);
+    }
+  }
+  std::sort(cycles.begin(), cycles.end());
+  return cycles;
+}
+
+}  // namespace
+
+Result<LayerSpec> ParseLayerSpec(const std::string& text) {
+  LayerSpec spec;
+  int line_no = 0;
+  for (const std::string& raw : Split(text, '\n')) {
+    ++line_no;
+    std::string line = raw;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    size_t colon = trimmed.find(':');
+    if (colon == std::string_view::npos) {
+      return Status::InvalidArgument(
+          StrPrintf("layers.txt line %d: expected 'module: deps...'",
+                    line_no));
+    }
+    std::string module(Trim(trimmed.substr(0, colon)));
+    if (module.empty()) {
+      return Status::InvalidArgument(
+          StrPrintf("layers.txt line %d: empty module name", line_no));
+    }
+    if (spec.Declared(module)) {
+      return Status::InvalidArgument(StrPrintf(
+          "layers.txt line %d: module '%s' declared twice", line_no,
+          module.c_str()));
+    }
+    std::string deps_text(trimmed.substr(colon + 1));
+    std::set<std::string> deps;
+    bool wildcard = false;
+    for (const std::string& d : Split(deps_text, ' ')) {
+      std::string dep(Trim(d));
+      if (dep.empty()) continue;
+      if (dep == "*") {
+        wildcard = true;
+      } else {
+        deps.insert(dep);
+      }
+    }
+    if (wildcard) {
+      if (!deps.empty()) {
+        return Status::InvalidArgument(StrPrintf(
+            "layers.txt line %d: '*' cannot be combined with named deps",
+            line_no));
+      }
+      spec.wildcard.insert(module);
+    } else {
+      spec.allowed[module] = std::move(deps);
+    }
+  }
+  // The declared graph itself must be a DAG (wildcard modules sit on top
+  // and are excluded: they may see everything).
+  std::map<std::string, std::vector<std::string>> adj;
+  for (const auto& [module, deps] : spec.allowed) {
+    for (const std::string& d : deps) {
+      if (d != module) adj[module].push_back(d);
+    }
+    std::sort(adj[module].begin(), adj[module].end());
+  }
+  std::vector<std::vector<std::string>> cycles = FindCycles(adj);
+  if (!cycles.empty()) {
+    std::string chain;
+    for (const std::string& m : cycles[0]) chain += m + " -> ";
+    chain += cycles[0][0];
+    return Status::InvalidArgument("layers.txt declares a cyclic layering: " +
+                                   chain);
+  }
+  return spec;
+}
+
+std::string ModuleOf(const std::string& rel_path) {
+  std::string path = rel_path;
+  std::replace(path.begin(), path.end(), '\\', '/');
+  std::vector<std::string> parts = Split(path, '/');
+  if (parts.empty()) return "";
+  if (parts[0] == "src" && parts.size() >= 3) return parts[1];
+  return parts[0] == "src" ? "src" : parts[0];
+}
+
+std::vector<Finding> CheckIncludeGraph(
+    const std::vector<IncludeGraphFile>& files, const LayerSpec* layers) {
+  std::vector<Finding> findings;
+  std::set<std::string> undeclared_reported;
+
+  auto report_undeclared = [&](const std::string& module,
+                               const std::string& file, int line) {
+    if (!undeclared_reported.insert(module).second) return;
+    findings.push_back(
+        {file, line, "undeclared-module", Severity::kError,
+         "module '" + module +
+             "' is not declared in the layering DAG; add it to "
+             "tools/analyze/layers.txt with its allowed dependencies",
+         false});
+  };
+
+  std::map<std::string, std::vector<std::string>> adj;
+  // (from, to) -> line of the include, for anchoring cycle findings.
+  std::map<std::pair<std::string, std::string>, int> edge_line;
+
+  for (const IncludeGraphFile& f : files) {
+    const std::string from_module = ModuleOf(f.path);
+    for (const IncludeGraphFile::Edge& e : f.cc_includes) {
+      findings.push_back(
+          {f.path, e.line, "include-of-cc", Severity::kError,
+           "#include of implementation file '" + e.target +
+               "'; include the matching header and link the object instead",
+           false});
+    }
+    if (layers != nullptr && !layers->Declared(from_module)) {
+      report_undeclared(from_module, f.path, 1);
+    }
+    for (const IncludeGraphFile::Edge& e : f.edges) {
+      adj[f.path].push_back(e.target);
+      auto key = std::make_pair(f.path, e.target);
+      if (edge_line.count(key) == 0) edge_line[key] = e.line;
+      if (layers == nullptr) continue;
+      const std::string to_module = ModuleOf(e.target);
+      if (!layers->Declared(to_module)) {
+        report_undeclared(to_module, f.path, e.line);
+      }
+      if (layers->Declared(from_module) && layers->Declared(to_module) &&
+          !layers->Allows(from_module, to_module)) {
+        findings.push_back(
+            {f.path, e.line, "layering-violation", Severity::kError,
+             "module '" + from_module + "' may not include '" + e.target +
+                 "' (module '" + to_module +
+                 "'); allowed dependencies are declared in "
+                 "tools/analyze/layers.txt",
+             false});
+      }
+    }
+  }
+  for (auto& [from, targets] : adj) {
+    (void)from;
+    std::sort(targets.begin(), targets.end());
+    targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+  }
+
+  for (const std::vector<std::string>& cycle : FindCycles(adj)) {
+    std::string chain;
+    for (const std::string& p : cycle) chain += p + " -> ";
+    chain += cycle[0];
+    const std::string& anchor = cycle[0];
+    const std::string& next = cycle.size() > 1 ? cycle[1] : cycle[0];
+    auto it = edge_line.find(std::make_pair(anchor, next));
+    findings.push_back({anchor, it != edge_line.end() ? it->second : 1,
+                        "include-cycle", Severity::kError,
+                        "project include cycle: " + chain, false});
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  return findings;
+}
+
+}  // namespace analyze
+}  // namespace roadpart

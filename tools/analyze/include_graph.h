@@ -1,0 +1,68 @@
+#ifndef ROADPART_TOOLS_ANALYZE_INCLUDE_GRAPH_H_
+#define ROADPART_TOOLS_ANALYZE_INCLUDE_GRAPH_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tools/analyze/rules.h"
+
+namespace roadpart {
+namespace analyze {
+
+/// The declared layering DAG, parsed from tools/analyze/layers.txt.
+///
+/// File format, one module per line:
+///   module: dep1 dep2 ...     # may depend on itself implicitly
+///   module: *                 # unconstrained (umbrella/frontend layers)
+/// Blank lines and `#` comments are ignored.
+struct LayerSpec {
+  std::map<std::string, std::set<std::string>> allowed;
+  std::set<std::string> wildcard;
+
+  bool Declared(const std::string& module) const {
+    return wildcard.count(module) != 0 || allowed.count(module) != 0;
+  }
+  /// True when a file in `from` may include a header of `to`.
+  bool Allows(const std::string& from, const std::string& to) const {
+    if (from == to) return true;
+    if (wildcard.count(from) != 0) return true;
+    auto it = allowed.find(from);
+    return it != allowed.end() && it->second.count(to) != 0;
+  }
+};
+
+Result<LayerSpec> ParseLayerSpec(const std::string& text);
+
+/// Maps a repo-relative path to its module: "src/<m>/..." -> "<m>",
+/// "tools/..." -> "tools", likewise tests/bench/examples; "src/x.h" ->
+/// "src"; anything else -> its first path component.
+std::string ModuleOf(const std::string& rel_path);
+
+/// One scanned file's project-include edges, ready for graph checks.
+/// Paths are repo-relative with '/' separators; `edges` holds includes that
+/// resolved to project files, `cc_includes` any include (resolved or not)
+/// whose target ends in ".cc".
+struct IncludeGraphFile {
+  std::string path;
+  struct Edge {
+    std::string target;
+    int line = 0;
+  };
+  std::vector<Edge> edges;
+  std::vector<Edge> cc_includes;
+};
+
+/// Runs the include-graph rules: include-of-cc, layering-violation,
+/// undeclared-module (skipped when `layers` is null), and include-cycle.
+/// Results are sorted by (file, line, rule); cycle findings are anchored at
+/// the lexicographically smallest file of each distinct cycle.
+std::vector<Finding> CheckIncludeGraph(
+    const std::vector<IncludeGraphFile>& files, const LayerSpec* layers);
+
+}  // namespace analyze
+}  // namespace roadpart
+
+#endif  // ROADPART_TOOLS_ANALYZE_INCLUDE_GRAPH_H_

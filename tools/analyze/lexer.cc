@@ -1,0 +1,493 @@
+#include "tools/analyze/lexer.h"
+
+#include <cctype>
+#include <cstring>
+
+namespace roadpart {
+namespace analyze {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Encoding prefixes that may precede a string or character literal. A raw
+// string adds 'R' as the final prefix character.
+bool IsRawStringPrefix(const std::string& ident) {
+  return ident == "R" || ident == "LR" || ident == "uR" || ident == "UR" ||
+         ident == "u8R";
+}
+bool IsTextPrefix(const std::string& ident) {
+  return ident == "u8" || ident == "u" || ident == "U" || ident == "L";
+}
+
+// Character cursor over the source with two reading modes:
+//   - logical: backslash-newline splices are invisible (standard
+//     translation phase 2); this is the default everywhere;
+//   - physical: raw string literal bodies, where a backslash before a
+//     newline is literal text.
+// Physical line numbers are maintained in both modes.
+class Scanner {
+ public:
+  explicit Scanner(const std::string& s) : s_(s) {}
+
+  bool AtEnd() {
+    SkipSplices();
+    return i_ >= s_.size();
+  }
+  bool AtPhysicalEnd() const { return i_ >= s_.size(); }
+
+  // Logical lookahead: the k-th upcoming character with splices skipped.
+  char Peek(size_t k = 0) const {
+    size_t i = i_;
+    while (i < s_.size()) {
+      i = SplicedFrom(i);
+      if (i >= s_.size()) break;
+      if (k == 0) return s_[i];
+      --k;
+      ++i;
+    }
+    return '\0';
+  }
+
+  // Consumes one logical character and returns it.
+  char Get() {
+    SkipSplices();
+    if (i_ >= s_.size()) return '\0';
+    char c = s_[i_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  char PeekPhysical() const { return i_ < s_.size() ? s_[i_] : '\0'; }
+  char GetPhysical() {
+    if (i_ >= s_.size()) return '\0';
+    char c = s_[i_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  int line() const { return line_; }
+
+  // Line number of the next logical character (splices at the cursor would
+  // otherwise make `line()` report the line the splice started on).
+  int LineOfNext() {
+    SkipSplices();
+    return line_;
+  }
+
+ private:
+  // First index at or after `i` that is not the start of a splice.
+  size_t SplicedFrom(size_t i) const {
+    while (i + 1 < s_.size() && s_[i] == '\\' &&
+           (s_[i + 1] == '\n' ||
+            (s_[i + 1] == '\r' && i + 2 < s_.size() && s_[i + 2] == '\n'))) {
+      i += s_[i + 1] == '\n' ? 2 : 3;
+    }
+    return i;
+  }
+
+  void SkipSplices() {
+    size_t j = SplicedFrom(i_);
+    for (size_t p = i_; p < j; ++p) {
+      if (s_[p] == '\n') ++line_;
+    }
+    i_ = j;
+  }
+
+  const std::string& s_;
+  size_t i_ = 0;
+  int line_ = 1;
+};
+
+const char* const kMultiCharOps[] = {
+    "<<=", ">>=", "->*", "...", "::", "->", "++", "--", "+=", "-=",
+    "*=",  "/=",  "%=",  "&=",  "|=", "^=", "<<", ">>", "==", "!=",
+    "<=",  ">=",  "&&",  "||",
+};
+
+// Registers a suppression comment's rules over [first_line, last_line + 1].
+void ParseSuppression(const std::string& comment, int first_line,
+                      int last_line, LexedSource* out) {
+  static const char kMarker[] = "rp-analyze:";
+  size_t at = comment.find(kMarker);
+  if (at == std::string::npos) return;
+  size_t open = comment.find("allow(", at);
+  if (open == std::string::npos) return;
+  size_t close = comment.find(')', open);
+  if (close == std::string::npos) return;
+  std::string list = comment.substr(open + 6, close - open - 6);
+  std::string rule;
+  auto flush = [&]() {
+    if (rule.empty()) return;
+    for (int l = first_line; l <= last_line + 1; ++l) {
+      out->allowed_lines[rule].insert(l);
+    }
+    rule.clear();
+  };
+  for (char c : list) {
+    if (c == ',' || std::isspace(static_cast<unsigned char>(c))) {
+      flush();
+    } else {
+      rule.push_back(c);
+    }
+  }
+  flush();
+}
+
+}  // namespace
+
+bool LexedSource::LineAllowed(const std::string& rule, int line) const {
+  auto it = allowed_lines.find(rule);
+  return it != allowed_lines.end() && it->second.count(line) != 0;
+}
+
+LexedSource Lex(const std::string& source) {
+  LexedSource out;
+  Scanner sc(source);
+
+  // Preprocessor state for the current logical line.
+  enum class Pp { kNone, kHash, kKeyword, kIncludePath, kRest };
+  Pp pp = Pp::kNone;
+  std::string pp_keyword;
+
+  // Guard detection: directive (keyword, first identifier argument) pairs
+  // plus the token-stream offset where each directive started.
+  struct Directive {
+    std::string keyword;
+    std::string arg;
+    size_t token_offset;
+  };
+  std::vector<Directive> directives;
+
+  bool at_line_start = true;
+
+  auto emit = [&](std::string text, int line, TokenKind kind) {
+    out.tokens.push_back(Token{std::move(text), line, kind});
+    at_line_start = false;
+  };
+
+  // Records the first identifier after a directive keyword (#ifndef NAME,
+  // #define NAME, #pragma once).
+  auto note_directive_arg = [&](const std::string& ident) {
+    if (!directives.empty() && directives.back().arg.empty()) {
+      directives.back().arg = ident;
+      if (directives.back().keyword == "pragma" && ident == "once") {
+        out.has_pragma_once = true;
+      }
+    }
+  };
+
+  while (!sc.AtEnd()) {
+    char c = sc.Peek();
+
+    if (c == '\n') {
+      sc.Get();
+      at_line_start = true;
+      pp = Pp::kNone;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      sc.Get();
+      continue;
+    }
+
+    // Comments. A // comment extends across splices; both kinds record
+    // their text for suppression parsing and emit nothing.
+    if (c == '/' && sc.Peek(1) == '/') {
+      int first_line = sc.LineOfNext();
+      std::string text;
+      while (!sc.AtEnd() && sc.Peek() != '\n') text.push_back(sc.Get());
+      ParseSuppression(text, first_line, sc.line(), &out);
+      continue;
+    }
+    if (c == '/' && sc.Peek(1) == '*') {
+      int first_line = sc.LineOfNext();
+      sc.Get();
+      sc.Get();
+      std::string text;
+      while (!sc.AtEnd() && !(sc.Peek() == '*' && sc.Peek(1) == '/')) {
+        text.push_back(sc.Get());
+      }
+      int last_line = sc.line();
+      if (!sc.AtEnd()) {
+        sc.Get();
+        sc.Get();
+      }
+      ParseSuppression(text, first_line, last_line, &out);
+      continue;
+    }
+
+    // Preprocessor directive start.
+    if (c == '#' && at_line_start) {
+      int line = sc.LineOfNext();
+      sc.Get();
+      emit("#", line, TokenKind::kPunct);
+      pp = Pp::kHash;
+      pp_keyword.clear();
+      continue;
+    }
+
+    // Identifier — possibly a literal prefix.
+    if (IsIdentStart(c)) {
+      int line = sc.LineOfNext();
+      std::string ident;
+      ident.push_back(sc.Get());
+      while (!sc.AtEnd() && IsIdentChar(sc.Peek())) ident.push_back(sc.Get());
+
+      if (sc.Peek() == '"' && IsRawStringPrefix(ident)) {
+        // Raw string literal: R"delim( ... )delim". The body is physical
+        // text — splices inside are literal. Contents are discarded.
+        sc.Get();  // opening quote
+        std::string delim;
+        while (!sc.AtPhysicalEnd() && sc.PeekPhysical() != '(') {
+          delim.push_back(sc.GetPhysical());
+        }
+        if (!sc.AtPhysicalEnd()) sc.GetPhysical();  // '('
+        const std::string closer = ")" + delim + "\"";
+        std::string window;
+        while (!sc.AtPhysicalEnd()) {
+          window.push_back(sc.GetPhysical());
+          if (window.size() >= closer.size() &&
+              window.compare(window.size() - closer.size(), closer.size(),
+                             closer) == 0) {
+            break;
+          }
+          if (window.size() > closer.size()) {
+            window.erase(0, window.size() - closer.size());
+          }
+        }
+        emit("\"\"", line, TokenKind::kString);
+        continue;
+      }
+      if ((sc.Peek() == '"' || sc.Peek() == '\'') && IsTextPrefix(ident)) {
+        // Encoding-prefixed ordinary literal: fall through to the literal
+        // scanner below by not emitting the prefix as an identifier.
+        c = sc.Peek();
+      } else {
+        emit(ident, line, TokenKind::kIdent);
+        if (pp == Pp::kHash) {
+          pp_keyword = ident;
+          directives.push_back({ident, "", out.tokens.size() - 1});
+          pp = pp_keyword == "include" ? Pp::kIncludePath : Pp::kKeyword;
+        } else if (pp == Pp::kKeyword) {
+          note_directive_arg(ident);
+          pp = Pp::kRest;
+        } else if (pp == Pp::kIncludePath) {
+          pp = Pp::kRest;  // `#include MACRO` — not resolvable, not a path
+        }
+        continue;
+      }
+    }
+
+    // String / character literal (contents blanked).
+    if (c == '"' || c == '\'') {
+      int line = sc.LineOfNext();
+      char quote = sc.Get();
+      std::string content;
+      while (!sc.AtEnd() && sc.Peek() != quote) {
+        char d = sc.Get();
+        if (d == '\\' && !sc.AtEnd()) {
+          sc.Get();  // escaped character (splices already invisible)
+        } else {
+          content.push_back(d);
+        }
+      }
+      if (!sc.AtEnd()) sc.Get();  // closing quote
+      if (pp == Pp::kIncludePath && quote == '"') {
+        out.includes.push_back({content, line, /*angled=*/false});
+        pp = Pp::kRest;
+      }
+      emit(quote == '"' ? "\"\"" : "''", line,
+           quote == '"' ? TokenKind::kString : TokenKind::kChar);
+      continue;
+    }
+
+    // Angled include path: only in include-path position, so `a < b` in
+    // code is never misread.
+    if (c == '<' && pp == Pp::kIncludePath) {
+      int line = sc.LineOfNext();
+      sc.Get();
+      std::string content;
+      while (!sc.AtEnd() && sc.Peek() != '>' && sc.Peek() != '\n') {
+        content.push_back(sc.Get());
+      }
+      if (sc.Peek() == '>') sc.Get();
+      out.includes.push_back({content, line, /*angled=*/true});
+      emit("\"\"", line, TokenKind::kString);
+      pp = Pp::kRest;
+      continue;
+    }
+
+    // Number (with C++14 digit separators).
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      int line = sc.LineOfNext();
+      std::string num;
+      num.push_back(sc.Get());
+      while (!sc.AtEnd()) {
+        char d = sc.Peek();
+        if (IsIdentChar(d) || d == '.') {
+          num.push_back(sc.Get());
+        } else if (d == '\'' && IsIdentChar(sc.Peek(1))) {
+          num.push_back(sc.Get());
+        } else {
+          break;
+        }
+      }
+      emit(num, line, TokenKind::kNumber);
+      continue;
+    }
+
+    // Multi-character operators, longest match first.
+    {
+      int line = sc.LineOfNext();
+      bool matched = false;
+      for (const char* op : kMultiCharOps) {
+        size_t len = std::strlen(op);
+        bool eq = true;
+        for (size_t k = 0; k < len; ++k) {
+          if (sc.Peek(k) != op[k]) {
+            eq = false;
+            break;
+          }
+        }
+        if (eq) {
+          for (size_t k = 0; k < len; ++k) sc.Get();
+          emit(op, line, TokenKind::kPunct);
+          matched = true;
+          break;
+        }
+      }
+      if (matched) continue;
+      emit(std::string(1, sc.Get()), line, TokenKind::kPunct);
+    }
+  }
+
+  // Classic include guard: the first two directives are `#ifndef NAME`
+  // `#define NAME` and no code token precedes them.
+  if (directives.size() >= 2 && directives[0].keyword == "ifndef" &&
+      directives[1].keyword == "define" && !directives[0].arg.empty() &&
+      directives[0].arg == directives[1].arg &&
+      directives[0].token_offset == 1) {
+    out.has_include_guard = true;
+    out.guard_name = directives[0].arg;
+  }
+  return out;
+}
+
+std::string StripCommentsAndStrings(const std::string& source) {
+  std::string out = source;
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString
+  };
+  State state = State::kCode;
+  std::string raw_closer;   // ")delim\"" for the active raw string
+  std::string raw_window;   // trailing chars compared against raw_closer
+  auto blank = [&](size_t i) {
+    if (out[i] != '\n') out[i] = ' ';
+  };
+  for (size_t i = 0; i < source.size(); ++i) {
+    char c = source[i];
+    char next = i + 1 < source.size() ? source[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = ' ';
+        } else if (c == '"') {
+          // Raw string? Look back over the contiguous identifier prefix.
+          size_t p = i;
+          while (p > 0 && IsIdentChar(source[p - 1])) --p;
+          std::string prefix = source.substr(p, i - p);
+          if (IsRawStringPrefix(prefix)) {
+            size_t open = source.find('(', i + 1);
+            std::string delim = open == std::string::npos
+                                    ? std::string()
+                                    : source.substr(i + 1, open - i - 1);
+            // Blank the delimiter after the opening quote.
+            for (size_t k = i + 1; k < source.size() && k <= open; ++k) {
+              blank(k);
+            }
+            if (open != std::string::npos) i = open;
+            raw_closer = ")" + delim + "\"";
+            raw_window.clear();
+            state = State::kRawString;
+          } else {
+            state = State::kString;  // the quote itself stays
+          }
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          // A backslash immediately before the newline splices the next
+          // physical line into the comment.
+          size_t b = i;
+          while (b > 0 && source[b - 1] == '\r') --b;
+          if (b > 0 && source[b - 1] == '\\') {
+            // stay in the comment
+          } else {
+            state = State::kCode;
+          }
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else {
+          blank(i);
+        }
+        break;
+      case State::kString:
+      case State::kChar: {
+        char quote = state == State::kString ? '"' : '\'';
+        if (c == '\\' && i + 1 < source.size()) {
+          out[i] = ' ';
+          if (source[i + 1] != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == quote) {
+          state = State::kCode;
+        } else {
+          blank(i);
+        }
+        break;
+      }
+      case State::kRawString: {
+        raw_window.push_back(c);
+        if (raw_window.size() > raw_closer.size()) {
+          raw_window.erase(0, raw_window.size() - raw_closer.size());
+        }
+        if (raw_window == raw_closer) {
+          // Keep the final quote; blank the delimiter before it.
+          for (size_t k = i + 1 - raw_closer.size(); k < i; ++k) blank(k);
+          state = State::kCode;
+        } else {
+          blank(i);
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace analyze
+}  // namespace roadpart

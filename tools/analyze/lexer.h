@@ -1,0 +1,77 @@
+#ifndef ROADPART_TOOLS_ANALYZE_LEXER_H_
+#define ROADPART_TOOLS_ANALYZE_LEXER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace roadpart {
+namespace analyze {
+
+/// Token kinds surfaced by the lexer. String/char literals are emitted as
+/// single placeholder tokens with their contents removed, so no rule can
+/// ever match text inside a literal; comments are not tokens at all.
+enum class TokenKind { kIdent, kNumber, kString, kChar, kPunct };
+
+struct Token {
+  std::string text;
+  int line = 0;  ///< 1-based physical line of the token's first character
+  TokenKind kind = TokenKind::kPunct;
+
+  bool IsIdent() const { return kind == TokenKind::kIdent; }
+};
+
+/// One `#include` directive, recorded during lexing.
+struct IncludeDirective {
+  std::string target;  ///< path between the quotes / angle brackets
+  int line = 0;        ///< 1-based
+  bool angled = false; ///< true for <...>, false for "..."
+};
+
+/// The lexed form of one translation unit.
+///
+/// Guarantees (see DESIGN.md "Static analysis architecture"):
+///   - comments never produce tokens, including `//` comments extended over
+///     physical lines by backslash-newline splices;
+///   - string, character, and raw string literals (`R"delim(...)delim"`,
+///     with any encoding prefix) are each one content-free placeholder
+///     token;
+///   - backslash-newline continuations are transparent everywhere except
+///     inside raw string literals, where they are literal text;
+///   - line numbers always refer to physical source lines.
+struct LexedSource {
+  std::vector<Token> tokens;
+  std::vector<IncludeDirective> includes;
+
+  bool has_pragma_once = false;
+  /// True when the file opens (before any other code) with a classic
+  /// `#ifndef NAME` / `#define NAME` include-guard pair.
+  bool has_include_guard = false;
+  std::string guard_name;
+
+  /// Lines covered by `// rp-analyze: allow(rule-a, rule-b)` suppression
+  /// comments, per rule id. A suppression covers every physical line the
+  /// comment spans plus the following line, so both trailing same-line and
+  /// preceding-line placement work.
+  std::map<std::string, std::set<int>> allowed_lines;
+
+  /// True when findings of `rule` on `line` are suppressed.
+  bool LineAllowed(const std::string& rule, int line) const;
+};
+
+/// Lexes C++ source. Never fails: malformed input degrades to best-effort
+/// tokens (an unterminated literal swallows the rest of the file).
+LexedSource Lex(const std::string& source);
+
+/// Replaces the contents of comments and string/char/raw-string literals
+/// with spaces while preserving newlines and the delimiting quote
+/// characters. Unlike the pre-rp_analyze implementation this understands
+/// raw string literals and backslash-newline continued `//` comments, the
+/// two constructs that used to leak literal text back into code position.
+std::string StripCommentsAndStrings(const std::string& source);
+
+}  // namespace analyze
+}  // namespace roadpart
+
+#endif  // ROADPART_TOOLS_ANALYZE_LEXER_H_

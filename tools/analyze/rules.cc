@@ -1,0 +1,647 @@
+#include "tools/analyze/rules.h"
+
+#include <algorithm>
+#include <initializer_list>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "common/string_util.h"
+
+namespace roadpart {
+namespace analyze {
+
+namespace {
+
+// Stable rule ids. Legacy ids (from tools/rp_lint) are preserved verbatim
+// so existing suppression knowledge and muscle memory carry over.
+const char kRuleNondeterminism[] = "banned-nondeterminism";
+const char kRulePrint[] = "print-in-library";
+const char kRuleDiscardedStatus[] = "discarded-status";
+const char kRuleParallelMutation[] = "parallelfor-shared-mutation";
+const char kRuleUncheckedEigen[] = "unchecked-eigen-convergence";
+const char kRuleRawOfstream[] = "raw-ofstream-write";
+const char kRuleMissingGuard[] = "missing-include-guard";
+const char kRuleSelfContainment[] = "header-self-containment";
+
+bool PathHasPrefix(const std::string& path, const std::string& prefix) {
+  return path.size() >= prefix.size() &&
+         path.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool PathIsOneOf(const std::string& path,
+                 std::initializer_list<const char*> candidates) {
+  return std::any_of(candidates.begin(), candidates.end(),
+                     [&](const char* c) { return path == c; });
+}
+
+bool PathIsHeader(const std::string& path) {
+  return path.size() >= 2 && path.compare(path.size() - 2, 2, ".h") == 0;
+}
+
+// Index of the token matching the opener at `open` ('(' <-> ')',
+// '{' <-> '}', '[' <-> ']'), or tokens.size() when unbalanced.
+size_t MatchingClose(const std::vector<Token>& tokens, size_t open) {
+  const std::string& o = tokens[open].text;
+  std::string close = o == "(" ? ")" : o == "{" ? "}" : "]";
+  int depth = 0;
+  for (size_t i = open; i < tokens.size(); ++i) {
+    if (tokens[i].text == o) ++depth;
+    if (tokens[i].text == close && --depth == 0) return i;
+  }
+  return tokens.size();
+}
+
+// --- Rule: banned nondeterminism -------------------------------------------
+
+void CheckNondeterminism(const std::string& path,
+                         const std::vector<Token>& tokens,
+                         std::vector<Finding>* findings) {
+  if (PathIsOneOf(path, {"src/common/rng.h", "src/common/rng.cc"})) return;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (!tokens[i].IsIdent()) continue;
+    const std::string& t = tokens[i].text;
+    bool call = i + 1 < tokens.size() && tokens[i + 1].text == "(";
+    if ((t == "rand" || t == "srand") && call) {
+      findings->push_back({path, tokens[i].line, kRuleNondeterminism,
+                           Severity::kError,
+                           t + "() is banned; take an explicit roadpart::Rng",
+                           false});
+    } else if (t == "random_device") {
+      findings->push_back(
+          {path, tokens[i].line, kRuleNondeterminism, Severity::kError,
+           "std::random_device is banned outside src/common/rng; seed an "
+           "Rng instead",
+           false});
+    } else if (t == "time" && call && i + 3 < tokens.size() &&
+               (tokens[i + 2].text == "nullptr" ||
+                tokens[i + 2].text == "NULL" || tokens[i + 2].text == "0") &&
+               tokens[i + 3].text == ")") {
+      findings->push_back({path, tokens[i].line, kRuleNondeterminism,
+                           Severity::kError,
+                           "wall-clock seeding (time(" + tokens[i + 2].text +
+                               ")) is banned; use a fixed or flag-provided "
+                               "seed",
+                           false});
+    }
+  }
+}
+
+// --- Rule: stdout/stderr prints in library code -----------------------------
+
+void CheckLibraryPrints(const std::string& path,
+                        const std::vector<Token>& tokens,
+                        std::vector<Finding>* findings) {
+  if (!PathHasPrefix(path, "src/")) return;
+  // The logging/contract sinks themselves must write somewhere.
+  if (PathIsOneOf(path, {"src/common/logging.cc", "src/common/status.cc",
+                         "src/common/check.cc"})) {
+    return;
+  }
+  static const std::set<std::string> kPrintFns = {"printf", "fprintf", "puts",
+                                                  "fputs", "vprintf",
+                                                  "vfprintf"};
+  static const std::set<std::string> kStreams = {"cout", "cerr", "clog"};
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (!tokens[i].IsIdent()) continue;
+    const std::string& t = tokens[i].text;
+    if (kPrintFns.count(t) != 0 && i + 1 < tokens.size() &&
+        tokens[i + 1].text == "(") {
+      findings->push_back({path, tokens[i].line, kRulePrint, Severity::kError,
+                           t + "() in library code; use RP_LOG instead",
+                           false});
+    } else if (kStreams.count(t) != 0 && i > 0 && tokens[i - 1].text == "::") {
+      findings->push_back({path, tokens[i].line, kRulePrint, Severity::kError,
+                           "std::" + t + " in library code; use RP_LOG instead",
+                           false});
+    }
+  }
+}
+
+// --- Rule: discarded Status/Result calls ------------------------------------
+
+void CheckDiscardedStatus(const std::string& path,
+                          const std::vector<Token>& tokens,
+                          const std::set<std::string>& status_fns,
+                          std::vector<Finding>* findings) {
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (!tokens[i].IsIdent() || status_fns.count(tokens[i].text) == 0) {
+      continue;
+    }
+    if (i + 1 >= tokens.size() || tokens[i + 1].text != "(") continue;
+    // Walk back over a qualification / member chain (a.b->Ns::Name) to find
+    // what precedes the whole statement candidate.
+    size_t j = i;
+    while (j >= 2 &&
+           (tokens[j - 1].text == "." || tokens[j - 1].text == "->" ||
+            tokens[j - 1].text == "::") &&
+           tokens[j - 2].IsIdent()) {
+      j -= 2;
+    }
+    if (j > 0) {
+      const std::string& prev = tokens[j - 1].text;
+      if (prev != ";" && prev != "{" && prev != "}") continue;
+    }
+    size_t close = MatchingClose(tokens, i + 1);
+    if (close + 1 >= tokens.size() || tokens[close + 1].text != ";") continue;
+    findings->push_back(
+        {path, tokens[i].line, kRuleDiscardedStatus, Severity::kError,
+         "result of Status/Result-returning call " + tokens[i].text +
+             "() is discarded; handle it, RP_CHECK_OK it, or cast to void",
+         false});
+  }
+}
+
+// --- Rule: shared mutation inside ParallelFor lambdas -----------------------
+
+// Identifiers that look like declaration prefixes but are not type names.
+const std::set<std::string>& NonTypeKeywords() {
+  static const std::set<std::string> kWords = {
+      "break",  "case",     "class",  "const",  "constexpr", "continue",
+      "delete", "do",       "else",   "enum",   "goto",      "new",
+      "return", "sizeof",   "static", "struct", "operator",  "typename",
+      "using",  "namespace"};
+  return kWords;
+}
+
+// What one lambda's capture list says about each name's sharing.
+struct CaptureInfo {
+  bool default_ref = false;  // [&...]
+  bool default_val = false;  // [=...]
+  std::set<std::string> by_ref;  // &name entries; also "this" (pointer copy
+                                 // still aliases the shared object)
+  std::set<std::string> by_val;  // name / name=init / *this entries
+
+  // Could a write through `name` reach state shared across iterations?
+  bool IsShared(const std::string& name) const {
+    if (by_ref.count(name) != 0) return true;
+    if (by_val.count(name) != 0) return false;
+    if (name == "this") return default_ref || default_val;
+    return default_ref;
+  }
+  bool AnythingShared() const {
+    return default_ref || default_val || !by_ref.empty();
+  }
+};
+
+// Parses the capture list between tokens[lb] == "[" and tokens[cap_close].
+CaptureInfo ParseCaptureList(const std::vector<Token>& tokens, size_t lb,
+                             size_t cap_close) {
+  CaptureInfo info;
+  size_t b = lb + 1;
+  int depth = 0;
+  auto handle_entry = [&](size_t begin, size_t end) {
+    if (begin >= end) return;
+    const Token& first = tokens[begin];
+    if (first.text == "&" && end == begin + 1) {
+      info.default_ref = true;
+    } else if (first.text == "=" && end == begin + 1) {
+      info.default_val = true;
+    } else if (first.text == "&" && begin + 1 < end &&
+               tokens[begin + 1].IsIdent()) {
+      info.by_ref.insert(tokens[begin + 1].text);  // &x and &x = init
+    } else if (first.text == "*" && begin + 1 < end &&
+               tokens[begin + 1].text == "this") {
+      info.by_val.insert("this");  // *this is a copy
+    } else if (first.text == "this") {
+      info.by_ref.insert("this");  // pointer capture aliases shared object
+    } else if (first.IsIdent()) {
+      info.by_val.insert(first.text);  // x and x = init
+    }
+  };
+  for (size_t i = lb + 1; i <= cap_close; ++i) {
+    const std::string& t = tokens[i].text;
+    if (t == "(" || t == "[" || t == "{") ++depth;
+    if (t == ")" || t == "]" || t == "}") --depth;
+    if ((t == "," && depth == 0) || i == cap_close) {
+      handle_entry(b, i);
+      b = i + 1;
+    }
+  }
+  return info;
+}
+
+// Collects names declared inside the token range [begin, end): lambda
+// parameters and body-local variables, recognized by `Type name`,
+// `Type& name`, `Type* name` and `...> name` shapes.
+std::set<std::string> CollectLocalNames(const std::vector<Token>& tokens,
+                                        size_t begin, size_t end) {
+  std::set<std::string> locals;
+  for (size_t i = begin; i < end; ++i) {
+    if (!tokens[i].IsIdent() || NonTypeKeywords().count(tokens[i].text) != 0) {
+      continue;
+    }
+    if (i == 0) continue;
+    const Token& p = tokens[i - 1];
+    bool declared = false;
+    if (p.IsIdent() && NonTypeKeywords().count(p.text) == 0) {
+      // `Type name` (builtin or user type).
+      declared = true;
+    } else if (p.text == ">") {
+      // `std::vector<int> name`.
+      declared = true;
+    } else if ((p.text == "&" || p.text == "*") && i >= 2) {
+      const Token& pp = tokens[i - 2];
+      declared = (pp.IsIdent() && NonTypeKeywords().count(pp.text) == 0) ||
+                 pp.text == ">";
+    }
+    if (declared) locals.insert(tokens[i].text);
+  }
+  return locals;
+}
+
+// Walks a member chain ending at index `last` (e.g. a.b.c with last on c)
+// back to its root identifier index, or SIZE_MAX when the chain does not
+// start at a plain identifier (indexed/call roots are treated as safe).
+size_t ChainRoot(const std::vector<Token>& tokens, size_t last) {
+  size_t j = last;
+  while (j >= 2 && (tokens[j - 1].text == "." || tokens[j - 1].text == "->")) {
+    if (!tokens[j - 2].IsIdent()) return static_cast<size_t>(-1);
+    j -= 2;
+  }
+  return j;
+}
+
+void CheckLambdaBody(const std::string& path, const std::vector<Token>& tokens,
+                     size_t body_begin, size_t body_end,
+                     const std::set<std::string>& locals,
+                     const CaptureInfo& captures,
+                     std::vector<Finding>* findings) {
+  static const std::set<std::string> kCompound = {
+      "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=", "++",
+      "--"};
+  static const std::set<std::string> kGrowers = {"push_back", "emplace_back",
+                                                 "insert", "emplace"};
+  auto shared_root = [&](size_t target) -> const std::string* {
+    size_t root = ChainRoot(tokens, target);
+    if (root == static_cast<size_t>(-1)) return nullptr;
+    const std::string& name = tokens[root].text;
+    if (locals.count(name) != 0) return nullptr;
+    if (!captures.IsShared(name)) return nullptr;
+    return &tokens[root].text;
+  };
+
+  for (size_t i = body_begin; i < body_end; ++i) {
+    const Token& t = tokens[i];
+    if (kCompound.count(t.text) != 0) {
+      // Identify the assignment target: token before the operator (post
+      // forms) or after it (pre-increment). `x[i] +=` and `m(r, c) +=` have
+      // ']' / ')' before the operator and are the sanctioned per-slot form.
+      size_t target = static_cast<size_t>(-1);
+      if (i > body_begin && tokens[i - 1].IsIdent()) {
+        target = i - 1;
+      } else if ((t.text == "++" || t.text == "--") && i + 1 < body_end &&
+                 tokens[i + 1].IsIdent()) {
+        target = i + 1;
+      }
+      if (target == static_cast<size_t>(-1)) continue;
+      const std::string* name = shared_root(target);
+      if (name == nullptr) continue;
+      findings->push_back(
+          {path, t.line, kRuleParallelMutation, Severity::kError,
+           "lambda passed to ParallelFor mutates captured '" + *name +
+               "' without per-index isolation; use ParallelBlockedSum/"
+               "ParallelBlockedReduce for accumulation",
+           false});
+    } else if (t.text == "=" && i > body_begin && tokens[i - 1].IsIdent()) {
+      // Plain assignment to a by-reference capture that is not indexed
+      // per-slot: `shared = v;` inside the body. `out[i] = v` / `m(r,c) = v`
+      // end the target with ']' / ')' and are skipped; declarations make
+      // the name a local; `[x = init]` nested init-captures are skipped by
+      // the '[' guard.
+      size_t target = i - 1;
+      if (target > body_begin && tokens[target - 1].text == "[") continue;
+      const std::string* name = shared_root(target);
+      if (name == nullptr) continue;
+      findings->push_back(
+          {path, t.line, kRuleParallelMutation, Severity::kError,
+           "lambda passed to ParallelFor assigns captured '" + *name +
+               "' without per-index/per-slot indexing; write into a "
+               "per-slot element (e.g. out[i]) or reduce after the join",
+           false});
+    } else if (t.IsIdent() && kGrowers.count(t.text) != 0 && i >= 2 &&
+               (tokens[i - 1].text == "." || tokens[i - 1].text == "->") &&
+               i + 1 < body_end && tokens[i + 1].text == "(") {
+      const std::string* name = shared_root(i);
+      if (name == nullptr) continue;
+      findings->push_back(
+          {path, t.line, kRuleParallelMutation, Severity::kError,
+           "lambda passed to ParallelFor grows captured container '" + *name +
+               "'; containers are not thread-safe — collect per-block and "
+               "merge in deterministic order",
+           false});
+    }
+  }
+}
+
+void CheckParallelForMutation(const std::string& path,
+                              const std::vector<Token>& tokens,
+                              std::vector<Finding>* findings) {
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (!tokens[i].IsIdent() ||
+        (tokens[i].text != "ParallelFor" &&
+         tokens[i].text != "ParallelForTasks" &&
+         tokens[i].text != "ParallelForBlocked")) {
+      continue;
+    }
+    if (i + 1 >= tokens.size() || tokens[i + 1].text != "(") continue;
+    size_t call_close = MatchingClose(tokens, i + 1);
+    if (call_close == tokens.size()) continue;
+    // Find the lambda argument: first '[' inside the call.
+    size_t lb = i + 2;
+    while (lb < call_close && tokens[lb].text != "[") ++lb;
+    if (lb >= call_close) continue;
+    size_t cap_close = MatchingClose(tokens, lb);
+    if (cap_close >= call_close) continue;
+    CaptureInfo captures = ParseCaptureList(tokens, lb, cap_close);
+    if (!captures.AnythingShared()) continue;
+    // Parameter list, then body braces.
+    size_t params_open = cap_close + 1;
+    if (params_open >= call_close || tokens[params_open].text != "(") continue;
+    size_t params_close = MatchingClose(tokens, params_open);
+    if (params_close >= call_close) continue;
+    size_t body_open = params_close + 1;
+    while (body_open < call_close && tokens[body_open].text != "{") {
+      ++body_open;
+    }
+    if (body_open >= call_close) continue;
+    size_t body_close = MatchingClose(tokens, body_open);
+    if (body_close > call_close) continue;
+
+    std::set<std::string> locals =
+        CollectLocalNames(tokens, params_open + 1, body_close);
+    CheckLambdaBody(path, tokens, body_open + 1, body_close, locals, captures,
+                    findings);
+  }
+}
+
+// --- Rule: eigenvector use without a convergence check ----------------------
+
+// A Lanczos basis that did not converge is not an eigenbasis; consuming
+// EigenResult.eigenvectors while never looking at `converged` (or at
+// `max_residual`) anywhere in the file is how the historical silent-accept
+// bug slipped in. The solver internals under src/linalg/ legitimately
+// assemble those fields and are exempt.
+void CheckUncheckedEigenConvergence(const std::string& path,
+                                    const std::vector<Token>& tokens,
+                                    std::vector<Finding>* findings) {
+  if (PathHasPrefix(path, "src/linalg/")) return;
+  for (const Token& t : tokens) {
+    if (t.IsIdent() && (t.text == "converged" || t.text == "max_residual")) {
+      return;  // the file consults convergence somewhere
+    }
+  }
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    if (!tokens[i].IsIdent() || tokens[i].text != "eigenvectors") continue;
+    if (tokens[i - 1].text != "." && tokens[i - 1].text != "->") continue;
+    findings->push_back(
+        {path, tokens[i].line, kRuleUncheckedEigen, Severity::kError,
+         "EigenResult eigenvectors consumed without consulting 'converged' "
+         "anywhere in this file; check it (or route through "
+         "ExtremeEigenvectors, which runs the fallback ladder)",
+         false});
+  }
+}
+
+// --- Rule: raw file writes in library code ----------------------------------
+
+// Every artifact the library persists must go through AtomicFileWriter /
+// WriteArtifact (temp file + fsync + rename + checksum envelope). A raw
+// std::ofstream — or fopen in any mode — can leave a torn, unverifiable
+// file behind on crash or ENOSPC. Only the durable-io layer itself may
+// open files directly.
+void CheckRawOfstream(const std::string& path,
+                      const std::vector<Token>& tokens,
+                      std::vector<Finding>* findings) {
+  if (!PathHasPrefix(path, "src/")) return;
+  if (PathIsOneOf(path,
+                  {"src/common/durable_io.cc", "src/common/durable_io.h"})) {
+    return;
+  }
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (!tokens[i].IsIdent()) continue;
+    const std::string& t = tokens[i].text;
+    if (t == "ofstream" || t == "FileOutputStream") {
+      findings->push_back(
+          {path, tokens[i].line, kRuleRawOfstream, Severity::kError,
+           "raw " + t +
+               " in library code bypasses the crash-safe write path; use "
+               "AtomicFileWriter or WriteArtifact from common/durable_io.h",
+           false});
+    } else if (t == "fopen" && i + 1 < tokens.size() &&
+               tokens[i + 1].text == "(") {
+      findings->push_back(
+          {path, tokens[i].line, kRuleRawOfstream, Severity::kError,
+           "fopen() in library code; route writes through AtomicFileWriter "
+           "and reads through ReadFileBytes (common/durable_io.h)",
+           false});
+    }
+  }
+}
+
+// --- Rule: headers must have an include guard --------------------------------
+
+void CheckIncludeGuard(const std::string& path, const LexedSource& lexed,
+                       std::vector<Finding>* findings) {
+  if (!PathIsHeader(path)) return;
+  if (lexed.has_pragma_once || lexed.has_include_guard) return;
+  findings->push_back(
+      {path, 1, kRuleMissingGuard, Severity::kError,
+       "header has neither a classic #ifndef/#define include guard nor "
+       "#pragma once",
+       false});
+}
+
+// --- Rule: header self-containment (std symbols) -----------------------------
+
+// Map from std:: member to the standard header that declares it. The map is
+// deliberately restricted to symbols with exactly one canonical provider so
+// the rule cannot produce arguments, only findings.
+const std::map<std::string, std::string>& StdSymbolHeaders() {
+  static const std::map<std::string, std::string> kMap = {
+      {"string", "string"},
+      {"string_view", "string_view"},
+      {"vector", "vector"},
+      {"set", "set"},
+      {"multiset", "set"},
+      {"map", "map"},
+      {"multimap", "map"},
+      {"unordered_map", "unordered_map"},
+      {"unordered_set", "unordered_set"},
+      {"deque", "deque"},
+      {"array", "array"},
+      {"tuple", "tuple"},
+      {"pair", "utility"},
+      {"move", "utility"},
+      {"forward", "utility"},
+      {"swap", "utility"},
+      {"function", "functional"},
+      {"optional", "optional"},
+      {"unique_ptr", "memory"},
+      {"shared_ptr", "memory"},
+      {"make_unique", "memory"},
+      {"make_shared", "memory"},
+      {"atomic", "atomic"},
+      {"mutex", "mutex"},
+      {"lock_guard", "mutex"},
+      {"unique_lock", "mutex"},
+      {"thread", "thread"},
+      {"condition_variable", "condition_variable"},
+      {"int8_t", "cstdint"},
+      {"uint8_t", "cstdint"},
+      {"int16_t", "cstdint"},
+      {"uint16_t", "cstdint"},
+      {"int32_t", "cstdint"},
+      {"uint32_t", "cstdint"},
+      {"int64_t", "cstdint"},
+      {"uint64_t", "cstdint"},
+      {"size_t", "cstddef"},
+  };
+  return kMap;
+}
+
+void CheckHeaderSelfContainment(const std::string& path,
+                                const LexedSource& lexed,
+                                std::vector<Finding>* findings) {
+  if (!PathIsHeader(path)) return;
+  if (!PathHasPrefix(path, "src/") && !PathHasPrefix(path, "tools/")) return;
+  std::set<std::string> angled;
+  for (const IncludeDirective& inc : lexed.includes) {
+    if (inc.angled) angled.insert(inc.target);
+  }
+  // header -> (line of first use, symbol first used)
+  std::map<std::string, std::pair<int, std::string>> missing;
+  const std::vector<Token>& tokens = lexed.tokens;
+  for (size_t i = 0; i + 2 < tokens.size(); ++i) {
+    if (!tokens[i].IsIdent() || tokens[i].text != "std") continue;
+    if (tokens[i + 1].text != "::" || !tokens[i + 2].IsIdent()) continue;
+    auto it = StdSymbolHeaders().find(tokens[i + 2].text);
+    if (it == StdSymbolHeaders().end()) continue;
+    if (angled.count(it->second) != 0) continue;
+    missing.emplace(it->second,
+                    std::make_pair(tokens[i + 2].line, tokens[i + 2].text));
+  }
+  for (const auto& [header, use] : missing) {
+    findings->push_back(
+        {path, use.first, kRuleSelfContainment, Severity::kWarning,
+         "header uses std::" + use.second + " but does not include <" +
+             header + "> itself; a header must compile standalone",
+         false});
+  }
+}
+
+}  // namespace
+
+const char* SeverityName(Severity s) {
+  return s == Severity::kError ? "error" : "warning";
+}
+
+std::string Finding::ToString() const {
+  return StrPrintf("%s:%d: [%s] %s", file.c_str(), line, rule.c_str(),
+                   message.c_str());
+}
+
+const std::vector<RuleInfo>& RuleCatalog() {
+  static const std::vector<RuleInfo> kCatalog = {
+      {"banned-nondeterminism", Severity::kError,
+       "rand()/srand()/std::random_device/wall-clock seeding outside "
+       "src/common/rng"},
+      {"print-in-library", Severity::kError,
+       "printf-family or std::cout/cerr/clog under src/ (use RP_LOG)"},
+      {"discarded-status", Severity::kError,
+       "Status/Result-returning call used as a bare expression statement"},
+      {"parallelfor-shared-mutation", Severity::kError,
+       "lambda passed to ParallelFor* writes a by-reference capture without "
+       "per-index/per-slot indexing"},
+      {"unchecked-eigen-convergence", Severity::kError,
+       "EigenResult.eigenvectors consumed in a file that never consults "
+       "'converged' or 'max_residual'"},
+      {"raw-ofstream-write", Severity::kError,
+       "std::ofstream/fopen under src/ outside common/durable_io"},
+      {"missing-include-guard", Severity::kError,
+       "header lacks both #ifndef/#define guard and #pragma once"},
+      {"header-self-containment", Severity::kWarning,
+       "header uses a std:: symbol without including its standard header"},
+      {"include-of-cc", Severity::kError,
+       "#include of a .cc file"},
+      {"layering-violation", Severity::kError,
+       "include edge not allowed by the layering DAG "
+       "(tools/analyze/layers.txt)"},
+      {"include-cycle", Severity::kError,
+       "cyclic project include chain"},
+      {"undeclared-module", Severity::kError,
+       "module not declared in the layering DAG (tools/analyze/layers.txt)"},
+  };
+  return kCatalog;
+}
+
+Severity RuleSeverity(const std::string& rule) {
+  for (const RuleInfo& info : RuleCatalog()) {
+    if (rule == info.id) return info.severity;
+  }
+  return Severity::kError;
+}
+
+std::vector<Finding> CheckFile(const std::string& path,
+                               const LexedSource& lexed,
+                               const FileCheckOptions& options) {
+  std::string norm = path;
+  std::replace(norm.begin(), norm.end(), '\\', '/');
+  std::set<std::string> status_fns(options.status_function_names.begin(),
+                                   options.status_function_names.end());
+  std::vector<Finding> findings;
+  CheckNondeterminism(norm, lexed.tokens, &findings);
+  CheckLibraryPrints(norm, lexed.tokens, &findings);
+  CheckDiscardedStatus(norm, lexed.tokens, status_fns, &findings);
+  CheckParallelForMutation(norm, lexed.tokens, &findings);
+  CheckUncheckedEigenConvergence(norm, lexed.tokens, &findings);
+  CheckRawOfstream(norm, lexed.tokens, &findings);
+  CheckIncludeGuard(norm, lexed, &findings);
+  CheckHeaderSelfContainment(norm, lexed, &findings);
+
+  findings.erase(std::remove_if(findings.begin(), findings.end(),
+                                [&](const Finding& f) {
+                                  return lexed.LineAllowed(f.rule, f.line);
+                                }),
+                 findings.end());
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
+            });
+  return findings;
+}
+
+std::vector<std::string> CollectStatusFunctionNames(const LexedSource& lexed) {
+  const std::vector<Token>& tokens = lexed.tokens;
+  std::vector<std::string> names;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (!tokens[i].IsIdent()) continue;
+    size_t name_idx = 0;
+    if (tokens[i].text == "Status" && i + 2 < tokens.size() &&
+        tokens[i + 1].IsIdent() && tokens[i + 2].text == "(") {
+      name_idx = i + 1;
+    } else if (tokens[i].text == "Result" && i + 1 < tokens.size() &&
+               tokens[i + 1].text == "<") {
+      // Skip the template argument list; ">>" closes two levels.
+      int depth = 0;
+      size_t j = i + 1;
+      for (; j < tokens.size(); ++j) {
+        if (tokens[j].text == "<") ++depth;
+        if (tokens[j].text == ">") --depth;
+        if (tokens[j].text == ">>") depth -= 2;
+        if (depth <= 0 && j > i + 1) break;
+      }
+      if (j + 2 < tokens.size() && tokens[j + 1].IsIdent() &&
+          tokens[j + 2].text == "(") {
+        name_idx = j + 1;
+      }
+    }
+    if (name_idx != 0) names.push_back(tokens[name_idx].text);
+  }
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+}  // namespace analyze
+}  // namespace roadpart

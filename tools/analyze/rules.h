@@ -1,0 +1,66 @@
+#ifndef ROADPART_TOOLS_ANALYZE_RULES_H_
+#define ROADPART_TOOLS_ANALYZE_RULES_H_
+
+#include <string>
+#include <vector>
+
+#include "tools/analyze/lexer.h"
+
+namespace roadpart {
+namespace analyze {
+
+/// Severity tiers. Both tiers fail the build when non-baselined; the tier
+/// is triage metadata (errors are correctness/architecture violations,
+/// warnings are hygiene debt that may be baselined while being paid down).
+enum class Severity { kError, kWarning };
+
+const char* SeverityName(Severity s);
+
+/// One rule violation at a source location.
+struct Finding {
+  std::string file;     ///< repo-relative path, '/' separators
+  int line = 0;         ///< 1-based
+  std::string rule;     ///< stable rule id from the catalog
+  Severity severity = Severity::kError;
+  std::string message;  ///< human-readable explanation
+  bool baselined = false;
+
+  std::string ToString() const;
+};
+
+/// Catalog entry for one rule: the id is stable across releases (baselines
+/// and suppressions reference it).
+struct RuleInfo {
+  const char* id;
+  Severity severity;
+  const char* summary;
+};
+
+/// Every rule rp_analyze knows, in catalog order.
+const std::vector<RuleInfo>& RuleCatalog();
+
+/// Severity of `rule` (error for unknown ids).
+Severity RuleSeverity(const std::string& rule);
+
+struct FileCheckOptions {
+  /// Names of Status/Result-returning functions for the discarded-status
+  /// rule (collected from headers via CollectStatusFunctionNames).
+  std::vector<std::string> status_function_names;
+};
+
+/// Runs every per-file (token-level) rule on one lexed translation unit.
+/// `path` is interpreted relative to the repo root with '/' separators and
+/// determines which rules apply. Findings suppressed by inline
+/// `// rp-analyze: allow(rule)` comments are already removed; results are
+/// sorted by (line, rule).
+std::vector<Finding> CheckFile(const std::string& path,
+                               const LexedSource& lexed,
+                               const FileCheckOptions& options);
+
+/// Scans a lexed header for declarations returning Status or Result<T>.
+std::vector<std::string> CollectStatusFunctionNames(const LexedSource& lexed);
+
+}  // namespace analyze
+}  // namespace roadpart
+
+#endif  // ROADPART_TOOLS_ANALYZE_RULES_H_

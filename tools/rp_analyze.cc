@@ -1,0 +1,160 @@
+// rp_analyze: token-level static analyzer for the roadpart tree.
+//
+// Subsumes the old regex-era rp_lint: a real lexer (comments, string/char/
+// raw-string literals, preprocessor continuations) feeds token-aware project
+// rules, an include-graph pass enforces the declared layering DAG
+// (tools/analyze/layers.txt), and a capture-list-aware pass audits
+// ParallelFor/ParallelForTasks lambdas for non-per-slot writes to
+// by-reference captures. See tools/analyze/rules.h for the rule catalog and
+// DESIGN.md "Static analysis architecture" for semantics.
+//
+// Usage:
+//   rp_analyze [--root <repo_root>] [--format=text|json]
+//              [--layers <file>|--no-layers] [--baseline <file>]
+//              [--no-include-graph] [--list-rules] [<dir-or-file>...]
+//
+// With no targets, scans src/ tools/ bench/ tests/ under the root. Layers
+// and baseline default to tools/analyze/{layers.txt,baseline.txt} under the
+// root when those files exist.
+//
+// Exit codes: 0 clean (only baselined findings), 1 new findings, 2 usage or
+// I/O error. Registered as a ctest (`ctest -R rp_analyze`) and run by
+// scripts/check.sh, which archives the JSON report.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "tools/analyze/analyzer.h"
+
+namespace {
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: rp_analyze [--root <repo_root>] [--format=text|json]\n"
+      "                  [--layers <file>|--no-layers] [--baseline <file>]\n"
+      "                  [--no-include-graph] [--list-rules]\n"
+      "                  [<dir-or-file>...]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  using roadpart::analyze::AnalyzeOptions;
+  using roadpart::analyze::AnalyzeReport;
+  using roadpart::analyze::RuleCatalog;
+  using roadpart::analyze::RuleInfo;
+  using roadpart::analyze::SeverityName;
+
+  std::string root = ".";
+  std::string format = "text";
+  std::string layers;
+  std::string baseline;
+  bool no_layers = false;
+  bool include_graph = true;
+  bool list_rules = false;
+  std::vector<std::string> targets;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto needs_value = [&](const char* flag) -> bool {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "rp_analyze: %s needs a value\n", flag);
+        return false;
+      }
+      return true;
+    };
+    if (arg == "--root") {
+      if (!needs_value("--root")) return 2;
+      root = argv[++i];
+    } else if (arg == "--layers") {
+      if (!needs_value("--layers")) return 2;
+      layers = argv[++i];
+    } else if (arg == "--baseline") {
+      if (!needs_value("--baseline")) return 2;
+      baseline = argv[++i];
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+    } else if (arg == "--format") {
+      if (!needs_value("--format")) return 2;
+      format = argv[++i];
+    } else if (arg == "--no-layers") {
+      no_layers = true;
+    } else if (arg == "--no-include-graph") {
+      include_graph = false;
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 2;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "rp_analyze: unknown flag %s\n", arg.c_str());
+      PrintUsage();
+      return 2;
+    } else {
+      targets.push_back(std::move(arg));
+    }
+  }
+  if (format != "text" && format != "json") {
+    std::fprintf(stderr, "rp_analyze: --format must be text or json\n");
+    return 2;
+  }
+
+  if (list_rules) {
+    for (const RuleInfo& info : RuleCatalog()) {
+      std::printf("%-28s %-7s %s\n", info.id, SeverityName(info.severity),
+                  info.summary);
+    }
+    return 0;
+  }
+
+  if (targets.empty()) {
+    for (const char* sub : {"src", "tools", "bench", "tests"}) {
+      fs::path p = fs::path(root) / sub;
+      std::error_code ec;
+      if (fs::is_directory(p, ec)) targets.push_back(p.string());
+    }
+    if (targets.empty()) {
+      std::fprintf(stderr, "rp_analyze: no targets under root %s\n",
+                   root.c_str());
+      return 2;
+    }
+  }
+
+  AnalyzeOptions options;
+  options.include_graph = include_graph;
+  std::error_code ec;
+  if (!no_layers) {
+    fs::path p = layers.empty()
+                     ? fs::path(root) / "tools" / "analyze" / "layers.txt"
+                     : fs::path(layers);
+    if (!layers.empty() || fs::is_regular_file(p, ec)) {
+      options.layers_file = p.string();
+    }
+  }
+  {
+    fs::path p = baseline.empty()
+                     ? fs::path(root) / "tools" / "analyze" / "baseline.txt"
+                     : fs::path(baseline);
+    if (!baseline.empty() || fs::is_regular_file(p, ec)) {
+      options.baseline_file = p.string();
+    }
+  }
+
+  auto result = roadpart::analyze::AnalyzeTree(root, targets, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "rp_analyze: %s\n",
+                 result.status().ToString().c_str());
+    return 2;
+  }
+  const AnalyzeReport& report = *result;
+  if (format == "json") {
+    std::fputs(roadpart::analyze::FormatJson(report).c_str(), stdout);
+  } else {
+    std::fputs(roadpart::analyze::FormatText(report).c_str(), stdout);
+  }
+  return report.new_count > 0 ? 1 : 0;
+}

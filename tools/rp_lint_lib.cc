@@ -1,436 +1,44 @@
+// Compatibility shim: the rp_lint rule engine now lives in tools/analyze/
+// (see rules.cc for the token-aware reimplementations). This translation
+// unit keeps the original rp_lint_lib API — used by tests/rp_lint_test.cc
+// and any older tooling — delegating to the analyzer and filtering to the
+// legacy rule set.
+
 #include "tools/rp_lint_lib.h"
 
 #include <algorithm>
-#include <cctype>
-#include <filesystem>
-#include <fstream>
 #include <set>
-#include <sstream>
-#include <utility>
 
 #include "common/string_util.h"
+#include "tools/analyze/analyzer.h"
+#include "tools/analyze/lexer.h"
+#include "tools/analyze/rules.h"
 
 namespace roadpart {
 namespace lint {
 
 namespace {
 
-// The banned spellings are assembled from adjacent string literals so that
-// this file itself (which the linter scans) never contains them verbatim in
-// code position; StripCommentsAndStrings removes them anyway, but belt and
-// braces costs nothing here.
-const char kRuleNondeterminism[] = "banned-nondeterminism";
-const char kRulePrint[] = "print-in-library";
-const char kRuleDiscardedStatus[] = "discarded-status";
-const char kRuleParallelMutation[] = "parallelfor-shared-mutation";
-const char kRuleUncheckedEigen[] = "unchecked-eigen-convergence";
-const char kRuleRawOfstream[] = "raw-ofstream-write";
-
-struct Token {
-  std::string text;
-  int line = 0;
-  bool is_ident = false;
-};
-
-bool IsIdentStart(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
-}
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-std::vector<Token> Tokenize(const std::string& text) {
-  static const char* kMultiChar[] = {
-      "<<=", ">>=", "->*", "...", "::", "->", "++", "--", "+=", "-=",
-      "*=",  "/=",  "%=",  "&=",  "|=", "^=", "<<", ">>", "==", "!=",
-      "<=",  ">=",  "&&",  "||",
+// The rules rp_lint historically enforced; the shim reports only these so
+// callers see exactly the old contract (rp_analyze adds the header and
+// include-graph rules on top).
+const std::set<std::string>& LegacyRules() {
+  static const std::set<std::string> kRules = {
+      "banned-nondeterminism",     "print-in-library",
+      "discarded-status",          "parallelfor-shared-mutation",
+      "unchecked-eigen-convergence", "raw-ofstream-write",
   };
-  std::vector<Token> out;
-  int line = 1;
-  size_t i = 0;
-  while (i < text.size()) {
-    char c = text[i];
-    if (c == '\n') {
-      ++line;
-      ++i;
-      continue;
-    }
-    if (std::isspace(static_cast<unsigned char>(c))) {
-      ++i;
-      continue;
-    }
-    if (IsIdentStart(c)) {
-      size_t j = i + 1;
-      while (j < text.size() && IsIdentChar(text[j])) ++j;
-      out.push_back({text.substr(i, j - i), line, true});
-      i = j;
-      continue;
-    }
-    if (std::isdigit(static_cast<unsigned char>(c))) {
-      size_t j = i + 1;
-      while (j < text.size() &&
-             (IsIdentChar(text[j]) || text[j] == '.' || text[j] == '\'')) {
-        ++j;
-      }
-      out.push_back({text.substr(i, j - i), line, false});
-      i = j;
-      continue;
-    }
-    bool matched = false;
-    for (const char* op : kMultiChar) {
-      size_t len = std::char_traits<char>::length(op);
-      if (text.compare(i, len, op) == 0) {
-        out.push_back({op, line, false});
-        i += len;
-        matched = true;
-        break;
-      }
-    }
-    if (matched) continue;
-    out.push_back({std::string(1, c), line, false});
-    ++i;
+  return kRules;
+}
+
+std::vector<LintFinding> ToLintFindings(
+    const std::vector<analyze::Finding>& findings) {
+  std::vector<LintFinding> out;
+  for (const analyze::Finding& f : findings) {
+    if (LegacyRules().count(f.rule) == 0) continue;
+    out.push_back({f.file, f.line, f.rule, f.message});
   }
   return out;
-}
-
-bool PathHasPrefix(const std::string& path, const std::string& prefix) {
-  return path.size() >= prefix.size() &&
-         path.compare(0, prefix.size(), prefix) == 0;
-}
-
-bool PathIsOneOf(const std::string& path,
-                 std::initializer_list<const char*> candidates) {
-  return std::any_of(candidates.begin(), candidates.end(),
-                     [&](const char* c) { return path == c; });
-}
-
-// Index of the token matching the opener at `open` ('(' <-> ')',
-// '{' <-> '}', '[' <-> ']'), or tokens.size() when unbalanced.
-size_t MatchingClose(const std::vector<Token>& tokens, size_t open) {
-  const std::string& o = tokens[open].text;
-  std::string close = o == "(" ? ")" : o == "{" ? "}" : "]";
-  int depth = 0;
-  for (size_t i = open; i < tokens.size(); ++i) {
-    if (tokens[i].text == o) ++depth;
-    if (tokens[i].text == close && --depth == 0) return i;
-  }
-  return tokens.size();
-}
-
-// --- Rule: banned nondeterminism -------------------------------------------
-
-void CheckNondeterminism(const std::string& path,
-                         const std::vector<Token>& tokens,
-                         std::vector<LintFinding>* findings) {
-  if (PathIsOneOf(path, {"src/common/rng.h", "src/common/rng.cc"})) return;
-  const std::string fn_rand = std::string("ra") + "nd";
-  const std::string fn_srand = std::string("sra") + "nd";
-  const std::string fn_device = std::string("random_") + "device";
-  for (size_t i = 0; i < tokens.size(); ++i) {
-    if (!tokens[i].is_ident) continue;
-    const std::string& t = tokens[i].text;
-    bool call = i + 1 < tokens.size() && tokens[i + 1].text == "(";
-    if ((t == fn_rand || t == fn_srand) && call) {
-      findings->push_back({path, tokens[i].line, kRuleNondeterminism,
-                           t + "() is banned; take an explicit roadpart::Rng"});
-    } else if (t == fn_device) {
-      findings->push_back(
-          {path, tokens[i].line, kRuleNondeterminism,
-           "std::" + fn_device +
-               " is banned outside src/common/rng; seed an Rng instead"});
-    } else if (t == "time" && call && i + 3 < tokens.size() &&
-               (tokens[i + 2].text == "nullptr" || tokens[i + 2].text == "NULL" ||
-                tokens[i + 2].text == "0") &&
-               tokens[i + 3].text == ")") {
-      findings->push_back({path, tokens[i].line, kRuleNondeterminism,
-                           "wall-clock seeding (time(" + tokens[i + 2].text +
-                               ")) is banned; use a fixed or flag-provided "
-                               "seed"});
-    }
-  }
-}
-
-// --- Rule: stdout/stderr prints in library code -----------------------------
-
-void CheckLibraryPrints(const std::string& path,
-                        const std::vector<Token>& tokens,
-                        std::vector<LintFinding>* findings) {
-  if (!PathHasPrefix(path, "src/")) return;
-  // The logging/contract sinks themselves must write somewhere.
-  if (PathIsOneOf(path, {"src/common/logging.cc", "src/common/status.cc",
-                         "src/common/check.cc"})) {
-    return;
-  }
-  static const std::set<std::string> kPrintFns = {"printf", "fprintf", "puts",
-                                                  "fputs", "vprintf",
-                                                  "vfprintf"};
-  static const std::set<std::string> kStreams = {"cout", "cerr", "clog"};
-  for (size_t i = 0; i < tokens.size(); ++i) {
-    if (!tokens[i].is_ident) continue;
-    const std::string& t = tokens[i].text;
-    if (kPrintFns.count(t) != 0 && i + 1 < tokens.size() &&
-        tokens[i + 1].text == "(") {
-      findings->push_back({path, tokens[i].line, kRulePrint,
-                           t + "() in library code; use RP_LOG instead"});
-    } else if (kStreams.count(t) != 0 && i > 0 && tokens[i - 1].text == "::") {
-      findings->push_back({path, tokens[i].line, kRulePrint,
-                           "std::" + t +
-                               " in library code; use RP_LOG instead"});
-    }
-  }
-}
-
-// --- Rule: discarded Status/Result calls ------------------------------------
-
-void CheckDiscardedStatus(const std::string& path,
-                          const std::vector<Token>& tokens,
-                          const std::set<std::string>& status_fns,
-                          std::vector<LintFinding>* findings) {
-  for (size_t i = 0; i < tokens.size(); ++i) {
-    if (!tokens[i].is_ident || status_fns.count(tokens[i].text) == 0) continue;
-    if (i + 1 >= tokens.size() || tokens[i + 1].text != "(") continue;
-    // Walk back over a qualification / member chain (a.b->Ns::Name) to find
-    // what precedes the whole statement candidate.
-    size_t j = i;
-    while (j >= 2 &&
-           (tokens[j - 1].text == "." || tokens[j - 1].text == "->" ||
-            tokens[j - 1].text == "::") &&
-           tokens[j - 2].is_ident) {
-      j -= 2;
-    }
-    if (j > 0) {
-      const std::string& prev = tokens[j - 1].text;
-      if (prev != ";" && prev != "{" && prev != "}") continue;
-    }
-    size_t close = MatchingClose(tokens, i + 1);
-    if (close + 1 >= tokens.size() || tokens[close + 1].text != ";") continue;
-    findings->push_back(
-        {path, tokens[i].line, kRuleDiscardedStatus,
-         "result of Status/Result-returning call " + tokens[i].text +
-             "() is discarded; handle it, RP_CHECK_OK it, or cast to void"});
-  }
-}
-
-// --- Rule: shared mutation inside ParallelFor lambdas -----------------------
-
-// Identifiers that look like declaration prefixes but are not type names.
-const std::set<std::string>& NonTypeKeywords() {
-  static const std::set<std::string> kWords = {
-      "break",  "case",     "class",  "const",  "constexpr", "continue",
-      "delete", "do",       "else",   "enum",   "goto",      "new",
-      "return", "sizeof",   "static", "struct", "operator",  "typename",
-      "using",  "namespace"};
-  return kWords;
-}
-
-// Collects names declared inside the token range [begin, end): lambda
-// parameters and body-local variables, recognized by `Type name`,
-// `Type& name`, `Type* name` and `...> name` shapes.
-std::set<std::string> CollectLocalNames(const std::vector<Token>& tokens,
-                                        size_t begin, size_t end) {
-  std::set<std::string> locals;
-  for (size_t i = begin; i < end; ++i) {
-    if (!tokens[i].is_ident || NonTypeKeywords().count(tokens[i].text) != 0) {
-      continue;
-    }
-    if (i == 0) continue;
-    const Token& p = tokens[i - 1];
-    bool declared = false;
-    if (p.is_ident && NonTypeKeywords().count(p.text) == 0) {
-      // `Type name` (builtin or user type).
-      declared = true;
-    } else if (p.text == ">") {
-      // `std::vector<int> name`.
-      declared = true;
-    } else if ((p.text == "&" || p.text == "*") && i >= 2) {
-      const Token& pp = tokens[i - 2];
-      declared = (pp.is_ident && NonTypeKeywords().count(pp.text) == 0) ||
-                 pp.text == ">";
-    }
-    if (declared) locals.insert(tokens[i].text);
-  }
-  return locals;
-}
-
-// Walks a member chain ending at index `last` (e.g. a.b.c with last on c)
-// back to its root identifier index, or SIZE_MAX when the chain does not
-// start at a plain identifier (indexed/call roots are treated as safe).
-size_t ChainRoot(const std::vector<Token>& tokens, size_t last) {
-  size_t j = last;
-  while (j >= 2 &&
-         (tokens[j - 1].text == "." || tokens[j - 1].text == "->") ) {
-    if (!tokens[j - 2].is_ident) return static_cast<size_t>(-1);
-    j -= 2;
-  }
-  return j;
-}
-
-void CheckLambdaBody(const std::string& path, const std::vector<Token>& tokens,
-                     size_t body_begin, size_t body_end,
-                     const std::set<std::string>& locals,
-                     std::vector<LintFinding>* findings) {
-  static const std::set<std::string> kCompound = {
-      "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=", "++",
-      "--"};
-  static const std::set<std::string> kGrowers = {"push_back", "emplace_back",
-                                                 "insert", "emplace"};
-  for (size_t i = body_begin; i < body_end; ++i) {
-    const Token& t = tokens[i];
-    if (kCompound.count(t.text) != 0) {
-      // Identify the assignment target: token before the operator (post
-      // forms) or after it (pre-increment).
-      size_t target = static_cast<size_t>(-1);
-      if (i > body_begin && tokens[i - 1].is_ident) {
-        target = i - 1;
-      } else if ((t.text == "++" || t.text == "--") && i + 1 < body_end &&
-                 tokens[i + 1].is_ident) {
-        target = i + 1;
-      }
-      if (target == static_cast<size_t>(-1)) continue;  // x[i] += / (..) +=
-      size_t root = ChainRoot(tokens, target);
-      if (root == static_cast<size_t>(-1)) continue;
-      const std::string& name = tokens[root].text;
-      if (locals.count(name) != 0) continue;
-      findings->push_back(
-          {path, t.line, kRuleParallelMutation,
-           "lambda passed to ParallelFor mutates captured '" + name +
-               "' without per-index isolation; use ParallelBlockedSum/"
-               "ParallelBlockedReduce for accumulation"});
-    } else if (t.is_ident && kGrowers.count(t.text) != 0 && i >= 2 &&
-               (tokens[i - 1].text == "." || tokens[i - 1].text == "->") &&
-               i + 1 < body_end && tokens[i + 1].text == "(") {
-      size_t root = ChainRoot(tokens, i);
-      if (root == static_cast<size_t>(-1)) continue;
-      const std::string& name = tokens[root].text;
-      if (locals.count(name) != 0) continue;
-      findings->push_back(
-          {path, t.line, kRuleParallelMutation,
-           "lambda passed to ParallelFor grows captured container '" + name +
-               "'; containers are not thread-safe — collect per-block and "
-               "merge in deterministic order"});
-    }
-  }
-}
-
-void CheckParallelForMutation(const std::string& path,
-                              const std::vector<Token>& tokens,
-                              std::vector<LintFinding>* findings) {
-  for (size_t i = 0; i < tokens.size(); ++i) {
-    if (!tokens[i].is_ident ||
-        (tokens[i].text != "ParallelFor" &&
-         tokens[i].text != "ParallelForTasks" &&
-         tokens[i].text != "ParallelForBlocked")) {
-      continue;
-    }
-    if (i + 1 >= tokens.size() || tokens[i + 1].text != "(") continue;
-    size_t call_close = MatchingClose(tokens, i + 1);
-    if (call_close == tokens.size()) continue;
-    // Find the lambda argument: first '[' inside the call.
-    size_t lb = i + 2;
-    while (lb < call_close && tokens[lb].text != "[") ++lb;
-    if (lb >= call_close) continue;
-    size_t cap_close = MatchingClose(tokens, lb);
-    if (cap_close >= call_close) continue;
-    bool by_ref = false;
-    for (size_t c = lb + 1; c < cap_close; ++c) {
-      if (tokens[c].text == "&") by_ref = true;
-    }
-    if (!by_ref) continue;
-    // Parameter list, then body braces.
-    size_t params_open = cap_close + 1;
-    if (params_open >= call_close || tokens[params_open].text != "(") continue;
-    size_t params_close = MatchingClose(tokens, params_open);
-    if (params_close >= call_close) continue;
-    size_t body_open = params_close + 1;
-    while (body_open < call_close && tokens[body_open].text != "{") ++body_open;
-    if (body_open >= call_close) continue;
-    size_t body_close = MatchingClose(tokens, body_open);
-    if (body_close > call_close) continue;
-
-    std::set<std::string> locals =
-        CollectLocalNames(tokens, params_open + 1, body_close);
-    CheckLambdaBody(path, tokens, body_open + 1, body_close, locals, findings);
-  }
-}
-
-// --- Rule: eigenvector use without a convergence check ----------------------
-
-// A Lanczos basis that did not converge is not an eigenbasis; consuming
-// EigenResult.eigenvectors while never looking at `converged` (or at
-// `max_residual`) anywhere in the file is how the historical silent-accept
-// bug slipped in. The solver internals under src/linalg/ legitimately
-// assemble those fields and are exempt.
-void CheckUncheckedEigenConvergence(const std::string& path,
-                                    const std::vector<Token>& tokens,
-                                    std::vector<LintFinding>* findings) {
-  if (PathHasPrefix(path, "src/linalg/")) return;
-  for (const Token& t : tokens) {
-    if (t.is_ident && (t.text == "converged" || t.text == "max_residual")) {
-      return;  // the file consults convergence somewhere
-    }
-  }
-  for (size_t i = 1; i < tokens.size(); ++i) {
-    if (!tokens[i].is_ident || tokens[i].text != "eigenvectors") continue;
-    if (tokens[i - 1].text != "." && tokens[i - 1].text != "->") continue;
-    findings->push_back(
-        {path, tokens[i].line, kRuleUncheckedEigen,
-         "EigenResult eigenvectors consumed without consulting 'converged' "
-         "anywhere in this file; check it (or route through "
-         "ExtremeEigenvectors, which runs the fallback ladder)"});
-  }
-}
-
-// --- Rule: raw file writes in library code ----------------------------------
-
-// Every artifact the library persists must go through AtomicFileWriter /
-// WriteArtifact (temp file + fsync + rename + checksum envelope). A raw
-// std::ofstream — or fopen in a writable mode — can leave a torn,
-// unverifiable file behind on crash or ENOSPC. Only the durable-io layer
-// itself may open files for writing.
-void CheckRawOfstream(const std::string& path,
-                      const std::vector<Token>& tokens,
-                      std::vector<LintFinding>* findings) {
-  if (!PathHasPrefix(path, "src/")) return;
-  if (PathIsOneOf(path,
-                  {"src/common/durable_io.cc", "src/common/durable_io.h"})) {
-    return;
-  }
-  for (size_t i = 0; i < tokens.size(); ++i) {
-    if (!tokens[i].is_ident) continue;
-    const std::string& t = tokens[i].text;
-    if (t == "ofstream" || t == "FileOutputStream") {
-      findings->push_back(
-          {path, tokens[i].line, kRuleRawOfstream,
-           "raw " + t +
-               " in library code bypasses the crash-safe write path; use "
-               "AtomicFileWriter or WriteArtifact from common/durable_io.h"});
-    } else if (t == "fopen" && i + 1 < tokens.size() &&
-               tokens[i + 1].text == "(") {
-      // fopen for reading is fine (the durable reader wraps it); flag only
-      // writable modes. The mode literal is blanked by
-      // StripCommentsAndStrings, so inspect call-adjacent source instead:
-      // conservatively flag every fopen outside durable_io and let the read
-      // path live there.
-      findings->push_back(
-          {path, tokens[i].line, kRuleRawOfstream,
-           "fopen() in library code; route writes through AtomicFileWriter "
-           "and reads through ReadFileBytes (common/durable_io.h)"});
-    }
-  }
-}
-
-std::string NormalizeSlashes(std::string path) {
-  std::replace(path.begin(), path.end(), '\\', '/');
-  return path;
-}
-
-Result<std::string> ReadFileToString(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  if (in.bad()) return Status::IOError("read failed for " + path);
-  return std::move(buffer).str();
 }
 
 }  // namespace
@@ -441,174 +49,28 @@ std::string LintFinding::ToString() const {
 }
 
 std::string StripCommentsAndStrings(const std::string& source) {
-  std::string out = source;
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
-  State state = State::kCode;
-  for (size_t i = 0; i < source.size(); ++i) {
-    char c = source[i];
-    char next = i + 1 < source.size() ? source[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          out[i] = ' ';
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          out[i] = ' ';
-        } else if (c == '"') {
-          state = State::kString;  // the quote itself stays
-        } else if (c == '\'') {
-          state = State::kChar;
-        }
-        break;
-      case State::kLineComment:
-        if (c == '\n') {
-          state = State::kCode;
-        } else {
-          out[i] = ' ';
-        }
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          out[i] = ' ';
-          out[i + 1] = ' ';
-          ++i;
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kString:
-      case State::kChar: {
-        char quote = state == State::kString ? '"' : '\'';
-        if (c == '\\' && i + 1 < source.size()) {
-          out[i] = ' ';
-          if (source[i + 1] != '\n') out[i + 1] = ' ';
-          ++i;
-        } else if (c == quote) {
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      }
-    }
-  }
-  return out;
+  return analyze::StripCommentsAndStrings(source);
 }
 
-std::vector<std::string> CollectStatusFunctionNames(const std::string& header) {
-  std::vector<Token> tokens = Tokenize(StripCommentsAndStrings(header));
-  std::vector<std::string> names;
-  for (size_t i = 0; i < tokens.size(); ++i) {
-    if (!tokens[i].is_ident) continue;
-    size_t name_idx = 0;
-    if (tokens[i].text == "Status" && i + 2 < tokens.size() &&
-        tokens[i + 1].is_ident && tokens[i + 2].text == "(") {
-      name_idx = i + 1;
-    } else if (tokens[i].text == "Result" && i + 1 < tokens.size() &&
-               tokens[i + 1].text == "<") {
-      // Skip the template argument list; ">>" closes two levels.
-      int depth = 0;
-      size_t j = i + 1;
-      for (; j < tokens.size(); ++j) {
-        if (tokens[j].text == "<") ++depth;
-        if (tokens[j].text == ">") --depth;
-        if (tokens[j].text == ">>") depth -= 2;
-        if (depth <= 0 && j > i + 1) break;
-      }
-      if (j + 2 < tokens.size() && tokens[j + 1].is_ident &&
-          tokens[j + 2].text == "(") {
-        name_idx = j + 1;
-      }
-    }
-    if (name_idx != 0) names.push_back(tokens[name_idx].text);
-  }
-  std::sort(names.begin(), names.end());
-  names.erase(std::unique(names.begin(), names.end()), names.end());
-  return names;
+std::vector<std::string> CollectStatusFunctionNames(
+    const std::string& header) {
+  return analyze::CollectStatusFunctionNames(analyze::Lex(header));
 }
 
 std::vector<LintFinding> LintSource(
     const std::string& path, const std::string& source,
     const std::vector<std::string>& status_function_names) {
-  const std::string norm = NormalizeSlashes(path);
-  std::vector<Token> tokens = Tokenize(StripCommentsAndStrings(source));
-  std::set<std::string> status_fns(status_function_names.begin(),
-                                   status_function_names.end());
-  std::vector<LintFinding> findings;
-  CheckNondeterminism(norm, tokens, &findings);
-  CheckLibraryPrints(norm, tokens, &findings);
-  CheckDiscardedStatus(norm, tokens, status_fns, &findings);
-  CheckParallelForMutation(norm, tokens, &findings);
-  CheckUncheckedEigenConvergence(norm, tokens, &findings);
-  CheckRawOfstream(norm, tokens, &findings);
-  std::sort(findings.begin(), findings.end(),
-            [](const LintFinding& a, const LintFinding& b) {
-              return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
-            });
-  return findings;
+  return ToLintFindings(
+      analyze::AnalyzeSource(path, source, status_function_names));
 }
 
 Result<std::vector<LintFinding>> LintTree(
     const std::string& repo_root, const std::vector<std::string>& roots) {
-  namespace fs = std::filesystem;
-  std::error_code ec;
-  fs::path root_abs = fs::absolute(fs::path(repo_root), ec);
-  if (ec) return Status::IOError("cannot resolve root " + repo_root);
-
-  std::vector<fs::path> files;
-  for (const std::string& r : roots) {
-    fs::path p(r);
-    if (fs::is_directory(p, ec)) {
-      for (fs::recursive_directory_iterator it(p, ec), end_it;
-           !ec && it != end_it; it.increment(ec)) {
-        if (!it->is_regular_file()) continue;
-        fs::path f = it->path();
-        if (f.extension() == ".cc" || f.extension() == ".h") {
-          files.push_back(f);
-        }
-      }
-      if (ec) return Status::IOError("cannot walk " + r);
-    } else if (fs::is_regular_file(p, ec)) {
-      files.push_back(p);
-    } else {
-      return Status::IOError("no such file or directory: " + r);
-    }
-  }
-  std::sort(files.begin(), files.end());
-
-  auto relative_name = [&](const fs::path& f) {
-    std::error_code rel_ec;
-    fs::path rel = fs::relative(fs::absolute(f, rel_ec), root_abs, rel_ec);
-    std::string name = rel_ec || rel.empty() || *rel.begin() == ".."
-                           ? f.generic_string()
-                           : rel.generic_string();
-    return NormalizeSlashes(name);
-  };
-
-  // Pass 1: the Status/Result name set comes from every header in scope.
-  std::vector<std::string> status_fns;
-  for (const fs::path& f : files) {
-    if (f.extension() != ".h") continue;
-    RP_ASSIGN_OR_RETURN(std::string text, ReadFileToString(f.string()));
-    std::vector<std::string> names = CollectStatusFunctionNames(text);
-    status_fns.insert(status_fns.end(), names.begin(), names.end());
-  }
-  std::sort(status_fns.begin(), status_fns.end());
-  status_fns.erase(std::unique(status_fns.begin(), status_fns.end()),
-                   status_fns.end());
-
-  // Pass 2: lint everything.
-  std::vector<LintFinding> findings;
-  for (const fs::path& f : files) {
-    RP_ASSIGN_OR_RETURN(std::string text, ReadFileToString(f.string()));
-    std::vector<LintFinding> file_findings =
-        LintSource(relative_name(f), text, status_fns);
-    findings.insert(findings.end(), file_findings.begin(),
-                    file_findings.end());
-  }
-  return findings;
+  analyze::AnalyzeOptions options;
+  options.include_graph = false;  // the old linter had no include-graph pass
+  RP_ASSIGN_OR_RETURN(analyze::AnalyzeReport report,
+                      analyze::AnalyzeTree(repo_root, roots, options));
+  return ToLintFindings(report.findings);
 }
 
 }  // namespace lint

@@ -1,6 +1,11 @@
 #ifndef ROADPART_TOOLS_RP_LINT_LIB_H_
 #define ROADPART_TOOLS_RP_LINT_LIB_H_
 
+// Compatibility facade over tools/analyze/ (the token-level analyzer that
+// subsumed rp_lint). New code should use tools/analyze/analyzer.h directly:
+// it adds include-graph layering, header rules, inline suppressions, and
+// baseline support on top of the legacy rule set exposed here.
+
 #include <string>
 #include <vector>
 
