@@ -1,0 +1,255 @@
+// Bench of the serving runtime's resilience machinery (src/serve/runtime.*)
+// on a generated >=50k-segment city network:
+//
+//   - hot snapshot swap: full Reload latency (read + envelope verify +
+//     structural re-validation + pointer swap) for a valid candidate,
+//   - corrupt-candidate rejection: how quickly a byte-flipped candidate is
+//     refused (the window during which the old snapshot is the only one
+//     serving),
+//   - serving under reload churn: a session interleaving query windows with
+//     `!reload` of the SAME snapshot file — the answer fingerprint must
+//     equal the reload-free run's, proving churn changes nothing,
+//   - isolate-policy overhead: clean queries through strict vs isolate
+//     parsing (same answers, so the delta is pure policy bookkeeping),
+//   - shed throughput: how fast a saturated admission controller turns
+//     query lines into `shed` answers.
+//
+// Prints one JSON object per line; pass --out=FILE to also write the lines
+// atomically (results/BENCH_serve_resilience.json records a captured run).
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/timer.h"
+
+using namespace roadpart;
+using namespace roadpart::bench;
+
+namespace {
+
+// Spatially coherent labels (k angular sectors), as in bench_serve_lookup.
+std::vector<int> AngularSectorLabels(const RoadNetwork& net, int k) {
+  double cx = 0.0, cy = 0.0;
+  for (const Intersection& node : net.intersections()) {
+    cx += node.position.x;
+    cy += node.position.y;
+  }
+  if (net.num_intersections() > 0) {
+    cx /= net.num_intersections();
+    cy /= net.num_intersections();
+  }
+  std::vector<int> labels(static_cast<size_t>(net.num_segments()));
+  for (int s = 0; s < net.num_segments(); ++s) {
+    Point m = SegmentMidpoint(net, s);
+    double angle = std::atan2(m.y - cy, m.x - cx);
+    int sector = static_cast<int>((angle + M_PI) / (2.0 * M_PI) * k);
+    labels[static_cast<size_t>(s)] = std::min(std::max(sector, 0), k - 1);
+  }
+  labels[0] = k - 1;  // pin num_partitions() == k
+  return labels;
+}
+
+double BestOf(int runs, const std::function<double()>& fn) {
+  double best = -1.0;
+  for (int r = 0; r < runs; ++r) {
+    double s = fn();
+    if (best < 0.0 || s < best) best = s;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
+  }
+  std::string report;
+  auto emit = [&](const std::string& line) {
+    std::fputs(line.c_str(), stdout);
+    report += line;
+  };
+
+  CityOptions city;
+  city.num_intersections = 30000;
+  city.target_segments = 52000;
+  city.area_sq_miles = 40.0;
+  city.seed = 17;
+  RoadNetwork net = GenerateCityNetwork(city).value();
+  Snapshot snapshot = Snapshot::Build(net, AngularSectorLabels(net, 8)).value();
+
+  const int runs = NumRuns(5);
+  const int threads = BenchThreads();
+  const std::string snap_path = "/tmp/bench_serve_reload.rpsnap";
+  RP_CHECK_OK(snapshot.Save(snap_path));
+  emit(StrPrintf("{\"bench\": \"serve_resilience\", \"segments\": %d, "
+                 "\"partitions\": %d, \"snapshot_bytes\": %zu, "
+                 "\"runs\": %d, \"threads\": %d}\n",
+                 snapshot.num_segments(), snapshot.num_partitions(),
+                 snapshot.buffer().size(), runs, threads));
+
+  // Hot swap of a valid candidate: the full admission pipeline.
+  SnapshotManager manager;
+  RP_CHECK_OK(manager.Reload(snap_path));
+  double reload_seconds = BestOf(runs, [&] {
+    Timer t;
+    RP_CHECK_OK(manager.Reload(snap_path));
+    return t.Seconds();
+  });
+  emit(StrPrintf("{\"phase\": \"hot_reload_valid\", \"seconds\": %.6f, "
+                 "\"reloads_per_second\": %.1f}\n",
+                 reload_seconds, 1.0 / reload_seconds));
+
+  // Corrupt-candidate rejection latency: byte-flip mid-file; the manager
+  // must refuse it (old snapshot keeps serving) — how fast is the verdict?
+  std::string corrupt = ReadFileBytes(snap_path).value();
+  corrupt[corrupt.size() / 2] ^= 0x5A;
+  const std::string corrupt_path = "/tmp/bench_serve_reload_corrupt.rpsnap";
+  RP_CHECK_OK(AtomicWriteFile(corrupt_path, corrupt));
+  const int64_t version_before = manager.diagnostics().version;
+  double reject_seconds = BestOf(runs, [&] {
+    Timer t;
+    RP_CHECK(manager.Reload(corrupt_path).code() == StatusCode::kCorruption);
+    return t.Seconds();
+  });
+  RP_CHECK_EQ(manager.diagnostics().version, version_before);  // never swapped
+  emit(StrPrintf("{\"phase\": \"corrupt_candidate_rejected\", "
+                 "\"seconds\": %.6f}\n",
+                 reject_seconds));
+
+  // Query cloud reused by the serving phases below.
+  BoundingBox box = net.Bounds();
+  const int num_queries = 200000;
+  std::string query_text;
+  query_text.reserve(static_cast<size_t>(num_queries) * 48);
+  Rng rng(99);
+  for (int i = 0; i < num_queries; ++i) {
+    double x = box.min.x + rng.NextDouble() * (box.max.x - box.min.x);
+    double y = box.min.y + rng.NextDouble() * (box.max.y - box.min.y);
+    query_text += StrPrintf("point %.17g %.17g\n", x, y);
+  }
+
+  // Serving under reload churn: split the queries into 8 windows separated
+  // by `!reload` of the SAME file. Answers must be byte-identical to the
+  // reload-free run — hot swap may cost time but never correctness.
+  const int num_windows = 8;
+  std::string session_script;
+  {
+    const size_t stride = query_text.size() / num_windows;
+    size_t begin = 0;
+    for (int w = 0; w < num_windows; ++w) {
+      size_t end = w + 1 == num_windows ? query_text.size()
+                                        : query_text.find('\n', (w + 1) * stride) + 1;
+      session_script += query_text.substr(begin, end - begin);
+      if (w + 1 < num_windows) {
+        session_script += StrPrintf("!reload %s\n", snap_path.c_str());
+      }
+      begin = end;
+    }
+  }
+  uint64_t plain_fp = 0;
+  double plain_seconds = BestOf(runs, [&] {
+    ServeRuntimeOptions options;
+    options.serve.num_threads = threads;
+    ServeRuntime runtime(options);
+    RP_CHECK_OK(runtime.LoadSnapshot(snap_path));
+    std::string answers;
+    Timer t;
+    RP_CHECK_OK(runtime.ServeBatch(query_text, &answers));
+    double s = t.Seconds();
+    plain_fp = Fnv1a64(answers);
+    return s;
+  });
+  emit(StrPrintf("{\"phase\": \"serve_no_reload\", \"queries\": %d, "
+                 "\"seconds\": %.6f, \"queries_per_second\": %.0f, "
+                 "\"answers_fingerprint\": \"%016llx\"}\n",
+                 num_queries, plain_seconds, num_queries / plain_seconds,
+                 static_cast<unsigned long long>(plain_fp)));
+  double churn_seconds = BestOf(runs, [&] {
+    ServeRuntimeOptions options;
+    options.serve.num_threads = threads;
+    ServeRuntime runtime(options);
+    RP_CHECK_OK(runtime.LoadSnapshot(snap_path));
+    Timer t;
+    std::string answers = runtime.RunSession(session_script).value();
+    double s = t.Seconds();
+    // Strip the `reload ok ...` answer lines, then the query answers must
+    // match the reload-free run exactly.
+    std::string stripped;
+    stripped.reserve(answers.size());
+    size_t pos = 0;
+    while (pos < answers.size()) {
+      size_t eol = answers.find('\n', pos);
+      std::string_view line(answers.data() + pos, eol - pos);
+      if (line.rfind("reload ok ", 0) != 0) {
+        stripped.append(line);
+        stripped.push_back('\n');
+      }
+      pos = eol + 1;
+    }
+    RP_CHECK_EQ(Fnv1a64(stripped), plain_fp);
+    return s;
+  });
+  emit(StrPrintf("{\"phase\": \"serve_under_reload_churn\", \"queries\": %d, "
+                 "\"reloads\": %d, \"seconds\": %.6f, "
+                 "\"queries_per_second\": %.0f, \"slowdown_vs_plain\": %.3f}\n",
+                 num_queries, num_windows - 1, churn_seconds,
+                 num_queries / churn_seconds, churn_seconds / plain_seconds));
+
+  // Isolate-policy overhead on clean input: identical answers, so the delta
+  // is pure per-line policy bookkeeping.
+  for (const char* policy : {"strict", "isolate"}) {
+    const bool isolate = std::strcmp(policy, "isolate") == 0;
+    uint64_t fp = 0;
+    double seconds = BestOf(runs, [&] {
+      ServeOptions options;
+      options.num_threads = threads;
+      options.on_malformed = isolate ? MalformedQueryPolicy::kIsolate
+                                     : MalformedQueryPolicy::kStrict;
+      std::string answers;
+      Timer t;
+      RP_CHECK_OK(ServeQueries(snapshot, query_text, options, &answers));
+      double s = t.Seconds();
+      fp = Fnv1a64(answers);
+      return s;
+    });
+    RP_CHECK_EQ(fp, plain_fp);
+    emit(StrPrintf("{\"phase\": \"policy_overhead\", \"policy\": \"%s\", "
+                   "\"queries\": %d, \"seconds\": %.6f, "
+                   "\"queries_per_second\": %.0f}\n",
+                   policy, num_queries, seconds, num_queries / seconds));
+  }
+
+  // Shed throughput: a saturated admission controller refusing (almost)
+  // every line must be far cheaper than serving it.
+  double shed_seconds = BestOf(runs, [&] {
+    ServeOptions options;
+    options.num_threads = threads;
+    options.on_malformed = MalformedQueryPolicy::kIsolate;
+    options.max_inflight_queries = 1;
+    std::string answers;
+    Timer t;
+    ServeBatchStats stats;
+    RP_CHECK_OK(ServeQueries(snapshot, query_text, options, &answers, &stats));
+    double s = t.Seconds();
+    RP_CHECK_EQ(stats.shed, num_queries - 1);
+    return s;
+  });
+  emit(StrPrintf("{\"phase\": \"admission_shed\", \"queries\": %d, "
+                 "\"seconds\": %.6f, \"sheds_per_second\": %.0f}\n",
+                 num_queries, shed_seconds, (num_queries - 1) / shed_seconds));
+
+  std::remove(snap_path.c_str());
+  std::remove(corrupt_path.c_str());
+  if (!out_path.empty()) {
+    RP_CHECK_OK(AtomicWriteFile(out_path, report));
+    std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}

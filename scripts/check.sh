@@ -52,6 +52,13 @@ echo "==> [2b/7] crash-injection suite (Release, verbose)"
 # stage boundary and demands --resume reproduce the run byte for byte.
 "${RELEASE_DIR}/tests/checkpoint_crash_test"
 
+echo "==> [2c/7] serve-runtime chaos suite (Release, verbose)"
+# Same attribution rationale for the serving runtime: this suite byte-flips
+# every candidate-snapshot byte, injects swap corruption / shed overflow /
+# query timeouts, and demands the soak session stay byte-identical across
+# thread counts with no torn snapshot and no dropped answer line.
+"${RELEASE_DIR}/tests/serve_runtime_test"
+
 echo "==> [3/7] Configure + build TSan+UBSan tree (${TSAN_DIR})"
 cmake -B "${TSAN_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=Debug \
@@ -68,8 +75,9 @@ if [[ "${RP_CHECK_TSAN_ALL:-0}" == "1" ]]; then
 else
   # 'mining' keeps the supergraph-mining differential suite in the TSan net
   # even if its binary is ever renamed away from the determinism pattern;
-  # 'serve' covers the serving read path (threaded batch fan-out with
-  # order-fixed output must be race-free at any thread count).
+  # 'serve' covers the serving read path and runtime (threaded batch
+  # fan-out with order-fixed output, plus hot snapshot swaps under load,
+  # must be race-free at any thread count).
   ctest --test-dir "${TSAN_DIR}" --output-on-failure -j "${JOBS}" \
     -R 'parallel|determinism|lanczos|mining|serve'
 fi
@@ -98,6 +106,7 @@ echo "==> [6c/7] serving read path under AddressSanitizer (verbose)"
 # to hide an out-of-bounds read; rerun them standalone under ASan.
 "${ASAN_DIR}/tests/serve_property_test"
 "${ASAN_DIR}/tests/serve_snapshot_test"
+"${ASAN_DIR}/tests/serve_runtime_test"
 
 echo "==> [7/7] Static analysis: rp_analyze + clang-tidy"
 # JSON report is archived next to the build so CI and humans can diff runs;

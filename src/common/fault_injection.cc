@@ -47,6 +47,12 @@ const char* FaultSiteName(FaultSite site) {
       return "snapshot-short-read";
     case FaultSite::kSnapshotStaleFingerprint:
       return "snapshot-stale-fingerprint";
+    case FaultSite::kSnapshotSwapCorruption:
+      return "snapshot-swap-corruption";
+    case FaultSite::kServeShedOverflow:
+      return "serve-shed-overflow";
+    case FaultSite::kServeQueryTimeout:
+      return "serve-query-timeout";
     case FaultSite::kFaultSiteCount:
       break;
   }

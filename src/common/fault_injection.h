@@ -53,6 +53,25 @@ enum class FaultSite {
   /// stale, modelling a serving tier that refreshed its network but not its
   /// snapshot. Queried once per Load, after validation succeeds.
   kSnapshotStaleFingerprint,
+  /// SnapshotManager::Reload: the fully-loaded, fully-validated candidate
+  /// snapshot is declared corrupt at the last moment before the swap (a
+  /// publisher whose artifact tore between validation and adoption). The
+  /// manager must keep serving the previous snapshot and record the failed
+  /// reload — rollback is free because the swap never happened. Queried
+  /// once per Reload, from serial code.
+  kSnapshotSwapCorruption,
+  /// ServeQueries: the admission controller's query budget collapses to
+  /// zero for this call, so every query line in the window is answered
+  /// `shed ... queue-full` (a serving tier at saturation). Queried once per
+  /// ServeQueries call, from the serial parse/admission phase, so the
+  /// degraded output is byte-identical for every thread count.
+  kServeShedOverflow,
+  /// ServeQueries: the per-batch deadline is declared expired before any
+  /// query dispatches (a stalled upstream eating the whole budget). Under
+  /// the isolate policy every query line in the window answers
+  /// `shed ... deadline`; under strict the call fails DeadlineExceeded.
+  /// Queried once per ServeQueries call, from serial code.
+  kServeQueryTimeout,
   kFaultSiteCount,  ///< sentinel; keep last
 };
 

@@ -59,6 +59,7 @@
 #include "network/network_io.h"
 #include "network/road_graph.h"
 #include "network/road_network.h"
+#include "serve/runtime.h"
 #include "serve/serve_loop.h"
 #include "serve/snapshot.h"
 #include "serve/spatial_index.h"

@@ -405,6 +405,12 @@ TEST(FaultInjectionTest, SnapshotSiteNamesAreRegistered) {
                "snapshot-short-read");
   EXPECT_STREQ(FaultSiteName(FaultSite::kSnapshotStaleFingerprint),
                "snapshot-stale-fingerprint");
+  EXPECT_STREQ(FaultSiteName(FaultSite::kSnapshotSwapCorruption),
+               "snapshot-swap-corruption");
+  EXPECT_STREQ(FaultSiteName(FaultSite::kServeShedOverflow),
+               "serve-shed-overflow");
+  EXPECT_STREQ(FaultSiteName(FaultSite::kServeQueryTimeout),
+               "serve-query-timeout");
 }
 
 // --- Determinism under faults ---

@@ -337,6 +337,34 @@ TEST(ParallelForRule, RegressionNoFiringOnMutationInComment) {
   EXPECT_EQ(CountRule(findings, "parallelfor-shared-mutation"), 0);
 }
 
+TEST(ParallelForRule, ServeRuntimePerSlotAnswerJoinIsSanctioned) {
+  // The serving runtime's fan-out idiom: each batch formats into a local
+  // buffer, then moves it into its own slot; the serial join fixes order.
+  auto findings = Analyze(
+      "src/serve/serve_loop.cc",
+      "void f(int num_batches, std::vector<std::string>& answers) {\n"
+      "  ParallelForTasks(num_batches, [&](int b) {\n"
+      "    std::string local;\n"
+      "    local += \"answer\";\n"
+      "    answers[b] = std::move(local);\n"
+      "  });\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, "parallelfor-shared-mutation"), 0);
+}
+
+TEST(ParallelForRule, ServeRuntimeSharedStatsMutationIsFlagged) {
+  // The anti-idiom the runtime must never regress to: tallying service
+  // counters from inside the fan-out instead of the serial phase.
+  auto findings = Analyze(
+      "src/serve/serve_loop.cc",
+      "void f(int num_batches, ServeBatchStats& stats) {\n"
+      "  ParallelForTasks(num_batches, [&](int b) {\n"
+      "    stats.served += 1;\n"
+      "  });\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, "parallelfor-shared-mutation"), 1);
+}
+
 // ---------------------------------------------------------------------------
 // Rule: unchecked-eigen-convergence
 // ---------------------------------------------------------------------------
