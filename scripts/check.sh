@@ -77,9 +77,12 @@ else
   # even if its binary is ever renamed away from the determinism pattern;
   # 'serve' covers the serving read path and runtime (threaded batch
   # fan-out with order-fixed output, plus hot snapshot swaps under load,
-  # must be race-free at any thread count).
+  # must be race-free at any thread count); 'distributed' and 'tracker'
+  # cover the incremental repartitioner (per-region ParallelForTasks
+  # fan-out with per-slot outcomes) and the interval label tracker it
+  # feeds; 'temporal' covers the interval driver over snapshot series.
   ctest --test-dir "${TSAN_DIR}" --output-on-failure -j "${JOBS}" \
-    -R 'parallel|determinism|lanczos|mining|serve'
+    -R 'parallel|determinism|lanczos|mining|serve|distributed|tracker|temporal'
 fi
 
 echo "==> [5/7] Configure + build ASan+UBSan tree (${ASAN_DIR})"

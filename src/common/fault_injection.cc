@@ -53,6 +53,10 @@ const char* FaultSiteName(FaultSite site) {
       return "serve-shed-overflow";
     case FaultSite::kServeQueryTimeout:
       return "serve-query-timeout";
+    case FaultSite::kWarmStartCorruption:
+      return "warm-start-corruption";
+    case FaultSite::kDirtyDetectOverflow:
+      return "dirty-detect-overflow";
     case FaultSite::kFaultSiteCount:
       break;
   }

@@ -72,6 +72,17 @@ enum class FaultSite {
   /// `shed ... deadline`; under strict the call fails DeadlineExceeded.
   /// Queried once per ServeQueries call, from serial code.
   kServeQueryTimeout,
+  /// IncrementalRepartitioner::Refresh: the cached warm-start embedding for
+  /// every region is declared corrupt before it is handed to the eigensolver
+  /// (a torn warm cache surviving a crash). The engine must fall back to the
+  /// cold seeded start — identical fallback ladder, valid output. Queried
+  /// once per Refresh, from the serial dirty-detection phase.
+  kWarmStartCorruption,
+  /// IncrementalRepartitioner::Refresh: the dirty-region detector reports
+  /// an overflow (density delta accounting no longer trustworthy) and must
+  /// degrade by marking *every* region dirty — a safe over-recut, never a
+  /// missed one. Queried once per Refresh, from serial code.
+  kDirtyDetectOverflow,
   kFaultSiteCount,  ///< sentinel; keep last
 };
 

@@ -6,8 +6,15 @@ namespace roadpart {
 
 namespace {
 
-// 0 = "no override"; consult RP_THREADS / hardware.
+// Process-wide pin (SetDefaultParallelism). 0 = "no override"; consult
+// RP_THREADS / hardware.
 std::atomic<int> g_default_parallelism{0};
+
+// Per-thread override (ScopedParallelism, and the nested-fan-out cap the
+// threaded loops install on their workers). Takes precedence over the
+// process-wide pin, and never races: each thread reads and writes only its
+// own slot. Fresh worker threads start at 0 (no override).
+thread_local int tl_parallelism_override = 0;
 
 int EnvOrHardwareParallelism() {
   static const int value = [] {
@@ -25,6 +32,7 @@ int EnvOrHardwareParallelism() {
 }  // namespace
 
 int DefaultParallelism() {
+  if (tl_parallelism_override > 0) return tl_parallelism_override;
   int pinned = g_default_parallelism.load(std::memory_order_relaxed);
   if (pinned > 0) return pinned;
   return EnvOrHardwareParallelism();
@@ -35,13 +43,12 @@ void SetDefaultParallelism(int n) {
 }
 
 ScopedParallelism::ScopedParallelism(int n)
-    : active_(n >= 1),
-      saved_(g_default_parallelism.load(std::memory_order_relaxed)) {
-  if (active_) SetDefaultParallelism(n);
+    : active_(n >= 1), saved_(tl_parallelism_override) {
+  if (active_) tl_parallelism_override = n;
 }
 
 ScopedParallelism::~ScopedParallelism() {
-  if (active_) g_default_parallelism.store(saved_, std::memory_order_relaxed);
+  if (active_) tl_parallelism_override = saved_;
 }
 
 void ParallelFor(int count, const std::function<void(int)>& fn,
@@ -56,6 +63,9 @@ void ParallelFor(int count, const std::function<void(int)>& fn,
 
   std::atomic<int> next{0};
   auto worker = [&]() {
+    // Nested-oversubscription cap: fn already runs on `num_threads` workers,
+    // so parallel helpers it calls with num_threads = 0 run inline here.
+    ScopedParallelism nested_cap(1);
     for (;;) {
       int i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) return;
@@ -104,6 +114,8 @@ void ParallelForBlocked(int64_t count, int64_t grain,
 
   std::atomic<int64_t> next{0};
   auto worker = [&]() {
+    // Same nested-oversubscription cap as the index-based ParallelFor.
+    ScopedParallelism nested_cap(1);
     for (;;) {
       int64_t b = next.fetch_add(1, std::memory_order_relaxed);
       if (b >= num_blocks) return;

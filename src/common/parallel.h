@@ -11,7 +11,8 @@
 
 namespace roadpart {
 
-/// Number of worker threads ParallelFor uses by default: the value set with
+/// Number of worker threads ParallelFor uses by default: the calling thread's
+/// ScopedParallelism override if any, else the value set with
 /// SetDefaultParallelism if any, else the RP_THREADS environment variable if
 /// positive, else hardware concurrency (at least 1).
 int DefaultParallelism();
@@ -28,6 +29,12 @@ void SetDefaultParallelism(int n);
 /// destruction. Used to plumb PartitionerOptions::num_threads and the CLI
 /// --threads flag down to the kernels without threading a parameter through
 /// every call site.
+///
+/// The override is *per thread* (thread_local), not process-wide: a scope
+/// established on a ParallelFor worker thread — e.g. an inner Partitioner
+/// pinned to 1 thread inside the distributed-repartition region fan-out —
+/// affects only that worker, never concurrent siblings or the caller.
+/// Process-wide pinning stays the job of SetDefaultParallelism.
 class ScopedParallelism {
  public:
   explicit ScopedParallelism(int n);
@@ -47,6 +54,14 @@ class ScopedParallelism {
 /// exceptions must not escape fn (the library is exception-free). With
 /// count <= 1 or num_threads <= 1 the loop runs inline. Never spawns more
 /// threads than there are indices.
+///
+/// Oversubscription policy: when the loop actually fans out (more than one
+/// worker), every worker — including the calling thread — runs `fn` under a
+/// thread-local parallelism cap of 1, so any parallel helper called from
+/// inside `fn` with num_threads = 0 runs inline instead of multiplying
+/// thread counts (outer T × inner T). Nested helpers that pass an explicit
+/// num_threads >= 1 are unaffected; inline (single-worker) outer loops leave
+/// the default untouched, so the inner level is still free to parallelize.
 void ParallelFor(int count, const std::function<void(int)>& fn,
                  int num_threads = 0);
 

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
+#include <utility>
 
+#include "common/durable_io.h"
+#include "common/fault_injection.h"
 #include "common/parallel.h"
 #include "common/string_util.h"
 #include "common/timer.h"
@@ -12,6 +16,9 @@
 namespace roadpart {
 
 namespace {
+
+constexpr const char* kCacheFormat = "rpinc";
+constexpr int kCacheVersion = 1;
 
 // Population std-dev of the features indexed by `nodes`.
 double RegionSpread(const std::vector<double>& features,
@@ -27,19 +34,67 @@ double RegionSpread(const std::vector<double>& features,
   return std::sqrt(acc / static_cast<double>(nodes.size()));
 }
 
+// Mean |densities[boundary[i]] - at_cut[i]|; 0 when there is no recorded
+// boundary state (sizes must match — a mismatch means no comparable state).
+double BoundaryShift(const std::vector<double>& densities,
+                     const std::vector<int>& boundary,
+                     const std::vector<double>& at_cut) {
+  if (boundary.empty() || boundary.size() != at_cut.size()) return 0.0;
+  double acc = 0.0;
+  for (size_t i = 0; i < boundary.size(); ++i) {
+    acc += std::fabs(densities[boundary[i]] - at_cut[i]);
+  }
+  return acc / static_cast<double>(boundary.size());
+}
+
+// The warm-start vector cached from an embedding: the column-sum Z.1 — a
+// vector inside the span of the computed eigenvectors, which is exactly what
+// a Lanczos start vector should be rich in. Zeroed/empty results are not
+// cached (nothing to warm-start from).
+std::vector<double> ColumnSumVector(const DenseMatrix& z) {
+  std::vector<double> v(static_cast<size_t>(std::max(z.rows(), 0)), 0.0);
+  for (int r = 0; r < z.rows(); ++r) {
+    double acc = 0.0;
+    for (int c = 0; c < z.cols(); ++c) acc += z(r, c);
+    v[static_cast<size_t>(r)] = acc;
+  }
+  double norm = 0.0;
+  for (double x : v) norm += x * x;
+  if (!(norm > 0.0) || !std::isfinite(norm)) v.clear();
+  return v;
+}
+
 }  // namespace
 
-Result<DistributedRepartitionResult> RepartitionWithinRegions(
-    const RoadGraph& road_graph, const std::vector<int>& previous_assignment,
+uint64_t IncrementalRepartitioner::CacheKey() const {
+  // Topology + frozen region structure + output-affecting options. Features
+  // are deliberately excluded: the cache is *state*, valid for any interval
+  // of the same network under the same configuration.
+  uint64_t key = Fnv1a64(CanonicalOptionsString(options_.partitioner));
+  key = Fnv1a64(&num_nodes_, sizeof(num_nodes_), key);
+  for (const std::vector<int>& region : regions_) {
+    size_t size = region.size();
+    key = Fnv1a64(&size, sizeof(size), key);
+    if (!region.empty()) {
+      key = Fnv1a64(region.data(), region.size() * sizeof(int), key);
+    }
+  }
+  key = Fnv1a64(DoubleToBitsHex(options_.trigger_ratio), key);
+  key = Fnv1a64(DoubleToBitsHex(options_.boundary_delta_ratio), key);
+  return key;
+}
+
+Result<IncrementalRepartitioner> IncrementalRepartitioner::Create(
+    const RoadGraph& road_graph, const std::vector<int>& region_assignment,
     const DistributedRepartitionOptions& options) {
   const int n = road_graph.num_nodes();
-  if (static_cast<int>(previous_assignment.size()) != n) {
+  if (static_cast<int>(region_assignment.size()) != n) {
     return Status::InvalidArgument(
         StrPrintf("assignment has %zu entries for %d nodes",
-                  previous_assignment.size(), n));
+                  region_assignment.size(), n));
   }
   int num_regions = 0;
-  for (int a : previous_assignment) {
+  for (int a : region_assignment) {
     if (a < 0) return Status::InvalidArgument("negative partition id");
     num_regions = std::max(num_regions, a + 1);
   }
@@ -47,74 +102,366 @@ Result<DistributedRepartitionResult> RepartitionWithinRegions(
     return Status::InvalidArgument("per-region k must be >= 1");
   }
 
-  Timer timer;
-  const std::vector<double>& features = road_graph.features();
-  double global_spread = std::sqrt(std::max(Variance(features), 0.0));
+  IncrementalRepartitioner engine;
+  engine.options_ = options;
+  engine.num_nodes_ = n;
+  engine.regions_ = GroupByAssignment(region_assignment, num_regions);
+  engine.cache_.resize(engine.regions_.size());
+
+  // Frozen per-region structure: induced topology (re-cut input) and
+  // boundary nodes (dirty-detection input). Both depend only on the
+  // adjacency and the region assignment, never on densities.
+  engine.subgraphs_.reserve(engine.regions_.size());
+  engine.boundaries_.reserve(engine.regions_.size());
+  const CsrGraph& adjacency = road_graph.adjacency();
+  for (const std::vector<int>& region : engine.regions_) {
+    engine.subgraphs_.push_back(region.empty()
+                                    ? CsrGraph()
+                                    : adjacency.InducedSubgraph(region));
+    std::vector<int> boundary;
+    for (int v : region) {
+      for (int u : adjacency.Neighbors(v)) {
+        if (region_assignment[u] != region_assignment[v]) {
+          boundary.push_back(v);
+          break;
+        }
+      }
+    }
+    engine.boundaries_.push_back(std::move(boundary));
+  }
+  return engine;
+}
+
+Result<DistributedRepartitionResult> IncrementalRepartitioner::Refresh(
+    const std::vector<double>& densities) {
+  const int n = num_nodes_;
+  if (static_cast<int>(densities.size()) != n) {
+    return Status::InvalidArgument(
+        StrPrintf("densities has %zu entries for %d nodes", densities.size(),
+                  n));
+  }
+  const size_t num_regions = regions_.size();
+  Timer total;
+  Timer phase;
 
   DistributedRepartitionResult result;
   result.assignment.assign(n, -1);
-  std::vector<std::vector<int>> regions =
-      GroupByAssignment(previous_assignment, num_regions);
+  result.stats.region_info.reserve(num_regions);
 
-  // Phase 1 (parallel): each region computes its local sub-assignment
-  // independently — this is the "distributively" of Section 6.4.
-  struct RegionOutcome {
-    std::vector<int> local;  // per region-member sub-partition id
-    int k = 1;               // sub-partitions produced (1 = kept whole)
-    bool repartitioned = false;
-  };
-  std::vector<RegionOutcome> outcomes(regions.size());
-  ParallelFor(
-      static_cast<int>(regions.size()),
-      [&](int r) {
-        const std::vector<int>& region = regions[r];
-        RegionOutcome& out = outcomes[r];
-        out.local.assign(region.size(), 0);
-        if (region.empty()) {
-          out.k = 0;
-          return;
-        }
-        bool triggered =
-            options.trigger_ratio <= 0.0 ||
-            RegionSpread(features, region) >
-                options.trigger_ratio * global_spread;
-        if (!triggered || options.partitioner.k == 1 ||
-            static_cast<int>(region.size()) <= options.partitioner.k) {
-          return;  // kept whole
-        }
-        CsrGraph subgraph = road_graph.adjacency().InducedSubgraph(region);
-        std::vector<double> sub_features(region.size());
-        for (size_t i = 0; i < region.size(); ++i) {
-          sub_features[i] = features[region[i]];
-        }
-        auto sub_rg = RoadGraph::FromParts(std::move(subgraph),
-                                           std::move(sub_features));
-        if (!sub_rg.ok()) return;  // keep whole on any local failure
-        Partitioner partitioner(options.partitioner);
-        auto outcome = partitioner.PartitionRoadGraph(*sub_rg);
-        if (!outcome.ok()) return;  // region too small/uniform: keep whole
-        out.local = std::move(outcome->assignment);
-        out.k = outcome->k_final;
-        out.repartitioned = true;
-      },
-      options.num_threads);
-
-  // Phase 2 (sequential): merge region-local label spaces.
-  int next_id = 0;
-  for (size_t r = 0; r < regions.size(); ++r) {
-    const std::vector<int>& region = regions[r];
-    if (region.empty()) continue;
-    const RegionOutcome& out = outcomes[r];
-    for (size_t i = 0; i < region.size(); ++i) {
-      result.assignment[region[i]] = next_id + out.local[i];
-    }
-    next_id += out.k;
-    if (out.repartitioned) ++result.regions_repartitioned;
+  // --- Phase 1 (serial): dirty-region detection --------------------------
+  // Serial so the two fault sites below are queried a fixed number of times
+  // per refresh regardless of thread count.
+  const double global_scale = std::sqrt(std::max(Variance(densities), 0.0));
+  const bool detect_overflow = RP_FAULT_FIRES(FaultSite::kDirtyDetectOverflow);
+  if (detect_overflow) {
+    warnings_.push_back(
+        "dirty-region detector overflow: marking every region dirty");
+  }
+  const bool warm_corrupt = RP_FAULT_FIRES(FaultSite::kWarmStartCorruption);
+  if (warm_corrupt) {
+    warnings_.push_back(
+        "warm-start cache flagged corrupt: cold-starting every solve");
   }
 
+  std::vector<double> spread_now(num_regions, 0.0);
+  std::vector<int> dirty_list;
+  std::vector<char> is_dirty(num_regions, 0);
+  for (size_t r = 0; r < num_regions; ++r) {
+    const std::vector<int>& region = regions_[r];
+    if (region.empty()) continue;
+    spread_now[r] = RegionSpread(densities, region);
+    bool dirty;
+    if (detect_overflow || options_.trigger_ratio <= 0.0) {
+      // Overflow degrades to a safe over-recut; ratio <= 0 is the
+      // historical always-recut configuration.
+      dirty = true;
+    } else if (!cache_[r].valid) {
+      // No cached cut to reuse: the absolute-spread rule of the one-shot
+      // entry point (uniform regions are cheap to keep whole either way).
+      dirty = spread_now[r] > options_.trigger_ratio * global_scale;
+    } else {
+      dirty = std::fabs(spread_now[r] - cache_[r].spread_at_cut) >
+              options_.trigger_ratio * global_scale;
+      if (!dirty && options_.boundary_delta_ratio > 0.0) {
+        dirty = BoundaryShift(densities, boundaries_[r],
+                              cache_[r].boundary_at_cut) >
+                options_.boundary_delta_ratio * global_scale;
+      }
+    }
+    if (dirty) {
+      is_dirty[r] = 1;
+      dirty_list.push_back(static_cast<int>(r));
+    }
+  }
+  result.stats.trigger_seconds = phase.Seconds();
+
+  // --- Phase 2 (parallel): re-cut dirty regions --------------------------
+  // One outcome slot per dirty region; workers write only their own slot, so
+  // results are independent of scheduling. The inner partitioners are pinned
+  // to 1 thread whenever this fan-out is parallel (see header policy).
+  struct RegionOutcome {
+    std::vector<int> local;      // per region-member sub-partition id
+    int k = 1;                   // sub-partitions produced (1 = kept whole)
+    bool repartitioned = false;
+    bool warm_attempted = false;
+    bool warm_used = false;
+    std::vector<double> new_warm;
+    double seconds = 0.0;
+  };
+  const int dirty_count = static_cast<int>(dirty_list.size());
+  int outer_threads =
+      options_.num_threads > 0 ? options_.num_threads : DefaultParallelism();
+  const bool outer_parallel = outer_threads > 1 && dirty_count > 1;
+
+  phase.Restart();
+  std::vector<RegionOutcome> slots(dirty_list.size());
+  ParallelForTasks(
+      dirty_count,
+      [&](int slot) {
+        Timer region_timer;
+        const int r = dirty_list[static_cast<size_t>(slot)];
+        const std::vector<int>& region = regions_[static_cast<size_t>(r)];
+        RegionOutcome& out = slots[static_cast<size_t>(slot)];
+        out.local.assign(region.size(), 0);
+        if (options_.partitioner.k == 1 ||
+            static_cast<int>(region.size()) <= options_.partitioner.k) {
+          out.seconds = region_timer.Seconds();
+          return;  // kept whole
+        }
+        std::vector<double> sub_features(region.size());
+        for (size_t i = 0; i < region.size(); ++i) {
+          sub_features[i] = densities[region[i]];
+        }
+        auto sub_rg =
+            RoadGraph::FromParts(CsrGraph(subgraphs_[static_cast<size_t>(r)]),
+                                 std::move(sub_features));
+        if (!sub_rg.ok()) {
+          out.seconds = region_timer.Seconds();
+          return;  // keep whole on any local failure
+        }
+        PartitionerOptions popt = options_.partitioner;
+        if (outer_parallel) popt.num_threads = 1;
+        DenseMatrix embedding(0, 0);
+        popt.embedding_sink = &embedding;
+        const std::vector<double>& warm =
+            cache_[static_cast<size_t>(r)].warm;
+        if (options_.warm_start_embeddings && !warm_corrupt &&
+            !warm.empty()) {
+          out.warm_attempted = true;
+          popt.spectral.lanczos.warm_start = &warm;
+        }
+        Partitioner partitioner(popt);
+        auto outcome = partitioner.PartitionRoadGraph(*sub_rg);
+        if (outcome.ok()) {
+          out.local = std::move(outcome->assignment);
+          out.k = outcome->k_final;
+          out.repartitioned = out.k > 1;
+        }
+        // The solver only adopts a warm vector matching the cut target's
+        // order; infer acceptance by comparing against the embedding the
+        // run actually produced (its row count is that order).
+        out.warm_used = out.warm_attempted && embedding.rows() > 0 &&
+                        static_cast<size_t>(embedding.rows()) == warm.size();
+        out.new_warm = ColumnSumVector(embedding);
+        out.seconds = region_timer.Seconds();
+      },
+      options_.num_threads);
+  result.stats.subpartition_seconds = phase.Seconds();
+
+  // --- Phase 3 (serial): merge label spaces, update the cache ------------
+  phase.Restart();
+  std::vector<int> slot_of_region(num_regions, -1);
+  for (int s = 0; s < dirty_count; ++s) {
+    slot_of_region[static_cast<size_t>(dirty_list[static_cast<size_t>(s)])] =
+        s;
+  }
+  int next_id = 0;
+  for (size_t r = 0; r < num_regions; ++r) {
+    const std::vector<int>& region = regions_[r];
+    if (region.empty()) continue;
+    RegionCache& cached = cache_[r];
+    RegionRefreshInfo info;
+    info.region = static_cast<int>(r);
+    info.size = static_cast<int>(region.size());
+    info.dirty = is_dirty[r] != 0;
+    if (info.dirty) {
+      RegionOutcome& out = slots[static_cast<size_t>(slot_of_region[r])];
+      cached.valid = true;
+      cached.repartitioned = out.repartitioned;
+      cached.k = out.k;
+      cached.local = std::move(out.local);
+      cached.spread_at_cut = spread_now[r];
+      cached.boundary_at_cut.resize(boundaries_[r].size());
+      for (size_t i = 0; i < boundaries_[r].size(); ++i) {
+        cached.boundary_at_cut[i] = densities[boundaries_[r][i]];
+      }
+      cached.warm = std::move(out.new_warm);
+      info.warm_started = out.warm_used;
+      info.seconds = out.seconds;
+      result.stats.warm_started += out.warm_used ? 1 : 0;
+      result.stats.warm_rejected +=
+          (out.warm_attempted && !out.warm_used) ? 1 : 0;
+      ++result.stats.dirty;
+    } else {
+      if (!cached.valid) {
+        // Clean with nothing cached (cold, below the absolute trigger):
+        // keep whole and record the state so later deltas are meaningful.
+        cached.valid = true;
+        cached.repartitioned = false;
+        cached.k = 1;
+        cached.local.assign(region.size(), 0);
+        cached.spread_at_cut = spread_now[r];
+        cached.boundary_at_cut.resize(boundaries_[r].size());
+        for (size_t i = 0; i < boundaries_[r].size(); ++i) {
+          cached.boundary_at_cut[i] = densities[boundaries_[r][i]];
+        }
+        cached.warm.clear();
+      }
+      ++result.stats.clean;
+    }
+    for (size_t i = 0; i < region.size(); ++i) {
+      result.assignment[region[i]] = next_id + cached.local[i];
+    }
+    next_id += cached.k;
+    info.repartitioned = cached.repartitioned && info.dirty;
+    info.k = cached.k;
+    if (info.repartitioned) ++result.regions_repartitioned;
+    ++result.stats.regions;
+    result.stats.region_info.push_back(info);
+  }
+  result.stats.merge_seconds = phase.Seconds();
+
   result.k_final = next_id;
-  result.seconds = timer.Seconds();
+  result.seconds = total.Seconds();
+  ++refreshes_;
   return result;
+}
+
+Status IncrementalRepartitioner::SaveCache(const std::string& path) const {
+  std::ostringstream payload;
+  payload << "key " << Uint64ToHex(CacheKey()) << "\n";
+  payload << "regions " << regions_.size() << " refreshes " << refreshes_
+          << "\n";
+  for (size_t r = 0; r < cache_.size(); ++r) {
+    const RegionCache& c = cache_[r];
+    payload << "region " << r << " valid " << (c.valid ? 1 : 0)
+            << " repartitioned " << (c.repartitioned ? 1 : 0) << " k " << c.k
+            << " spread " << DoubleToBitsHex(c.spread_at_cut) << "\n";
+    payload << "labels " << c.local.size();
+    for (int x : c.local) payload << " " << x;
+    payload << "\n";
+    payload << "boundary " << c.boundary_at_cut.size();
+    for (double x : c.boundary_at_cut) payload << " " << DoubleToBitsHex(x);
+    payload << "\n";
+    payload << "warm " << c.warm.size();
+    for (double x : c.warm) payload << " " << DoubleToBitsHex(x);
+    payload << "\n";
+  }
+  return WriteArtifact(path, kCacheFormat, kCacheVersion, payload.str(),
+                       options_.partitioner.checkpoint.retry);
+}
+
+Result<bool> IncrementalRepartitioner::LoadCache(const std::string& path) {
+  ArtifactReadOptions read;
+  read.expected_format = kCacheFormat;
+  read.require_envelope = true;
+  read.retry = options_.partitioner.checkpoint.retry;
+  auto payload = ReadArtifact(path, read);
+  if (!payload.ok()) {
+    warnings_.push_back("incremental cache not adopted (" +
+                        payload.status().ToString() + "); cold start");
+    return false;
+  }
+
+  // Strict line-oriented decode into a scratch cache; only a fully valid
+  // artifact whose key matches this engine is adopted.
+  std::istringstream in(*payload);
+  auto fail = [&](const std::string& why) -> Result<bool> {
+    warnings_.push_back("incremental cache undecodable (" + why +
+                        "); cold start");
+    return false;
+  };
+  std::string tag, hex;
+  if (!(in >> tag >> hex) || tag != "key") return fail("missing key line");
+  auto key = Uint64FromHex(hex);
+  if (!key.ok()) return fail("bad key");
+  if (*key != CacheKey()) {
+    warnings_.push_back(
+        "incremental cache keyed to a different graph/options; cold start");
+    return false;
+  }
+  size_t stored_regions = 0;
+  int stored_refreshes = 0;
+  if (!(in >> tag >> stored_regions) || tag != "regions") {
+    return fail("missing regions line");
+  }
+  if (!(in >> tag >> stored_refreshes) || tag != "refreshes") {
+    return fail("missing refreshes field");
+  }
+  if (stored_regions != regions_.size()) return fail("region count mismatch");
+
+  std::vector<RegionCache> scratch(stored_regions);
+  for (size_t r = 0; r < stored_regions; ++r) {
+    size_t id = 0;
+    int valid = 0, repartitioned = 0, k = 0;
+    RegionCache& c = scratch[r];
+    if (!(in >> tag >> id) || tag != "region" || id != r) {
+      return fail("bad region header");
+    }
+    if (!(in >> tag >> valid) || tag != "valid") return fail("bad valid");
+    if (!(in >> tag >> repartitioned) || tag != "repartitioned") {
+      return fail("bad repartitioned");
+    }
+    if (!(in >> tag >> k) || tag != "k" || k < 0) return fail("bad k");
+    if (!(in >> tag >> hex) || tag != "spread") return fail("bad spread");
+    auto spread = DoubleFromBitsHex(hex);
+    if (!spread.ok()) return fail("bad spread bits");
+    c.valid = valid != 0;
+    c.repartitioned = repartitioned != 0;
+    c.k = k;
+    c.spread_at_cut = *spread;
+
+    size_t count = 0;
+    if (!(in >> tag >> count) || tag != "labels") return fail("bad labels");
+    if (count != regions_[r].size() && c.valid) {
+      return fail("label count mismatch");
+    }
+    c.local.resize(count);
+    for (size_t i = 0; i < count; ++i) {
+      if (!(in >> c.local[i]) || c.local[i] < 0 || c.local[i] >= std::max(c.k, 1)) {
+        return fail("bad label value");
+      }
+    }
+    if (!(in >> tag >> count) || tag != "boundary") return fail("bad boundary");
+    c.boundary_at_cut.resize(count);
+    for (size_t i = 0; i < count; ++i) {
+      if (!(in >> hex)) return fail("short boundary row");
+      auto bits = DoubleFromBitsHex(hex);
+      if (!bits.ok()) return fail("bad boundary bits");
+      c.boundary_at_cut[i] = *bits;
+    }
+    if (!(in >> tag >> count) || tag != "warm") return fail("bad warm");
+    c.warm.resize(count);
+    for (size_t i = 0; i < count; ++i) {
+      if (!(in >> hex)) return fail("short warm row");
+      auto bits = DoubleFromBitsHex(hex);
+      if (!bits.ok()) return fail("bad warm bits");
+      c.warm[i] = *bits;
+    }
+  }
+  cache_ = std::move(scratch);
+  refreshes_ = stored_refreshes;
+  return true;
+}
+
+Result<DistributedRepartitionResult> RepartitionWithinRegions(
+    const RoadGraph& road_graph, const std::vector<int>& previous_assignment,
+    const DistributedRepartitionOptions& options) {
+  RP_ASSIGN_OR_RETURN(
+      IncrementalRepartitioner engine,
+      IncrementalRepartitioner::Create(road_graph, previous_assignment,
+                                       options));
+  return engine.Refresh(road_graph.features());
 }
 
 }  // namespace roadpart

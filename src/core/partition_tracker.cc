@@ -16,6 +16,20 @@ Result<std::vector<int>> PartitionTracker::Align(
     k = std::max(k, a + 1);
   }
 
+  if (assignment.empty()) {
+    // A k=0 assignment after a non-empty reference is a caller bug (an
+    // interval that lost its labels), not a relabeling: reject it instead
+    // of silently matching nothing against the reference.
+    if (!reference_.empty()) {
+      return Status::InvalidArgument(
+          "k=0 assignment after a non-empty reference");
+    }
+    // Aligning nothing against nothing: a no-op, but the churn accessor
+    // must describe *this* call, not a stale earlier one.
+    last_churn_ = 0.0;
+    return std::vector<int>();
+  }
+
   if (!reference_.empty() && reference_.size() != assignment.size()) {
     return Status::InvalidArgument(
         StrPrintf("node count changed: %zu -> %zu", reference_.size(),
@@ -58,9 +72,11 @@ Result<std::vector<int>> PartitionTracker::Align(
     aligned[v] = relabel[assignment[v]];
     if (!reference_.empty() && aligned[v] != reference_[v]) ++changed;
   }
-  if (!reference_.empty() && !assignment.empty()) {
-    last_churn_ = static_cast<double>(changed) / assignment.size();
-  }
+  // First call: 0 by definition. Later calls: the realized fraction —
+  // assignment is known non-empty here, so the accessor is never stale.
+  last_churn_ = reference_.empty()
+                    ? 0.0
+                    : static_cast<double>(changed) / assignment.size();
   reference_ = aligned;
   return aligned;
 }

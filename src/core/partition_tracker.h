@@ -19,14 +19,17 @@ class PartitionTracker {
   /// Relabels `assignment` (dense ids) to the tracked region ids, updates
   /// the internal reference, and returns the aligned labels. The first call
   /// fixes the initial ids. All calls must pass label vectors over the same
-  /// node set (same length).
+  /// node set (same length); a k=0 (empty) assignment after a non-empty
+  /// reference is InvalidArgument — an interval cannot lose its labels and
+  /// still claim to align.
   Result<std::vector<int>> Align(const std::vector<int>& assignment);
 
   /// Highest region id ever issued + 1.
   int num_regions_seen() const { return next_id_; }
 
-  /// Fraction of nodes whose tracked region changed in the last Align call
-  /// (0 before the second call).
+  /// Fraction of nodes whose tracked region changed in the last *successful*
+  /// Align call (0 before the second call; a rejected call leaves the value
+  /// of the previous successful one).
   double last_churn() const { return last_churn_; }
 
  private:

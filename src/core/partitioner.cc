@@ -205,6 +205,7 @@ Result<PartitionOutcome> Partitioner::PartitionWithBudget(
   pipeline.enforce_exact_k = options_.enforce_exact_k;
   pipeline.exact_k_method = options_.exact_k_method;
   pipeline.enforce_connectivity = options_.enforce_connectivity;
+  pipeline.embedding_sink = options_.embedding_sink;
 
   // Runs the module-3 spectral cut on `target`, consuming a valid 'cut'
   // checkpoint when one exists and saving one when it does not. Which graph

@@ -77,6 +77,14 @@ struct PartitionerOptions {
   /// geometry, so PartitionRoadGraph ignores it. Purely an output sink —
   /// excluded from CanonicalOptionsString.
   std::string snapshot_path;
+  /// When non-null, receives the top-level spectral embedding of the cut
+  /// (SpectralPipelineOptions::embedding_sink): the n x k matrix k-means
+  /// clustered — n is the cut target's order, i.e. the supergraph's for
+  /// ASG/NSG. The incremental repartitioner caches it between intervals to
+  /// warm-start the next Lanczos solve. A pure observer: non-owning, never
+  /// read, excluded from CanonicalOptionsString, and left untouched when a
+  /// resumed checkpoint skips the cut.
+  DenseMatrix* embedding_sink = nullptr;
 };
 
 /// Canonical text of every output-affecting field of PartitionerOptions.

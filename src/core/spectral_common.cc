@@ -133,6 +133,9 @@ Result<DenseMatrix> ExtremeEigenvectors(const LinearOperator& op, int k,
                                             retry.max_subspace + 100));
   retry.max_restarts = retry.max_restarts + 1;
   retry.seed = retry.seed ^ 0x5DEECE66DULL;
+  // A warm start that reached this rung did not help; drop it so the retry
+  // explores from the fresh seeded direction (the PR-3 ladder unchanged).
+  retry.warm_start = nullptr;
   RP_ASSIGN_OR_RETURN(EigenResult eig2, LanczosEigen(op, k, end, retry));
   restarts += 1 + eig2.restarts_used;  // the retry itself counts as a restart
   if (eig2.converged) {
@@ -439,6 +442,7 @@ Result<GraphCutResult> SpectralKWayPartition(
 
   // Lines 4-10 of Algorithm 3: embedding + k-means over rows.
   RP_ASSIGN_OR_RETURN(DenseMatrix z, method.Embed(graph, k));
+  if (options.embedding_sink != nullptr) *options.embedding_sink = z;
   RP_ASSIGN_OR_RETURN(KMeansResult km, KMeansRows(z, k, options.kmeans));
 
   // Line 11: split clusters into connected components -> k' partitions.

@@ -167,6 +167,13 @@ struct SpectralPipelineOptions {
   /// Post-pass guaranteeing condition C.2: disconnected fragments of a final
   /// partition are merged into their best-connected neighbour partition.
   bool enforce_connectivity = true;
+  /// Optional observer of the *top-level* spectral embedding Z (the n x k
+  /// matrix k-means clusters; bipartition sub-solves never touch it).
+  /// Written exactly once per SpectralKWayPartition call when non-null —
+  /// the incremental repartitioner caches it to warm-start next interval's
+  /// Lanczos. Non-owning, never read, and excluded from canonical-options
+  /// serialization: a pure observer cannot change the partition.
+  DenseMatrix* embedding_sink = nullptr;
 };
 
 /// The complete k-way pipeline of Algorithm 3, parameterized by the cut

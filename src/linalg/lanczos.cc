@@ -33,13 +33,28 @@ struct KrylovFactorization {
   bool exhausted_space = false;            // happy breakdown hit
 };
 
-KrylovFactorization BuildKrylov(const LinearOperator& op, int m_max,
-                                Rng& rng) {
+// True when `warm` can legally seed a Krylov build for an order-n operator:
+// right dimension, fully finite, non-negligible norm. Anything else must be
+// ignored (cold random start), never trusted.
+bool UsableWarmStart(const std::vector<double>* warm, int n) {
+  if (warm == nullptr || static_cast<int>(warm->size()) != n) return false;
+  for (double x : *warm) {
+    if (!std::isfinite(x)) return false;
+  }
+  return Norm2(*warm) > 1e-300;
+}
+
+KrylovFactorization BuildKrylov(const LinearOperator& op, int m_max, Rng& rng,
+                                const std::vector<double>* warm_start) {
   const int n = op.Dim();
   KrylovFactorization kf;
 
   std::vector<double> v(n);
-  for (double& x : v) x = rng.NextDouble() - 0.5;
+  if (warm_start != nullptr) {
+    v = *warm_start;  // validated by the caller via UsableWarmStart
+  } else {
+    for (double& x : v) x = rng.NextDouble() - 0.5;
+  }
   double nv = Norm2(v);
   RP_CHECK(nv > 0.0);
   Scale(1.0 / nv, v);
@@ -141,10 +156,16 @@ Result<EigenResult> LanczosEigen(const LinearOperator& op, int k,
   best.max_residual = HUGE_VAL;
   int restarts_used = 0;
 
+  // Warm start applies to the first build only; every restart reseeds from
+  // the rng so a misleading warm vector costs at most one restart.
+  const std::vector<double>* warm =
+      UsableWarmStart(options.warm_start, n) ? options.warm_start : nullptr;
+
   for (int restart = 0; restart <= options.max_restarts; ++restart) {
     restarts_used = restart;
     const int m_max = std::min({m_target, options.max_subspace, n});
-    KrylovFactorization kf = BuildKrylov(op, m_max, rng);
+    KrylovFactorization kf =
+        BuildKrylov(op, m_max, rng, restart == 0 ? warm : nullptr);
     const int m = static_cast<int>(kf.alpha.size());
     if (m < k) {
       return Status::Internal("Krylov subspace smaller than k");

@@ -2,6 +2,7 @@
 #define ROADPART_LINALG_LANCZOS_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "common/status.h"
 #include "linalg/linear_operator.h"
@@ -21,6 +22,18 @@ struct LanczosOptions {
   uint64_t seed = 12345;
   /// Number of progressively larger restarts before giving up.
   int max_restarts = 3;
+  /// Optional warm start: a non-owning pointer to a start vector carried over
+  /// from a previous, similar solve (e.g. the first embedding column of the
+  /// last interval in the incremental repartitioner). Used for the *first*
+  /// Krylov build only — restarts always reseed from the rng so a bad warm
+  /// vector cannot poison the whole ladder — and silently ignored unless it
+  /// has exactly the operator's dimension, is entirely finite, and has a
+  /// positive norm. An accelerator, not a semantic knob: the solve converges
+  /// to the same eigenpairs within tolerance, it just takes a different
+  /// (usually much shorter) iteration path. Deterministic: the same warm
+  /// vector always yields the same bits at every thread count. The pointee
+  /// must outlive the LanczosEigen call.
+  const std::vector<double>* warm_start = nullptr;
 };
 
 /// Which spectrum end to extract.

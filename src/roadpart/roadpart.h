@@ -64,6 +64,7 @@
 #include "serve/snapshot.h"
 #include "serve/spatial_index.h"
 #include "temporal/evolution_analyzer.h"
+#include "temporal/interval_driver.h"
 #include "temporal/series_io.h"
 #include "temporal/snapshot_series.h"
 #include "traffic/congestion_field.h"

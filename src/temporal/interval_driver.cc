@@ -1,0 +1,60 @@
+#include "temporal/interval_driver.h"
+
+#include <utility>
+
+#include "common/timer.h"
+#include "core/partition_tracker.h"
+#include "metrics/partition_metrics.h"
+
+namespace roadpart {
+
+Result<IntervalDriveResult> DriveIntervals(
+    const RoadGraph& road_graph, const SnapshotSeries& series,
+    const IntervalDriverOptions& options) {
+  if (series.num_segments() != road_graph.num_nodes()) {
+    return Status::InvalidArgument(
+        "series segment count does not match the road graph");
+  }
+  if (series.num_snapshots() == 0) {
+    return Status::InvalidArgument("empty snapshot series");
+  }
+
+  IntervalDriveResult result;
+
+  // Snapshot 0: one full top-level partition fixes the regions the
+  // incremental engine is bound to for the rest of the series.
+  RoadGraph graph = road_graph;  // mutable copy for per-snapshot features
+  RP_RETURN_IF_ERROR(graph.SetFeatures(series.densities(0)));
+  Timer timer;
+  RP_ASSIGN_OR_RETURN(PartitionOutcome initial,
+                      Partitioner(options.initial).PartitionRoadGraph(graph));
+  result.initial_seconds = timer.Seconds();
+  result.regions = std::move(initial.assignment);
+  result.k_top = initial.k_final;
+
+  RP_ASSIGN_OR_RETURN(IncrementalRepartitioner engine,
+                      IncrementalRepartitioner::Create(graph, result.regions,
+                                                       options.refresh));
+
+  PartitionTracker tracker;
+  result.steps.reserve(series.num_snapshots());
+  for (int t = 0; t < series.num_snapshots(); ++t) {
+    const std::vector<double>& densities = series.densities(t);
+    RP_ASSIGN_OR_RETURN(DistributedRepartitionResult refresh,
+                        engine.Refresh(densities));
+    IntervalStep step;
+    step.timestamp_seconds = series.timestamp(t);
+    step.k_final = refresh.k_final;
+    step.seconds = refresh.seconds;
+    step.stats = std::move(refresh.stats);
+    RP_ASSIGN_OR_RETURN(step.assignment, tracker.Align(refresh.assignment));
+    step.churn = tracker.last_churn();
+    RP_ASSIGN_OR_RETURN(step.ans,
+                        AverageNcutSilhouette(graph.adjacency(), densities,
+                                              refresh.assignment));
+    result.steps.push_back(std::move(step));
+  }
+  return result;
+}
+
+}  // namespace roadpart

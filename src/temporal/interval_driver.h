@@ -1,0 +1,68 @@
+#ifndef ROADPART_TEMPORAL_INTERVAL_DRIVER_H_
+#define ROADPART_TEMPORAL_INTERVAL_DRIVER_H_
+
+/// The Section 6.4 interval loop over a snapshot series.
+///
+/// Where evolution_analyzer.h re-partitions the whole network at every
+/// snapshot (the paper's repeated-partitioning workflow), this driver runs
+/// the *incremental* regime: one full top-level partition at the first
+/// snapshot establishes the regions, then every later snapshot flows through
+/// an IncrementalRepartitioner refresh — dirty-region detection, cached cuts
+/// for clean regions, warm-started eigensolves for dirty ones. Region ids
+/// are kept stable across intervals with a PartitionTracker and quality is
+/// measured per interval (ANS), so callers can compare the incremental
+/// refresh against full re-partitioning on both cost and quality.
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/distributed_repartition.h"
+#include "core/partitioner.h"
+#include "network/road_graph.h"
+#include "temporal/snapshot_series.h"
+
+namespace roadpart {
+
+/// Options for the incremental interval loop.
+struct IntervalDriverOptions {
+  /// Top-level partition at the first snapshot; its `k` is the region count
+  /// the refreshes are bound to.
+  PartitionerOptions initial;
+  /// Per-interval refresh configuration (inner partitioner, dirty triggers,
+  /// warm start, fan-out threads).
+  DistributedRepartitionOptions refresh;
+};
+
+/// One interval's outcome.
+struct IntervalStep {
+  double timestamp_seconds = 0.0;
+  std::vector<int> assignment;  ///< tracked (stable) sub-partition ids
+  int k_final = 0;
+  double ans = 0.0;      ///< partition quality at this snapshot
+  double churn = 0.0;    ///< fraction of segments changing label vs previous
+  double seconds = 0.0;  ///< wall time of this interval's refresh
+  RepartitionRefreshStats stats;  ///< dirty/clean/warm counters, phases
+};
+
+/// Outcome of driving a whole series.
+struct IntervalDriveResult {
+  std::vector<int> regions;  ///< the frozen top-level region assignment
+  int k_top = 0;             ///< number of regions
+  double initial_seconds = 0.0;  ///< cost of the snapshot-0 full partition
+  /// One step per snapshot from the first onward. Step 0 is the initial full
+  /// partition re-cut into sub-partitions (the engine's cold refresh); later
+  /// steps are incremental.
+  std::vector<IntervalStep> steps;
+};
+
+/// Runs the incremental interval loop over `series`: full partition at
+/// snapshot 0 (regions), engine refresh at every snapshot, label tracking
+/// and ANS per interval. Deterministic for a fixed configuration — thread
+/// counts change wall times only, never any assignment byte.
+Result<IntervalDriveResult> DriveIntervals(const RoadGraph& road_graph,
+                                           const SnapshotSeries& series,
+                                           const IntervalDriverOptions& options);
+
+}  // namespace roadpart
+
+#endif  // ROADPART_TEMPORAL_INTERVAL_DRIVER_H_

@@ -120,6 +120,33 @@ TEST(ParallelForTest, NestedInvocation) {
   }
 }
 
+TEST(ParallelForTest, ThreadedFanOutCapsNestedDefaultToOne) {
+  // The oversubscription policy (see parallel.h): once a loop actually fans
+  // out, every worker sees DefaultParallelism() == 1, so a nested helper
+  // that asks for "the default" runs inline instead of multiplying threads.
+  std::vector<int> seen(4, 0);
+  ParallelFor(4, [&](int i) { seen[i] = DefaultParallelism(); },
+              /*num_threads=*/4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(seen[i], 1) << "worker " << i;
+  }
+
+  // An inline (single-worker) outer loop leaves the default untouched.
+  SetDefaultParallelism(3);
+  std::vector<int> inline_seen(4, 0);
+  ParallelFor(4, [&](int i) { inline_seen[i] = DefaultParallelism(); },
+              /*num_threads=*/1);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(inline_seen[i], 3) << "iteration " << i;
+  }
+  SetDefaultParallelism(0);
+
+  // The cap is scoped to the fan-out: the calling thread's default is
+  // restored as soon as the loop joins.
+  ParallelFor(2, [](int) {}, /*num_threads=*/2);
+  EXPECT_GE(DefaultParallelism(), 1);
+}
+
 TEST(ParallelForBlockedTest, EdgeCases) {
   int calls = 0;
   // Zero-count call never invokes the body; the next one runs inline.

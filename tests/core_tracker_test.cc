@@ -83,5 +83,61 @@ TEST(PartitionTrackerTest, StableAcrossManySnapshots) {
   EXPECT_EQ(tracker.num_regions_seen(), 3);
 }
 
+TEST(PartitionTrackerTest, EmptyAssignmentResetsChurnWithoutReference) {
+  PartitionTracker tracker;
+  // An empty network is a legal (vacuous) first interval: nothing to align,
+  // nothing churned, and no reference is fixed.
+  auto aligned = tracker.Align({});
+  ASSERT_TRUE(aligned.ok());
+  EXPECT_TRUE(aligned->empty());
+  EXPECT_DOUBLE_EQ(tracker.last_churn(), 0.0);
+  // A later non-empty interval still acts as the first real one.
+  ASSERT_TRUE(tracker.Align({0, 0, 1}).ok());
+  EXPECT_DOUBLE_EQ(tracker.last_churn(), 0.0);
+}
+
+TEST(PartitionTrackerTest, RejectsEmptyAfterNonEmptyReference) {
+  PartitionTracker tracker;
+  ASSERT_TRUE(tracker.Align({0, 0, 1, 1}).ok());
+  ASSERT_TRUE(tracker.Align({0, 1, 1, 1}).ok());
+  EXPECT_DOUBLE_EQ(tracker.last_churn(), 0.25);
+  // k=0 against a fixed 4-node reference is a caller bug, not a snapshot;
+  // the rejection must leave the tracked state (incl. churn) untouched.
+  auto rejected = tracker.Align({});
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_DOUBLE_EQ(tracker.last_churn(), 0.25);
+  auto next = tracker.Align({0, 1, 1, 1});
+  ASSERT_TRUE(next.ok());
+  EXPECT_DOUBLE_EQ(tracker.last_churn(), 0.0);
+}
+
+TEST(PartitionTrackerTest, ChurnSeriesOverManyIntervals) {
+  // A 5+ interval series with known per-interval movement: churn must
+  // reflect each successful step, and a mid-series rejection must not
+  // disturb it.
+  PartitionTracker tracker;
+  ASSERT_TRUE(tracker.Align({0, 0, 0, 0, 1, 1, 1, 1}).ok());
+
+  struct Step {
+    std::vector<int> assignment;
+    double churn;
+  };
+  const std::vector<Step> steps = {
+      {{0, 0, 0, 0, 1, 1, 1, 1}, 0.0},    // unchanged
+      {{1, 1, 1, 1, 0, 0, 0, 0}, 0.0},    // pure relabel
+      {{0, 0, 0, 1, 1, 1, 1, 1}, 0.125},  // one node moves
+      {{0, 0, 1, 1, 1, 1, 1, 1}, 0.125},  // another follows
+      {{0, 0, 0, 0, 1, 1, 1, 1}, 0.25},   // both move back
+  };
+  for (size_t i = 0; i < steps.size(); ++i) {
+    auto aligned = tracker.Align(steps[i].assignment);
+    ASSERT_TRUE(aligned.ok()) << "interval " << i;
+    EXPECT_DOUBLE_EQ(tracker.last_churn(), steps[i].churn)
+        << "interval " << i;
+  }
+  EXPECT_FALSE(tracker.Align({0, 1, 2}).ok());  // node count changed
+  EXPECT_DOUBLE_EQ(tracker.last_churn(), 0.25);
+}
+
 }  // namespace
 }  // namespace roadpart

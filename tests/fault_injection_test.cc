@@ -413,6 +413,29 @@ TEST(FaultInjectionTest, SnapshotSiteNamesAreRegistered) {
                "serve-query-timeout");
 }
 
+TEST(FaultInjectionTest, RepartitionSiteNamesAreRegistered) {
+  EXPECT_STREQ(FaultSiteName(FaultSite::kWarmStartCorruption),
+               "warm-start-corruption");
+  EXPECT_STREQ(FaultSiteName(FaultSite::kDirtyDetectOverflow),
+               "dirty-detect-overflow");
+}
+
+TEST(FaultInjectionTest, RepartitionSitesArmAndCount) {
+  // The incremental-repartition sites follow the standard budget contract:
+  // armed fires decrement, cold sites never fire. (End-to-end behavior —
+  // cold-started solves, all-dirty refreshes — is covered in
+  // core_distributed_test.cc.)
+  FaultInjector inj(31);
+  inj.Arm(FaultSite::kWarmStartCorruption, 2);
+  ScopedFaultInjector scoped(&inj);
+  EXPECT_TRUE(RP_FAULT_FIRES(FaultSite::kWarmStartCorruption));
+  EXPECT_TRUE(RP_FAULT_FIRES(FaultSite::kWarmStartCorruption));
+  EXPECT_FALSE(RP_FAULT_FIRES(FaultSite::kWarmStartCorruption));
+  EXPECT_FALSE(RP_FAULT_FIRES(FaultSite::kDirtyDetectOverflow));
+  EXPECT_EQ(inj.fire_count(FaultSite::kWarmStartCorruption), 2);
+  EXPECT_EQ(inj.fire_count(FaultSite::kDirtyDetectOverflow), 0);
+}
+
 // --- Determinism under faults ---
 
 std::vector<int> RunWithFaults(const RoadGraph& rg, int num_threads) {

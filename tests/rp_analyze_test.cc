@@ -365,6 +365,36 @@ TEST(ParallelForRule, ServeRuntimeSharedStatsMutationIsFlagged) {
   EXPECT_EQ(CountRule(findings, "parallelfor-shared-mutation"), 1);
 }
 
+TEST(ParallelForRule, RepartitionPerSlotRegionOutcomeJoinIsSanctioned) {
+  // The incremental repartitioner's fan-out idiom: each dirty region
+  // computes a whole RegionOutcome into a local, moves it into its own
+  // slot, and the serial merge phase walks the slots in region order.
+  auto findings = Analyze(
+      "src/core/distributed_repartition.cc",
+      "void f(int dirty_count, std::vector<RegionOutcome>& outcomes) {\n"
+      "  ParallelForTasks(dirty_count, [&](int slot) {\n"
+      "    RegionOutcome out;\n"
+      "    out.k = 2;\n"
+      "    out.local.assign(4, 0);\n"
+      "    outcomes[slot] = std::move(out);\n"
+      "  });\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, "parallelfor-shared-mutation"), 0);
+}
+
+TEST(ParallelForRule, RepartitionSharedStatsFromFanOutIsFlagged) {
+  // The anti-idiom for the same code: bumping refresh counters (or engine
+  // warnings) from inside the fan-out instead of the serial merge.
+  auto findings = Analyze(
+      "src/core/distributed_repartition.cc",
+      "void f(int dirty_count, RepartitionRefreshStats& stats) {\n"
+      "  ParallelForTasks(dirty_count, [&](int slot) {\n"
+      "    stats.warm_started += 1;\n"
+      "  });\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, "parallelfor-shared-mutation"), 1);
+}
+
 // ---------------------------------------------------------------------------
 // Rule: unchecked-eigen-convergence
 // ---------------------------------------------------------------------------

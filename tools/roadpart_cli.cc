@@ -47,9 +47,16 @@ int Usage() {
       " <out.supergraph>\n"
       "  roadpart_cli analyze   [--scheme=S] [--k=K] [--seed=N] <in.net>"
       " <series.csv>\n"
+      "  roadpart_cli refresh   [--scheme=S] [--k=K] [--inner-scheme=S]"
+      " [--inner-k=K] [--seed=N]\n"
+      "                 [--trigger-ratio=R] [--boundary-delta-ratio=R]"
+      " [--no-warm-start] <in.net> <series.csv>\n"
       "  roadpart_cli sweep     [--scheme=S] [--kmin=A] [--kmax=B]"
       " [--seed=N] <in.net>\n"
       "\n"
+      "  refresh partitions snapshot 0 into regions, then re-cuts only\n"
+      "  dirty regions at each later snapshot (incremental Section 6.4),\n"
+      "  reporting dirty/clean counts, warm starts and phase timings.\n"
       "  --threads=T sets worker threads for every command (0 = RP_THREADS\n"
       "  env or hardware default); results are identical for any value.\n"
       "  --output-dir=DIR places relative output files under DIR (created\n"
@@ -393,6 +400,60 @@ int CmdAnalyze(const FlagParser& flags) {
   return 0;
 }
 
+int CmdRefresh(const FlagParser& flags) {
+  if (flags.positional().size() != 2) return Usage();
+  auto scheme = ParseScheme(flags.GetString("scheme", "ASG"));
+  if (!scheme.ok()) return Fail(scheme.status());
+  auto inner_scheme = ParseScheme(flags.GetString("inner-scheme", "AG"));
+  if (!inner_scheme.ok()) return Fail(inner_scheme.status());
+  auto k = flags.GetInt("k", 4);
+  auto inner_k = flags.GetInt("inner-k", 2);
+  auto seed = flags.GetInt("seed", 1);
+  auto trigger = flags.GetDouble("trigger-ratio", 0.05);
+  auto boundary = flags.GetDouble("boundary-delta-ratio", 0.05);
+  if (!k.ok() || !inner_k.ok() || !seed.ok() || !trigger.ok() ||
+      !boundary.ok()) {
+    return Usage();
+  }
+
+  auto net = LoadRoadNetwork(flags.positional()[0]);
+  if (!net.ok()) return Fail(net.status());
+  auto series = LoadSnapshotSeries(flags.positional()[1]);
+  if (!series.ok()) return Fail(series.status());
+  RoadGraph rg = RoadGraph::FromNetwork(*net);
+
+  IntervalDriverOptions options;
+  options.initial.scheme = *scheme;
+  options.initial.k = static_cast<int>(*k);
+  options.initial.seed = static_cast<uint64_t>(*seed);
+  options.refresh.partitioner.scheme = *inner_scheme;
+  options.refresh.partitioner.k = static_cast<int>(*inner_k);
+  options.refresh.partitioner.seed = static_cast<uint64_t>(*seed);
+  options.refresh.trigger_ratio = *trigger;
+  options.refresh.boundary_delta_ratio = *boundary;
+  options.refresh.warm_start_embeddings =
+      !flags.GetBool("no-warm-start", false);
+  options.refresh.num_threads = DefaultParallelism();  // --threads
+
+  auto result = DriveIntervals(rg, *series, options);
+  if (!result.ok()) return Fail(result.status());
+
+  std::printf("initial %s k=%d: %d regions in %.3fs\n",
+              SchemeName(*scheme), static_cast<int>(*k), result->k_top,
+              result->initial_seconds);
+  std::printf("%10s %6s %6s %6s %6s %8s %8s %9s %9s %9s\n", "t(s)", "k",
+              "dirty", "clean", "warm", "ANS", "churn", "trig(s)", "part(s)",
+              "merge(s)");
+  for (const IntervalStep& step : result->steps) {
+    std::printf("%10.0f %6d %6d %6d %6d %8.4f %7.1f%% %9.4f %9.4f %9.4f\n",
+                step.timestamp_seconds, step.k_final, step.stats.dirty,
+                step.stats.clean, step.stats.warm_started, step.ans,
+                100.0 * step.churn, step.stats.trigger_seconds,
+                step.stats.subpartition_seconds, step.stats.merge_seconds);
+  }
+  return 0;
+}
+
 int CmdSweep(const FlagParser& flags) {
   if (flags.positional().size() != 1) return Usage();
   auto scheme = ParseScheme(flags.GetString("scheme", "ASG"));
@@ -440,8 +501,9 @@ int Main(int argc, char** argv) {
        "threads", "deadline-seconds", "on-nonconvergence", "density-policy",
        "checkpoint-dir", "resume", "crash-after-stage", "geojson",
        "snapshot-out", "output-dir", "io-retry-attempts",
-       "io-retry-base-delay"},
-      /*bool_flags=*/{"resume"});
+       "io-retry-base-delay", "inner-scheme", "inner-k", "trigger-ratio",
+       "boundary-delta-ratio", "no-warm-start"},
+      /*bool_flags=*/{"resume", "no-warm-start"});
   if (!flags.ok()) return Fail(flags.status());
 
   // Global thread knob: applies to every command; deterministic kernels make
@@ -456,6 +518,7 @@ int Main(int argc, char** argv) {
   if (command == "simulate") return CmdSimulate(*flags);
   if (command == "mine") return CmdMine(*flags);
   if (command == "analyze") return CmdAnalyze(*flags);
+  if (command == "refresh") return CmdRefresh(*flags);
   if (command == "sweep") return CmdSweep(*flags);
   return Usage();
 }
